@@ -1,0 +1,113 @@
+// E8 — Baseline comparison (§1 related work).
+//
+// The only prior streaming algorithm for capacitated clustering is the
+// [BBLM14] mapping coreset: THREE passes, insertion-only.  The other natural
+// baseline is uniform sampling.  Two tables:
+//   1. capacitated-cost fidelity vs summary size on a workload with small
+//      far-away clusters (2% of mass) — the regime where uniform sampling
+//      misses the regions that the capacity constraint forces costs onto;
+//   2. the capability matrix (passes, deletions, guarantee).
+#include "bench_util.h"
+
+using namespace skc;
+using namespace skc::bench;
+
+namespace {
+
+/// Mixture with two tiny far-flung clusters: 96% of the mass in k-2 big
+/// clusters, 2% in each of two distant ones.  Tight capacities force every
+/// center set to account for the far mass, which a small uniform sample
+/// under-represents.
+PointSet outlier_workload(PointIndex n, int k, int log_delta, Rng& rng) {
+  MixtureConfig bulk;
+  bulk.dim = 2;
+  bulk.log_delta = log_delta;
+  bulk.clusters = k - 2;
+  bulk.n = static_cast<PointIndex>(0.96 * static_cast<double>(n));
+  bulk.spread = 0.015;
+  bulk.skew = 1.0;
+  PointSet pts = gaussian_mixture(bulk, rng);
+  const Coord delta = Coord{1} << log_delta;
+  // Two tight corner clusters.
+  for (int c = 0; c < 2; ++c) {
+    const Coord cx = c == 0 ? delta / 16 : delta - delta / 16;
+    const Coord cy = c == 0 ? delta - delta / 16 : delta / 16;
+    const PointIndex m = (n - pts.size()) / (2 - c);
+    for (PointIndex i = 0; i < m; ++i) {
+      pts.push_back({static_cast<Coord>(std::clamp<double>(
+                         cx + 4.0 * rng.gaussian(), 1, delta)),
+                     static_cast<Coord>(std::clamp<double>(
+                         cy + 4.0 * rng.gaussian(), 1, delta))});
+    }
+  }
+  return pts;
+}
+
+}  // namespace
+
+int main() {
+  header("E8: ours vs uniform sampling vs BBLM14 mapping coreset",
+         "fidelity at small summary sizes on far-outlier workloads");
+
+  const int k = 5;
+  const int log_delta = 11;
+  const PointIndex n = 2500;
+  Rng rng(2024);
+  const PointSet pts = outlier_workload(n, k, log_delta, rng);
+
+  row("%-24s %8s %12s %12s", "summary", "size", "upper", "lower");
+  // Ours at three budgets (driven by samples_per_part).
+  for (double s : {2.0, 6.0, 24.0}) {
+    CoresetParams params = CoresetParams::practical(k, LrOrder{2.0}, 0.2, 0.2);
+    params.samples_per_part = s;
+    const OfflineBuildResult built = build_offline_coreset(pts, params, log_delta);
+    if (!built.ok) continue;
+    const QualityEnvelope env = measure_quality(pts, built.coreset.points, k,
+                                                LrOrder{2.0}, params.eta, log_delta);
+    char name[64];
+    std::snprintf(name, sizeof(name), "streamkc (S=%.0f)", s);
+    row("%-24s %8lld %12.3f %12.3f", name,
+        static_cast<long long>(built.coreset.points.size()), env.upper, env.lower);
+  }
+  // Uniform sampling at matched sizes.
+  for (PointIndex budget : {PointIndex{96}, PointIndex{256}, PointIndex{768}}) {
+    Rng urng(31);
+    const Coreset uniform = uniform_coreset(pts, budget, urng);
+    const QualityEnvelope env =
+        measure_quality(pts, uniform.points, k, LrOrder{2.0}, 0.2, log_delta);
+    char name[64];
+    std::snprintf(name, sizeof(name), "uniform (m=%lld)",
+                  static_cast<long long>(budget));
+    row("%-24s %8lld %12.3f %12.3f", name, static_cast<long long>(budget),
+        env.upper, env.lower);
+  }
+  // Mapping coreset at matched center budgets.
+  for (PointIndex budget : {PointIndex{96}, PointIndex{256}}) {
+    Rng mrng(32);
+    MappingCoresetOptions mopt;
+    mopt.max_centers = budget;
+    const MappingCoresetResult mapping = mapping_coreset(pts, mopt, mrng);
+    const QualityEnvelope env = measure_quality(pts, mapping.coreset.points, k,
+                                                LrOrder{2.0}, 0.2, log_delta);
+    char name[64];
+    std::snprintf(name, sizeof(name), "BBLM14 (<=%lld centers)",
+                  static_cast<long long>(budget));
+    row("%-24s %8lld %12.3f %12.3f", name,
+        static_cast<long long>(mapping.coreset.points.size()), env.upper, env.lower);
+  }
+
+  row("\ncapability matrix:");
+  row("%-24s %8s %10s %26s", "summary", "passes", "deletes?", "guarantee");
+  row("%-24s %8d %10s %26s", "streamkc (ours)", 1, "yes", "(1+eps, 1+eta) all Z, t");
+  row("%-24s %8d %10s %26s", "uniform sampling", 1, "no", "uncapacitated only");
+  row("%-24s %8d %10s %26s", "BBLM14 mapping", 3, "no", "O(movement) additive");
+
+  row("\nexpected shape: both sampling summaries fluctuate at small sizes and");
+  row("tighten with budget — ours monotonically (the per-part structure");
+  row("bounds the variance), uniform erratically (m=256 can be worse than");
+  row("m=96 on far-outlier mass).  The mapping coreset is compact and");
+  row("accurate on well-clustered data (movement is tiny), but needs three");
+  row("passes over stored data and supports no deletions — the capability");
+  row("matrix is the headline: only ours is one-pass dynamic.");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E11 — Merge-reduce composition vs the one-shot construction (extension).
+//
+// The classic insertion-only streaming alternative ([HPM04/BFL16] style,
+// built here on the weighted generalization of Algorithm 2) buffers blocks,
+// coresets them, and re-coresets pairs of summaries up a binary tree.  Each
+// reduction compounds the (eps, eta) error — the degradation the paper's
+// linear sketch avoids, and this table quantifies it.
+#include "bench_util.h"
+
+using namespace skc;
+using namespace skc::bench;
+
+int main() {
+  header("E11: merge-reduce composition vs one-shot coreset",
+         "composition compounds (eps, eta) by O(log #blocks); the sketch does not");
+
+  const int k = 4;
+  const int dim = 2;
+  const int log_delta = 10;
+  const PointIndex n = 4000;
+  const PointSet pts = standard_workload(n, k, dim, log_delta, 1.2, 2025);
+  const CoresetParams params = CoresetParams::practical(k, LrOrder{2.0}, 0.2, 0.2);
+
+  // One-shot reference.
+  {
+    const OfflineBuildResult built = build_offline_coreset(pts, params, log_delta);
+    if (built.ok) {
+      const QualityEnvelope env = measure_quality(pts, built.coreset.points, k,
+                                                  LrOrder{2.0}, params.eta, log_delta);
+      row("%-22s %8s %10s %8lld %12.3f %12.3f", "one-shot (reference)", "-", "-",
+          static_cast<long long>(built.coreset.points.size()), env.upper, env.lower);
+    }
+  }
+
+  row("%-22s %8s %10s %8s %12s %12s", "composer", "blocks", "reductions", "size",
+      "upper", "lower");
+  for (PointIndex block : {PointIndex{2000}, PointIndex{500}, PointIndex{125}}) {
+    CoresetComposer::Options opt;
+    opt.log_delta = log_delta;
+    opt.block_size = block;
+    CoresetComposer composer(dim, params, opt);
+    composer.insert_all(pts);
+    const auto coreset = composer.finalize();
+    if (!coreset) {
+      row("%-22s %8lld  COMPOSITION FAILED", "merge-reduce",
+          static_cast<long long>(n / block));
+      continue;
+    }
+    const QualityEnvelope env = measure_quality(pts, coreset->points, k,
+                                                LrOrder{2.0}, params.eta, log_delta);
+    char name[48];
+    std::snprintf(name, sizeof(name), "merge-reduce b=%lld",
+                  static_cast<long long>(block));
+    row("%-22s %8lld %10d %8lld %12.3f %12.3f", name,
+        static_cast<long long>(n / block), composer.reductions(),
+        static_cast<long long>(coreset->points.size()), env.upper, env.lower);
+  }
+
+  row("\nexpected shape: composition stays serviceable (the theoretical");
+  row("O(log #blocks) compounding is invisible at laptop scale because each");
+  row("reduction's error is small), so the differences that matter are");
+  row("capability ones: merge-reduce buffers blocks, needs fresh randomness");
+  row("per tier, and cannot handle deletions; the paper's sketch (E4) is");
+  row("one-pass dynamic with no compounding by construction.");
+  return 0;
+}

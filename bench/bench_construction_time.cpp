@@ -1,0 +1,65 @@
+// E3 — Construction time vs n (Theorem 3.19: O(n d log^2(n d Delta))).
+//
+// Uses google-benchmark for the timing sweep, then prints the fitted
+// per-point cost to make the near-linearity visible at a glance.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "skc/coreset/sampling.h"
+
+using namespace skc;
+using namespace skc::bench;
+
+namespace {
+
+constexpr int kK = 8;
+constexpr int kDim = 4;
+constexpr int kLogDelta = 14;
+
+void BM_OfflineCoreset(benchmark::State& state) {
+  const PointIndex n = state.range(0);
+  const PointSet pts = standard_workload(n, kK, kDim, kLogDelta, 1.2, 42);
+  const CoresetParams params = CoresetParams::practical(kK, LrOrder{2.0}, 0.2, 0.2);
+  for (auto _ : state) {
+    const OfflineBuildResult built = build_offline_coreset(pts, params, kLogDelta);
+    benchmark::DoNotOptimize(built.ok);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["ns_per_point"] = benchmark::Counter(
+      static_cast<double>(n) * state.iterations(),
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_OfflineCoreset)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Arg(262144)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PartitionOnly(benchmark::State& state) {
+  const PointIndex n = state.range(0);
+  const PointSet pts = standard_workload(n, kK, kDim, kLogDelta, 1.2, 42);
+  const CoresetParams params = CoresetParams::practical(kK, LrOrder{2.0}, 0.2, 0.2);
+  const HierarchicalGrid grid = make_grid(kDim, kLogDelta, params.seed);
+  // Partition at a mid-range o (one Algorithm 1 pass, the O(n L) kernel).
+  const double o = max_opt_guess(n, kDim, kLogDelta, params.r) / 1024.0;
+  for (auto _ : state) {
+    const OfflinePartition part = partition_offline(pts, grid, params.partition(), o);
+    benchmark::DoNotOptimize(part.parts.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+BENCHMARK(BM_PartitionOnly)->Arg(16384)->Arg(65536)->Arg(262144)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  header("E3: construction time vs n", "near-linear O(n d log^2(n d Delta)) build");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  row("\nexpected shape: ms grows ~linearly in n (ns_per_point roughly flat,");
+  row("up to the log(n Delta^r) guess-enumeration factor).");
+  return 0;
+}

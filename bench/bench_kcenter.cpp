@@ -1,0 +1,51 @@
+// E12 — Capacitated k-center extension (the r = infinity member of the
+// paper's cost family, §1: capacitated k-clustering extends to k-center).
+//
+// Figure-style output: the bottleneck radius as a function of the capacity
+// slack — the price of balance in the bottleneck metric — against the
+// uncapacitated Gonzalez radius as the floor.
+#include "bench_util.h"
+
+using namespace skc;
+using namespace skc::bench;
+
+int main() {
+  header("E12: capacitated k-center — radius vs capacity slack",
+         "bottleneck radius rises as the capacity tightens toward n/k");
+
+  const int k = 4;
+  const int dim = 2;
+  const int log_delta = 11;
+  const PointIndex n = 600;  // flow feasibility test per radius candidate
+  const PointSet pts = standard_workload(n, k, dim, log_delta, 1.8, 4242);
+
+  Rng rng(1);
+  const PointSet seeds = gonzalez_seed(pts, k, rng);
+  double gonzalez_radius = 0.0;
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    gonzalez_radius = std::max(
+        gonzalez_radius, std::sqrt(nearest_center(pts[i], seeds, LrOrder{2.0}).cost));
+  }
+  row("uncapacitated Gonzalez radius (floor): %.1f", gonzalez_radius);
+
+  row("\n%10s %12s %14s %14s", "slack", "capacity", "radius (fixed)",
+      "radius (search)");
+  for (double slack : {4.0, 2.0, 1.5, 1.2, 1.05, 1.0}) {
+    const double t = tight_capacity(static_cast<double>(n), k) * slack;
+    const KCenterSolution fixed =
+        capacitated_kcenter_assign(WeightedPointSet::unit(pts), seeds, t);
+    Rng solver_rng(7);
+    KCenterOptions opts;
+    opts.max_swaps = 12;
+    const KCenterSolution searched = capacitated_kcenter(pts, k, t, opts, solver_rng);
+    row("%10.2f %12.0f %14.1f %14.1f", slack, t,
+        fixed.feasible ? fixed.radius : -1.0,
+        searched.feasible ? searched.radius : -1.0);
+  }
+
+  row("\nexpected shape: at generous slack the radius sits at the Gonzalez");
+  row("floor; as slack -> 1 the radius climbs (the skewed big cluster must");
+  row("spill to farther centers), and local search recovers part of the gap");
+  row("by moving centers toward the spill paths.");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// E9 — l_r generality (§1.2: curved half-spaces extend the construction to
+// every r >= 1, not just k-means).
+//
+// The same pipeline is run for r = 1 (capacitated k-median), r = 2
+// (capacitated k-means), and r = 3, reporting the quality envelope and the
+// coreset size for each.
+#include "bench_util.h"
+
+using namespace skc;
+using namespace skc::bench;
+
+int main() {
+  header("E9: l_r generality", "one construction covers r = 1, 2, 3 (curved half-spaces)");
+
+  const int k = 4;
+  const int dim = 2;
+  const int log_delta = 10;
+  const PointIndex n = 2000;
+  const PointSet pts = standard_workload(n, k, dim, log_delta, 1.2, 91);
+
+  row("%6s %10s %12s %12s %12s", "r", "coreset", "accepted o", "upper", "lower");
+  for (double r : {1.0, 2.0, 3.0}) {
+    const CoresetParams params = CoresetParams::practical(k, LrOrder{r}, 0.2, 0.2);
+    const OfflineBuildResult built = build_offline_coreset(pts, params, log_delta);
+    if (!built.ok) {
+      row("%6.1f  BUILD FAILED", r);
+      continue;
+    }
+    const QualityEnvelope env = measure_quality(pts, built.coreset.points, k,
+                                                LrOrder{r}, params.eta, log_delta);
+    row("%6.1f %10lld %12.3g %12.3f %12.3f", r,
+        static_cast<long long>(built.coreset.points.size()), built.coreset.o,
+        env.upper, env.lower);
+  }
+
+  row("\nexpected shape: comparable envelopes across r — the half-space");
+  row("argument's generality, not a k-means artifact.  (r = 1 envelopes are");
+  row("typically the tightest: linear costs concentrate best.)");
+  return 0;
+}

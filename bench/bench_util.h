@@ -1,0 +1,100 @@
+// Shared helpers for the experiment harness.
+//
+// The paper has no empirical section, so every benchmark binary regenerates
+// one experiment from the suite defined in DESIGN.md §5 / EXPERIMENTS.md and
+// prints a self-contained table.  Binaries are plain executables (run them
+// with no arguments); the timing-centric ones additionally register
+// google-benchmark timers.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "skc/skc.h"
+
+namespace skc::bench {
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+/// The standard skewed-mixture workload: cluster sizes ~ (i+1)^{-skew} make
+/// the capacity constraint bind, which is the regime the paper targets.
+inline PointSet standard_workload(PointIndex n, int k, int dim, int log_delta,
+                                  double skew, std::uint64_t seed) {
+  Rng rng(seed);
+  MixtureConfig cfg;
+  cfg.dim = dim;
+  cfg.log_delta = log_delta;
+  cfg.clusters = k;
+  cfg.n = n;
+  cfg.spread = 0.015;
+  cfg.skew = skew;
+  return gaussian_mixture(cfg, rng);
+}
+
+/// Two-sided strong-coreset quality of a weighted summary against exact
+/// capacitated costs on the full data (Section 1.1 of the paper):
+///   upper = max over probes of cost_{(1+eta)t}(S) / cost_t(Q)        (<= 1+eps)
+///   lower = min over probes of cost_{(1+eta)t}(S) / cost_{(1+eta)^2 t}(Q)
+///                                                                  (>= 1/(1+eps))
+/// Probes mix k-means++ seeds (good centers) and uniform random centers
+/// (bad centers) at tight and loose capacities.
+struct QualityEnvelope {
+  double upper = 0.0;   // worst over-estimation factor
+  double lower = 1e30;  // worst under-estimation factor
+  int probes = 0;
+  int infeasible = 0;   // summary infeasible at relaxed capacity
+};
+
+inline QualityEnvelope measure_quality(const PointSet& full,
+                                       const WeightedPointSet& summary, int k,
+                                       LrOrder r, double eta, int log_delta,
+                                       int num_probes = 6,
+                                       std::uint64_t seed = 77) {
+  QualityEnvelope env;
+  const double n = static_cast<double>(full.size());
+  const double w = summary.total_weight();
+  const double relax = 1.0 + eta;
+  for (int probe = 0; probe < num_probes; ++probe) {
+    Rng rng(seed + static_cast<std::uint64_t>(probe));
+    PointSet centers;
+    if (probe % 2 == 0) {
+      centers = kmeanspp_seed(WeightedPointSet::unit(full), k, r, rng);
+    } else {
+      Rng prng(seed * 31 + static_cast<std::uint64_t>(probe));
+      centers = uniform_points(full.dim(), log_delta, k, prng);
+    }
+    for (double slack : {1.05, 1.4}) {
+      const double t = tight_capacity(n, k) * slack;
+      const double full_t = capacitated_cost(full, centers, t, r);
+      const double full_relaxed = capacitated_cost(full, centers, t * relax * relax, r);
+      const double s_cost =
+          capacitated_cost(summary, centers, (t * w / n) * relax, r);
+      ++env.probes;
+      if (s_cost >= kInfCost) {
+        ++env.infeasible;
+        continue;
+      }
+      if (full_t > 0) env.upper = std::max(env.upper, s_cost / full_t);
+      if (full_relaxed > 0) env.lower = std::min(env.lower, s_cost / full_relaxed);
+    }
+  }
+  return env;
+}
+
+}  // namespace skc::bench

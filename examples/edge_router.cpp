@@ -1,0 +1,95 @@
+// Edge routing with a shipped assignment plan.
+//
+// Scenario: the coordinator builds a coreset from yesterday's traffic,
+// solves balanced k-means (each backend has a slot budget), compiles an
+// AssignmentPlan (§3.3's compact representation), and ships it to edge
+// routers.  A router then classifies each incoming request to a backend in
+// microseconds WITHOUT the data, the coreset, or a flow solver — and the
+// resulting load stays near the budget even though no router coordinates
+// with any other.
+#include <algorithm>
+#include <cstdio>
+
+#include "skc/skc.h"
+
+int main() {
+  using namespace skc;
+
+  const int k = 4;  // backends
+  Rng rng(777);
+  MixtureConfig config;
+  config.dim = 2;
+  config.log_delta = 11;
+  config.clusters = 4;
+  config.n = 30000;
+  config.spread = 0.02;
+  config.skew = 1.6;  // one hot region
+  // One draw, split in half: "yesterday" trains the plan, "today" is fresh
+  // traffic from the SAME demand distribution.
+  const PointSet all_traffic = gaussian_mixture(config, rng);
+  PointSet yesterday(config.dim), today(config.dim);
+  for (PointIndex i = 0; i < all_traffic.size(); ++i) {
+    ((i % 2 == 0) ? yesterday : today).push_back(all_traffic[i]);
+  }
+
+  // --- Coordinator: coreset -> balanced solve -> plan. ---
+  const CoresetParams params = CoresetParams::practical(k, LrOrder{2.0}, 0.2, 0.2);
+  const OfflineBuildResult built =
+      build_offline_coreset(yesterday, params, config.log_delta);
+  if (!built.ok) return 1;
+  const double n = static_cast<double>(yesterday.size());
+  const double budget = tight_capacity(n, k) * 1.1;
+  Rng solver_rng(3);
+  CapacitatedSolverOptions sopts;
+  sopts.restarts = 2;
+  const CapacitatedSolution sol = capacitated_kmeans(
+      built.coreset.points, k, budget * built.coreset.total_weight() / n,
+      LrOrder{2.0}, sopts, solver_rng);
+  if (!sol.feasible) return 1;
+
+  const AssignmentPlan plan(params, config.log_delta, built.coreset, sol.centers,
+                            budget, n);
+  if (!plan.ok()) {
+    std::printf("plan compilation failed\n");
+    return 1;
+  }
+  std::printf("shipped plan: %s (vs %s of raw history)\n",
+              format_bytes(plan.memory_bytes()).c_str(),
+              format_bytes(static_cast<std::size_t>(n) * config.dim * 4).c_str());
+
+  // --- Edge router: classify today's traffic (same distribution). ---
+  std::vector<double> loads(static_cast<std::size_t>(k), 0.0);
+  PointIndex transferred = 0;
+  Timer route_timer;
+  for (PointIndex i = 0; i < today.size(); ++i) {
+    bool used_transfer = false;
+    const CenterIndex backend = plan.classify(today[i], &used_transfer);
+    loads[static_cast<std::size_t>(backend)] += 1.0;
+    transferred += used_transfer ? 1 : 0;
+  }
+  const double us_per_request = route_timer.seconds() * 1e6 /
+                                static_cast<double>(today.size());
+  std::printf("routed %lld requests at %.1f us each (%lld via transfer)\n",
+              static_cast<long long>(today.size()), us_per_request,
+              static_cast<long long>(transferred));
+
+  std::vector<double> naive(static_cast<std::size_t>(k), 0.0);
+  for (PointIndex i = 0; i < today.size(); ++i) {
+    naive[static_cast<std::size_t>(
+        nearest_center(today[i], sol.centers, LrOrder{2.0}).index)] += 1.0;
+  }
+  std::printf("\n%-10s %14s %14s   (budget %.0f per backend)\n", "backend",
+              "plan load", "nearest load", budget);
+  for (int c = 0; c < k; ++c) {
+    std::printf("%-10d %10.0f (%3.0f%%) %10.0f (%3.0f%%)\n", c,
+                loads[static_cast<std::size_t>(c)],
+                100.0 * loads[static_cast<std::size_t>(c)] / budget,
+                naive[static_cast<std::size_t>(c)],
+                100.0 * naive[static_cast<std::size_t>(c)] / budget);
+  }
+  const double plan_max = *std::max_element(loads.begin(), loads.end());
+  const double naive_max = *std::max_element(naive.begin(), naive.end());
+  std::printf("\nmax load: plan %.0f%% of budget vs nearest-backend %.0f%%\n",
+              100.0 * plan_max / budget, 100.0 * naive_max / budget);
+  return 0;
+}

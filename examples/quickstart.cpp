@@ -1,0 +1,82 @@
+// Quickstart: build a strong coreset for capacitated k-means, solve on the
+// coreset, and check the solution against the full data.
+//
+//   $ ./example_quickstart
+//
+// Walks the three core API calls:
+//   1. skc::build_offline_coreset   — Theorem 3.19 construction
+//   2. skc::capacitated_kmeans      — the (alpha, beta) solver black box
+//   3. skc::capacitated_cost        — exact evaluation on the full data
+#include <cstdio>
+
+#include "skc/skc.h"
+
+int main() {
+  using namespace skc;
+
+  // --- Generate a workload where balance matters: skewed cluster sizes. ---
+  Rng rng(42);
+  MixtureConfig config;
+  config.dim = 2;
+  config.log_delta = 12;  // grid [1, 4096]^2
+  config.clusters = 5;
+  config.n = 20000;
+  config.spread = 0.015;
+  config.skew = 1.5;  // largest cluster dwarfs the smallest
+  const PointSet points = gaussian_mixture(config, rng);
+  std::printf("dataset: n=%lld points in [1,%d]^%d, %d skewed clusters\n",
+              static_cast<long long>(points.size()), 1 << config.log_delta,
+              config.dim, config.clusters);
+
+  // --- 1. Build the coreset. ---
+  const int k = 5;
+  CoresetParams params = CoresetParams::practical(k, LrOrder{2.0},
+                                                  /*eps=*/0.2, /*eta=*/0.2);
+  Timer build_timer;
+  const OfflineBuildResult built = build_offline_coreset(points, params, config.log_delta);
+  if (!built.ok) {
+    std::printf("coreset construction failed\n");
+    return 1;
+  }
+  std::printf("coreset: %lld weighted points (%.1f%% of input) in %.0f ms; "
+              "accepted OPT guess o=%.3g\n",
+              static_cast<long long>(built.coreset.points.size()),
+              100.0 * static_cast<double>(built.coreset.points.size()) /
+                  static_cast<double>(points.size()),
+              build_timer.millis(), built.coreset.o);
+
+  // --- 2. Solve capacitated k-means ON THE CORESET. ---
+  const double n = static_cast<double>(points.size());
+  const double capacity = tight_capacity(n, k) * 1.05;  // near-perfect balance
+  const double coreset_capacity = capacity * built.coreset.total_weight() / n;
+  Timer solve_timer;
+  Rng solver_rng(7);
+  CapacitatedSolverOptions options;
+  options.restarts = 3;
+  options.delta = 1 << config.log_delta;
+  const CapacitatedSolution solution = capacitated_kmeans(
+      built.coreset.points, k, coreset_capacity, LrOrder{2.0}, options, solver_rng);
+  if (!solution.feasible) {
+    std::printf("solver found no feasible balanced clustering\n");
+    return 1;
+  }
+  std::printf("solved balanced k-means on the coreset in %.0f ms (cost %.4g)\n",
+              solve_timer.millis(), solution.cost);
+
+  // --- 3. Evaluate the centers on the FULL data. ---
+  const double full_cost = capacitated_cost(points, solution.centers,
+                                            capacity * (1.0 + params.eta),
+                                            LrOrder{2.0});
+  const double unbalanced = uncapacitated_cost(WeightedPointSet::unit(points),
+                                               solution.centers, LrOrder{2.0});
+  std::printf("full-data capacitated cost:   %.4g  (capacity %.0f per cluster)\n",
+              full_cost, capacity * (1.0 + params.eta));
+  std::printf("full-data unbalanced cost:    %.4g  (what plain k-means pays)\n",
+              unbalanced);
+  std::printf("balance premium: %.2fx — the price of near-equal cluster sizes\n",
+              full_cost / unbalanced);
+  for (int c = 0; c < k; ++c) {
+    std::printf("  center %d at %s\n", c, to_string(solution.centers[c]).c_str());
+  }
+  return 0;
+}

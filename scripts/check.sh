@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the test suite, the benchmark
+# experiment suite, every example, and a CLI smoke test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+  echo "== $b"
+  "$b"
+done
+
+for e in build/examples/example_*; do
+  echo "== $e"
+  "$e" > /dev/null
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+./build/tools/skc_cli generate 2000 4 2 10 1.2 > "$tmp/pts.csv"
+./build/tools/skc_cli coreset "$tmp/pts.csv" 4 "$tmp/coreset.csv"
+./build/tools/skc_cli assign "$tmp/pts.csv" 4 1.1 > "$tmp/assign.txt"
+echo "all checks passed"

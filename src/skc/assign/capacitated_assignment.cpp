@@ -1,0 +1,217 @@
+#include "skc/assign/capacitated_assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "skc/common/check.h"
+#include "skc/flow/mcmf.h"
+#include "skc/geometry/metric.h"
+
+namespace skc {
+
+double CapacitatedAssignment::max_load() const {
+  double m = 0.0;
+  for (double l : loads) m = std::max(m, l);
+  return m;
+}
+
+namespace {
+
+std::vector<std::int64_t> integral_weights(const WeightedPointSet& points) {
+  SKC_CHECK_MSG(points.integral_weights(),
+                "capacitated assignment requires integral weights");
+  std::vector<std::int64_t> w(static_cast<std::size_t>(points.size()));
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    w[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(std::llround(points.weight(i)));
+  }
+  return w;
+}
+
+/// Shared flow construction: source -> point (cap w_p), point -> center
+/// (cap w_p, cost dist^r), center -> sink (cap per `center_cap`).
+CapacitatedAssignment solve_flow(const WeightedPointSet& points,
+                                 const PointSet& centers,
+                                 const std::vector<std::int64_t>& center_cap,
+                                 LrOrder r) {
+  const PointIndex n = points.size();
+  const int k = static_cast<int>(centers.size());
+  CapacitatedAssignment out;
+  out.assignment.assign(static_cast<std::size_t>(n), kUnassigned);
+  out.loads.assign(static_cast<std::size_t>(k), 0.0);
+
+  const std::vector<std::int64_t> w = integral_weights(points);
+  const std::int64_t total =
+      std::accumulate(w.begin(), w.end(), std::int64_t{0});
+  const std::int64_t cap_total =
+      std::accumulate(center_cap.begin(), center_cap.end(), std::int64_t{0});
+  if (total > cap_total) return out;  // infeasible by counting
+
+  // Node layout: 0 = source, 1..n = points, n+1..n+k = centers, n+k+1 = sink.
+  MinCostMaxFlow flow(static_cast<int>(n) + k + 2);
+  const int source = 0;
+  const int sink = static_cast<int>(n) + k + 1;
+  std::vector<int> pc_edge(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (PointIndex i = 0; i < n; ++i) {
+    flow.add_edge(source, static_cast<int>(i) + 1, w[static_cast<std::size_t>(i)], 0.0);
+    for (int j = 0; j < k; ++j) {
+      const double cost = dist_pow(points.point(i), centers[j], r);
+      pc_edge[static_cast<std::size_t>(i) * k + static_cast<std::size_t>(j)] =
+          flow.add_edge(static_cast<int>(i) + 1, static_cast<int>(n) + 1 + j,
+                        w[static_cast<std::size_t>(i)], cost);
+    }
+  }
+  for (int j = 0; j < k; ++j) {
+    flow.add_edge(static_cast<int>(n) + 1 + j, sink,
+                  center_cap[static_cast<std::size_t>(j)], 0.0);
+  }
+
+  const MinCostMaxFlow::Result res = flow.solve(source, sink);
+  if (res.flow != total) return out;  // could not route all weight
+
+  out.feasible = true;
+  out.cost = 0.0;
+  for (PointIndex i = 0; i < n; ++i) {
+    // An optimal transportation basis splits at most k-1 points across two
+    // centers; each point is labeled with the center carrying the plurality
+    // of its weight while the cost/loads account the true (split) flow.
+    std::int64_t best_flow = -1;
+    for (int j = 0; j < k; ++j) {
+      const std::int64_t f =
+          flow.flow_on(pc_edge[static_cast<std::size_t>(i) * k + static_cast<std::size_t>(j)]);
+      if (f > 0) {
+        out.loads[static_cast<std::size_t>(j)] += static_cast<double>(f);
+        out.cost += static_cast<double>(f) * dist_pow(points.point(i), centers[j], r);
+        if (f > best_flow) {
+          best_flow = f;
+          out.assignment[static_cast<std::size_t>(i)] = static_cast<CenterIndex>(j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CapacitatedAssignment optimal_capacitated_assignment(const WeightedPointSet& points,
+                                                     const PointSet& centers,
+                                                     double t, LrOrder r) {
+  SKC_CHECK(!centers.empty());
+  SKC_CHECK(centers.dim() == points.dim() || points.empty());
+  const std::int64_t cap = static_cast<std::int64_t>(std::floor(t + 1e-9));
+  std::vector<std::int64_t> caps(static_cast<std::size_t>(centers.size()),
+                                 std::max<std::int64_t>(cap, 0));
+  return solve_flow(points, centers, caps, r);
+}
+
+CapacitatedAssignment exact_size_assignment(const WeightedPointSet& points,
+                                            const PointSet& centers,
+                                            const std::vector<std::int64_t>& sizes,
+                                            LrOrder r) {
+  SKC_CHECK(static_cast<PointIndex>(sizes.size()) == centers.size());
+  const double total = points.total_weight();
+  const std::int64_t size_sum =
+      std::accumulate(sizes.begin(), sizes.end(), std::int64_t{0});
+  SKC_CHECK_MSG(std::llround(total) == size_sum,
+                "prescribed sizes must sum to the total weight");
+  return solve_flow(points, centers, sizes, r);
+}
+
+CapacitatedAssignment greedy_capacitated_assignment(const WeightedPointSet& points,
+                                                    const PointSet& centers,
+                                                    double t, LrOrder r,
+                                                    int max_swap_rounds) {
+  const PointIndex n = points.size();
+  const int k = static_cast<int>(centers.size());
+  SKC_CHECK(k >= 1);
+  CapacitatedAssignment out;
+  out.assignment.assign(static_cast<std::size_t>(n), kUnassigned);
+  out.loads.assign(static_cast<std::size_t>(k), 0.0);
+  const double cap = std::floor(t + 1e-9);
+
+  auto cost_of = [&](PointIndex i, int j) {
+    return dist_pow(points.point(i), centers[j], r);
+  };
+
+  // Regret order: points whose best option beats their second-best by the
+  // most go first (they have the most to lose from a full center).
+  std::vector<PointIndex> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), PointIndex{0});
+  std::vector<double> regret(static_cast<std::size_t>(n), 0.0);
+  for (PointIndex i = 0; i < n; ++i) {
+    double best = kInfCost, second = kInfCost;
+    for (int j = 0; j < k; ++j) {
+      const double c = cost_of(i, j);
+      if (c < best) {
+        second = best;
+        best = c;
+      } else if (c < second) {
+        second = c;
+      }
+    }
+    regret[static_cast<std::size_t>(i)] = (k > 1 ? second - best : best);
+  }
+  std::sort(order.begin(), order.end(), [&](PointIndex a, PointIndex b) {
+    return regret[static_cast<std::size_t>(a)] > regret[static_cast<std::size_t>(b)];
+  });
+
+  out.cost = 0.0;
+  for (PointIndex i : order) {
+    const double w = points.weight(i);
+    int best = -1;
+    double best_cost = kInfCost;
+    for (int j = 0; j < k; ++j) {
+      if (out.loads[static_cast<std::size_t>(j)] + w > cap + 1e-9) continue;
+      const double c = cost_of(i, j);
+      if (c < best_cost) {
+        best_cost = c;
+        best = j;
+      }
+    }
+    if (best < 0) {
+      out.feasible = false;
+      out.cost = kInfCost;
+      return out;
+    }
+    out.assignment[static_cast<std::size_t>(i)] = static_cast<CenterIndex>(best);
+    out.loads[static_cast<std::size_t>(best)] += w;
+    out.cost += w * best_cost;
+  }
+  out.feasible = true;
+
+  // Pairwise improvement: swap the assigned centers of two points when that
+  // lowers the cost; unequal weights additionally require a capacity check.
+  for (int round = 0; round < max_swap_rounds; ++round) {
+    bool improved = false;
+    for (PointIndex a = 0; a < n; ++a) {
+      const int ca = out.assignment[static_cast<std::size_t>(a)];
+      const double wa = points.weight(a);
+      for (PointIndex b = a + 1; b < n; ++b) {
+        const int cb = out.assignment[static_cast<std::size_t>(b)];
+        if (ca == cb) continue;
+        const double wb = points.weight(b);
+        if (wa != wb) {
+          const double la = out.loads[static_cast<std::size_t>(ca)] - wa + wb;
+          const double lb = out.loads[static_cast<std::size_t>(cb)] - wb + wa;
+          if (la > cap + 1e-9 || lb > cap + 1e-9) continue;
+        }
+        const double before = wa * cost_of(a, ca) + wb * cost_of(b, cb);
+        const double after = wa * cost_of(a, cb) + wb * cost_of(b, ca);
+        if (after + 1e-9 < before) {
+          out.assignment[static_cast<std::size_t>(a)] = static_cast<CenterIndex>(cb);
+          out.assignment[static_cast<std::size_t>(b)] = static_cast<CenterIndex>(ca);
+          out.loads[static_cast<std::size_t>(ca)] += wb - wa;
+          out.loads[static_cast<std::size_t>(cb)] += wa - wb;
+          out.cost += after - before;
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return out;
+}
+
+}  // namespace skc

@@ -1,0 +1,58 @@
+// Optimal capacitated assignment of weighted points to fixed centers.
+//
+// Computes cost_t^{(r)}(Q, Z, w): the minimum-cost partition of Q into k
+// clusters with per-cluster weight at most t (Section 2 of the paper).
+// With integral weights (which this library guarantees for its coresets)
+// the transportation LP has an integral optimum, realized exactly by the
+// min-cost max-flow reduction of §3.3.
+//
+// For inputs too large for exact flow, `greedy_capacitated_assignment`
+// provides the regret-greedy + local-swap heuristic used by the large-n
+// benchmark sweeps (its result is an upper bound on the optimum, and the
+// tests compare it against the exact solver on overlapping sizes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+#include "skc/geometry/weighted_set.h"
+
+namespace skc {
+
+struct CapacitatedAssignment {
+  bool feasible = false;
+  /// Per-point assigned center (kUnassigned iff infeasible).
+  std::vector<CenterIndex> assignment;
+  /// Total cost sum_p w(p) dist(p, pi(p))^r; kInfCost iff infeasible.
+  double cost = kInfCost;
+  /// Per-center assigned weight.
+  std::vector<double> loads;
+
+  double max_load() const;
+};
+
+/// Exact optimal assignment under capacity `t` per center.  Weights must be
+/// integral (SKC_CHECK enforced); `t` is floored to an integer capacity.
+CapacitatedAssignment optimal_capacitated_assignment(const WeightedPointSet& points,
+                                                     const PointSet& centers,
+                                                     double t, LrOrder r);
+
+/// Exact minimum-cost assignment whose per-center loads equal exactly the
+/// prescribed `sizes` (step 1b of the §3.3 canonicalization procedure).
+/// sum(sizes) must equal the total weight.
+CapacitatedAssignment exact_size_assignment(const WeightedPointSet& points,
+                                            const PointSet& centers,
+                                            const std::vector<std::int64_t>& sizes,
+                                            LrOrder r);
+
+/// Heuristic: regret-ordered greedy fill followed by pairwise improvement
+/// swaps.  Always feasible when total weight <= k * floor(t) and every
+/// single weight fits; cost is an upper bound on the optimum.
+CapacitatedAssignment greedy_capacitated_assignment(const WeightedPointSet& points,
+                                                    const PointSet& centers,
+                                                    double t, LrOrder r,
+                                                    int max_swap_rounds = 3);
+
+}  // namespace skc

@@ -1,0 +1,144 @@
+#include "skc/assign/construct.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "skc/assign/capacitated_assignment.h"
+#include "skc/assign/halfspace.h"
+#include "skc/assign/transfer.h"
+#include "skc/common/check.h"
+#include "skc/coreset/sampling.h"
+#include "skc/geometry/metric.h"
+#include "skc/partition/heavy_cells.h"
+
+namespace skc {
+
+FullAssignment assign_via_coreset(const PointSet& points, const CoresetParams& params,
+                                  int log_delta, const Coreset& coreset,
+                                  const PointSet& centers, double t_prime) {
+  FullAssignment out;
+  const int dim = points.dim();
+  const int k = static_cast<int>(centers.size());
+  SKC_CHECK(k >= 1);
+  SKC_CHECK(coreset.points.size() > 0);
+  SKC_CHECK(static_cast<PointIndex>(coreset.levels.size()) == coreset.points.size());
+
+  const HierarchicalGrid grid = make_grid(dim, log_delta, params.seed);
+  const int L = grid.log_delta();
+
+  // --- Step 1: optimal capacitated assignment on the coreset. ---
+  const double coreset_capacity =
+      t_prime * coreset.total_weight() / std::max<double>(points.size(), 1.0);
+  CapacitatedAssignment pi = optimal_capacitated_assignment(
+      coreset.points, centers, coreset_capacity, params.r);
+  if (!pi.feasible) {
+    // Capacity slack of Definition 3.11's analysis: retry with (1+eta).
+    pi = optimal_capacitated_assignment(coreset.points, centers,
+                                        coreset_capacity * (1.0 + params.eta),
+                                        params.r);
+  }
+  if (!pi.feasible) return out;
+
+  // --- Step 2: per-level canonicalization and half-space extraction. ---
+  // Coreset points grouped by level (each level is one weight class).
+  std::vector<PointSet> level_points(static_cast<std::size_t>(L + 1), PointSet(dim));
+  std::vector<std::vector<CenterIndex>> level_assign(static_cast<std::size_t>(L + 1));
+  std::vector<std::vector<PointIndex>> level_members(static_cast<std::size_t>(L + 1));
+  for (PointIndex i = 0; i < coreset.points.size(); ++i) {
+    const std::size_t lvl = static_cast<std::size_t>(coreset.levels[static_cast<std::size_t>(i)]);
+    level_points[lvl].push_back(coreset.points.point(i));
+    level_assign[lvl].push_back(pi.assignment[static_cast<std::size_t>(i)]);
+    level_members[lvl].push_back(i);
+  }
+  std::vector<AssignmentHalfspaces> level_halfspaces;
+  level_halfspaces.reserve(static_cast<std::size_t>(L + 1));
+  for (int lvl = 0; lvl <= L; ++lvl) {
+    auto& lp = level_points[static_cast<std::size_t>(lvl)];
+    auto& la = level_assign[static_cast<std::size_t>(lvl)];
+    if (!lp.empty()) canonicalize_assignment(lp, centers, params.r, la);
+    level_halfspaces.push_back(
+        AssignmentHalfspaces::from_assignment(lp, centers, params.r, la));
+  }
+
+  // --- Step 3: per-part transferred assignment. ---
+  const OfflinePartition partition =
+      partition_offline(points, grid, params.partition(), coreset.o);
+  SKC_CHECK_MSG(!partition.fail,
+                "partition at the coreset's accepted o cannot fail offline");
+  const double gamma = params.gamma(dim, L);
+
+  // Index coreset samples by (level, part parent cell) for the B estimates.
+  std::vector<std::unordered_map<CellKey, std::vector<PointIndex>, CellKeyHash>>
+      samples_by_part(static_cast<std::size_t>(L + 1));
+  for (PointIndex i = 0; i < coreset.points.size(); ++i) {
+    const int lvl = coreset.levels[static_cast<std::size_t>(i)];
+    CellKey cell = grid.cell_of(coreset.points.point(i), lvl);
+    samples_by_part[static_cast<std::size_t>(lvl)][grid.parent(cell)].push_back(i);
+  }
+
+  out.assignment.assign(static_cast<std::size_t>(points.size()), kUnassigned);
+  out.loads.assign(static_cast<std::size_t>(k), 0.0);
+  out.cost = 0.0;
+
+  auto place = [&](PointIndex p, CenterIndex c) {
+    out.assignment[static_cast<std::size_t>(p)] = c;
+    out.loads[static_cast<std::size_t>(c)] += 1.0;
+    out.cost += dist_pow(points[p], centers[c], params.r);
+  };
+
+  for (const Part& part : partition.parts) {
+    const double ti = part_threshold(grid, params.partition(), part.level, coreset.o);
+    const bool included = static_cast<double>(part.size()) >= gamma * ti;
+    const AssignmentHalfspaces& hs =
+        level_halfspaces[static_cast<std::size_t>(part.level)];
+
+    if (!included || level_points[static_cast<std::size_t>(part.level)].empty()) {
+      // Dropped part (or a level with no samples): nearest center.
+      for (PointIndex p : part.points) {
+        place(p, nearest_center(points[p], centers, params.r).index);
+        ++out.fallback_points;
+      }
+      continue;
+    }
+
+    // B estimates from the coreset samples of this part.
+    RegionEstimates b(static_cast<std::size_t>(k) + 1, 0.0);
+    const auto& by_part = samples_by_part[static_cast<std::size_t>(part.level)];
+    const auto it = by_part.find(part.parent);
+    double sample_weight = 0.0;
+    if (it != by_part.end()) {
+      for (PointIndex ci : it->second) {
+        const CenterIndex region = hs.region_of(coreset.points.point(ci));
+        const std::size_t slot =
+            region == kUnassigned ? 0 : static_cast<std::size_t>(region) + 1;
+        b[slot] += coreset.points.weight(ci);
+        sample_weight += coreset.points.weight(ci);
+      }
+    }
+    if (sample_weight <= 0.0) {
+      // The part passed the size filter but holds no samples (possible under
+      // estimate noise): fall back to nearest-center for its points.
+      for (PointIndex p : part.points) {
+        place(p, nearest_center(points[p], centers, params.r).index);
+        ++out.fallback_points;
+      }
+      continue;
+    }
+
+    TransferPolicy policy;
+    policy.T = 0.5 * gamma * ti;
+    policy.xi = std::min(0.25, 1.0 / (100.0 * static_cast<double>(k)));
+    for (PointIndex p : part.points) {
+      place(p, transferred_center(hs, points[p], b, policy));
+      ++out.transferred_points;
+    }
+  }
+
+  out.feasible = true;
+  out.max_load = out.loads.empty()
+                     ? 0.0
+                     : *std::max_element(out.loads.begin(), out.loads.end());
+  return out;
+}
+
+}  // namespace skc

@@ -1,0 +1,47 @@
+// Assignment construction via coreset — §3.3 of the paper.
+//
+// Capacitated clustering is not done once centers are known: the assignment
+// itself is constrained.  Given centers Z, a capacity t', and a coreset
+// (Q', w'), the paper shows how to produce an assignment of the FULL input Q
+// whose cost is (1 + O(eps)) of the coreset's optimal assignment cost and
+// whose loads are (1 + O(eta)) t', touching each input point once:
+//
+//   1. solve the optimal capacitated assignment on the coreset (min-cost
+//      flow; integral weights make it exact);
+//   2. per weight class (= grid level), canonicalize the assignment into a
+//      half-space-consistent one by cost-neutral switches (Lemma 3.8 /
+//      §3.3 step 1c) and extract the assignment half-spaces;
+//   3. for every part P of the heavy-cell partition, estimate the per-region
+//      masses from the coreset samples inside P and apply the transferred
+//      assignment of Definition 3.11 to P's original points;
+//   4. points of dropped (small) parts go to their nearest center
+//      (Lemma 3.4 bounds their mass and cost).
+#pragma once
+
+#include "skc/common/types.h"
+#include "skc/coreset/coreset.h"
+#include "skc/coreset/params.h"
+#include "skc/geometry/point_set.h"
+#include "skc/grid/hierarchical_grid.h"
+
+namespace skc {
+
+struct FullAssignment {
+  bool feasible = false;
+  std::vector<CenterIndex> assignment;  ///< over the original points
+  double cost = kInfCost;               ///< sum dist(p, pi(p))^r over Q
+  std::vector<double> loads;
+  double max_load = 0.0;
+  /// Diagnostics: how many points took each path.
+  PointIndex transferred_points = 0;  ///< assigned via Definition 3.11
+  PointIndex fallback_points = 0;     ///< dropped parts -> nearest center
+};
+
+/// Applies the §3.3 pipeline.  `coreset` must have been built over `points`
+/// with these `params` (same seed: the grid is re-derived from it).
+/// `t_prime` is the target per-center capacity on the full data.
+FullAssignment assign_via_coreset(const PointSet& points, const CoresetParams& params,
+                                  int log_delta, const Coreset& coreset,
+                                  const PointSet& centers, double t_prime);
+
+}  // namespace skc

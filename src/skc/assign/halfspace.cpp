@@ -1,0 +1,165 @@
+#include "skc/assign/halfspace.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "skc/common/check.h"
+#include "skc/geometry/metric.h"
+
+namespace skc {
+
+double halfspace_value(std::span<const Coord> p, std::span<const Coord> zi,
+                       std::span<const Coord> zj, LrOrder r) {
+  return dist_pow(p, zi, r) - dist_pow(p, zj, r);
+}
+
+namespace {
+bool alphabetical_less(std::span<const Coord> a, std::span<const Coord> b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+}  // namespace
+
+bool halfspace_less(std::span<const Coord> a, std::span<const Coord> b,
+                    std::span<const Coord> zi, std::span<const Coord> zj,
+                    LrOrder r) {
+  const double va = halfspace_value(a, zi, zj, r);
+  const double vb = halfspace_value(b, zi, zj, r);
+  if (va != vb) return va < vb;
+  return alphabetical_less(a, b);
+}
+
+std::int64_t canonicalize_assignment(const PointSet& points, const PointSet& centers,
+                                     LrOrder r,
+                                     std::vector<CenterIndex>& assignment) {
+  const PointIndex n = points.size();
+  const int k = static_cast<int>(centers.size());
+  SKC_CHECK(static_cast<PointIndex>(assignment.size()) == n);
+  std::int64_t switches = 0;
+  // Worst-case bound on switches for the potential argument of Lemma 3.8;
+  // exceeding it means the comparator is inconsistent (a bug), not data.
+  const std::int64_t guard =
+      4 + 4 * static_cast<std::int64_t>(n) * n * k * k;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < k; ++i) {
+      for (int j = i + 1; j < k; ++j) {
+        // Largest point of cluster i and smallest point of cluster j in the
+        // (val_ij, alphabetical) order; an inversion triggers a switch
+        // (Claim 3.9: cost-neutral when the input is optimal, cost-reducing
+        // otherwise).
+        PointIndex worst_i = -1, best_j = -1;
+        for (PointIndex p = 0; p < n; ++p) {
+          const CenterIndex c = assignment[static_cast<std::size_t>(p)];
+          if (c == i) {
+            if (worst_i < 0 ||
+                halfspace_less(points[worst_i], points[p], centers[i], centers[j], r)) {
+              worst_i = p;
+            }
+          } else if (c == j) {
+            if (best_j < 0 ||
+                halfspace_less(points[p], points[best_j], centers[i], centers[j], r)) {
+              best_j = p;
+            }
+          }
+        }
+        if (worst_i < 0 || best_j < 0) continue;
+        if (halfspace_less(points[best_j], points[worst_i], centers[i], centers[j], r)) {
+          std::swap(assignment[static_cast<std::size_t>(worst_i)],
+                    assignment[static_cast<std::size_t>(best_j)]);
+          ++switches;
+          changed = true;
+          SKC_CHECK_MSG(switches < guard, "canonicalization failed to terminate");
+        }
+      }
+    }
+  }
+  return switches;
+}
+
+bool is_halfspace_consistent(const PointSet& points, const PointSet& centers,
+                             LrOrder r, const std::vector<CenterIndex>& assignment) {
+  const PointIndex n = points.size();
+  const int k = static_cast<int>(centers.size());
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      for (PointIndex a = 0; a < n; ++a) {
+        if (assignment[static_cast<std::size_t>(a)] != i) continue;
+        for (PointIndex b = 0; b < n; ++b) {
+          if (assignment[static_cast<std::size_t>(b)] != j) continue;
+          if (halfspace_less(points[b], points[a], centers[i], centers[j], r)) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+AssignmentHalfspaces AssignmentHalfspaces::from_assignment(
+    const PointSet& points, const PointSet& centers, LrOrder r,
+    const std::vector<CenterIndex>& assignment) {
+  const PointIndex n = points.size();
+  const int k = static_cast<int>(centers.size());
+  AssignmentHalfspaces out;
+  out.centers_ = centers;
+  out.r_ = r;
+  out.thresholds_.assign(static_cast<std::size_t>(k) * k,
+                         std::numeric_limits<double>::infinity());
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      double max_i = -std::numeric_limits<double>::infinity();
+      double min_j = std::numeric_limits<double>::infinity();
+      for (PointIndex p = 0; p < n; ++p) {
+        const CenterIndex c = assignment[static_cast<std::size_t>(p)];
+        if (c != i && c != j) continue;
+        const double v = halfspace_value(points[p], centers[i], centers[j], r);
+        if (c == i) {
+          max_i = std::max(max_i, v);
+        } else {
+          min_j = std::min(min_j, v);
+        }
+      }
+      double thr;
+      if (max_i == -std::numeric_limits<double>::infinity() &&
+          min_j == std::numeric_limits<double>::infinity()) {
+        thr = 0.0;  // both empty: split at the perpendicular bisector
+      } else if (min_j == std::numeric_limits<double>::infinity()) {
+        thr = std::numeric_limits<double>::infinity();  // cluster j empty
+      } else if (max_i == -std::numeric_limits<double>::infinity()) {
+        thr = -std::numeric_limits<double>::infinity();  // cluster i empty
+      } else {
+        // Consistent assignments have max_i <= min_j; value ties collapse to
+        // the shared value (boundary points land on the i side, an
+        // alphabetical-tie imprecision for points outside the fitting set —
+        // measure-zero for the estimator it feeds).
+        thr = 0.5 * (max_i + min_j);
+      }
+      out.thresholds_[static_cast<std::size_t>(i) * k + static_cast<std::size_t>(j)] = thr;
+    }
+  }
+  return out;
+}
+
+CenterIndex AssignmentHalfspaces::region_of(std::span<const Coord> p) const {
+  const int kk = k();
+  for (int i = 0; i < kk; ++i) {
+    bool inside = true;
+    for (int j = 0; j < kk && inside; ++j) {
+      if (j == i) continue;
+      if (i < j) {
+        const double v = halfspace_value(p, centers_[i], centers_[j], r_);
+        inside = v <= thresholds_[static_cast<std::size_t>(i) * kk + static_cast<std::size_t>(j)];
+      } else {
+        const double v = halfspace_value(p, centers_[j], centers_[i], r_);
+        inside = v > thresholds_[static_cast<std::size_t>(j) * kk + static_cast<std::size_t>(i)];
+      }
+    }
+    if (inside) return static_cast<CenterIndex>(i);
+  }
+  return kUnassigned;  // R_0
+}
+
+}  // namespace skc

@@ -1,0 +1,81 @@
+// Curved half-spaces and half-space-consistent assignments.
+//
+// The paper's central structural tool (§1.2, Definition 2.2, Lemma 3.8): for
+// every pair of centers (z_i, z_j), the value
+//     val_{ij}(p) = dist(p, z_i)^r - dist(p, z_j)^r
+// orders points along a family of "curved hyperplanes" (hyperplanes for
+// r = 2 by the Pythagorean argument of Figure 1, hyperbola branches for
+// r = 1 as in Figure 3).  An optimal capacitated assignment can always be
+// rearranged — by cost-neutral switches (Claim 3.9) — so that for every pair
+// (i, j) the cluster of z_i strictly precedes the cluster of z_j in the
+// (val_{ij}, alphabetical) order; the assignment is then determined by one
+// threshold per pair (the assignment half-spaces of Definition 3.7).
+//
+// This module implements:
+//   * val_{ij} evaluation,
+//   * the switching canonicalization of §3.3 step 1c (turning an optimal
+//     assignment into a half-space-consistent one without changing cost or
+//     cluster sizes),
+//   * extraction of the thresholds (AssignmentHalfspaces) from a consistent
+//     assignment, and the induced regions of Definition 3.10.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+
+namespace skc {
+
+/// dist(p, z_i)^r - dist(p, z_j)^r.
+double halfspace_value(std::span<const Coord> p, std::span<const Coord> zi,
+                       std::span<const Coord> zj, LrOrder r);
+
+/// True iff a strictly precedes b in the (value, alphabetical) order of
+/// Definition 2.2 for the pair (z_i, z_j).
+bool halfspace_less(std::span<const Coord> a, std::span<const Coord> b,
+                    std::span<const Coord> zi, std::span<const Coord> zj, LrOrder r);
+
+/// Rearranges `assignment` in place into a half-space-consistent assignment
+/// with identical cost and cluster sizes (valid whenever the input is
+/// optimal for its size vector; cost is preserved for any input, and sizes
+/// always).  Returns the number of switches performed.
+///
+/// Precondition matching the paper: all points carry equal weight (the §3.3
+/// procedure runs per weight class Q'_i).
+std::int64_t canonicalize_assignment(const PointSet& points, const PointSet& centers,
+                                     LrOrder r, std::vector<CenterIndex>& assignment);
+
+/// Checks half-space consistency (test oracle; O(k^2 n^2) worst case).
+bool is_halfspace_consistent(const PointSet& points, const PointSet& centers,
+                             LrOrder r, const std::vector<CenterIndex>& assignment);
+
+/// The thresholds of Definition 3.7, extracted from a consistent assignment.
+/// A point p belongs to H(i,j) (the z_i side) iff val_{ij}(p) < threshold, or
+/// val_{ij}(p) == threshold and the tie bit favors i.  region_of implements
+/// Definition 3.10: the unique i with p in every H(i,j), or kUnassigned for
+/// the leftover region R_0.
+class AssignmentHalfspaces {
+ public:
+  /// Builds thresholds from a (consistent) assignment: for each pair (i, j)
+  /// the threshold separates max val_{ij} over cluster i from min val_{ij}
+  /// over cluster j.  Empty clusters get pushed behind every point.
+  static AssignmentHalfspaces from_assignment(const PointSet& points,
+                                              const PointSet& centers, LrOrder r,
+                                              const std::vector<CenterIndex>& assignment);
+
+  int k() const { return static_cast<int>(centers_.size()); }
+  const PointSet& centers() const { return centers_; }
+
+  /// Region index of Definition 3.10 (kUnassigned encodes R_0).
+  CenterIndex region_of(std::span<const Coord> p) const;
+
+ private:
+  PointSet centers_;
+  LrOrder r_{2.0};
+  /// threshold_[i * k + j] for i != j; p in H(i,j) iff val_{ij}(p) <= thr.
+  std::vector<double> thresholds_;
+};
+
+}  // namespace skc

@@ -1,0 +1,161 @@
+#include "skc/assign/oracle.h"
+
+#include <algorithm>
+
+#include "skc/assign/capacitated_assignment.h"
+#include "skc/common/check.h"
+#include "skc/coreset/sampling.h"
+#include "skc/geometry/metric.h"
+
+namespace skc {
+
+AssignmentPlan::AssignmentPlan(const CoresetParams& params, int log_delta,
+                               const Coreset& coreset, const PointSet& centers,
+                               double t_prime, double total_count)
+    : params_(params),
+      grid_(make_grid(centers.dim(), log_delta, params.seed)),
+      centers_(centers) {
+  const int L = grid_.log_delta();
+  const int k = static_cast<int>(centers.size());
+  SKC_CHECK(k >= 1);
+  if (coreset.points.empty()) return;
+  SKC_CHECK(static_cast<PointIndex>(coreset.levels.size()) == coreset.points.size());
+
+  // --- Heavy marking re-estimated from the coreset itself: every point of
+  //     the original data lives below its crucial cell, so the coreset
+  //     weights in a cell's subtree estimate the cell's mass. ---
+  LevelEstimates estimates(static_cast<std::size_t>(L));
+  {
+    std::unordered_map<CellKey, double, CellKeyHash> tau;
+    for (int i = 0; i < L; ++i) {
+      tau.clear();
+      for (PointIndex p = 0; p < coreset.points.size(); ++p) {
+        // A sample at level l only certifies mass for ancestors at i <= l.
+        if (coreset.levels[static_cast<std::size_t>(p)] < i) continue;
+        tau[grid_.cell_of(coreset.points.point(p), i)] += coreset.points.weight(p);
+      }
+      auto& out = estimates[static_cast<std::size_t>(i)];
+      out.reserve(tau.size());
+      for (const auto& [cell, mass] : tau) {
+        out.push_back(EstimatedCell{cell.index, mass});
+      }
+    }
+  }
+  marking_ = mark_cells(grid_, params.partition(), coreset.o, estimates, total_count);
+  if (marking_.fail) return;
+
+  // --- Optimal capacitated assignment of the coreset. ---
+  const double coreset_capacity =
+      t_prime * coreset.total_weight() / std::max(total_count, 1.0);
+  CapacitatedAssignment pi =
+      optimal_capacitated_assignment(coreset.points, centers, coreset_capacity, params.r);
+  if (!pi.feasible) {
+    pi = optimal_capacitated_assignment(coreset.points, centers,
+                                        coreset_capacity * (1.0 + params.eta),
+                                        params.r);
+  }
+  if (!pi.feasible) return;
+
+  // --- Per-level canonicalization and half-space extraction. ---
+  std::vector<PointSet> level_points(static_cast<std::size_t>(L + 1),
+                                     PointSet(centers.dim()));
+  std::vector<std::vector<CenterIndex>> level_assign(static_cast<std::size_t>(L + 1));
+  for (PointIndex p = 0; p < coreset.points.size(); ++p) {
+    const std::size_t lvl =
+        static_cast<std::size_t>(coreset.levels[static_cast<std::size_t>(p)]);
+    level_points[lvl].push_back(coreset.points.point(p));
+    level_assign[lvl].push_back(pi.assignment[static_cast<std::size_t>(p)]);
+  }
+  level_halfspaces_.reserve(static_cast<std::size_t>(L + 1));
+  level_has_samples_.assign(static_cast<std::size_t>(L + 1), false);
+  for (int lvl = 0; lvl <= L; ++lvl) {
+    auto& lp = level_points[static_cast<std::size_t>(lvl)];
+    auto& la = level_assign[static_cast<std::size_t>(lvl)];
+    if (!lp.empty()) {
+      canonicalize_assignment(lp, centers, params.r, la);
+      level_has_samples_[static_cast<std::size_t>(lvl)] = true;
+    }
+    level_halfspaces_.push_back(
+        AssignmentHalfspaces::from_assignment(lp, centers, params.r, la));
+  }
+
+  // --- Per-part region estimates. ---
+  const double gamma = params.gamma(grid_.dim(), L);
+  std::unordered_map<CellKey, RegionEstimates, CellKeyHash> region_mass;
+  for (PointIndex p = 0; p < coreset.points.size(); ++p) {
+    const int lvl = coreset.levels[static_cast<std::size_t>(p)];
+    const CellKey parent = grid_.parent(grid_.cell_of(coreset.points.point(p), lvl));
+    RegionEstimates& b = region_mass[parent];
+    if (b.empty()) b.assign(static_cast<std::size_t>(k) + 1, 0.0);
+    const CenterIndex region =
+        level_halfspaces_[static_cast<std::size_t>(lvl)].region_of(
+            coreset.points.point(p));
+    b[region == kUnassigned ? 0 : static_cast<std::size_t>(region) + 1] +=
+        coreset.points.weight(p);
+  }
+  for (auto& [parent, b] : region_mass) {
+    const int level = parent.level + 1;
+    const double ti = part_threshold(grid_, params.partition(), level, coreset.o);
+    double mass = 0.0;
+    for (double v : b) mass += v;
+    if (mass < gamma * ti) continue;  // dropped part: fallback path
+    PartPlan plan;
+    plan.b = std::move(b);
+    plan.policy.T = 0.5 * gamma * ti;
+    plan.policy.xi = std::min(0.25, 1.0 / (100.0 * static_cast<double>(k)));
+    parts_.emplace(parent, std::move(plan));
+  }
+  ok_ = true;
+}
+
+CenterIndex AssignmentPlan::classify(std::span<const Coord> p) const {
+  bool transferred = false;
+  return classify(p, &transferred);
+}
+
+CenterIndex AssignmentPlan::classify(std::span<const Coord> p,
+                                     bool* transferred) const {
+  SKC_CHECK(ok_);
+  *transferred = false;
+  // Walk the heavy ancestry: the crucial level is the first level whose cell
+  // is not heavy (the root is heavy whenever the plan compiled).
+  CellKey parent;  // root
+  if (!marking_.is_heavy(parent)) {
+    return nearest_center(p, centers_, params_.r).index;
+  }
+  const int L = grid_.log_delta();
+  for (int level = 0; level <= L; ++level) {
+    const CellKey cell = grid_.cell_of(p, level);
+    if (level < L && marking_.is_heavy(cell)) {
+      parent = cell;
+      continue;
+    }
+    // Crucial level found: apply the part's transferred assignment.
+    const auto it = parts_.find(parent);
+    if (it == parts_.end() ||
+        !level_has_samples_[static_cast<std::size_t>(level)]) {
+      break;  // dropped part or sample-free level: nearest-center fallback
+    }
+    *transferred = true;
+    return transferred_center(level_halfspaces_[static_cast<std::size_t>(level)], p,
+                              it->second.b, it->second.policy);
+  }
+  return nearest_center(p, centers_, params_.r).index;
+}
+
+std::size_t AssignmentPlan::memory_bytes() const {
+  const std::size_t k = static_cast<std::size_t>(centers_.size());
+  std::size_t total = k * grid_.dim() * sizeof(Coord);
+  // Half-space thresholds: k^2 doubles per level.
+  total += level_halfspaces_.size() * k * k * sizeof(double);
+  // Region estimates per part + the part key.
+  total += parts_.size() *
+           ((k + 1) * sizeof(double) + grid_.dim() * sizeof(std::int32_t) + 32);
+  // Heavy cells.
+  for (const auto& tier : marking_.heavy) {
+    total += tier.size() * (grid_.dim() * sizeof(std::int32_t) + 32);
+  }
+  return total;
+}
+
+}  // namespace skc

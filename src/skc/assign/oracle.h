@@ -1,0 +1,77 @@
+// Compact assignment oracle — the closing claim of §3.3: "if we store this
+// information [the heavy cells and part estimates] together with the coreset
+// (Q', w'), we can determine the desired assignment mapping pi for any
+// capacity t' and centers Z in poly(|Q'|) time."
+//
+// AssignmentPlan is exactly that stored information, compiled once per
+// (centers, capacity) query from the coreset alone:
+//   * the optimal capacitated assignment of the coreset (min-cost flow),
+//   * per level: the half-space-consistent canonicalization and its
+//     thresholds (Lemma 3.8 / Definition 3.7),
+//   * per part: the region-mass estimates B and the transfer policy
+//     (Definition 3.11), with parts keyed by their heavy parent cell.
+//
+// classify(p) then maps ANY point to its center in O(L d + k^2 d) time
+// without touching the rest of the data — the streaming/distributed setting
+// where Q itself is long gone.  assign_via_coreset (construct.h) is the
+// batch wrapper that applies a plan to a stored point set.
+#pragma once
+
+#include <unordered_map>
+
+#include "skc/assign/halfspace.h"
+#include "skc/assign/transfer.h"
+#include "skc/common/types.h"
+#include "skc/coreset/coreset.h"
+#include "skc/coreset/params.h"
+#include "skc/grid/hierarchical_grid.h"
+#include "skc/partition/heavy_cells.h"
+
+namespace skc {
+
+class AssignmentPlan {
+ public:
+  /// Compiles a plan from the coreset for the given centers and per-center
+  /// capacity t_prime (full-data units).  `total_count` is the (estimated)
+  /// size of the underlying data — the streaming builder's net_count().
+  /// Returns an invalid plan (`ok() == false`) when the coreset admits no
+  /// feasible assignment even at the (1 + eta)-relaxed capacity.
+  AssignmentPlan(const CoresetParams& params, int log_delta, const Coreset& coreset,
+                 const PointSet& centers, double t_prime, double total_count);
+
+  bool ok() const { return ok_; }
+  const PointSet& centers() const { return centers_; }
+
+  /// Assigns one point: walk its heavy ancestry to its crucial level, apply
+  /// that level's transferred assignment; points whose part was dropped (or
+  /// that never enter the heavy tree) go to their nearest center.
+  CenterIndex classify(std::span<const Coord> p) const;
+
+  /// True if classify(p) used the half-space transfer (false = nearest-center
+  /// fallback); diagnostic mirror of FullAssignment's counters.
+  CenterIndex classify(std::span<const Coord> p, bool* transferred) const;
+
+  /// Rough serialized footprint: what a coordinator would ship to workers so
+  /// they can classify locally.
+  std::size_t memory_bytes() const;
+
+ private:
+  struct PartPlan {
+    RegionEstimates b;
+    TransferPolicy policy;
+  };
+
+  CoresetParams params_;
+  HierarchicalGrid grid_;
+  PointSet centers_;
+  bool ok_ = false;
+  /// Heavy marking reconstructed from the coreset's accepted o and the
+  /// coreset sample masses (tau estimated by the sample weights themselves).
+  CellMarking marking_;
+  std::vector<AssignmentHalfspaces> level_halfspaces_;  // per level 0..L
+  std::vector<bool> level_has_samples_;
+  /// Plans keyed by (level via key.level+... parent heavy cell).
+  std::unordered_map<CellKey, PartPlan, CellKeyHash> parts_;
+};
+
+}  // namespace skc

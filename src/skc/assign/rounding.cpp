@@ -1,0 +1,214 @@
+#include "skc/assign/rounding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "skc/common/check.h"
+#include "skc/geometry/metric.h"
+
+namespace skc {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+int FractionalAssignment::split_points(double eps) const {
+  int count = 0;
+  for (const auto& s : shares) {
+    int live = 0;
+    for (const auto& [c, a] : s) {
+      if (a > eps) ++live;
+    }
+    if (live >= 2) ++count;
+  }
+  return count;
+}
+
+std::vector<double> FractionalAssignment::loads(int k) const {
+  std::vector<double> out(static_cast<std::size_t>(k), 0.0);
+  for (const auto& s : shares) {
+    for (const auto& [c, a] : s) {
+      if (a > kEps) out[static_cast<std::size_t>(c)] += a;
+    }
+  }
+  return out;
+}
+
+double FractionalAssignment::cost(const WeightedPointSet& points,
+                                  const PointSet& centers, LrOrder r) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    for (const auto& [c, a] : shares[i]) {
+      if (a > kEps) {
+        total += a * dist_pow(points.point(static_cast<PointIndex>(i)), centers[c], r);
+      }
+    }
+  }
+  return total;
+}
+
+namespace {
+
+/// One directed step of a support cycle: point `p` moves weight from center
+/// `from` to center `to`.
+struct Rotation {
+  PointIndex p;
+  CenterIndex from;
+  CenterIndex to;
+};
+
+/// Finds a simple cycle in the bipartite support graph via iterative DFS.
+/// Returns the rotation steps of the cycle, or empty when the graph is a
+/// forest.
+std::vector<Rotation> find_cycle(const FractionalAssignment& frac, int k) {
+  const int n = static_cast<int>(frac.shares.size());
+  // Adjacency: center -> points touching it (with >= 2 shares; degree-1
+  // points cannot be on a cycle).
+  std::vector<std::vector<int>> center_pts(static_cast<std::size_t>(k));
+  std::vector<std::vector<CenterIndex>> pt_centers(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    for (const auto& [c, a] : frac.shares[static_cast<std::size_t>(p)]) {
+      if (a > kEps) pt_centers[static_cast<std::size_t>(p)].push_back(c);
+    }
+    if (pt_centers[static_cast<std::size_t>(p)].size() >= 2) {
+      for (CenterIndex c : pt_centers[static_cast<std::size_t>(p)]) {
+        center_pts[static_cast<std::size_t>(c)].push_back(p);
+      }
+    }
+  }
+
+  // DFS over centers; an edge (center -> point -> center') that reaches an
+  // on-stack center closes a cycle.
+  std::vector<int> state(static_cast<std::size_t>(k), 0);  // 0 new, 1 stack, 2 done
+  std::vector<std::pair<CenterIndex, PointIndex>> parent(
+      static_cast<std::size_t>(k), {kUnassigned, -1});  // (prev center, via point)
+  for (int root = 0; root < k; ++root) {
+    if (state[static_cast<std::size_t>(root)] != 0) continue;
+    std::vector<CenterIndex> stack = {static_cast<CenterIndex>(root)};
+    state[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      const CenterIndex c = stack.back();
+      bool advanced = false;
+      for (int p : center_pts[static_cast<std::size_t>(c)]) {
+        if (p == parent[static_cast<std::size_t>(c)].second) continue;
+        for (CenterIndex c2 : pt_centers[static_cast<std::size_t>(p)]) {
+          if (c2 == c) continue;
+          if (state[static_cast<std::size_t>(c2)] == 1) {
+            // Cycle: walk back from c to c2 through parents.
+            std::vector<Rotation> cycle;
+            cycle.push_back(Rotation{p, c2, c});  // p moves weight c2 -> c
+            CenterIndex walk = c;
+            while (walk != c2) {
+              const auto [prev, via] = parent[static_cast<std::size_t>(walk)];
+              cycle.push_back(Rotation{via, walk, prev});  // via moves walk -> prev
+              walk = prev;
+            }
+            return cycle;
+          }
+          if (state[static_cast<std::size_t>(c2)] == 0) {
+            state[static_cast<std::size_t>(c2)] = 1;
+            parent[static_cast<std::size_t>(c2)] = {c, p};
+            stack.push_back(c2);
+            advanced = true;
+            break;
+          }
+        }
+        if (advanced) break;
+      }
+      if (!advanced) {
+        state[static_cast<std::size_t>(c)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+double share_amount(const FractionalAssignment& frac, PointIndex p, CenterIndex c) {
+  for (const auto& [cc, a] : frac.shares[static_cast<std::size_t>(p)]) {
+    if (cc == c) return a;
+  }
+  return 0.0;
+}
+
+void add_share(FractionalAssignment& frac, PointIndex p, CenterIndex c, double delta) {
+  auto& shares = frac.shares[static_cast<std::size_t>(p)];
+  for (auto& [cc, a] : shares) {
+    if (cc == c) {
+      a += delta;
+      if (a < kEps) a = 0.0;
+      return;
+    }
+  }
+  if (delta > kEps) shares.emplace_back(c, delta);
+}
+
+}  // namespace
+
+std::int64_t cancel_cycles(FractionalAssignment& frac, const WeightedPointSet& points,
+                           const PointSet& centers, LrOrder r) {
+  SKC_CHECK(static_cast<PointIndex>(frac.shares.size()) == points.size());
+  const int k = static_cast<int>(centers.size());
+  std::int64_t cancelled = 0;
+  for (;;) {
+    std::vector<Rotation> cycle = find_cycle(frac, k);
+    if (cycle.empty()) break;
+    // Cost of rotating one unit forward (each step moves from -> to).
+    double delta_cost = 0.0;
+    for (const Rotation& step : cycle) {
+      delta_cost += dist_pow(points.point(step.p), centers[step.to], r) -
+                    dist_pow(points.point(step.p), centers[step.from], r);
+    }
+    // Rotate in the non-increasing direction (reverse each step if forward
+    // rotation would raise the cost; an optimal plan has delta_cost == 0).
+    if (delta_cost > 0.0) {
+      for (Rotation& step : cycle) std::swap(step.from, step.to);
+    }
+    double amount = kInfCost;
+    for (const Rotation& step : cycle) {
+      amount = std::min(amount, share_amount(frac, step.p, step.from));
+    }
+    SKC_CHECK(amount > kEps);
+    for (const Rotation& step : cycle) {
+      add_share(frac, step.p, step.from, -amount);
+      add_share(frac, step.p, step.to, amount);
+    }
+    ++cancelled;
+  }
+  return cancelled;
+}
+
+RoundingResult round_fractional_assignment(FractionalAssignment frac,
+                                           const WeightedPointSet& points,
+                                           const PointSet& centers, LrOrder r) {
+  const std::int64_t cancelled = cancel_cycles(frac, points, centers, r);
+  RoundingResult out;
+  out.cycles_cancelled = cancelled;
+  const int k = static_cast<int>(centers.size());
+  out.assignment.assign(static_cast<std::size_t>(points.size()), kUnassigned);
+  out.loads.assign(static_cast<std::size_t>(k), 0.0);
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    const auto& shares = frac.shares[static_cast<std::size_t>(i)];
+    int live = 0;
+    CenterIndex only = kUnassigned;
+    for (const auto& [c, a] : shares) {
+      if (a > kEps) {
+        ++live;
+        only = c;
+      }
+    }
+    SKC_CHECK_MSG(live >= 1, "fractional assignment leaves a point unassigned");
+    CenterIndex target = only;
+    if (live >= 2) {
+      target = nearest_center(points.point(i), centers, r).index;
+      ++out.split_points_rounded;
+    }
+    out.assignment[static_cast<std::size_t>(i)] = target;
+    const double w = points.weight(i);
+    out.loads[static_cast<std::size_t>(target)] += w;
+    out.cost += w * dist_pow(points.point(i), centers[target], r);
+  }
+  return out;
+}
+
+}  // namespace skc

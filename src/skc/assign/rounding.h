@@ -1,0 +1,59 @@
+// Fractional-to-integral assignment rounding — the cycle-cancelling
+// procedure of §3.3.
+//
+// A fractional capacitated assignment (a feasible transportation plan) is
+// turned integral in two stages, exactly as the paper describes:
+//   1. While the bipartite support graph (points vs. centers, edges where a
+//      point sends positive weight) contains a cycle, rotate flow around it
+//      in the non-cost-increasing direction until an edge empties.  An
+//      optimal plan is cost-neutral around every cycle; a suboptimal one can
+//      only improve.  The acyclic result splits at most k-1 points.
+//   2. Each still-split point moves its whole weight to its closest center,
+//      which can overload a center by at most (k-1) * max weight — the
+//      (1 + eta) violation slack the construction budgets for.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+#include "skc/geometry/weighted_set.h"
+
+namespace skc {
+
+/// Per-point shares: (center, amount) pairs summing to the point's weight.
+struct FractionalAssignment {
+  std::vector<std::vector<std::pair<CenterIndex, double>>> shares;
+
+  /// Number of points whose weight is split across >= 2 centers.
+  int split_points(double eps = 1e-12) const;
+
+  /// Per-center load vector.
+  std::vector<double> loads(int k) const;
+
+  /// Total transportation cost against the given points/centers.
+  double cost(const WeightedPointSet& points, const PointSet& centers, LrOrder r) const;
+};
+
+struct RoundingResult {
+  std::vector<CenterIndex> assignment;
+  double cost = 0.0;
+  std::vector<double> loads;
+  std::int64_t cycles_cancelled = 0;
+  int split_points_rounded = 0;
+};
+
+/// Stage 1 only: cancels every support cycle in place.  Returns the number
+/// of cycles cancelled.  Never increases cost.
+std::int64_t cancel_cycles(FractionalAssignment& frac, const WeightedPointSet& points,
+                           const PointSet& centers, LrOrder r);
+
+/// Full §3.3 rounding: cancel cycles, then collapse the <= k-1 split points
+/// onto their closest centers.
+RoundingResult round_fractional_assignment(FractionalAssignment frac,
+                                           const WeightedPointSet& points,
+                                           const PointSet& centers, LrOrder r);
+
+}  // namespace skc

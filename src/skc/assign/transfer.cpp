@@ -1,0 +1,61 @@
+#include "skc/assign/transfer.h"
+
+#include <algorithm>
+
+#include "skc/common/check.h"
+
+namespace skc {
+
+RegionEstimates estimate_regions(const AssignmentHalfspaces& halfspaces,
+                                 const PointSet& sample_points,
+                                 std::span<const double> sample_weights) {
+  SKC_CHECK(static_cast<PointIndex>(sample_weights.size()) == sample_points.size());
+  RegionEstimates b(static_cast<std::size_t>(halfspaces.k()) + 1, 0.0);
+  for (PointIndex i = 0; i < sample_points.size(); ++i) {
+    const CenterIndex region = halfspaces.region_of(sample_points[i]);
+    const std::size_t slot =
+        region == kUnassigned ? 0 : static_cast<std::size_t>(region) + 1;
+    b[slot] += sample_weights[static_cast<std::size_t>(i)];
+  }
+  return b;
+}
+
+namespace {
+CenterIndex heaviest_region(const RegionEstimates& b) {
+  // arg max over centers only (i in [k]; R_0 never receives points).
+  CenterIndex best = 0;
+  double best_w = -1.0;
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    if (b[i] > best_w) {
+      best_w = b[i];
+      best = static_cast<CenterIndex>(i - 1);
+    }
+  }
+  return best;
+}
+}  // namespace
+
+CenterIndex transferred_center(const AssignmentHalfspaces& halfspaces,
+                               std::span<const Coord> p, const RegionEstimates& b,
+                               const TransferPolicy& policy) {
+  SKC_CHECK(b.size() == static_cast<std::size_t>(halfspaces.k()) + 1);
+  const CenterIndex region = halfspaces.region_of(p);
+  if (region != kUnassigned) {
+    const double bi = b[static_cast<std::size_t>(region) + 1];
+    if (bi >= 2.0 * policy.xi * policy.T) return region;
+  }
+  return heaviest_region(b);
+}
+
+std::vector<CenterIndex> transferred_assignment(const AssignmentHalfspaces& halfspaces,
+                                                const PointSet& points,
+                                                const RegionEstimates& b,
+                                                const TransferPolicy& policy) {
+  std::vector<CenterIndex> out(static_cast<std::size_t>(points.size()), kUnassigned);
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    out[static_cast<std::size_t>(i)] = transferred_center(halfspaces, points[i], b, policy);
+  }
+  return out;
+}
+
+}  // namespace skc

@@ -1,0 +1,53 @@
+// Transferred assignments — Definition 3.11 of the paper.
+//
+// Given a part P, a set of assignment half-spaces H (with induced regions
+// R_0..R_k), and estimates B = (b_0..b_k) of the per-region weights, the
+// transferred assignment keeps a point in its region's center when that
+// region is provably populated (b_i >= 2 xi T) and reroutes everything else
+// (including the leftover region R_0) to the heaviest region's center i*.
+// Lemma 3.12 bounds the extra cost and the cluster-size drift this causes;
+// Lemma 3.14/3.16 show sampled estimates B are good enough.
+//
+// The §3.3 assignment-construction pipeline uses this to turn a coreset
+// assignment into an assignment of the full input without inspecting more
+// than one part at a time.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "skc/assign/halfspace.h"
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+
+namespace skc {
+
+struct TransferPolicy {
+  /// The xi parameter of Definition 3.11.
+  double xi = 0.01;
+  /// The threshold T (part-size scale gamma * T_i(o) in the construction).
+  double T = 1.0;
+};
+
+/// Per-region weight estimates b_0..b_k; slot 0 is the leftover region R_0,
+/// slot i (1-based) is region R_i of center i-1.
+using RegionEstimates = std::vector<double>;
+
+/// Computes B from a weighted sample: each sample point adds its weight to
+/// its region's slot.
+RegionEstimates estimate_regions(const AssignmentHalfspaces& halfspaces,
+                                 const PointSet& sample_points,
+                                 std::span<const double> sample_weights);
+
+/// Definition 3.11: the transferred center of one point.
+CenterIndex transferred_center(const AssignmentHalfspaces& halfspaces,
+                               std::span<const Coord> p,
+                               const RegionEstimates& b, const TransferPolicy& policy);
+
+/// Transfers every point of `points`; returns per-point center indices.
+std::vector<CenterIndex> transferred_assignment(const AssignmentHalfspaces& halfspaces,
+                                                const PointSet& points,
+                                                const RegionEstimates& b,
+                                                const TransferPolicy& policy);
+
+}  // namespace skc

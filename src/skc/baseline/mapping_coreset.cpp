@@ -1,0 +1,68 @@
+#include "skc/baseline/mapping_coreset.h"
+
+#include <cmath>
+#include <vector>
+
+#include "skc/common/check.h"
+#include "skc/geometry/metric.h"
+
+namespace skc {
+
+MappingCoresetResult mapping_coreset(const PointSet& points,
+                                     const MappingCoresetOptions& options, Rng& rng) {
+  (void)rng;  // the doubling algorithm is deterministic given stream order
+  const PointIndex n = points.size();
+  SKC_CHECK(n >= 1);
+  MappingCoresetResult result;
+
+  // ---- Pass 1: doubling algorithm for bicriteria centers. ----
+  PointSet centers(points.dim());
+  double radius = 0.0;  // admission radius (in dist^r units)
+  for (PointIndex i = 0; i < n; ++i) {
+    const auto p = points[i];
+    if (centers.empty()) {
+      centers.push_back(p);
+      continue;
+    }
+    const double d = nearest_center(p, centers, options.r).cost;
+    if (radius == 0.0) {
+      if (d > 0.0) radius = d;  // first nonzero distance seeds the scale
+    }
+    if (radius == 0.0 || d > radius) {
+      centers.push_back(p);
+      if (centers.size() > options.max_centers) {
+        // Thinning epoch: double the radius and keep a maximal subset of
+        // centers pairwise farther than the new radius.
+        radius = std::max(radius * std::pow(2.0, options.r.r), d);
+        PointSet kept(points.dim());
+        for (PointIndex c = 0; c < centers.size(); ++c) {
+          if (kept.empty() ||
+              nearest_center(centers[c], kept, options.r).cost > radius) {
+            kept.push_back(centers[c]);
+          }
+        }
+        centers = std::move(kept);
+      }
+    }
+  }
+
+  // ---- Pass 2: nearest-center assignment and cluster sizes. ----
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(centers.size()), 0);
+  for (PointIndex i = 0; i < n; ++i) {
+    const NearestCenter nc = nearest_center(points[i], centers, options.r);
+    sizes[static_cast<std::size_t>(nc.index)] += 1;
+    result.movement += nc.cost;
+  }
+
+  // ---- Pass 3: emit the mapping coreset (centers weighted by size). ----
+  result.coreset.points = WeightedPointSet(points.dim());
+  for (PointIndex c = 0; c < centers.size(); ++c) {
+    const std::int64_t w = sizes[static_cast<std::size_t>(c)];
+    if (w <= 0) continue;
+    result.coreset.points.push_back(centers[c], static_cast<double>(w));
+    result.coreset.levels.push_back(0);
+  }
+  return result;
+}
+
+}  // namespace skc

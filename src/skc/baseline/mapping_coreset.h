@@ -1,0 +1,43 @@
+// The [BBLM14] mapping coreset — the only prior streaming algorithm for
+// capacitated clustering the paper compares against (§1): a THREE-pass,
+// INSERTION-ONLY construction.  Implemented as the E8 baseline.
+//
+// Pass 1: build a bicriteria center set on the fly (doubling/online facility
+//         location flavor: admit a new center when a point is farther than
+//         the current admission radius; double the radius and re-thin when
+//         the center budget overflows).
+// Pass 2: assign every point to its nearest pass-1 center; count cluster
+//         sizes.
+// Pass 3: emit one weighted copy of each center per cluster member mapped to
+//         it (the "mapping" of BBLM14: moving points onto centers changes
+//         any capacitated clustering cost by at most the movement cost),
+//         i.e. the coreset is the centers weighted by their cluster sizes.
+//
+// Properties the benchmarks surface: three passes over storage (a stream
+// cannot be replayed, so this needs the data on disk), no deletions, and a
+// cost error of Theta(movement) rather than (1 + eps).
+#pragma once
+
+#include "skc/common/random.h"
+#include "skc/coreset/coreset.h"
+#include "skc/geometry/point_set.h"
+
+namespace skc {
+
+struct MappingCoresetOptions {
+  /// Center budget per thinning epoch (paper: O(k log n) for the bicriteria
+  /// guarantee).
+  PointIndex max_centers = 256;
+  LrOrder r{2.0};
+};
+
+struct MappingCoresetResult {
+  Coreset coreset;
+  int passes = 3;       ///< pass count, reported by E8
+  double movement = 0;  ///< total movement cost sum dist(p, center(p))^r
+};
+
+MappingCoresetResult mapping_coreset(const PointSet& points,
+                                     const MappingCoresetOptions& options, Rng& rng);
+
+}  // namespace skc

@@ -1,0 +1,35 @@
+#include "skc/baseline/uniform_coreset.h"
+
+#include <numeric>
+#include <vector>
+
+#include "skc/common/check.h"
+
+namespace skc {
+
+Coreset uniform_coreset(const PointSet& points, PointIndex m, Rng& rng) {
+  const PointIndex n = points.size();
+  SKC_CHECK(m >= 1);
+  if (m > n) m = n;
+
+  std::vector<PointIndex> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), PointIndex{0});
+  rng.shuffle(order);
+
+  // Integral weights summing exactly to n: base floor(n/m) with the
+  // remainder spread over the first (n mod m) samples.
+  const std::int64_t base = n / m;
+  const std::int64_t extra = n % m;
+
+  Coreset out;
+  out.points = WeightedPointSet(points.dim());
+  out.points.reserve(m);
+  for (PointIndex i = 0; i < m; ++i) {
+    const double w = static_cast<double>(base + (i < extra ? 1 : 0));
+    out.points.push_back(points[order[static_cast<std::size_t>(i)]], w);
+    out.levels.push_back(0);
+  }
+  return out;
+}
+
+}  // namespace skc

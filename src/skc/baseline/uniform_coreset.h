@@ -1,0 +1,20 @@
+// Uniform-sampling baseline coreset.
+//
+// Sample m points uniformly (without replacement), weight each n/m.  This is
+// the natural straw man for the E8 comparison: it is unbiased for the
+// *uncapacitated* cost, but because it has no part structure it misses
+// small-but-expensive regions and cannot guarantee per-cluster size
+// estimates, which is where the capacitated objective punishes it.
+#pragma once
+
+#include "skc/common/random.h"
+#include "skc/coreset/coreset.h"
+#include "skc/geometry/point_set.h"
+
+namespace skc {
+
+/// m-point uniform coreset (weights n/m, rounded to keep integrality:
+/// m divides are rounded per point so total weight stays within 1 of n).
+Coreset uniform_coreset(const PointSet& points, PointIndex m, Rng& rng);
+
+}  // namespace skc

@@ -1,0 +1,35 @@
+// Lightweight contract checks.
+//
+// SKC_CHECK is always on (cheap invariants on public API boundaries);
+// SKC_DCHECK compiles out in NDEBUG builds (hot-loop assertions).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace skc::detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "SKC_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " : " : "", msg);
+  std::abort();
+}
+}  // namespace skc::detail
+
+#define SKC_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) ::skc::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SKC_CHECK_MSG(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond)) ::skc::detail::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SKC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define SKC_DCHECK(cond) SKC_CHECK(cond)
+#endif

@@ -1,0 +1,77 @@
+// Deterministic, seedable pseudo-randomness.
+//
+// Every randomized component of streamkc (grid shifts, hash families,
+// sampling, generators) draws from an Rng constructed from an explicit
+// 64-bit seed, so offline / streaming / distributed runs can be made to use
+// identical randomness and compared exactly.
+//
+// The engine is xoshiro256** (public-domain algorithm by Blackman & Vigna):
+// fast, high-quality, and with a cheap long-jump we use to derive
+// statistically independent child streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "skc/common/check.h"
+
+namespace skc {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed via splitmix64 expansion.
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased reduction.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (no state cached; two calls per pair).
+  double gaussian();
+
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+  /// Bernoulli with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derives an independent child generator (splitmix of seed material plus
+  /// a stream index); used to hand separate streams to subcomponents.
+  Rng fork(std::uint64_t stream) const;
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_ = 0;
+};
+
+/// splitmix64 step; exposed because hash seeding reuses it.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace skc

@@ -1,0 +1,66 @@
+// Minimal binary serialization helpers for checkpointing.
+//
+// Little-endian PODs with explicit widths; every reader checks stream state
+// so a truncated checkpoint surfaces as load() == false rather than garbage.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace skc::serial {
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool get(std::istream& in, T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void put_vector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put<std::uint64_t>(out, v.size());
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool get_vector(std::istream& in, std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint64_t size = 0;
+  if (!get(in, size)) return false;
+  if (size > (std::uint64_t{1} << 33)) return false;  // sanity: < 8G entries
+  v.resize(static_cast<std::size_t>(size));
+  if (size) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+  return static_cast<bool>(in);
+}
+
+inline void put_string(std::ostream& out, const std::string& s) {
+  put<std::uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline bool get_string(std::istream& in, std::string& s) {
+  std::uint64_t size = 0;
+  if (!get(in, size)) return false;
+  if (size > (std::uint64_t{1} << 32)) return false;
+  s.resize(static_cast<std::size_t>(size));
+  in.read(s.data(), static_cast<std::streamsize>(s.size()));
+  return static_cast<bool>(in);
+}
+
+}  // namespace skc::serial

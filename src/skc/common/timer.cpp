@@ -1,0 +1,26 @@
+#include "skc/common/timer.h"
+
+#include <array>
+#include <cstdio>
+
+namespace skc {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> units = {"B", "KiB", "MiB", "GiB",
+                                                       "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (value >= 1024.0 && u + 1 < units.size()) {
+    value /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[u]);
+  }
+  return buf;
+}
+
+}  // namespace skc

@@ -1,0 +1,32 @@
+// Wall-clock timing helpers used by benchmarks and the examples.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace skc {
+
+/// Monotonic stopwatch.  Started on construction; `seconds()`/`millis()`
+/// report the elapsed time since construction or the last `reset()`.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Formats a byte count as a short human-readable string ("12.3 KiB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace skc

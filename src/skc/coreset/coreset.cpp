@@ -1,0 +1,6 @@
+#include "skc/coreset/coreset.h"
+
+// Data-only module today; kept as a translation unit for future serialization
+// helpers.
+
+namespace skc {}

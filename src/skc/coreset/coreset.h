@@ -1,0 +1,56 @@
+// The coreset output type shared by the offline, streaming, and distributed
+// constructions, plus its provenance metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "skc/common/types.h"
+#include "skc/geometry/weighted_set.h"
+
+namespace skc {
+
+/// A strong (eta, eps)-coreset for capacitated k-clustering in l_r
+/// (Theorem 3.19): a weighted subset of the input whose capacitated
+/// clustering cost approximates the input's for every center set Z and every
+/// capacity t >= |Q|/k.
+struct Coreset {
+  WeightedPointSet points;
+
+  /// The accepted guess of OPT^{(r)}_{k-clus} (smallest non-FAILing o).
+  double o = 0.0;
+  /// Total weight — an unbiased estimate of |Q| restricted to kept parts.
+  double total_weight() const { return points.total_weight(); }
+
+  /// Grid level each coreset point was sampled at (size == points.size());
+  /// kept for diagnostics and for the assignment-construction machinery of
+  /// §3.3 which groups coreset points by level (equal weights per level).
+  std::vector<int> levels;
+
+  /// Per-level inverse sampling probability (weight of a level-i sample).
+  std::vector<double> level_weights;
+};
+
+/// Reasons a single guess o can fail; the builders enumerate guesses until
+/// one succeeds (Theorem 3.19 / 4.5 proof strategy).
+struct BuildFailure {
+  std::string reason;
+};
+
+/// Outcome of building at one specific o.
+struct BuildAttempt {
+  bool ok = false;
+  Coreset coreset;       // valid iff ok
+  std::string fail_reason;  // valid iff !ok
+};
+
+/// Diagnostics accumulated across the o-guess enumeration.
+struct BuildDiagnostics {
+  std::vector<double> guesses_tried;
+  std::vector<std::string> guess_outcomes;  // "ok" or failure reason
+  double o_min = 0.0;
+  double o_max = 0.0;
+};
+
+}  // namespace skc

@@ -1,0 +1,251 @@
+#include "skc/coreset/distributed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "skc/common/check.h"
+#include "skc/coreset/assemble.h"
+#include "skc/coreset/offline.h"
+#include "skc/coreset/sampling.h"
+#include "skc/geometry/metric.h"
+#include "skc/parallel/parallel_for.h"
+#include "skc/sketch/countmin.h"
+
+namespace skc {
+
+namespace {
+
+/// Aligns a value down to the global guess grid {1, f, f^2, ...}.
+double align_to_guess_grid(double value, double factor) {
+  if (value <= 1.0) return 1.0;
+  const double steps = std::floor(std::log(value) / std::log(factor));
+  return std::pow(factor, steps);
+}
+
+}  // namespace
+
+DistributedResult build_distributed_coreset(const std::vector<PointSet>& machines,
+                                            const CoresetParams& params,
+                                            const DistributedOptions& options) {
+  DistributedResult result;
+  const int s = static_cast<int>(machines.size());
+  SKC_CHECK(s >= 1);
+  const int dim = machines.front().dim();
+  const int L = options.log_delta;
+  for (const PointSet& m : machines) {
+    SKC_CHECK(m.empty() || m.dim() == dim);
+  }
+
+  Network net(s);
+  const HierarchicalGrid grid = make_grid(dim, L, params.seed);
+  const auto hash_counting = make_level_hashes(params, L, SamplerPurpose::kCounting);
+  const auto hash_coreset = make_level_hashes(params, L, SamplerPurpose::kCoreset);
+
+  // --- Seed broadcast: 8-byte seed reconstructs grid and hashes locally. ---
+  for (int m = 1; m <= s; ++m) net.send(0, m, 8);
+
+  // --- Round 0: global count, centroid, and the OPT_1 upper bound. ---
+  std::int64_t total_count = 0;
+  std::vector<double> centroid(static_cast<std::size_t>(dim), 0.0);
+  for (int m = 0; m < s; ++m) {
+    const PointSet& shard = machines[static_cast<std::size_t>(m)];
+    total_count += shard.size();
+    for (PointIndex i = 0; i < shard.size(); ++i) {
+      const auto p = shard[i];
+      for (int j = 0; j < dim; ++j) centroid[static_cast<std::size_t>(j)] += p[j];
+    }
+    net.send(m + 1, 0, 8 + static_cast<std::uint64_t>(dim) * 8);
+  }
+  SKC_CHECK(total_count > 0);
+  PointSet centroid_pt(dim);
+  {
+    std::vector<Coord> c(static_cast<std::size_t>(dim));
+    for (int j = 0; j < dim; ++j) {
+      c[static_cast<std::size_t>(j)] = std::clamp<Coord>(
+          static_cast<Coord>(std::llround(centroid[static_cast<std::size_t>(j)] /
+                                          static_cast<double>(total_count))),
+          1, grid.delta());
+    }
+    centroid_pt.push_back(c);
+  }
+  double opt1 = 0.0;
+  for (int m = 0; m < s; ++m) {
+    net.send(0, m + 1, static_cast<std::uint64_t>(dim) * 4);  // centroid
+    const PointSet& shard = machines[static_cast<std::size_t>(m)];
+    for (PointIndex i = 0; i < shard.size(); ++i) {
+      opt1 += dist_pow(shard[i], centroid_pt[0], params.r);
+    }
+    net.send(m + 1, 0, 8);  // local cost sum
+  }
+  result.rounds = 1;
+
+  double o_lo, o_hi;
+  if (options.o_min > 0) {
+    o_lo = options.o_min;
+    o_hi = options.o_max > 0 ? options.o_max
+                             : max_opt_guess(total_count, dim, L, params.r);
+  } else {
+    const double ub = std::max(1.0, opt1);
+    o_lo = align_to_guess_grid(
+        std::max(1.0, ub / std::pow(2.0, options.range_span)), params.guess_factor);
+    o_hi = 2.0 * ub;
+  }
+  result.diagnostics.o_min = o_lo;
+  result.diagnostics.o_max = o_hi;
+
+  // --- Round 1: per-level CountMin summaries at the finest in-range rate. ---
+  std::vector<SamplingRate> psi(static_cast<std::size_t>(L + 1));
+  std::vector<CellCountMin> merged;
+  merged.reserve(static_cast<std::size_t>(L + 1));
+  CellCountMinConfig cm_cfg;
+  cm_cfg.width = options.countmin_width;
+  cm_cfg.depth = options.countmin_depth;
+  cm_cfg.exact = options.exact;
+  for (int i = 0; i <= L; ++i) {
+    const double ti = part_threshold(grid, params.partition(), i, o_lo);
+    psi[static_cast<std::size_t>(i)] = SamplingRate::from_probability(
+        std::min(1.0, options.counting_samples / std::max(ti, 1.0)));
+    merged.emplace_back(grid, i, cm_cfg,
+                        sketch_seed(params, 0, SamplerPurpose::kCounting, i));
+  }
+  {
+    // Machine-side work is embarrassingly parallel (each shard summarizes
+    // independently); the coordinator-side merge is serialized per level.
+    std::mutex merge_mu;
+    parallel_for(0, s, [&](std::int64_t m) {
+      const PointSet& shard = machines[static_cast<std::size_t>(m)];
+      for (int i = 0; i <= L; ++i) {
+        const std::size_t li = static_cast<std::size_t>(i);
+        CellCountMin local(grid, i, cm_cfg,
+                           sketch_seed(params, 0, SamplerPurpose::kCounting, i));
+        for (PointIndex p = 0; p < shard.size(); ++p) {
+          if (kwise_keep(hash_counting[li], shard[p], psi[li])) {
+            local.update(shard[p], +1);
+          }
+        }
+        net.send(static_cast<int>(m) + 1, 0, local.memory_bytes());
+        std::scoped_lock lock(merge_mu);
+        merged[li].merge(local);
+      }
+    }, ThreadPool::global(), /*grain=*/1);
+  }
+  result.rounds = 2;
+
+  // --- Round 2+: guess loop; the coordinator marks, machines ship samples
+  //     for the crucial cells only. ---
+  for (double o = o_lo; o <= o_hi * params.guess_factor && !result.ok;
+       o *= params.guess_factor) {
+    result.diagnostics.guesses_tried.push_back(o);
+
+    RecoveredLevelData data;
+    data.counting.resize(static_cast<std::size_t>(L));
+    data.part_mass.resize(static_cast<std::size_t>(L + 1));
+    data.sample_points.assign(static_cast<std::size_t>(L + 1), PointSet(dim));
+    bool failed = false;
+    std::string reason;
+
+    // Top-down marking from the merged counts.
+    std::vector<std::vector<CellKey>> crucial(static_cast<std::size_t>(L + 1));
+    std::vector<CellKey> heavy_prev;
+    if (static_cast<double>(total_count) >=
+        part_threshold(grid, params.partition(), -1, o)) {
+      heavy_prev.push_back(CellKey{});
+    }
+    const double heavy_bound = heavy_cells_bound(params.partition(), dim, L);
+    for (int i = 0; i <= L && !failed; ++i) {
+      const std::size_t li = static_cast<std::size_t>(i);
+      const double inv_psi = psi[li].weight();
+      const double ti = part_threshold(grid, params.partition(), i, o);
+      std::vector<CellKey> heavy_here;
+      for (const CellKey& parent : heavy_prev) {
+        for (CellKey& child : grid.children(parent)) {
+          const double tau = merged[li].query(child) * inv_psi;
+          if (tau <= 0.0) continue;
+          if (i < L) data.counting[li].push_back(EstimatedCell{child.index, tau});
+          if (i < L && tau >= ti) {
+            heavy_here.push_back(std::move(child));
+          } else {
+            data.part_mass[li].push_back(EstimatedCell{child.index, tau});
+            crucial[li].push_back(std::move(child));
+          }
+        }
+      }
+      if (static_cast<double>(heavy_here.size()) > heavy_bound) {
+        failed = true;
+        reason = "too many heavy cells (guess o too small)";
+        break;
+      }
+      heavy_prev = std::move(heavy_here);
+    }
+    if (failed) {
+      result.diagnostics.guess_outcomes.push_back(reason);
+      continue;
+    }
+
+    // Broadcast the crucial cells; machines return their phi(o)-sampled
+    // points inside them.
+    ++result.rounds;
+    std::uint64_t crucial_bytes = 8;  // the guess o
+    std::vector<std::unordered_set<CellKey, CellKeyHash>> crucial_set(
+        static_cast<std::size_t>(L + 1));
+    for (int i = 0; i <= L; ++i) {
+      crucial_bytes += crucial[static_cast<std::size_t>(i)].size() *
+                       (static_cast<std::uint64_t>(dim) * 4 + 4);
+      for (const CellKey& c : crucial[static_cast<std::size_t>(i)]) {
+        crucial_set[static_cast<std::size_t>(i)].insert(c);
+      }
+    }
+    for (int m = 1; m <= s; ++m) net.send(0, m, crucial_bytes);
+
+    std::vector<SamplingRate> phi(static_cast<std::size_t>(L + 1));
+    for (int i = 0; i <= L; ++i) {
+      phi[static_cast<std::size_t>(i)] =
+          SamplingRate::from_probability(params.sampling_probability(grid, i, o));
+    }
+    for (int m = 0; m < s && !failed; ++m) {
+      const PointSet& shard = machines[static_cast<std::size_t>(m)];
+      std::int64_t shipped = 0;
+      for (int i = 0; i <= L && !failed; ++i) {
+        const std::size_t li = static_cast<std::size_t>(i);
+        if (crucial_set[li].empty()) continue;
+        for (PointIndex p = 0; p < shard.size(); ++p) {
+          if (!kwise_keep(hash_coreset[li], shard[p], phi[li])) continue;
+          if (!crucial_set[li].contains(grid.cell_of(shard[p], i))) continue;
+          data.sample_points[li].push_back(shard[p]);
+          if (++shipped > options.machine_sample_cap) {
+            failed = true;
+            reason = "machine sample cap exceeded";
+            break;
+          }
+        }
+      }
+      net.send(m + 1, 0,
+               static_cast<std::uint64_t>(std::max<std::int64_t>(shipped, 0)) * dim * 4 + 8);
+    }
+    if (failed) {
+      result.diagnostics.guess_outcomes.push_back(reason);
+      continue;
+    }
+
+    BuildAttempt attempt = assemble_coreset(grid, params, o, data,
+                                            static_cast<double>(total_count));
+    if (!attempt.ok) {
+      result.diagnostics.guess_outcomes.push_back(attempt.fail_reason);
+      continue;
+    }
+    result.diagnostics.guess_outcomes.push_back("ok");
+    result.ok = true;
+    result.coreset = std::move(attempt.coreset);
+  }
+
+  result.communication = net.total();
+  result.per_machine_bytes.resize(static_cast<std::size_t>(s) + 1);
+  for (int m = 0; m <= s; ++m) {
+    result.per_machine_bytes[static_cast<std::size_t>(m)] = net.machine_bytes(m);
+  }
+  return result;
+}
+
+}  // namespace skc

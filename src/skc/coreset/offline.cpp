@@ -1,0 +1,174 @@
+#include "skc/coreset/offline.h"
+
+#include <cmath>
+
+#include "skc/common/check.h"
+#include "skc/common/random.h"
+#include "skc/coreset/sampling.h"
+#include "skc/parallel/parallel_for.h"
+#include "skc/hash/kwise_hash.h"
+
+namespace skc {
+
+double max_opt_guess(PointIndex n, int dim, int log_delta, LrOrder r) {
+  const double delta = static_cast<double>(Coord{1} << log_delta);
+  const double diam = std::sqrt(static_cast<double>(dim)) * delta;
+  return static_cast<double>(n) * std::pow(diam, r.r);
+}
+
+namespace {
+
+/// Per-level point samplers shared by every o-guess (the lambda-wise hash is
+/// drawn once from the seed; thresholds vary with o, which preserves each
+/// guess's lambda-wise independence — DESIGN.md §3).  Identical derivation to
+/// the streaming path's coreset samplers (coreset/sampling.h), which is what
+/// makes the streaming == offline equivalence tests exact.
+struct LevelSamplers {
+  std::vector<KWiseHash> hashes;  // one per level 0..L
+
+  LevelSamplers(const CoresetParams& params, int log_delta)
+      : hashes(make_level_hashes(params, log_delta, SamplerPurpose::kCoreset)) {}
+
+  bool keep(int level, std::span<const Coord> p, const SamplingRate& rate) const {
+    return kwise_keep(hashes[static_cast<std::size_t>(level)], p, rate);
+  }
+};
+
+}  // namespace
+
+BuildAttempt build_offline_coreset_at(const PointSet& points,
+                                      const HierarchicalGrid& grid,
+                                      const CoresetParams& params, double o) {
+  BuildAttempt attempt;
+  const int L = grid.log_delta();
+  const int dim = grid.dim();
+
+  OfflinePartition partition =
+      partition_offline(points, grid, params.partition(), o);
+  if (partition.fail) {
+    attempt.fail_reason = partition.fail_reason;
+    return attempt;
+  }
+
+  // Line 6: per-level part-mass bound.
+  std::vector<double> level_mass(static_cast<std::size_t>(L + 1), 0.0);
+  for (const Part& part : partition.parts) {
+    level_mass[static_cast<std::size_t>(part.level)] += part.weight;
+  }
+  const double mass_bound = params.mass_bound(dim, L);
+  for (int i = 0; i <= L; ++i) {
+    const double ti = part_threshold(grid, params.partition(), i, o);
+    if (level_mass[static_cast<std::size_t>(i)] > mass_bound * ti) {
+      attempt.fail_reason = "per-level part mass exceeds bound (guess o too small)";
+      return attempt;
+    }
+  }
+
+  // Lines 7-12: filter small parts and sample the rest.
+  const double gamma = params.gamma(dim, L);
+  LevelSamplers samplers(params, L);
+  Rng plain_rng = Rng(params.seed).fork(0xAB1A7E);
+
+  Coreset& coreset = attempt.coreset;
+  coreset.o = o;
+  coreset.points = WeightedPointSet(dim);
+  coreset.level_weights.assign(static_cast<std::size_t>(L + 1), 1.0);
+
+  std::vector<SamplingRate> rate(static_cast<std::size_t>(L + 1));
+  for (int i = 0; i <= L; ++i) {
+    rate[static_cast<std::size_t>(i)] =
+        SamplingRate::from_probability(params.sampling_probability(grid, i, o));
+    coreset.level_weights[static_cast<std::size_t>(i)] =
+        rate[static_cast<std::size_t>(i)].weight();
+  }
+
+  for (const Part& part : partition.parts) {
+    const double ti = part_threshold(grid, params.partition(), part.level, o);
+    if (part.weight < gamma * ti) continue;  // line 9
+    const SamplingRate& lr = rate[static_cast<std::size_t>(part.level)];
+    for (PointIndex pi : part.points) {
+      const auto p = points[pi];
+      const bool keep = params.use_kwise_sampling
+                            ? samplers.keep(part.level, p, lr)
+                            : (lr.always() || plain_rng.uniform() < lr.probability());
+      if (!keep) continue;
+      coreset.points.push_back(p, lr.weight());
+      coreset.levels.push_back(part.level);
+    }
+  }
+
+  attempt.ok = true;
+  return attempt;
+}
+
+OfflineBuildResult build_offline_coreset(const PointSet& points,
+                                         const CoresetParams& params,
+                                         int log_delta) {
+  OfflineBuildResult result;
+  SKC_CHECK(points.size() > 0);
+  if (log_delta == 0) log_delta = grid_log_delta(points.max_coord());
+  SKC_CHECK_MSG(points.within_grid(Coord{1} << log_delta),
+                "points must lie in [1, 2^log_delta]^d");
+
+  HierarchicalGrid grid = make_grid(points.dim(), log_delta, params.seed);
+
+  const double o_max = max_opt_guess(points.size(), points.dim(), log_delta, params.r);
+  result.diagnostics.o_min = 1.0;
+  result.diagnostics.o_max = o_max;
+
+  // Guesses are independent: evaluate the cheap FAIL screen (the Algorithm 1
+  // partition plus the mass bound — the dominant cost) for every guess in
+  // parallel, then run the full sampling pass only at the smallest survivor
+  // (the Theorem 3.19 selection rule, unchanged).
+  std::vector<double> guesses;
+  for (double o = 1.0; o <= o_max * params.guess_factor; o *= params.guess_factor) {
+    guesses.push_back(o);
+  }
+  std::vector<std::string> outcomes(guesses.size());
+  std::vector<char> viable(guesses.size(), 0);
+  parallel_for(0, static_cast<std::int64_t>(guesses.size()), [&](std::int64_t g) {
+    const double o = guesses[static_cast<std::size_t>(g)];
+    const OfflinePartition partition =
+        partition_offline(points, grid, params.partition(), o);
+    if (partition.fail) {
+      outcomes[static_cast<std::size_t>(g)] = partition.fail_reason;
+      return;
+    }
+    const int L = grid.log_delta();
+    std::vector<double> level_mass(static_cast<std::size_t>(L + 1), 0.0);
+    for (const Part& part : partition.parts) {
+      level_mass[static_cast<std::size_t>(part.level)] += part.weight;
+    }
+    const double mass_bound = params.mass_bound(points.dim(), L);
+    for (int i = 0; i <= L; ++i) {
+      const double ti = part_threshold(grid, params.partition(), i, o);
+      if (level_mass[static_cast<std::size_t>(i)] > mass_bound * ti) {
+        outcomes[static_cast<std::size_t>(g)] =
+            "per-level part mass exceeds bound (guess o too small)";
+        return;
+      }
+    }
+    viable[static_cast<std::size_t>(g)] = 1;
+    outcomes[static_cast<std::size_t>(g)] = "ok";
+  }, ThreadPool::global(), /*grain=*/1);
+
+  result.diagnostics.guesses_tried = guesses;
+  result.diagnostics.guess_outcomes.assign(outcomes.begin(), outcomes.end());
+  for (std::size_t g = 0; g < guesses.size(); ++g) {
+    if (!viable[g]) continue;
+    BuildAttempt attempt = build_offline_coreset_at(points, grid, params, guesses[g]);
+    if (attempt.ok) {
+      result.ok = true;
+      result.coreset = std::move(attempt.coreset);
+    } else {
+      // The screen and the full pass apply identical rules; disagreement
+      // would be a bug, but degrade gracefully by reporting the failure.
+      result.diagnostics.guess_outcomes[g] = attempt.fail_reason;
+      continue;
+    }
+    return result;
+  }
+  return result;  // every guess failed (should not happen for in-grid input)
+}
+
+}  // namespace skc

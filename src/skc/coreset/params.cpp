@@ -1,0 +1,93 @@
+#include "skc/coreset/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "skc/common/check.h"
+
+namespace skc {
+
+double CoresetParams::gamma(int dim, int log_delta) const {
+  const double L = static_cast<double>(log_delta);
+  const double dterm = dim_term(dim, r);
+  const double by_eta = eta / (static_cast<double>(k) * L);
+  const double by_eps = epsilon / ((static_cast<double>(k) + dterm) * L);
+  return std::min(gamma_max, gamma_const * std::min(by_eta, by_eps));
+}
+
+double CoresetParams::mass_bound(int dim, int log_delta) const {
+  return mass_bound_const *
+         (static_cast<double>(k) * log_delta + dim_term(dim, r));
+}
+
+double CoresetParams::sampling_probability(const HierarchicalGrid& grid, int level,
+                                           double o) const {
+  const double t = part_threshold(grid, partition(), level, o);
+  const double g =
+      sampling_gamma > 0 ? sampling_gamma : gamma(grid.dim(), grid.log_delta());
+  const double ref_part = std::max(1.0, g * t);
+  return std::min(1.0, samples_per_part / ref_part);
+}
+
+CoresetParams CoresetParams::practical(int k, LrOrder r, double eps, double eta,
+                                       std::uint64_t seed) {
+  SKC_CHECK(k >= 1);
+  CoresetParams p;
+  p.k = k;
+  p.r = r;
+  p.epsilon = eps;
+  p.eta = eta;
+  // Tight FAIL bounds: the o-enumeration accepts the smallest non-FAILing
+  // guess, and permissive bounds let guesses far below OPT pass — their tiny
+  // thresholds then keep nearly every point (phi clamps to 1).  Empirically
+  // these constants put the accepted o within a small factor of OPT across
+  // mixtures, uniform noise, skewed and high-dimensional workloads while the
+  // o ~ OPT window never FAILs (the analog of Lemma 3.18).
+  p.heavy_bound_const = 1.0;
+  p.mass_bound_const = 2.0;
+  // Keep parts down to 5% of the heavy threshold (gamma saturates at
+  // gamma_max); sample so threshold-size parts get ~samples_per_part points
+  // in expectation.
+  p.gamma_const = 1e9;
+  p.gamma_max = 0.05;
+  p.samples_per_part = 24.0;
+  p.sampling_gamma = 1.0;
+  p.hash_independence = 8;
+  p.seed = seed;
+  return p;
+}
+
+CoresetParams CoresetParams::theory(int k, int dim, int log_delta, LrOrder r,
+                                    double eps, double eta, std::uint64_t seed) {
+  SKC_CHECK(k >= 1);
+  CoresetParams p;
+  p.k = k;
+  p.r = r;
+  p.epsilon = eps;
+  p.eta = eta;
+  p.threshold_const = 0.01;
+  p.heavy_bound_const = 20000.0;
+  p.mass_bound_const = 10000.0;
+  p.gamma_const = std::pow(2.0, -2.0 * (r.r + 10.0));
+  p.gamma_max = 1.0;
+
+  // Algorithm 2 line 3:
+  //   xi     = 2^{-2(r+10)} min(eps, eta) / (k (k + d^{1.5r}) L^2)
+  //   lambda = 10^6 r k^3 d L ceil(log(k d L))
+  //   phi_i  = min(1, 2^{2(r+10)} lambda / (xi^3 gamma T_i(o)))
+  // so samples_per_part (the phi numerator divided by T_i gamma) is
+  // 2^{2(r+10)} lambda / xi^3.
+  const double L = static_cast<double>(log_delta);
+  const double dterm = dim_term(dim, r);
+  const double xi = std::pow(2.0, -2.0 * (r.r + 10.0)) * std::min(eps, eta) /
+                    (static_cast<double>(k) * (static_cast<double>(k) + dterm) * L * L);
+  const double lambda = 1e6 * r.r * std::pow(static_cast<double>(k), 3.0) *
+                        static_cast<double>(dim) * L *
+                        std::ceil(std::log(static_cast<double>(k) * dim * L));
+  p.samples_per_part = std::pow(2.0, 2.0 * (r.r + 10.0)) * lambda / std::pow(xi, 3.0);
+  p.hash_independence = static_cast<int>(std::min(4096.0, lambda));
+  p.seed = seed;
+  return p;
+}
+
+}  // namespace skc

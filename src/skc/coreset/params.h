@@ -1,0 +1,94 @@
+// Tunable parameters of the coreset construction.
+//
+// Algorithm 2 of the paper fixes its constants for the proofs
+// (gamma = 2^{-2(r+10)} min(eta/kL, eps/((k+d^{1.5r})L)),
+//  lambda = 10^6 r k^3 d L ceil(log kdL),
+//  phi_i = min(1, 2^{2(r+10)} lambda / (xi^3 gamma T_i(o))), ...).
+// Run verbatim those values make every sampling probability clamp to 1 on
+// any dataset that fits in memory, so the coreset degenerates to the input
+// (a correct but useless coreset).  CoresetParams exposes each constant:
+//
+//   * CoresetParams::theory(...)    — the paper's values; tests use it to
+//     check the degenerate-exactness property end to end.
+//   * CoresetParams::practical(...) — scaled-down constants giving coresets
+//     of a few hundred-few thousand points whose empirical (eps, eta) the
+//     benchmark suite measures.  The algorithm structure is identical.
+//
+// See DESIGN.md §3 for the full discussion.
+#pragma once
+
+#include <cstdint>
+
+#include "skc/common/types.h"
+#include "skc/partition/heavy_cells.h"
+
+namespace skc {
+
+struct CoresetParams {
+  int k = 8;
+  LrOrder r{2.0};
+  double epsilon = 0.2;  ///< target multiplicative cost error
+  double eta = 0.2;      ///< target capacity-violation factor
+
+  // --- Partitioning (Algorithm 1) ---
+  /// T_i(o) multiplier (paper: 0.01).
+  double threshold_const = 0.01;
+  /// Heavy-cell FAIL bound multiplier on (k + d^{1.5r}) (L+1) (paper: 20000).
+  double heavy_bound_const = 20000.0;
+  /// Per-level mass FAIL bound multiplier on (kL + d^{1.5r}) T_i(o)
+  /// (Algorithm 2 line 6; paper: 10000).
+  double mass_bound_const = 10000.0;
+
+  // --- Part filtering and sampling (Algorithm 2) ---
+  /// Part-inclusion threshold: parts smaller than gamma(d, L) * T_i(o) are
+  /// dropped (Lemma 3.4 bounds the resulting error).
+  /// gamma(d, L) = gamma_const * min(eta / (k L), eps / ((k + d^{1.5r}) L)),
+  /// clamped to gamma_max.  theory(): gamma_const = 2^{-2(r+10)},
+  /// gamma_max = 1.  practical(): a larger gamma_const with gamma_max 0.5.
+  double gamma_const = 1.0;
+  double gamma_max = 1.0;
+  /// Per-level sampling rate: phi_i = min(1, samples_per_part / (s T_i(o)))
+  /// where s is `sampling_gamma` if positive, else gamma(dim, L).  The paper
+  /// uses s = gamma (every included part gets >= lambda samples, which with
+  /// its constants means phi = 1 always); the practical preset uses s = 1 so
+  /// a threshold-size part (~T_i points) receives ~samples_per_part samples
+  /// and sampling actually activates at realistic n.
+  double samples_per_part = 32.0;
+  double sampling_gamma = 0.0;
+
+  // --- Hashing ---
+  /// lambda of the lambda-wise independent samplers.  theory() computes the
+  /// paper's lambda; practical() uses a small constant (ablation A3 measures
+  /// the difference against a fully independent RNG).
+  int hash_independence = 8;
+  /// When false, offline construction samples with a plain RNG instead of the
+  /// lambda-wise hash (offline-only ablation knob).
+  bool use_kwise_sampling = true;
+
+  std::uint64_t seed = 0x5eedc0de;
+
+  // --- Guess enumeration for o ---
+  /// Successive guesses are multiplied by this factor (paper: 2).
+  double guess_factor = 2.0;
+
+  /// The derived part-inclusion fraction gamma for a given dimension/L.
+  double gamma(int dim, int log_delta) const;
+
+  /// Partition-parameter view of these settings.
+  PartitionParams partition() const {
+    return PartitionParams{k, r, threshold_const, heavy_bound_const};
+  }
+
+  /// Per-level mass FAIL bound (Algorithm 2 line 6) as a multiple of T_i(o).
+  double mass_bound(int dim, int log_delta) const;
+
+  /// Sampling probability phi_i for parts at grid level `level`.
+  double sampling_probability(const HierarchicalGrid& grid, int level, double o) const;
+
+  static CoresetParams practical(int k, LrOrder r, double eps, double eta,
+                                 std::uint64_t seed = 20230614);
+  static CoresetParams theory(int k, int dim, int log_delta, LrOrder r, double eps,
+                              double eta, std::uint64_t seed = 20230614);
+};
+
+}  // namespace skc

@@ -1,0 +1,314 @@
+#include "skc/coreset/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "skc/common/check.h"
+#include "skc/common/serial.h"
+#include "skc/coreset/offline.h"
+
+namespace skc {
+
+namespace {
+
+SamplingRate rate_or_one(double p) {
+  return SamplingRate::from_probability(std::min(1.0, std::max(p, 1e-18)));
+}
+
+}  // namespace
+
+StreamingCoresetBuilder::StreamingCoresetBuilder(int dim, const CoresetParams& params,
+                                                 const StreamingOptions& options)
+    : dim_(dim),
+      params_(params),
+      options_(options),
+      grid_(make_grid(dim, options.log_delta, params.seed)),
+      hash_counting_(make_level_hashes(params, options.log_delta,
+                                       SamplerPurpose::kCounting)),
+      hash_coreset_(make_level_hashes(params, options.log_delta,
+                                      SamplerPurpose::kCoreset)) {
+  const int L = options.log_delta;
+  double o_lo = options.o_min > 0 ? options.o_min : 1.0;
+  double o_hi = options.o_max > 0
+                    ? options.o_max
+                    : max_opt_guess(options.max_points, dim, L, params.r);
+  SKC_CHECK(o_lo <= o_hi);
+
+  int guess_index = 0;
+  for (double o = o_lo; o <= o_hi * params.guess_factor; o *= params.guess_factor) {
+    GuessState guess;
+    guess.o = o;
+    guess.counts.reserve(static_cast<std::size_t>(L + 1));
+    guess.samples.reserve(static_cast<std::size_t>(L + 1));
+    for (int i = 0; i <= L; ++i) {
+      const double ti = part_threshold(grid_, params.partition(), i, o);
+      guess.psi.push_back(rate_or_one(options.counting_samples / std::max(ti, 1.0)));
+      guess.phi.push_back(
+          SamplingRate::from_probability(params.sampling_probability(grid_, i, o)));
+      CellCountMinConfig cm;
+      cm.width = options.countmin_width;
+      cm.depth = options.countmin_depth;
+      cm.exact = options.exact_storing;
+      guess.counts.emplace_back(
+          grid_, i, cm, sketch_seed(params, guess_index, SamplerPurpose::kCounting, i));
+      PointStoreConfig ps;
+      ps.watermark = options.point_watermark;
+      ps.max_live_points = options.max_live_points;
+      ps.exact = options.exact_storing;
+      guess.samples.emplace_back(grid_, i, ps);
+    }
+    guesses_.push_back(std::move(guess));
+    ++guess_index;
+  }
+
+  distinct_.reserve(static_cast<std::size_t>(L));
+  for (int i = 0; i < L; ++i) {
+    distinct_.emplace_back(grid_, i, options.distinct_budget,
+                           sketch_seed(params, 0, SamplerPurpose::kCounting, 100 + i));
+  }
+}
+
+void StreamingCoresetBuilder::update(std::span<const Coord> p, std::int64_t delta) {
+  SKC_DCHECK(static_cast<int>(p.size()) == dim_);
+  SKC_DCHECK(delta == 1 || delta == -1);
+  const int L = grid_.log_delta();
+  // Evaluate the shared per-level hashes once per event; every guess reuses
+  // them with its own thresholds (nested subsampling keeps each guess
+  // individually lambda-wise independent).
+  std::vector<std::uint64_t> h_count(static_cast<std::size_t>(L + 1));
+  std::vector<std::uint64_t> h_core(static_cast<std::size_t>(L + 1));
+  for (int i = 0; i <= L; ++i) {
+    h_count[static_cast<std::size_t>(i)] = hash_counting_[static_cast<std::size_t>(i)](p);
+    h_core[static_cast<std::size_t>(i)] = hash_coreset_[static_cast<std::size_t>(i)](p);
+  }
+  auto keep = [](std::uint64_t hash_value, const SamplingRate& rate) {
+    return rate.always() || hash_value < f61::kP / rate.m;
+  };
+  for (GuessState& guess : guesses_) {
+    if (guess.pruned) continue;
+    for (int i = 0; i <= L; ++i) {
+      const std::size_t li = static_cast<std::size_t>(i);
+      if (keep(h_count[li], guess.psi[li])) guess.counts[li].update(p, delta);
+      if (keep(h_core[li], guess.phi[li]) && !guess.samples[li].dead()) {
+        guess.samples[li].update(p, delta);
+      }
+    }
+  }
+  for (DistinctCells& dc : distinct_) dc.update(p, delta);
+  net_count_ += delta;
+  ++events_;
+  if (options_.prune_interval > 0 && !options_.exact_storing &&
+      events_ % options_.prune_interval == 0) {
+    maybe_prune();
+  }
+}
+
+void StreamingCoresetBuilder::maybe_prune() {
+  std::vector<double> cell_estimates;
+  cell_estimates.reserve(distinct_.size());
+  for (const DistinctCells& dc : distinct_) cell_estimates.push_back(dc.estimate());
+  const double lb =
+      opt_lower_bound_from_cells(grid_, params_.k, params_.r, cell_estimates);
+  if (lb <= 0.0) return;
+  for (GuessState& guess : guesses_) {
+    if (guess.pruned || guess.o * options_.prune_slack >= lb) continue;
+    guess.pruned = true;
+    for (CellCountMin& cm : guess.counts) cm.release();
+    for (CellPointStore& ps : guess.samples) ps.release();
+  }
+}
+
+void StreamingCoresetBuilder::consume(const Stream& stream) {
+  for (const StreamEvent& e : stream) {
+    update(e.point, e.op == StreamOp::kInsert ? +1 : -1);
+  }
+}
+
+StreamingResult StreamingCoresetBuilder::finalize() const {
+  StreamingResult result;
+  const int L = grid_.log_delta();
+  result.diagnostics.o_min = guesses_.empty() ? 0.0 : guesses_.front().o;
+  result.diagnostics.o_max = guesses_.empty() ? 0.0 : guesses_.back().o;
+
+  // OPT lower bound from distinct-cell counts: guesses below bound/10 cannot
+  // be in the valid [OPT/10, OPT] window, so skip their decode cost.
+  std::vector<double> cell_estimates;
+  cell_estimates.reserve(distinct_.size());
+  for (const DistinctCells& dc : distinct_) cell_estimates.push_back(dc.estimate());
+  result.opt_lower_bound =
+      opt_lower_bound_from_cells(grid_, params_.k, params_.r, cell_estimates);
+
+  for (const GuessState& guess : guesses_) {
+    result.diagnostics.guesses_tried.push_back(guess.o);
+    if (guess.pruned) {
+      result.diagnostics.guess_outcomes.push_back(
+          "pruned mid-stream (below OPT lower bound)");
+      continue;
+    }
+    if (guess.o * 10.0 < result.opt_lower_bound) {
+      result.diagnostics.guess_outcomes.push_back("pruned (below OPT lower bound)");
+      continue;
+    }
+
+    // --- Top-down heavy discovery via CountMin queries (Algorithm 1). ---
+    // Estimates are in sampled units; scale by the inverse rate per level.
+    RecoveredLevelData data;
+    data.counting.resize(static_cast<std::size_t>(L));
+    data.part_mass.resize(static_cast<std::size_t>(L + 1));
+    data.sample_points.assign(static_cast<std::size_t>(L + 1), PointSet(dim_));
+    data.incomplete_cells.resize(static_cast<std::size_t>(L + 1));
+    bool failed = false;
+    std::string reason;
+
+    std::vector<CellKey> heavy_prev;  // heavy cells at level-1 of the loop
+    const double root_tau = static_cast<double>(net_count_);
+    const bool root_heavy =
+        root_tau >= part_threshold(grid_, params_.partition(), -1, guess.o);
+    if (root_heavy) heavy_prev.push_back(CellKey{});
+
+    for (int i = 0; i <= L && !failed; ++i) {
+      const std::size_t li = static_cast<std::size_t>(i);
+      const double inv_psi = guess.psi[li].weight();
+      const double ti = part_threshold(grid_, params_.partition(), i, guess.o);
+      if (guess.samples[li].dead()) {
+        failed = true;
+        reason = "sample store saturated";
+        break;
+      }
+      std::vector<CellKey> heavy_here;
+      for (const CellKey& parent : heavy_prev) {
+        for (CellKey& child : grid_.children(parent)) {
+          const double tau = guess.counts[li].query(child) * inv_psi;
+          if (tau <= 0.0) continue;
+          if (i < L) {
+            data.counting[li].push_back(EstimatedCell{child.index, tau});
+          }
+          if (i < L && tau >= ti) {
+            heavy_here.push_back(std::move(child));
+          } else {
+            // Crucial candidate: its mass feeds the part estimates and its
+            // sampled points feed the coreset.
+            data.part_mass[li].push_back(EstimatedCell{child.index, tau});
+            const auto cp = guess.samples[li].cell(child);
+            if (cp && cp->complete) {
+              data.sample_points[li].append(cp->points);
+            } else if (cp && !cp->complete) {
+              data.incomplete_cells[li].push_back(std::move(child));
+            }
+            // cp == nullopt: the cell holds mass but no sampled points —
+            // expected at low phi; contributes only its tau.
+          }
+        }
+      }
+      const double heavy_bound =
+          heavy_cells_bound(params_.partition(), dim_, L);
+      // mark_cells inside assemble re-checks the cumulative bound; a cheap
+      // per-level sanity check here avoids quadratic child expansion on
+      // hopeless guesses.
+      if (static_cast<double>(heavy_here.size()) > heavy_bound) {
+        failed = true;
+        reason = "too many heavy cells (guess o too small)";
+        break;
+      }
+      heavy_prev = std::move(heavy_here);
+    }
+    if (failed) {
+      result.diagnostics.guess_outcomes.push_back(reason);
+      continue;
+    }
+
+    BuildAttempt attempt = assemble_coreset(grid_, params_, guess.o, data,
+                                            static_cast<double>(net_count_));
+    if (!attempt.ok) {
+      result.diagnostics.guess_outcomes.push_back(attempt.fail_reason);
+      continue;
+    }
+    result.diagnostics.guess_outcomes.push_back("ok");
+    result.ok = true;
+    result.coreset = std::move(attempt.coreset);
+    return result;
+  }
+  return result;
+}
+
+std::size_t StreamingCoresetBuilder::memory_bytes() const {
+  std::size_t total = 0;
+  for (const GuessState& guess : guesses_) {
+    for (const CellCountMin& s : guess.counts) total += s.memory_bytes();
+    for (const CellPointStore& s : guess.samples) total += s.memory_bytes();
+  }
+  for (const DistinctCells& dc : distinct_) total += dc.memory_bytes();
+  return total;
+}
+
+std::size_t StreamingCoresetBuilder::memory_bytes_per_guess() const {
+  // Report the largest live guess (pruned guesses hold no memory and would
+  // understate the per-guess footprint).
+  std::size_t best = 0;
+  for (const GuessState& guess : guesses_) {
+    if (guess.pruned) continue;
+    std::size_t total = 0;
+    for (const CellCountMin& s : guess.counts) total += s.memory_bytes();
+    for (const CellPointStore& s : guess.samples) total += s.memory_bytes();
+    best = std::max(best, total);
+  }
+  return best;
+}
+
+namespace {
+constexpr std::uint64_t kCheckpointMagic = 0x534b435354524d31ULL;  // "SKCSTRM1"
+}
+
+void StreamingCoresetBuilder::save(std::ostream& out) const {
+  serial::put(out, kCheckpointMagic);
+  serial::put<std::int32_t>(out, dim_);
+  serial::put<std::int32_t>(out, options_.log_delta);
+  serial::put<std::uint64_t>(out, params_.seed);
+  serial::put<std::uint64_t>(out, guesses_.size());
+  serial::put<std::int64_t>(out, net_count_);
+  serial::put<std::int64_t>(out, events_);
+  for (const GuessState& guess : guesses_) {
+    serial::put<std::uint8_t>(out, guess.pruned ? 1 : 0);
+    for (const CellCountMin& cm : guess.counts) cm.save(out);
+    for (const CellPointStore& ps : guess.samples) ps.save(out);
+  }
+  for (const DistinctCells& dc : distinct_) dc.save(out);
+}
+
+bool StreamingCoresetBuilder::load(std::istream& in) {
+  std::uint64_t magic = 0;
+  std::int32_t dim = 0, log_delta = 0;
+  std::uint64_t seed = 0, nguesses = 0;
+  if (!serial::get(in, magic) || magic != kCheckpointMagic) return false;
+  if (!serial::get(in, dim) || dim != dim_) return false;
+  if (!serial::get(in, log_delta) || log_delta != options_.log_delta) return false;
+  if (!serial::get(in, seed) || seed != params_.seed) return false;
+  if (!serial::get(in, nguesses) || nguesses != guesses_.size()) return false;
+  if (!serial::get(in, net_count_)) return false;
+  if (!serial::get(in, events_)) return false;
+  for (GuessState& guess : guesses_) {
+    std::uint8_t pruned = 0;
+    if (!serial::get(in, pruned)) return false;
+    guess.pruned = pruned != 0;
+    for (CellCountMin& cm : guess.counts) {
+      if (!cm.load(in)) return false;
+    }
+    for (CellPointStore& ps : guess.samples) {
+      if (!ps.load(in)) return false;
+    }
+  }
+  for (DistinctCells& dc : distinct_) {
+    if (!dc.load(in)) return false;
+  }
+  return true;
+}
+
+StreamingResult build_streaming_coreset(const Stream& stream, int dim,
+                                        const CoresetParams& params,
+                                        const StreamingOptions& options) {
+  StreamingCoresetBuilder builder(dim, params, options);
+  builder.consume(stream);
+  return builder.finalize();
+}
+
+}  // namespace skc

@@ -1,0 +1,159 @@
+// One-pass dynamic-stream coreset construction — Algorithm 4 / Theorem 4.5.
+//
+// For every guess o of OPT (geometric enumeration run in parallel, as the
+// theorem prescribes) and every grid level, the builder maintains two linear
+// structures fed with lambda-wise-independently sampled substreams:
+//
+//   * a CountMin over cells on the h_i substream (rate psi_i =
+//     min(1, c / T_i(o))) — serves both the heavy-cell marking queries of
+//     Algorithm 1/3 and the crucial-part mass estimates (the paper's
+//     separate finer h'_i substream exists to estimate part sizes at
+//     resolution gamma T_i; the practical path accepts resolution ~0.1 T_i
+//     instead, which only blurs the inclusion threshold for borderline
+//     small parts — see DESIGN.md §3 and ablation A1);
+//   * a CellPointStore on the hat-h_i substream (rate phi_i, Algorithm 2's
+//     coreset-sampling rate) — per-cell point maps with provably-heavy
+//     eviction carrying the actual coreset samples.
+//
+// finalize() walks each guess top-down: the root is heavy, heavy candidates
+// are the 2^d children of heavy cells (heaviness needs a heavy ancestry, so
+// nothing else can qualify), crucial cells are the non-heavy children, and
+// the sampled points of crucial cells of sufficiently large parts become the
+// coreset (assemble_coreset).  The smallest guess with no FAIL wins — the
+// selection rule of Theorem 3.19's proof — with a grid-based OPT lower bound
+// pruning hopeless guesses.
+//
+// Pass `exact_storing` to replace every structure by its exact-map reference
+// twin: the result is then bit-identical to the offline construction on the
+// surviving point set (the equality the tests pin), at memory proportional
+// to the data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "skc/coreset/assemble.h"
+#include "skc/coreset/coreset.h"
+#include "skc/coreset/params.h"
+#include "skc/coreset/sampling.h"
+#include "skc/geometry/point_set.h"
+#include "skc/grid/hierarchical_grid.h"
+#include "skc/sketch/countmin.h"
+#include "skc/sketch/distinct.h"
+#include "skc/sketch/point_store.h"
+#include "skc/stream/events.h"
+
+namespace skc {
+
+struct StreamingOptions {
+  int log_delta = 14;
+  /// Upper bound on the surviving point count (derives o_max).
+  PointIndex max_points = PointIndex{1} << 20;
+  /// Optional o-range hint [o_min, o_max]; 0 = full theoretical range.
+  double o_min = 0.0;
+  double o_max = 0.0;
+
+  /// Counting-substream resolution: psi_i ~ counting_samples / T_i(o), so a
+  /// threshold-size cell carries ~counting_samples sampled points.
+  double counting_samples = 64.0;
+
+  /// CountMin geometry per (guess, level).
+  int countmin_width = 512;
+  int countmin_depth = 3;
+
+  /// Point-store eviction watermark (sampled points per cell before the
+  /// cell is declared provably heavy) and the per-structure live-point cap.
+  std::int64_t point_watermark = 64;
+  std::int64_t max_live_points = 1 << 14;
+
+  /// Exact reference mode (plain maps, no eviction): bit-identical to the
+  /// offline construction; memory proportional to the data.
+  bool exact_storing = false;
+
+  /// Budget for the per-level distinct-cell estimators feeding the OPT
+  /// lower bound used to prune guesses at finalize.
+  std::size_t distinct_budget = 256;
+
+  /// Mid-stream pruning: every `prune_interval` events, guesses whose o is
+  /// below (running OPT lower bound) / prune_slack free their structures.
+  /// The 100x slack absorbs deletions shrinking the bound later (a wrongly
+  /// pruned guess just FAILs and a coarser o is accepted); exact mode never
+  /// prunes.  0 disables.
+  std::int64_t prune_interval = 4096;
+  double prune_slack = 100.0;
+};
+
+struct StreamingResult {
+  bool ok = false;
+  Coreset coreset;
+  BuildDiagnostics diagnostics;
+  double opt_lower_bound = 0.0;
+};
+
+class StreamingCoresetBuilder {
+ public:
+  StreamingCoresetBuilder(int dim, const CoresetParams& params,
+                          const StreamingOptions& options);
+
+  void insert(std::span<const Coord> p) { update(p, +1); }
+  void erase(std::span<const Coord> p) { update(p, -1); }
+  void update(std::span<const Coord> p, std::int64_t delta);
+
+  /// Feeds a whole stream.
+  void consume(const Stream& stream);
+
+  /// Exact net point count (insertions minus deletions).
+  std::int64_t net_count() const { return net_count_; }
+  std::int64_t events() const { return events_; }
+
+  /// Decodes and assembles; non-destructive.
+  StreamingResult finalize() const;
+
+  /// Total structure footprint (the space Theorem 4.5's experiment reports).
+  std::size_t memory_bytes() const;
+  /// Footprint of a single guess (the per-guess space; the guess count is a
+  /// log(n Delta^r) multiplier an OPT estimate removes).
+  std::size_t memory_bytes_per_guess() const;
+
+  const HierarchicalGrid& grid() const { return grid_; }
+  int num_guesses() const { return static_cast<int>(guesses_.size()); }
+
+  /// Checkpointing: save() dumps the full builder state; load() restores it
+  /// into a builder constructed with IDENTICAL (dim, params, options) — a
+  /// configuration fingerprint is verified and load() returns false on
+  /// mismatch or truncation.  Resume feeding events afterwards.
+  void save(std::ostream& out) const;
+  bool load(std::istream& in);
+
+ private:
+  struct GuessState {
+    double o = 1.0;
+    bool pruned = false;
+    // Indexed by level: counts has L entries (levels 0..L-1, marking only
+    // needs counts above the leaf level... plus level L for part masses),
+    // so both vectors carry L+1 entries (levels 0..L).
+    std::vector<CellCountMin> counts;
+    std::vector<CellPointStore> samples;
+    std::vector<SamplingRate> psi, phi;
+  };
+
+  int dim_;
+  CoresetParams params_;
+  StreamingOptions options_;
+  HierarchicalGrid grid_;
+  std::vector<KWiseHash> hash_counting_, hash_coreset_;
+  std::vector<GuessState> guesses_;
+  std::vector<DistinctCells> distinct_;
+  void maybe_prune();
+  std::int64_t net_count_ = 0;
+  std::int64_t events_ = 0;
+};
+
+/// Convenience: stream -> coreset in one call.
+StreamingResult build_streaming_coreset(const Stream& stream, int dim,
+                                        const CoresetParams& params,
+                                        const StreamingOptions& options);
+
+}  // namespace skc

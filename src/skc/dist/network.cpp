@@ -1,0 +1,30 @@
+#include "skc/dist/network.h"
+
+#include "skc/common/check.h"
+
+namespace skc {
+
+Network::Network(int machines) : machines_(machines) {
+  SKC_CHECK(machines >= 1);
+  per_machine_.assign(static_cast<std::size_t>(machines) + 1, 0);  // +coordinator
+}
+
+void Network::send(int from, int to, std::uint64_t bytes) {
+  SKC_CHECK(from >= 0 && from <= machines_);
+  SKC_CHECK(to >= 0 && to <= machines_);
+  SKC_CHECK_MSG(from == 0 || to == 0,
+                "machines may only communicate with the coordinator (rank 0)");
+  std::scoped_lock lock(mu_);
+  total_.messages += 1;
+  total_.bytes += bytes;
+  per_machine_[static_cast<std::size_t>(from)] += bytes;
+  per_machine_[static_cast<std::size_t>(to)] += bytes;
+}
+
+std::uint64_t Network::machine_bytes(int machine) const {
+  SKC_CHECK(machine >= 0 && machine <= machines_);
+  std::scoped_lock lock(mu_);
+  return per_machine_[static_cast<std::size_t>(machine)];
+}
+
+}  // namespace skc

@@ -1,0 +1,47 @@
+// Simulated coordinator/machine network with bit-level communication
+// accounting (the cost model of Theorem 4.7 and [KVW14, WZ16, ...]).
+//
+// There is no real transport — machines live in one process — but every
+// logical message passes through Network::send so the protocol's
+// communication cost is measured, not estimated.  The accounting mirrors the
+// MPI coordinator pattern from the HPC guides: machines only talk to the
+// coordinator (rank 0).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace skc {
+
+class Network {
+ public:
+  explicit Network(int machines);
+
+  int machines() const { return machines_; }
+
+  /// Records a message of `bytes` payload from `from` to `to`.
+  /// Rank 0 is the coordinator; every message must involve it.
+  /// Thread-safe: machine threads account concurrently.
+  void send(int from, int to, std::uint64_t bytes);
+
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  Stats total() const {
+    std::scoped_lock lock(mu_);
+    return total_;
+  }
+  /// Bytes sent or received by a machine.
+  std::uint64_t machine_bytes(int machine) const;
+
+ private:
+  int machines_;
+  mutable std::mutex mu_;
+  Stats total_;
+  std::vector<std::uint64_t> per_machine_;
+};
+
+}  // namespace skc

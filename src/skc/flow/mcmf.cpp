@@ -1,0 +1,119 @@
+#include "skc/flow/mcmf.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "skc/common/check.h"
+
+namespace skc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MinCostMaxFlow::MinCostMaxFlow(int num_nodes) {
+  SKC_CHECK(num_nodes >= 0);
+  adj_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+int MinCostMaxFlow::add_node() {
+  adj_.emplace_back();
+  return static_cast<int>(adj_.size()) - 1;
+}
+
+int MinCostMaxFlow::add_edge(int from, int to, std::int64_t capacity, double cost) {
+  SKC_CHECK(from >= 0 && from < num_nodes());
+  SKC_CHECK(to >= 0 && to < num_nodes());
+  SKC_CHECK(capacity >= 0);
+  SKC_CHECK(cost >= 0.0);  // Dijkstra-from-the-start requires this
+  const int slot_fwd = static_cast<int>(adj_[static_cast<std::size_t>(from)].size());
+  const int slot_rev = static_cast<int>(adj_[static_cast<std::size_t>(to)].size());
+  adj_[static_cast<std::size_t>(from)].push_back(Edge{to, slot_rev, capacity, cost});
+  adj_[static_cast<std::size_t>(to)].push_back(Edge{from, slot_fwd, 0, -cost});
+  edge_index_.emplace_back(from, slot_fwd);
+  initial_cap_.push_back(capacity);
+  return static_cast<int>(edge_index_.size()) - 1;
+}
+
+bool MinCostMaxFlow::dijkstra(int source, int sink, std::vector<double>& dist,
+                              std::vector<int>& prev_edge,
+                              std::vector<int>& prev_node) const {
+  const std::size_t n = adj_.size();
+  dist.assign(n, kInf);
+  prev_edge.assign(n, -1);
+  prev_node.assign(n, -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)] + 1e-12) continue;
+    const auto& edges = adj_[static_cast<std::size_t>(u)];
+    for (int e = 0; e < static_cast<int>(edges.size()); ++e) {
+      const Edge& edge = edges[static_cast<std::size_t>(e)];
+      if (edge.cap <= 0) continue;
+      // Reduced cost; clamp tiny negative values from floating-point noise.
+      double rc = edge.cost + potential_[static_cast<std::size_t>(u)] -
+                  potential_[static_cast<std::size_t>(edge.to)];
+      if (rc < 0.0) rc = 0.0;
+      const double nd = d + rc;
+      if (nd + 1e-12 < dist[static_cast<std::size_t>(edge.to)]) {
+        dist[static_cast<std::size_t>(edge.to)] = nd;
+        prev_node[static_cast<std::size_t>(edge.to)] = u;
+        prev_edge[static_cast<std::size_t>(edge.to)] = e;
+        heap.emplace(nd, edge.to);
+      }
+    }
+  }
+  return dist[static_cast<std::size_t>(sink)] < kInf;
+}
+
+MinCostMaxFlow::Result MinCostMaxFlow::solve(int source, int sink) {
+  SKC_CHECK(source >= 0 && source < num_nodes());
+  SKC_CHECK(sink >= 0 && sink < num_nodes());
+  SKC_CHECK(source != sink);
+  potential_.assign(adj_.size(), 0.0);
+
+  Result result;
+  std::vector<double> dist;
+  std::vector<int> prev_edge, prev_node;
+  while (dijkstra(source, sink, dist, prev_edge, prev_node)) {
+    // Update potentials for reachable nodes (unreachable keep their value;
+    // they cannot appear on future shortest paths before becoming reachable,
+    // at which point their potential is refreshed first).
+    for (std::size_t v = 0; v < adj_.size(); ++v) {
+      if (dist[v] < kInf) potential_[v] += dist[v];
+    }
+    // Bottleneck along the path.
+    std::int64_t push = std::numeric_limits<std::int64_t>::max();
+    for (int v = sink; v != source; v = prev_node[static_cast<std::size_t>(v)]) {
+      const int u = prev_node[static_cast<std::size_t>(v)];
+      const Edge& e = adj_[static_cast<std::size_t>(u)]
+                          [static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(v)])];
+      push = std::min(push, e.cap);
+    }
+    SKC_CHECK(push > 0);
+    for (int v = sink; v != source; v = prev_node[static_cast<std::size_t>(v)]) {
+      const int u = prev_node[static_cast<std::size_t>(v)];
+      Edge& e = adj_[static_cast<std::size_t>(u)]
+                    [static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(v)])];
+      e.cap -= push;
+      adj_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)].cap += push;
+      result.cost += static_cast<double>(push) * e.cost;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+std::int64_t MinCostMaxFlow::flow_on(int id) const {
+  SKC_CHECK(id >= 0 && id < static_cast<int>(edge_index_.size()));
+  const auto [node, slot] = edge_index_[static_cast<std::size_t>(id)];
+  const Edge& e = adj_[static_cast<std::size_t>(node)][static_cast<std::size_t>(slot)];
+  return initial_cap_[static_cast<std::size_t>(id)] - e.cap;
+}
+
+}  // namespace skc

@@ -1,0 +1,162 @@
+#include "skc/geometry/io.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace skc {
+
+namespace {
+
+/// Splits a line on commas and whitespace; returns false on a non-numeric
+/// field.
+bool split_numeric(const std::string& line, std::vector<double>& out) {
+  out.clear();
+  std::string token;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    const char c = i < line.size() ? line[i] : ',';
+    if (c == ',' || c == ' ' || c == '\t' || i == line.size()) {
+      if (!token.empty()) {
+        try {
+          std::size_t used = 0;
+          out.push_back(std::stod(token, &used));
+          if (used != token.size()) return false;
+        } catch (...) {
+          return false;
+        }
+        token.clear();
+      }
+    } else {
+      token.push_back(c);
+    }
+  }
+  return true;
+}
+
+bool skippable(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+PointsParseResult read_points(std::istream& in) {
+  PointsParseResult result;
+  std::string line;
+  std::vector<double> fields;
+  std::size_t lineno = 0;
+  int dim = 0;
+  std::vector<Coord> coords;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (skippable(line)) continue;
+    if (!split_numeric(line, fields) || fields.empty()) {
+      result.error = ParseError{lineno, "non-numeric field"};
+      return result;
+    }
+    if (dim == 0) {
+      dim = static_cast<int>(fields.size());
+      result.points = PointSet(dim);
+    } else if (static_cast<int>(fields.size()) != dim) {
+      result.error = ParseError{lineno, "inconsistent dimensionality"};
+      return result;
+    }
+    coords.resize(fields.size());
+    for (std::size_t j = 0; j < fields.size(); ++j) {
+      if (fields[j] != std::floor(fields[j])) {
+        result.error = ParseError{lineno, "coordinates must be integers"};
+        return result;
+      }
+      coords[j] = static_cast<Coord>(fields[j]);
+    }
+    result.points.push_back(coords);
+  }
+  return result;
+}
+
+PointsParseResult read_points_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    PointsParseResult result;
+    result.error = ParseError{0, "cannot open " + path};
+    return result;
+  }
+  return read_points(in);
+}
+
+void write_points(std::ostream& out, const PointSet& points) {
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    const auto p = points[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      if (j) out << ',';
+      out << p[j];
+    }
+    out << '\n';
+  }
+}
+
+WeightedParseResult read_weighted(std::istream& in) {
+  WeightedParseResult result;
+  std::string line;
+  std::vector<double> fields;
+  std::size_t lineno = 0;
+  int dim = 0;
+  std::vector<Coord> coords;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (skippable(line)) continue;
+    if (!split_numeric(line, fields) || fields.size() < 2) {
+      result.error = ParseError{lineno, "need coordinates plus a weight"};
+      return result;
+    }
+    if (dim == 0) {
+      dim = static_cast<int>(fields.size()) - 1;
+      result.points = WeightedPointSet(dim);
+    } else if (static_cast<int>(fields.size()) != dim + 1) {
+      result.error = ParseError{lineno, "inconsistent dimensionality"};
+      return result;
+    }
+    coords.resize(static_cast<std::size_t>(dim));
+    for (int j = 0; j < dim; ++j) {
+      coords[static_cast<std::size_t>(j)] =
+          static_cast<Coord>(fields[static_cast<std::size_t>(j)]);
+    }
+    const double w = fields.back();
+    if (w <= 0) {
+      result.error = ParseError{lineno, "weights must be positive"};
+      return result;
+    }
+    result.points.push_back(coords, w);
+  }
+  return result;
+}
+
+void write_weighted(std::ostream& out, const WeightedPointSet& points) {
+  out << "# coordinates..., weight\n";
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    const auto p = points.point(i);
+    for (std::size_t j = 0; j < p.size(); ++j) out << p[j] << ',';
+    out << points.weight(i) << '\n';
+  }
+}
+
+void write_coreset(std::ostream& out, const Coreset& coreset) {
+  out << "# streamkc coreset: " << coreset.points.size()
+      << " weighted points, accepted o=" << coreset.o
+      << ", total weight=" << coreset.total_weight() << "\n";
+  write_weighted(out, coreset.points);
+}
+
+bool write_coreset_file(const std::string& path, const Coreset& coreset) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_coreset(out, coreset);
+  return static_cast<bool>(out);
+}
+
+}  // namespace skc

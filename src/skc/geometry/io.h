@@ -1,0 +1,54 @@
+// Text I/O for point sets and coresets.
+//
+// Formats are deliberately dumb:
+//   * points: one point per line, comma- or whitespace-separated integer
+//     coordinates ("12,7,3");
+//   * weighted sets / coresets: the same with the weight as the LAST field.
+// Lines starting with '#' are comments.  Parsers validate dimensionality and
+// report the offending line number on error.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "skc/coreset/coreset.h"
+#include "skc/geometry/point_set.h"
+#include "skc/geometry/weighted_set.h"
+
+namespace skc {
+
+struct ParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct PointsParseResult {
+  PointSet points;
+  std::optional<ParseError> error;  // set iff parsing failed
+};
+
+/// Reads a point set; dimensionality is inferred from the first data line.
+PointsParseResult read_points(std::istream& in);
+PointsParseResult read_points_file(const std::string& path);
+
+/// Writes one point per line.
+void write_points(std::ostream& out, const PointSet& points);
+
+struct WeightedParseResult {
+  WeightedPointSet points;
+  std::optional<ParseError> error;
+};
+
+/// Reads a weighted set (last field is the weight).
+WeightedParseResult read_weighted(std::istream& in);
+
+/// Writes "c1,...,cd,weight" per line, prefixed by a header comment.
+void write_weighted(std::ostream& out, const WeightedPointSet& points);
+
+/// Writes a coreset (weighted set plus a metadata comment header with the
+/// accepted o and the per-point grid levels).
+void write_coreset(std::ostream& out, const Coreset& coreset);
+bool write_coreset_file(const std::string& path, const Coreset& coreset);
+
+}  // namespace skc

@@ -1,0 +1,61 @@
+#include "skc/geometry/jl_transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "skc/common/check.h"
+
+namespace skc {
+
+JlTransform::JlTransform(int input_dim, int output_dim, int target_log_delta,
+                         Coord sample_extent, Rng& rng)
+    : input_dim_(input_dim),
+      output_dim_(output_dim),
+      target_log_delta_(target_log_delta) {
+  SKC_CHECK(input_dim >= 1);
+  SKC_CHECK(output_dim >= 1);
+  SKC_CHECK(target_log_delta >= 2 && target_log_delta <= 30);
+  SKC_CHECK(sample_extent >= 1);
+
+  matrix_.resize(static_cast<std::size_t>(output_dim) * input_dim);
+  const double sigma = 1.0 / std::sqrt(static_cast<double>(output_dim));
+  for (double& v : matrix_) v = sigma * rng.gaussian();
+
+  // A projected coordinate is sum_j R_ij p_j with |p_j| <= extent; its
+  // magnitude concentrates within ~3 sigma sqrt(d) extent.  Scale so the
+  // image fits the middle of the target grid with high probability and
+  // clamp the (rare) tail.
+  const double target = static_cast<double>(Coord{1} << target_log_delta);
+  const double spread =
+      4.0 * sigma * std::sqrt(static_cast<double>(input_dim)) *
+      static_cast<double>(sample_extent);
+  scale_ = (0.5 * target) / spread;
+  offset_ = static_cast<Coord>(target / 2.0);
+}
+
+Point JlTransform::apply(std::span<const Coord> p) const {
+  SKC_DCHECK(static_cast<int>(p.size()) == input_dim_);
+  Point out(static_cast<std::size_t>(output_dim_));
+  const Coord delta = Coord{1} << target_log_delta_;
+  for (int i = 0; i < output_dim_; ++i) {
+    double acc = 0.0;
+    const double* row = matrix_.data() + static_cast<std::size_t>(i) * input_dim_;
+    for (int j = 0; j < input_dim_; ++j) acc += row[j] * static_cast<double>(p[j]);
+    const double scaled = acc * scale_ + static_cast<double>(offset_);
+    out[static_cast<std::size_t>(i)] =
+        std::clamp<Coord>(static_cast<Coord>(std::llround(scaled)), 1, delta);
+  }
+  return out;
+}
+
+PointSet JlTransform::apply(const PointSet& points) const {
+  SKC_CHECK(points.dim() == input_dim_);
+  PointSet out(output_dim_);
+  out.reserve(points.size());
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    out.push_back(apply(points[i]));
+  }
+  return out;
+}
+
+}  // namespace skc

@@ -1,0 +1,54 @@
+// Johnson-Lindenstrauss dimension reduction for clustering — the [MMR19]
+// extension the paper invokes for d >> poly(k / eps) (§1: project to
+// poly(k / eps) dimensions, build the coreset there, and the capacitated
+// cost is preserved within (1 + eps)).
+//
+// Implementation: a dense Gaussian random projection R in R^{m x d} with
+// entries N(0, 1/m), applied to the integer grid points and re-quantized
+// onto a target grid [1, 2^target_log_delta]^m (the construction requires
+// integral coordinates).  [MMR19] shows m = O((log k + log(1/eps)) / eps^2)
+// suffices to preserve k-means/k-median costs; the benchmark suite treats m
+// as a knob and measures the cost distortion directly.
+#pragma once
+
+#include <vector>
+
+#include "skc/common/random.h"
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+
+namespace skc {
+
+class JlTransform {
+ public:
+  /// Projects from `input_dim` to `output_dim` dimensions; the image is
+  /// scaled and quantized to the grid [1, 2^target_log_delta]^output_dim.
+  /// The scale is chosen from `sample_extent`, an upper bound on the input
+  /// coordinate range (e.g. the source Delta).
+  JlTransform(int input_dim, int output_dim, int target_log_delta,
+              Coord sample_extent, Rng& rng);
+
+  int input_dim() const { return input_dim_; }
+  int output_dim() const { return output_dim_; }
+  int target_log_delta() const { return target_log_delta_; }
+
+  /// Projects one point.
+  Point apply(std::span<const Coord> p) const;
+
+  /// Projects a whole set.
+  PointSet apply(const PointSet& points) const;
+
+  /// The multiplicative factor converting squared distances in the image
+  /// back to the source scale: dist^2_source ~ dist^2_image / scale^2.
+  double distance_scale() const { return scale_; }
+
+ private:
+  int input_dim_;
+  int output_dim_;
+  int target_log_delta_;
+  double scale_;   // source units -> target units
+  Coord offset_;   // recenter into [1, Delta_target]
+  std::vector<double> matrix_;  // output_dim x input_dim, row-major
+};
+
+}  // namespace skc

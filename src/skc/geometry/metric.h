@@ -1,0 +1,68 @@
+// Distance kernels for the l_r clustering objectives.
+//
+// The objective charges dist(p, z)^r where dist is the *Euclidean* distance
+// (the paper's cost^{(r)}; Section 2).  With integer coordinates the squared
+// Euclidean distance is exactly representable in int64 for any d * Delta^2
+// within range, so k-means costs (r = 2) are computed without rounding error
+// and other r go through one pow() per pair.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+
+namespace skc {
+
+/// Exact squared Euclidean distance.
+inline std::int64_t dist_sq(std::span<const Coord> a, std::span<const Coord> b) {
+  SKC_DCHECK(a.size() == b.size());
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int64_t diff = static_cast<std::int64_t>(a[i]) - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+/// Euclidean distance.
+inline double dist(std::span<const Coord> a, std::span<const Coord> b) {
+  return std::sqrt(static_cast<double>(dist_sq(a, b)));
+}
+
+/// dist(a, b)^r — the assignment cost of the l_r objective.
+inline double dist_pow(std::span<const Coord> a, std::span<const Coord> b,
+                       LrOrder r) {
+  const double d2 = static_cast<double>(dist_sq(a, b));
+  if (r.r == 2.0) return d2;
+  if (r.r == 1.0) return std::sqrt(d2);
+  return std::pow(d2, 0.5 * r.r);
+}
+
+/// x^r for a nonnegative scalar distance x.
+inline double pow_r(double x, LrOrder r) {
+  if (r.r == 2.0) return x * x;
+  if (r.r == 1.0) return x;
+  return std::pow(x, r.r);
+}
+
+/// Index of the nearest center in `centers` (ties to the lowest index), plus
+/// the distance^r to it.  `centers` must be non-empty.
+struct NearestCenter {
+  CenterIndex index;
+  double cost;  // dist^r
+};
+NearestCenter nearest_center(std::span<const Coord> p, const PointSet& centers,
+                             LrOrder r);
+
+/// Sum over Q of dist(p, Z)^r — the *uncapacitated* clustering cost
+/// cost^{(r)}(Q, Z).
+double unconstrained_cost(const PointSet& points, const PointSet& centers,
+                          LrOrder r);
+
+/// Maximum pairwise Euclidean distance within a point set (O(n^2); intended
+/// for the small parts P_{i,j} and for tests).
+double diameter(const PointSet& points);
+
+}  // namespace skc

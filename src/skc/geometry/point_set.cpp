@@ -1,0 +1,55 @@
+#include "skc/geometry/point_set.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace skc {
+
+void PointSet::append(const PointSet& other) {
+  SKC_CHECK(other.dim_ == dim_ || other.empty());
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+}
+
+void PointSet::swap_remove(PointIndex i) {
+  SKC_CHECK(i >= 0 && i < size());
+  const PointIndex last = size() - 1;
+  if (i != last) {
+    std::copy_n(data_.begin() + last * dim_, dim_, data_.begin() + i * dim_);
+  }
+  data_.resize(data_.size() - dim_);
+}
+
+Coord PointSet::max_coord() const {
+  if (data_.empty()) return 0;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+Coord PointSet::min_coord() const {
+  if (data_.empty()) return 0;
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+bool PointSet::within_grid(Coord delta) const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [delta](Coord c) { return c >= 1 && c <= delta; });
+}
+
+int grid_log_delta(Coord delta_lower_bound) {
+  SKC_CHECK(delta_lower_bound >= 1);
+  int L = 1;  // Delta >= 2 so there is at least one refinement level.
+  while ((Coord{1} << L) < delta_lower_bound) ++L;
+  return L;
+}
+
+std::string to_string(std::span<const Coord> p) {
+  std::string out = "(";
+  char buf[16];
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%d", i ? ", " : "", p[i]);
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace skc

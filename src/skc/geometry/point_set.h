@@ -1,0 +1,92 @@
+// Flat, cache-friendly storage for point sets on the grid [1, Delta]^d.
+//
+// Points are stored row-major in a single contiguous Coord array (structure
+// of arrays at the granularity of points), so scanning kernels touch memory
+// strictly sequentially — the dominant cost in coreset construction is a
+// linear scan, and this layout keeps it memory-bandwidth bound rather than
+// pointer-chasing bound.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "skc/common/check.h"
+#include "skc/common/types.h"
+
+namespace skc {
+
+/// Owning container of n points in d dimensions.
+class PointSet {
+ public:
+  PointSet() : dim_(0) {}
+  explicit PointSet(int dim) : dim_(dim) { SKC_CHECK(dim >= 0); }
+
+  int dim() const { return dim_; }
+  PointIndex size() const {
+    return dim_ == 0 ? 0 : static_cast<PointIndex>(data_.size() / dim_);
+  }
+  bool empty() const { return data_.empty(); }
+
+  /// Read-only view of the i-th point.
+  std::span<const Coord> operator[](PointIndex i) const {
+    SKC_DCHECK(i >= 0 && i < size());
+    return {data_.data() + i * dim_, static_cast<std::size_t>(dim_)};
+  }
+
+  /// Mutable view of the i-th point.
+  std::span<Coord> mutable_point(PointIndex i) {
+    SKC_DCHECK(i >= 0 && i < size());
+    return {data_.data() + i * dim_, static_cast<std::size_t>(dim_)};
+  }
+
+  void reserve(PointIndex n) { data_.reserve(static_cast<std::size_t>(n) * dim_); }
+
+  /// Appends a point; `p.size()` must equal `dim()`.
+  void push_back(std::span<const Coord> p) {
+    SKC_CHECK(static_cast<int>(p.size()) == dim_);
+    data_.insert(data_.end(), p.begin(), p.end());
+  }
+
+  void push_back(std::initializer_list<Coord> p) {
+    push_back(std::span<const Coord>(p.begin(), p.size()));
+  }
+
+  /// Appends every point of `other` (dimensions must match).
+  void append(const PointSet& other);
+
+  /// Removes the i-th point by swapping with the last (O(d)).
+  void swap_remove(PointIndex i);
+
+  void clear() { data_.clear(); }
+
+  /// Raw storage (row-major), for serialization and bulk kernels.
+  std::span<const Coord> raw() const { return data_; }
+
+  /// Largest coordinate value present (0 for an empty set).
+  Coord max_coord() const;
+  /// Smallest coordinate value present (0 for an empty set).
+  Coord min_coord() const;
+
+  /// True if every coordinate lies in [1, delta].
+  bool within_grid(Coord delta) const;
+
+  bool operator==(const PointSet&) const = default;
+
+ private:
+  int dim_;
+  std::vector<Coord> data_;
+};
+
+/// A single owned point; convenience type for APIs that build points up.
+using Point = std::vector<Coord>;
+
+/// Rounds `delta_lower_bound` up to the next power of two (>= 2) so the grid
+/// hierarchy has integral levels; returns the exponent L with Delta = 2^L.
+int grid_log_delta(Coord delta_lower_bound);
+
+/// Human-readable "(x, y, ...)" rendering, for diagnostics and examples.
+std::string to_string(std::span<const Coord> p);
+
+}  // namespace skc

@@ -1,0 +1,33 @@
+#include "skc/geometry/weighted_set.h"
+
+#include <cmath>
+
+namespace skc {
+
+WeightedPointSet WeightedPointSet::unit(const PointSet& points) {
+  WeightedPointSet out(points.dim());
+  out.points_ = points;
+  out.weights_.assign(static_cast<std::size_t>(points.size()), 1.0);
+  return out;
+}
+
+void WeightedPointSet::append(const WeightedPointSet& other) {
+  points_.append(other.points_);
+  weights_.insert(weights_.end(), other.weights_.begin(), other.weights_.end());
+}
+
+double WeightedPointSet::total_weight() const {
+  double s = 0.0;
+  for (Weight w : weights_) s += w;
+  return s;
+}
+
+bool WeightedPointSet::integral_weights() const {
+  for (Weight w : weights_) {
+    if (w <= 0) return false;
+    if (std::abs(w - std::round(w)) > 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace skc

@@ -1,0 +1,66 @@
+// Weighted point sets: the coreset output type's data carrier.
+//
+// Coreset construction rounds every sampling probability to 1/m for an
+// integer m, so weights produced by this library are integral-valued; the
+// container nevertheless accepts arbitrary positive weights so external
+// weighted inputs (e.g. merged coresets) work too.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+
+namespace skc {
+
+class WeightedPointSet {
+ public:
+  WeightedPointSet() = default;
+  explicit WeightedPointSet(int dim) : points_(dim) {}
+
+  /// Wraps an unweighted set with unit weights.
+  static WeightedPointSet unit(const PointSet& points);
+
+  int dim() const { return points_.dim(); }
+  PointIndex size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const PointSet& points() const { return points_; }
+  std::span<const Coord> point(PointIndex i) const { return points_[i]; }
+  Weight weight(PointIndex i) const { return weights_[static_cast<std::size_t>(i)]; }
+  std::span<const Weight> weights() const { return weights_; }
+
+  void push_back(std::span<const Coord> p, Weight w) {
+    SKC_CHECK(w > 0);
+    points_.push_back(p);
+    weights_.push_back(w);
+  }
+
+  void reserve(PointIndex n) {
+    points_.reserve(n);
+    weights_.reserve(static_cast<std::size_t>(n));
+  }
+
+  /// Concatenates another weighted set (same dimension).
+  void append(const WeightedPointSet& other);
+
+  /// Sum of all weights.
+  double total_weight() const;
+
+  /// True if every weight is a positive integer (within 1e-9).
+  bool integral_weights() const;
+
+  void clear() {
+    points_.clear();
+    weights_.clear();
+  }
+
+  bool operator==(const WeightedPointSet&) const = default;
+
+ private:
+  PointSet points_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace skc

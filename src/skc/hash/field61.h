@@ -1,0 +1,59 @@
+// Arithmetic in the Mersenne prime field GF(p), p = 2^61 - 1.
+//
+// All hashing machinery (lambda-wise independent sampling, vector
+// fingerprints for the sparse-recovery sketches) is built over this field:
+// reduction after a 128-bit multiply is two shifts and an add, making the
+// per-point hashing cost in the streaming path a handful of cycles.
+#pragma once
+
+#include <cstdint>
+
+namespace skc::f61 {
+
+inline constexpr std::uint64_t kP = (std::uint64_t{1} << 61) - 1;
+
+/// Reduces an arbitrary 64-bit value into [0, p).
+inline std::uint64_t reduce(std::uint64_t x) {
+  x = (x & kP) + (x >> 61);
+  if (x >= kP) x -= kP;
+  return x;
+}
+
+/// Reduces a 128-bit product into [0, p).
+inline std::uint64_t reduce128(__uint128_t x) {
+  // x = hi * 2^61 + lo, and 2^61 = 1 (mod p).
+  std::uint64_t lo = static_cast<std::uint64_t>(x) & kP;
+  std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
+  return reduce(lo + reduce(hi));
+}
+
+inline std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;  // < 2^62, no overflow
+  if (s >= kP) s -= kP;
+  return s;
+}
+
+inline std::uint64_t sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a + kP - b;
+}
+
+inline std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+  return reduce128(static_cast<__uint128_t>(a) * b);
+}
+
+/// a^e mod p by square-and-multiply.
+inline std::uint64_t pow(std::uint64_t a, std::uint64_t e) {
+  std::uint64_t r = 1;
+  a = reduce(a);
+  while (e) {
+    if (e & 1) r = mul(r, a);
+    a = mul(a, a);
+    e >>= 1;
+  }
+  return r;
+}
+
+/// Multiplicative inverse (p is prime, so a^(p-2)).
+inline std::uint64_t inv(std::uint64_t a) { return pow(a, kP - 2); }
+
+}  // namespace skc::f61

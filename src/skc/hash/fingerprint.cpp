@@ -1,0 +1,6 @@
+#include "skc/hash/fingerprint.h"
+
+// Header-only in practice; translation unit kept so the module has a home for
+// future non-inline helpers and so the library always links it.
+
+namespace skc {}

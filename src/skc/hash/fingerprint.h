@@ -1,0 +1,56 @@
+// Vector fingerprints for the sparse-recovery sketches.
+//
+// A recovery bucket must decide whether its contents are a single item
+// repeated c times.  The bucket accumulates sum_i count_i * fp(item_i) in
+// GF(2^61-1) and a candidate (item, count) is accepted only when the
+// accumulator equals count * fp(item).
+//
+// CRITICAL: fp must be NON-LINEAR in the item.  A linear fingerprint (e.g.
+// a plain polynomial fold of the coordinates) satisfies
+// fp(i) + fp(j) == 2 * fp((i+j)/2), so a bucket holding two items whose
+// coordinate sums are even verifies falsely against their midpoint — a bug
+// this module's tests pin.  We therefore fold the item to one field element
+// (random-base polynomial: pairwise collision probability <= d/p) and pass
+// the fold through keyed splitmix64 mixing before reducing into the field —
+// the standard "hashValueSum" construction of invertible Bloom lookup
+// tables, which destroys all algebraic cancellation structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "skc/common/random.h"
+#include "skc/common/types.h"
+#include "skc/hash/field61.h"
+#include "skc/hash/kwise_hash.h"
+
+namespace skc {
+
+class Fingerprinter {
+ public:
+  Fingerprinter() = default;
+  explicit Fingerprinter(Rng& rng) : fold_(rng), k1_(rng.next()), k2_(rng.next()) {}
+
+  /// Fingerprint of an int64 vector.
+  std::uint64_t operator()(std::span<const std::int64_t> v) const {
+    return mix(fold_(v));
+  }
+
+  /// Fingerprint of a coordinate vector.
+  std::uint64_t operator()(std::span<const Coord> v) const { return mix(fold_(v)); }
+
+ private:
+  std::uint64_t mix(std::uint64_t folded) const {
+    std::uint64_t s1 = folded ^ k1_;
+    std::uint64_t s2 = folded + k2_;
+    const std::uint64_t a = splitmix64(s1);
+    const std::uint64_t b = splitmix64(s2);
+    return f61::reduce(a ^ ((b << 23) | (b >> 41)));
+  }
+
+  VectorFold fold_;
+  std::uint64_t k1_ = 0x243f6a8885a308d3ULL;
+  std::uint64_t k2_ = 0x13198a2e03707344ULL;
+};
+
+}  // namespace skc

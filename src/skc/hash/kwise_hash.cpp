@@ -1,0 +1,32 @@
+#include "skc/hash/kwise_hash.h"
+
+#include <cmath>
+
+#include "skc/common/check.h"
+
+namespace skc {
+
+VectorFold::VectorFold(Rng& rng) {
+  // theta uniform in [2, p); salt uniform in [0, p).
+  theta_ = 2 + rng.next_below(f61::kP - 2);
+  salt_ = rng.next_below(f61::kP);
+}
+
+KWiseHash::KWiseHash(int independence, Rng& rng) : fold_(rng) {
+  SKC_CHECK(independence >= 2);
+  coeffs_.resize(static_cast<std::size_t>(independence));
+  for (auto& c : coeffs_) c = rng.next_below(f61::kP);
+  // A zero leading coefficient only lowers the polynomial degree, which is
+  // harmless for independence, so no rejection is needed.
+}
+
+SamplingRate SamplingRate::from_probability(double p) {
+  SKC_CHECK_MSG(p > 0.0 && p <= 1.0, "sampling probability must be in (0, 1]");
+  double m = std::round(1.0 / p);
+  if (m < 1.0) m = 1.0;
+  // Cap at 2^60 so the field threshold stays meaningful.
+  if (m > 9.2e18) m = 9.2e18;
+  return SamplingRate{static_cast<std::uint64_t>(m)};
+}
+
+}  // namespace skc

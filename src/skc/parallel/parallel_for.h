@@ -1,0 +1,57 @@
+// Blocked parallel range loop on top of ThreadPool.
+//
+// Follows the OpenMP "static schedule" idiom from the HPC guides: the range
+// is split into one contiguous block per participating thread (caller
+// included), which keeps each worker on a contiguous slice of the flat
+// point arrays for cache locality.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "skc/parallel/thread_pool.h"
+
+namespace skc {
+
+/// Invokes `body(begin, end)` on disjoint blocks covering [begin, end).
+/// Blocks smaller than `grain` run inline.  The calling thread processes the
+/// first block itself.
+template <typename Body>
+void parallel_for_blocked(std::int64_t begin, std::int64_t end, Body&& body,
+                          ThreadPool& pool = ThreadPool::global(),
+                          std::int64_t grain = 1024) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const std::size_t workers = pool.size() + 1;  // workers + caller
+  if (workers == 1 || n <= grain) {
+    body(begin, end);
+    return;
+  }
+  const std::int64_t blocks = std::min<std::int64_t>(
+      static_cast<std::int64_t>(workers), (n + grain - 1) / grain);
+  const std::int64_t block = (n + blocks - 1) / blocks;
+  for (std::int64_t b = 1; b < blocks; ++b) {
+    const std::int64_t lo = begin + b * block;
+    const std::int64_t hi = std::min(end, lo + block);
+    if (lo >= hi) break;
+    pool.submit([lo, hi, &body] { body(lo, hi); });
+  }
+  body(begin, std::min(end, begin + block));
+  pool.wait_idle();
+}
+
+/// Element-wise flavor: invokes `body(i)` for i in [begin, end).
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
+                  ThreadPool& pool = ThreadPool::global(),
+                  std::int64_t grain = 1024) {
+  parallel_for_blocked(
+      begin, end,
+      [&body](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) body(i);
+      },
+      pool, grain);
+}
+
+}  // namespace skc

@@ -1,0 +1,59 @@
+// A minimal work-stealing-free thread pool with a blocking task queue.
+//
+// streamkc's kernels (distance evaluation, per-level sketch updates,
+// benchmark sweeps) are embarrassingly parallel over index ranges, so the
+// pool exposes exactly what they need: `submit` for fire-and-forget tasks
+// and the `parallel_for` helper (parallel_for.h) for blocked range loops.
+//
+// The pool degrades gracefully to inline execution when constructed with
+// zero workers (or on single-core machines where extra threads only add
+// contention), which also makes unit tests deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace skc {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers.  `num_threads == 0` makes
+  /// every submitted task run inline on the calling thread.
+  explicit ThreadPool(std::size_t num_threads);
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 means inline execution).
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task.  Inline pools execute it before returning.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Process-wide default pool sized to the hardware concurrency minus one
+  /// (so the calling thread also participates via parallel_for).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace skc

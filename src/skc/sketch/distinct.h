@@ -1,0 +1,59 @@
+// Distinct non-empty cell counting over a dynamic stream, and the grid-based
+// OPT lower bound built on it.
+//
+// For each level i, any k-clustering pays at least (g_i / d)^r for every
+// point in a cell farther than g_i / d from all centers, and only O(k) cells
+// are that close (Lemma 3.2/3.3).  Hence
+//     OPT >= (m_i - c k) * (g_i / d)^r      for m_i = #non-empty cells at i,
+// which the streaming path uses to prune the guess range for o at finalize
+// time (DESIGN.md §3).
+//
+// m_i is tracked with an adaptive-threshold F0 structure that tolerates
+// deletions: cells whose hash falls under the current threshold are kept in
+// a count map (entries dropping to zero are erased); when the map outgrows
+// its budget the threshold halves and off-threshold entries are evicted.
+// The estimate is |map| / threshold_fraction.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <unordered_map>
+
+#include "skc/common/types.h"
+#include "skc/grid/hierarchical_grid.h"
+#include "skc/hash/kwise_hash.h"
+
+namespace skc {
+
+class DistinctCells {
+ public:
+  DistinctCells(const HierarchicalGrid& grid, int level, std::size_t budget,
+                std::uint64_t seed);
+
+  void update(std::span<const Coord> p, std::int64_t delta);
+
+  /// Estimated number of distinct non-empty cells.
+  double estimate() const;
+
+  std::size_t memory_bytes() const;
+
+  /// Checkpointing (hash re-derived from the constructor seed).
+  void save(std::ostream& out) const;
+  bool load(std::istream& in);
+
+ private:
+  const HierarchicalGrid* grid_;
+  int level_;
+  std::size_t budget_;
+  int shift_ = 0;  ///< kept iff hash < 2^61 / 2^shift
+  KWiseHash hash_;
+  std::unordered_map<CellKey, std::int64_t, CellKeyHash> kept_;
+};
+
+/// OPT^{(r)} lower bound from per-level distinct-cell estimates
+/// (`estimates[i]` = estimated m_i for level i).
+double opt_lower_bound_from_cells(const HierarchicalGrid& grid, int k, LrOrder r,
+                                  std::span<const double> estimates);
+
+}  // namespace skc

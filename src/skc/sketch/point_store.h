@@ -1,0 +1,104 @@
+// Per-cell point storage with provably-heavy eviction — the practical
+// carrier of the coreset samples in the streaming path.
+//
+// The hat-h_i substream (rate phi_i = min(1, S / T_i)) delivers ~S sampled
+// points per crucial cell but floods the structure with points of heavy
+// (center) cells wherever phi_i clamps to 1.  The key observation: a cell
+// whose SAMPLED count exceeds the watermark w >> S has true count
+// > w / phi_i >> T_i with overwhelming probability — i.e. it is heavy, and
+// heavy cells never need point recovery (only crucial cells feed the
+// coreset).  So each cell keeps an exact (point -> count) map until its
+// gross update count crosses the watermark, at which point the map is
+// dropped and the cell is tombstoned (reported incomplete).
+//
+// Memory is therefore bounded by the light-cell mass (small for any viable
+// guess o) plus one tombstone per evicted cell; a global live-point cap
+// kills structures of hopeless guesses outright.  Caveat shared with every
+// eviction scheme: tombstoning is keyed to gross updates, so an adversarial
+// insert+delete churn concentrated on one light cell can evict it spuriously
+// (the guess then FAILs and a coarser o is used).  The exact flag disables
+// eviction entirely (pure linear semantics; memory proportional to data),
+// which is what the equality tests and the distributed protocol use.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+#include "skc/grid/hierarchical_grid.h"
+
+namespace skc {
+
+struct PointStoreConfig {
+  /// Evict a cell once its net point count has ever exceeded this (sketch
+  /// mode).  The *peak* net count is used, not gross updates, so
+  /// insert/delete churn does not inflate it; only deletions that briefly
+  /// coexist with the survivors do.
+  std::int64_t watermark = 128;
+  /// Kill the whole structure once live stored points exceed this.
+  std::int64_t max_live_points = 1 << 17;
+  bool exact = false;  ///< no eviction, no death
+};
+
+class CellPointStore {
+ public:
+  CellPointStore(const HierarchicalGrid& grid, int level,
+                 const PointStoreConfig& config);
+
+  int level() const { return level_; }
+
+  void update(std::span<const Coord> p, std::int64_t delta);
+
+  bool dead() const { return dead_; }
+  std::int64_t events() const { return events_; }
+
+  struct CellPoints {
+    PointSet points;            ///< multiplicity-expanded
+    std::int64_t net_count = 0;
+    bool complete = false;      ///< false iff the cell was tombstoned
+  };
+
+  /// Points of one cell (cell.level must equal level()).  nullopt when the
+  /// cell was never touched.
+  std::optional<CellPoints> cell(const CellKey& key) const;
+
+  /// Every touched cell with a nonzero net count (tombstoned ones have
+  /// complete == false and empty points).
+  std::vector<std::pair<CellKey, CellPoints>> all_cells() const;
+
+  void merge(const CellPointStore& other);
+
+  /// Frees everything and marks the structure dead (mid-stream pruning).
+  void release();
+
+  std::size_t memory_bytes() const;
+
+  /// Checkpointing (same contract as CellCountMin::save/load).
+  void save(std::ostream& out) const;
+  bool load(std::istream& in);
+
+ private:
+  struct Entry {
+    std::int64_t net = 0;
+    std::int64_t net_peak = 0;
+    bool tombstoned = false;
+    std::unordered_map<std::string, std::int64_t> points;  // packed coords
+  };
+
+  void maybe_evict(Entry& entry);
+
+  const HierarchicalGrid* grid_;
+  int level_;
+  PointStoreConfig config_;
+  std::unordered_map<CellKey, Entry, CellKeyHash> cells_;
+  std::int64_t live_points_ = 0;
+  bool dead_ = false;
+  std::int64_t events_ = 0;
+};
+
+}  // namespace skc

@@ -1,0 +1,303 @@
+#include "skc/sketch/storing.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "skc/common/check.h"
+#include "skc/common/random.h"
+
+namespace skc {
+
+namespace {
+
+SparseRecovery::Config cell_sketch_config(const HierarchicalGrid& grid,
+                                          const StoringConfig& c) {
+  SparseRecovery::Config cfg;
+  cfg.item_len = grid.dim();
+  cfg.capacity = std::max<std::int64_t>(2 * c.alpha, 8);
+  cfg.reps = 3;
+  return cfg;
+}
+
+SparseRecovery::Config point_bucket_config(const HierarchicalGrid& grid,
+                                           const StoringConfig& c) {
+  SparseRecovery::Config cfg;
+  cfg.item_len = grid.dim();
+  // 2x headroom over the per-cell budget: a bucket occasionally hosts two
+  // modest cells, and sampled cell populations have binomial tails.
+  cfg.capacity = std::max<std::int64_t>(2 * c.beta, 8);
+  cfg.reps = 3;
+  cfg.bucket_factor = 0.6;  // IBLT-style: ~1.8x capacity buckets in total
+  return cfg;
+}
+
+std::string pack_coords(std::span<const Coord> p) {
+  std::string out(p.size() * sizeof(Coord), '\0');
+  std::memcpy(out.data(), p.data(), out.size());
+  return out;
+}
+
+void unpack_coords(const std::string& packed, std::span<Coord> out) {
+  SKC_CHECK(packed.size() == out.size() * sizeof(Coord));
+  std::memcpy(out.data(), packed.data(), packed.size());
+}
+
+}  // namespace
+
+Storing::Storing(const HierarchicalGrid& grid, int level, const StoringConfig& config,
+                 std::uint64_t seed)
+    : grid_(&grid), level_(level), config_(config), seed_(seed) {
+  SKC_CHECK(level >= 0 && level <= grid.log_delta());
+  SKC_CHECK(config.reps >= 1 && config.reps < 16);
+  if (config_.exact) return;
+  cell_sketch_.emplace(cell_sketch_config(grid, config_),
+                       seed ^ 0x5348434354435331ULL);
+  if (config_.max_point_buckets < 0) {
+    config_.max_point_buckets = static_cast<std::int64_t>(config_.reps) * config_.alpha;
+  }
+  if (config_.beta > 0) {
+    outer_buckets_ = static_cast<int>(std::max<std::int64_t>(4 * config_.alpha, 16));
+    Rng rng(seed ^ 0x5348434354435332ULL);
+    cell_fold_ = VectorFold(rng);
+    outer_hash_.reserve(static_cast<std::size_t>(config_.reps));
+    for (int r = 0; r < config_.reps; ++r) outer_hash_.emplace_back(8, rng);
+  }
+}
+
+SparseRecovery& Storing::point_bucket(int rep, std::uint64_t cell_fold) {
+  const std::uint32_t bucket = static_cast<std::uint32_t>(
+      outer_hash_[static_cast<std::size_t>(rep)].eval(cell_fold) %
+      static_cast<std::uint64_t>(outer_buckets_));
+  const BucketKey key = (static_cast<BucketKey>(rep) << 24) | bucket;
+  auto it = point_buckets_.find(key);
+  if (it == point_buckets_.end()) {
+    it = point_buckets_
+             .emplace(key, SparseRecovery(point_bucket_config(*grid_, config_),
+                                          seed_ ^ (0x9e3779b97f4a7c15ULL * (key + 1))))
+             .first;
+  }
+  return it->second;
+}
+
+void Storing::kill() {
+  dead_ = true;
+  point_buckets_.clear();
+  exact_.clear();
+}
+
+void Storing::update(std::span<const Coord> p, std::int64_t delta) {
+  SKC_DCHECK(static_cast<int>(p.size()) == grid_->dim());
+  ++events_;
+  if (dead_) return;
+
+  if (config_.exact) {
+    CellKey key = grid_->cell_of(p, level_);
+    ExactCell& cell = exact_[key];
+    cell.count += delta;
+    if (config_.beta != 0) {
+      std::string packed = pack_coords(p);
+      auto it = cell.points.find(packed);
+      if (it == cell.points.end()) {
+        if (delta > 0) cell.points.emplace(std::move(packed), delta);
+        // A deletion of an untracked point cannot happen in a well-formed
+        // stream (counts would go negative); counts catch it at finalize.
+      } else {
+        it->second += delta;
+        if (it->second == 0) cell.points.erase(it);
+      }
+    }
+    if (cell.count == 0 && cell.points.empty()) exact_.erase(key);
+    return;
+  }
+
+  std::int64_t idx64[64];
+  std::int32_t idx32[64];
+  SKC_CHECK(p.size() <= 64);
+  grid_->cell_index_of(p, level_, std::span<std::int32_t>(idx32, p.size()));
+  for (std::size_t j = 0; j < p.size(); ++j) idx64[j] = idx32[j];
+  const std::span<const std::int64_t> cell_item(idx64, p.size());
+  cell_sketch_->update(cell_item, delta);
+  if (config_.beta > 0) {
+    const std::uint64_t folded = cell_fold_(cell_item);
+    for (int rep = 0; rep < config_.reps; ++rep) {
+      point_bucket(rep, folded).update(p, delta);
+    }
+    if (config_.max_point_buckets > 0 &&
+        static_cast<std::int64_t>(point_buckets_.size()) > config_.max_point_buckets) {
+      kill();
+    }
+  }
+}
+
+StoringResult Storing::finalize() const {
+  StoringResult result;
+  if (dead_) {
+    result.fail = true;
+    result.fail_reason = "structure saturated (point-bucket budget exhausted)";
+    return result;
+  }
+
+  if (config_.exact) {
+    if (static_cast<std::int64_t>(exact_.size()) > config_.alpha) {
+      result.fail = true;
+      result.fail_reason = "non-empty cell count exceeds alpha";
+      return result;
+    }
+    std::vector<Coord> coords(static_cast<std::size_t>(grid_->dim()));
+    for (const auto& [key, cell] : exact_) {
+      if (cell.count < 0) {
+        result.fail = true;
+        result.fail_reason = "negative cell count (deletion of absent point?)";
+        return result;
+      }
+      if (cell.count == 0) continue;
+      StoredCell sc;
+      sc.index.assign(key.index.begin(), key.index.end());
+      sc.count = cell.count;
+      sc.points = PointSet(grid_->dim());
+      if (config_.beta != 0) {
+        for (const auto& [packed, count] : cell.points) {
+          unpack_coords(packed, coords);
+          for (std::int64_t c = 0; c < count; ++c) sc.points.push_back(coords);
+        }
+        sc.points_complete = (sc.points.size() == sc.count);
+      }
+      result.cells.push_back(std::move(sc));
+    }
+    return result;
+  }
+
+  auto cells = cell_sketch_->decode();
+  if (!cells) {
+    result.fail = true;
+    result.fail_reason = "cell sketch not decodable (more non-empty cells than alpha)";
+    return result;
+  }
+  if (static_cast<std::int64_t>(cells->size()) > config_.alpha) {
+    result.fail = true;
+    result.fail_reason = "non-empty cell count exceeds alpha";
+    return result;
+  }
+
+  // Index recovered cells for point attribution.
+  result.cells.reserve(cells->size());
+  for (const RecoveredItem& it : *cells) {
+    if (it.count < 0) {
+      result.fail = true;
+      result.fail_reason = "negative cell count (deletion of absent point?)";
+      return result;
+    }
+    if (it.count == 0) continue;
+    StoredCell sc;
+    sc.index.assign(it.item.begin(), it.item.end());
+    sc.count = it.count;
+    sc.points = PointSet(grid_->dim());
+    result.cells.push_back(std::move(sc));
+  }
+
+  if (config_.beta <= 0) return result;
+
+  // Decode each cell's outer buckets; a repetition that drains yields ALL
+  // points of every cell mapped to that bucket, so recovering exactly
+  // `count` of this cell's points certifies completeness.
+  std::vector<Coord> coords(static_cast<std::size_t>(grid_->dim()));
+  for (StoredCell& sc : result.cells) {
+    std::int64_t cell_idx64[64];
+    for (std::size_t j = 0; j < sc.index.size(); ++j) cell_idx64[j] = sc.index[j];
+    const std::uint64_t folded =
+        cell_fold_(std::span<const std::int64_t>(cell_idx64, sc.index.size()));
+    CellKey cell_key;
+    cell_key.level = level_;
+    cell_key.index = sc.index;
+    for (int rep = 0; rep < config_.reps && !sc.points_complete; ++rep) {
+      const std::uint32_t bucket = static_cast<std::uint32_t>(
+          outer_hash_[static_cast<std::size_t>(rep)].eval(folded) %
+          static_cast<std::uint64_t>(outer_buckets_));
+      const BucketKey key = (static_cast<BucketKey>(rep) << 24) | bucket;
+      const auto it = point_buckets_.find(key);
+      if (it == point_buckets_.end()) continue;
+      const auto decoded = it->second.decode();
+      if (!decoded) continue;  // bucket over budget in this repetition
+      PointSet mine(grid_->dim());
+      std::int64_t mine_count = 0;
+      for (const RecoveredItem& item : *decoded) {
+        if (item.count <= 0) continue;
+        for (std::size_t j = 0; j < coords.size(); ++j) {
+          coords[j] = static_cast<Coord>(item.item[j]);
+        }
+        if (grid_->cell_of(coords, level_) != cell_key) continue;
+        for (std::int64_t c = 0; c < item.count; ++c) mine.push_back(coords);
+        mine_count += item.count;
+      }
+      if (mine_count == sc.count) {
+        sc.points = std::move(mine);
+        sc.points_complete = true;
+      }
+    }
+  }
+  return result;
+}
+
+void Storing::merge(const Storing& other) {
+  SKC_CHECK(other.level_ == level_);
+  SKC_CHECK(other.grid_->dim() == grid_->dim());
+  SKC_CHECK(other.seed_ == seed_);
+  SKC_CHECK(other.config_.exact == config_.exact);
+  events_ += other.events_;
+  if (other.dead_) kill();
+  if (dead_) return;
+
+  if (config_.exact) {
+    for (const auto& [key, cell] : other.exact_) {
+      ExactCell& mine = exact_[key];
+      mine.count += cell.count;
+      for (const auto& [packed, count] : cell.points) {
+        auto it = mine.points.find(packed);
+        if (it == mine.points.end()) {
+          mine.points.emplace(packed, count);
+        } else {
+          it->second += count;
+          if (it->second == 0) mine.points.erase(it);
+        }
+      }
+      if (mine.count == 0 && mine.points.empty()) exact_.erase(key);
+    }
+    return;
+  }
+
+  cell_sketch_->merge(*other.cell_sketch_);
+  for (const auto& [key, sketch] : other.point_buckets_) {
+    auto it = point_buckets_.find(key);
+    if (it == point_buckets_.end()) {
+      point_buckets_.emplace(key, sketch);
+    } else {
+      it->second.merge(sketch);
+    }
+  }
+  if (config_.max_point_buckets > 0 &&
+      static_cast<std::int64_t>(point_buckets_.size()) > config_.max_point_buckets) {
+    kill();
+  }
+}
+
+std::size_t Storing::memory_bytes() const {
+  if (config_.exact) {
+    std::size_t total = 0;
+    for (const auto& [key, cell] : exact_) {
+      total += sizeof(CellKey) + key.index.size() * sizeof(std::int32_t) + 16;
+      for (const auto& [packed, count] : cell.points) {
+        (void)count;
+        total += packed.size() + 16;
+      }
+    }
+    return total;
+  }
+  std::size_t total = cell_sketch_ ? cell_sketch_->memory_bytes() : 0;
+  for (const auto& [key, sketch] : point_buckets_) {
+    (void)key;
+    total += sketch.memory_bytes() + sizeof(BucketKey);
+  }
+  return total;
+}
+
+}  // namespace skc

@@ -1,0 +1,133 @@
+// Storing(G_i, alpha, beta, delta) — Lemma 4.2 of the paper ([HSYZ18]
+// Lemma 19): a dynamic-stream structure over one grid level that, at the end
+// of the stream, reports
+//   * the set of non-empty cells of the (sub)stream it was fed,
+//   * the exact point count per cell,
+//   * the actual points of every cell whose sampled population fits the
+//     per-cell budget beta (cells over budget report counts only),
+// or FAILs when the substream has more non-empty cells than alpha.
+//
+// Layout (faithful to [HSYZ18]'s bucketed design — see DESIGN.md §3 for why
+// a flat point sketch cannot work here):
+//   * cell counts: one exact sparse-recovery sketch over cell indices
+//     (capacity ~alpha);
+//   * points: `reps` outer repetitions hash CELLS into `4 alpha` buckets;
+//     each touched bucket lazily allocates a small sparse-recovery sketch of
+//     point coordinates with capacity ~beta.  A cell colliding with a huge
+//     (heavy/center) cell in one repetition is typically isolated in
+//     another; a cell whose own population exceeds beta simply reports
+//     points_complete = false, which the coreset assembly only penalizes
+//     when the cell is crucial to an included part.
+//
+// All state is linear, so Storings built from equal seeds merge by addition
+// (the distributed protocol's reduction).  A saturation cap (max allocated
+// point buckets) marks structures fed far beyond their budget as dead and
+// frees their memory — such structures FAIL at decode regardless; set the
+// cap to 0 to keep pure linear-sketch semantics for adversarial
+// delete-heavy streams.
+//
+// Role in the library: this is the faithful Lemma 4.2 REFERENCE structure
+// (kept fully tested, with an exact plain-map mode).  The streaming pipeline
+// itself carries the same guarantees through the cheaper practical pair
+// CellCountMin + CellPointStore — see DESIGN.md §3 for why verbatim Storing
+// capacities are impractical outside the paper's poly() accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "skc/geometry/point_set.h"
+#include "skc/grid/hierarchical_grid.h"
+#include "skc/hash/kwise_hash.h"
+#include "skc/sketch/recovery.h"
+
+namespace skc {
+
+struct StoringConfig {
+  std::int64_t alpha = 64;  ///< max non-empty cells before FAIL
+  std::int64_t beta = 0;    ///< per-cell point budget; 0 disables point recovery
+  int reps = 2;             ///< outer cell->bucket repetitions for points
+  /// Dead after this many allocated point buckets (0 = never; default
+  /// reps * alpha, which certifies the alpha FAIL condition: each cell
+  /// touches at most `reps` buckets, so exceeding reps * alpha buckets
+  /// proves more than alpha cells were ever touched).
+  std::int64_t max_point_buckets = -1;
+  /// Exact reference mode: plain hash maps instead of sketches.  Still a
+  /// linear (mergeable) summary supporting deletions, but with memory
+  /// proportional to the distinct items seen.  Used by the equality tests
+  /// and as the infinite-precision baseline in ablations.
+  bool exact = false;
+};
+
+/// One recovered cell with its exact sampled-substream count.
+struct StoredCell {
+  std::vector<std::int32_t> index;  ///< per-dimension cell index at this level
+  std::int64_t count = 0;
+  PointSet points;          ///< populated iff points_complete
+  bool points_complete = false;
+};
+
+struct StoringResult {
+  bool fail = false;
+  const char* fail_reason = "";
+  std::vector<StoredCell> cells;
+};
+
+class Storing {
+ public:
+  /// `level` must be in [0, grid.log_delta()].  The grid reference must
+  /// outlive the structure.  Equal (grid, level, config, seed) => mergeable.
+  Storing(const HierarchicalGrid& grid, int level, const StoringConfig& config,
+          std::uint64_t seed);
+
+  int level() const { return level_; }
+  const StoringConfig& config() const { return config_; }
+
+  /// Feeds one stream event: delta = +1 insertion, -1 deletion.
+  void update(std::span<const Coord> p, std::int64_t delta);
+
+  /// Number of stream events routed into this structure.
+  std::int64_t events() const { return events_; }
+
+  /// True once the structure gave up (point-bucket budget exhausted).
+  bool dead() const { return dead_; }
+
+  /// Decodes the final state.  FAILs when the substream had more non-empty
+  /// cells than alpha or the structure is dead.
+  StoringResult finalize() const;
+
+  void merge(const Storing& other);
+
+  std::size_t memory_bytes() const;
+
+ private:
+  using BucketKey = std::uint32_t;  // (rep << 24) | outer bucket index
+
+  SparseRecovery& point_bucket(int rep, std::uint64_t cell_fold);
+  void kill();
+
+  const HierarchicalGrid* grid_;
+  int level_;
+  StoringConfig config_;
+  std::uint64_t seed_;
+  std::optional<SparseRecovery> cell_sketch_;  // sketch mode only
+  // Point machinery (allocated iff beta > 0, sketch mode).
+  int outer_buckets_ = 0;
+  std::vector<KWiseHash> outer_hash_;  // one per rep, over cell folds
+  VectorFold cell_fold_;
+  std::unordered_map<BucketKey, SparseRecovery> point_buckets_;
+  // Exact mode state: cell -> count, and cell -> (point coords -> count).
+  struct ExactCell {
+    std::int64_t count = 0;
+    std::unordered_map<std::string, std::int64_t> points;  // packed coords
+  };
+  std::unordered_map<CellKey, ExactCell, CellKeyHash> exact_;
+  bool dead_ = false;
+  std::int64_t events_ = 0;
+};
+
+}  // namespace skc

@@ -1,0 +1,78 @@
+#include "skc/solve/brute_force.h"
+
+#include <vector>
+
+#include "skc/common/check.h"
+#include "skc/geometry/metric.h"
+
+namespace skc {
+
+namespace {
+
+struct Enumerator {
+  const WeightedPointSet& points;
+  const PointSet& centers;
+  double t;
+  LrOrder r;
+  double best = kInfCost;
+  std::vector<double> loads;
+
+  void recurse(PointIndex i, double cost_so_far) {
+    if (cost_so_far >= best) return;  // prune
+    if (i == points.size()) {
+      best = cost_so_far;
+      return;
+    }
+    const double w = points.weight(i);
+    for (PointIndex j = 0; j < centers.size(); ++j) {
+      if (loads[static_cast<std::size_t>(j)] + w > t + 1e-9) continue;
+      loads[static_cast<std::size_t>(j)] += w;
+      recurse(i + 1,
+              cost_so_far + w * dist_pow(points.point(i), centers[j], r));
+      loads[static_cast<std::size_t>(j)] -= w;
+    }
+  }
+};
+
+}  // namespace
+
+double brute_force_capacitated_cost(const WeightedPointSet& points,
+                                    const PointSet& centers, double t, LrOrder r) {
+  SKC_CHECK_MSG(points.size() <= 16, "brute force limited to n <= 16");
+  SKC_CHECK(!centers.empty());
+  Enumerator e{points, centers, t, r, kInfCost,
+               std::vector<double>(static_cast<std::size_t>(centers.size()), 0.0)};
+  e.recurse(0, 0.0);
+  return e.best;
+}
+
+BruteForceBest brute_force_best_centers(const WeightedPointSet& points,
+                                        const PointSet& candidates, int k, double t,
+                                        LrOrder r) {
+  SKC_CHECK(k >= 1 && k <= static_cast<int>(candidates.size()));
+  BruteForceBest best;
+  const int m = static_cast<int>(candidates.size());
+  std::vector<int> pick(static_cast<std::size_t>(k));
+  // Enumerate k-subsets by lexicographic index vectors.
+  for (int i = 0; i < k; ++i) pick[static_cast<std::size_t>(i)] = i;
+  for (;;) {
+    PointSet centers(candidates.dim());
+    for (int i : pick) centers.push_back(candidates[i]);
+    const double cost = brute_force_capacitated_cost(points, centers, t, r);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.centers = std::move(centers);
+    }
+    // Next combination.
+    int slot = k - 1;
+    while (slot >= 0 && pick[static_cast<std::size_t>(slot)] == m - k + slot) --slot;
+    if (slot < 0) break;
+    ++pick[static_cast<std::size_t>(slot)];
+    for (int j = slot + 1; j < k; ++j) {
+      pick[static_cast<std::size_t>(j)] = pick[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace skc

@@ -1,0 +1,30 @@
+// Exact tiny-instance solvers — the test oracles.
+//
+// Exhaustive enumeration of assignments (k^n) and of center subsets
+// validates the flow-based evaluators and the solvers on instances small
+// enough to enumerate.  Never use outside tests.
+#pragma once
+
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+#include "skc/geometry/weighted_set.h"
+
+namespace skc {
+
+/// Exact cost_t^{(r)}(Q, Z, w) by enumerating all k^n assignments with
+/// branch-and-bound pruning.  Requires n <= 16.
+double brute_force_capacitated_cost(const WeightedPointSet& points,
+                                    const PointSet& centers, double t, LrOrder r);
+
+struct BruteForceBest {
+  PointSet centers;
+  double cost = kInfCost;
+};
+
+/// Exact optimal centers among all k-subsets of `candidates` under capacity
+/// t.  Requires C(candidates, k) * k^n to stay tiny.
+BruteForceBest brute_force_best_centers(const WeightedPointSet& points,
+                                        const PointSet& candidates, int k, double t,
+                                        LrOrder r);
+
+}  // namespace skc

@@ -1,0 +1,174 @@
+#include "skc/solve/capacitated_kcenter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "skc/common/check.h"
+#include "skc/flow/mcmf.h"
+#include "skc/geometry/metric.h"
+
+namespace skc {
+
+namespace {
+
+/// Max-flow feasibility: can all weight be assigned within squared radius
+/// r2 with per-center capacity cap?  On success fills `assignment`.
+bool feasible_at(const WeightedPointSet& points, const PointSet& centers,
+                 std::int64_t cap, std::int64_t r2,
+                 std::vector<CenterIndex>* assignment,
+                 std::vector<double>* loads) {
+  const PointIndex n = points.size();
+  const int k = static_cast<int>(centers.size());
+  std::int64_t total = 0;
+  std::vector<std::int64_t> w(static_cast<std::size_t>(n));
+  for (PointIndex i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(std::llround(points.weight(i)));
+    total += w[static_cast<std::size_t>(i)];
+  }
+  if (total > cap * k) return false;
+
+  MinCostMaxFlow flow(static_cast<int>(n) + k + 2);
+  const int source = 0;
+  const int sink = static_cast<int>(n) + k + 1;
+  std::vector<std::vector<std::pair<int, int>>> edge_of(
+      static_cast<std::size_t>(n));  // (center, edge id)
+  for (PointIndex i = 0; i < n; ++i) {
+    flow.add_edge(source, static_cast<int>(i) + 1, w[static_cast<std::size_t>(i)], 0.0);
+    bool any = false;
+    for (int j = 0; j < k; ++j) {
+      if (dist_sq(points.point(i), centers[j]) <= r2) {
+        const int id = flow.add_edge(static_cast<int>(i) + 1,
+                                     static_cast<int>(n) + 1 + j,
+                                     w[static_cast<std::size_t>(i)], 0.0);
+        edge_of[static_cast<std::size_t>(i)].emplace_back(j, id);
+        any = true;
+      }
+    }
+    if (!any) return false;  // a point with no center in range
+  }
+  for (int j = 0; j < k; ++j) {
+    flow.add_edge(static_cast<int>(n) + 1 + j, sink, cap, 0.0);
+  }
+  const auto res = flow.solve(source, sink);
+  if (res.flow != total) return false;
+  if (assignment) {
+    assignment->assign(static_cast<std::size_t>(n), kUnassigned);
+    loads->assign(static_cast<std::size_t>(k), 0.0);
+    for (PointIndex i = 0; i < n; ++i) {
+      std::int64_t best = -1;
+      for (const auto& [j, id] : edge_of[static_cast<std::size_t>(i)]) {
+        const std::int64_t f = flow.flow_on(id);
+        if (f > 0) {
+          (*loads)[static_cast<std::size_t>(j)] += static_cast<double>(f);
+          if (f > best) {
+            best = f;
+            (*assignment)[static_cast<std::size_t>(i)] = static_cast<CenterIndex>(j);
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+KCenterSolution capacitated_kcenter_assign(const WeightedPointSet& points,
+                                           const PointSet& centers, double t) {
+  SKC_CHECK(!centers.empty());
+  SKC_CHECK_MSG(points.integral_weights(),
+                "capacitated k-center requires integral weights");
+  KCenterSolution out;
+  out.centers = centers;
+  const std::int64_t cap =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(std::floor(t + 1e-9)));
+
+  // Candidate radii: all distinct point-center squared distances.
+  std::vector<std::int64_t> r2s;
+  r2s.reserve(static_cast<std::size_t>(points.size() * centers.size()));
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    for (PointIndex j = 0; j < centers.size(); ++j) {
+      r2s.push_back(dist_sq(points.point(i), centers[j]));
+    }
+  }
+  std::sort(r2s.begin(), r2s.end());
+  r2s.erase(std::unique(r2s.begin(), r2s.end()), r2s.end());
+
+  if (!feasible_at(points, centers, cap, r2s.back(), nullptr, nullptr)) {
+    return out;  // infeasible even at the max radius (capacity too small)
+  }
+  // Binary search for the smallest feasible candidate radius.
+  std::size_t lo = 0, hi = r2s.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible_at(points, centers, cap, r2s[mid], nullptr, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  out.feasible = feasible_at(points, centers, cap, r2s[lo], &out.assignment,
+                             &out.loads);
+  SKC_CHECK(out.feasible);
+  out.radius = std::sqrt(static_cast<double>(r2s[lo]));
+  return out;
+}
+
+PointSet gonzalez_seed(const PointSet& points, int k, Rng& rng) {
+  SKC_CHECK(k >= 1);
+  SKC_CHECK(points.size() >= k);
+  PointSet centers(points.dim());
+  centers.push_back(
+      points[static_cast<PointIndex>(rng.next_below(static_cast<std::uint64_t>(points.size())))]);
+  std::vector<std::int64_t> best_d2(static_cast<std::size_t>(points.size()),
+                                    std::numeric_limits<std::int64_t>::max());
+  while (centers.size() < k) {
+    const PointIndex newest = centers.size() - 1;
+    PointIndex farthest = 0;
+    std::int64_t far_d2 = -1;
+    for (PointIndex i = 0; i < points.size(); ++i) {
+      best_d2[static_cast<std::size_t>(i)] = std::min(
+          best_d2[static_cast<std::size_t>(i)], dist_sq(points[i], centers[newest]));
+      if (best_d2[static_cast<std::size_t>(i)] > far_d2) {
+        far_d2 = best_d2[static_cast<std::size_t>(i)];
+        farthest = i;
+      }
+    }
+    centers.push_back(points[farthest]);
+  }
+  return centers;
+}
+
+KCenterSolution capacitated_kcenter(const PointSet& points, int k, double t,
+                                    const KCenterOptions& options, Rng& rng) {
+  const WeightedPointSet w = WeightedPointSet::unit(points);
+  KCenterSolution best = capacitated_kcenter_assign(w, gonzalez_seed(points, k, rng), t);
+  if (!best.feasible) return best;
+
+  int accepted = 0;
+  bool improved = true;
+  while (improved && accepted < options.max_swaps) {
+    improved = false;
+    for (int c = 0; c < options.candidates_per_round && !improved; ++c) {
+      const PointIndex cand = static_cast<PointIndex>(
+          rng.next_below(static_cast<std::uint64_t>(points.size())));
+      for (PointIndex out = 0; out < best.centers.size(); ++out) {
+        PointSet trial = best.centers;
+        std::copy_n(points[cand].begin(), trial.dim(),
+                    trial.mutable_point(out).begin());
+        if (trial == best.centers) continue;
+        const KCenterSolution sol = capacitated_kcenter_assign(w, trial, t);
+        if (sol.feasible && sol.radius < best.radius - 1e-9) {
+          best = sol;
+          ++accepted;
+          improved = true;
+          break;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace skc

@@ -1,0 +1,49 @@
+// Capacitated k-center — the r = infinity member of the paper's
+// capacitated k-clustering family (§1: cost^(r) extends to k-center at
+// r = infinity; the coreset theorems require constant r, so this solver is
+// provided as a direct full-data/a posteriori tool and as the extension
+// benchmark's subject).
+//
+// Given centers, the optimal bottleneck radius under capacity t is found by
+// binary search over the sorted point-center distances with a max-flow
+// feasibility test per candidate radius (assign every point within R to a
+// center holding at most t points).  Center selection is Gonzalez
+// farthest-point seeding — the classic 2-approximation for uncapacitated
+// k-center — followed by swap local search on the capacitated radius.
+#pragma once
+
+#include "skc/common/random.h"
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+#include "skc/geometry/weighted_set.h"
+
+namespace skc {
+
+struct KCenterSolution {
+  bool feasible = false;
+  PointSet centers;
+  std::vector<CenterIndex> assignment;
+  double radius = 0.0;  ///< max point-to-assigned-center distance
+  std::vector<double> loads;
+};
+
+/// Optimal bottleneck radius (and a witnessing assignment) for FIXED centers
+/// under capacity t.  Weights must be integral.  Infeasible when
+/// total weight > k * floor(t).
+KCenterSolution capacitated_kcenter_assign(const WeightedPointSet& points,
+                                           const PointSet& centers, double t);
+
+/// Gonzalez farthest-point seeding (uncapacitated 2-approximation).
+PointSet gonzalez_seed(const PointSet& points, int k, Rng& rng);
+
+struct KCenterOptions {
+  int max_swaps = 24;            ///< accepted swap budget for local search
+  int candidates_per_round = 12; ///< sampled swap-in candidates per round
+};
+
+/// Capacitated k-center over unit-weight points: Gonzalez seeds + swap local
+/// search minimizing the capacitated bottleneck radius.
+KCenterSolution capacitated_kcenter(const PointSet& points, int k, double t,
+                                    const KCenterOptions& options, Rng& rng);
+
+}  // namespace skc

@@ -1,0 +1,61 @@
+#include "skc/solve/capacitated_kmedian.h"
+
+#include <algorithm>
+
+#include "skc/common/check.h"
+#include "skc/solve/kmeanspp.h"
+
+namespace skc {
+
+CapacitatedSolution capacitated_kmedian(const WeightedPointSet& points, int k,
+                                        double t, LrOrder r,
+                                        const LocalSearchOptions& options, Rng& rng) {
+  SKC_CHECK(k >= 1);
+  SKC_CHECK(points.size() >= k);
+
+  CapacitatedSolution best;
+  best.centers = kmeanspp_seed(points, k, r, rng);
+  {
+    CapacitatedAssignment a =
+        optimal_capacitated_assignment(points, best.centers, t, r);
+    if (!a.feasible) return best;  // capacity infeasible even at the seeds
+    best.feasible = true;
+    best.assignment = a.assignment;
+    best.cost = a.cost;
+    best.loads = a.loads;
+  }
+
+  int accepted = 0;
+  bool improved = true;
+  while (improved && accepted < options.max_swaps) {
+    improved = false;
+    // Sample swap-in candidates from the data (uniform over points).
+    for (int c = 0; c < options.candidates_per_round; ++c) {
+      const PointIndex cand = static_cast<PointIndex>(
+          rng.next_below(static_cast<std::uint64_t>(points.size())));
+      // Try replacing each current center with the candidate.
+      for (int out = 0; out < k; ++out) {
+        PointSet trial = best.centers;
+        std::copy_n(points.point(cand).begin(), trial.dim(),
+                    trial.mutable_point(out).begin());
+        if (trial == best.centers) continue;
+        CapacitatedAssignment a = optimal_capacitated_assignment(points, trial, t, r);
+        if (!a.feasible) continue;
+        if (a.cost < best.cost * (1.0 - options.min_gain)) {
+          best.centers = std::move(trial);
+          best.assignment = a.assignment;
+          best.cost = a.cost;
+          best.loads = a.loads;
+          ++accepted;
+          ++best.iterations;
+          improved = true;
+          break;
+        }
+      }
+      if (improved) break;  // re-sample candidates against the new solution
+    }
+  }
+  return best;
+}
+
+}  // namespace skc

@@ -1,0 +1,29 @@
+// Capacitated k-median (and general l_r) via local-search swaps.
+//
+// Centers are restricted to input points (the discrete k-median setting);
+// starting from k-means++ seeds, single-swap local search accepts a swap
+// when it improves the exact capacitated cost by a relative margin.  This is
+// the classic (3 + 2/p)-style local search adapted to capacitated
+// assignment, standing in for the [DL16] LP-rounding algorithm the paper
+// cites as its (O(1/eps), 1+eps) black box (DESIGN.md §3).
+#pragma once
+
+#include "skc/common/random.h"
+#include "skc/common/types.h"
+#include "skc/geometry/weighted_set.h"
+#include "skc/solve/capacitated_kmeans.h"
+
+namespace skc {
+
+struct LocalSearchOptions {
+  int max_swaps = 40;          ///< accepted-swap budget
+  int candidates_per_round = 24;  ///< sampled swap-in candidates per round
+  double min_gain = 1e-3;      ///< relative improvement required to accept
+};
+
+/// Capacitated k-median/l_r local search with capacity t per center.
+CapacitatedSolution capacitated_kmedian(const WeightedPointSet& points, int k,
+                                        double t, LrOrder r,
+                                        const LocalSearchOptions& options, Rng& rng);
+
+}  // namespace skc

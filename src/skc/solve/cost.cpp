@@ -1,0 +1,55 @@
+#include "skc/solve/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "skc/common/check.h"
+#include "skc/geometry/metric.h"
+
+namespace skc {
+
+double capacitated_cost(const WeightedPointSet& points, const PointSet& centers,
+                        double t, LrOrder r) {
+  const CapacitatedAssignment a = optimal_capacitated_assignment(points, centers, t, r);
+  return a.feasible ? a.cost : kInfCost;
+}
+
+double capacitated_cost(const PointSet& points, const PointSet& centers, double t,
+                        LrOrder r) {
+  return capacitated_cost(WeightedPointSet::unit(points), centers, t, r);
+}
+
+double uncapacitated_cost(const WeightedPointSet& points, const PointSet& centers,
+                          LrOrder r) {
+  double total = 0.0;
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    total += points.weight(i) * nearest_center(points.point(i), centers, r).cost;
+  }
+  return total;
+}
+
+double tight_capacity(double total_weight, int k) {
+  SKC_CHECK(k >= 1);
+  return std::ceil(total_weight / static_cast<double>(k) - 1e-9);
+}
+
+AssignmentEval evaluate_assignment(const WeightedPointSet& points,
+                                   const PointSet& centers, LrOrder r,
+                                   const std::vector<CenterIndex>& assignment) {
+  SKC_CHECK(static_cast<PointIndex>(assignment.size()) == points.size());
+  AssignmentEval eval;
+  eval.loads.assign(static_cast<std::size_t>(centers.size()), 0.0);
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    const CenterIndex c = assignment[static_cast<std::size_t>(i)];
+    SKC_CHECK(c != kUnassigned);
+    const double w = points.weight(i);
+    eval.cost += w * dist_pow(points.point(i), centers[c], r);
+    eval.loads[static_cast<std::size_t>(c)] += w;
+  }
+  eval.max_load = eval.loads.empty()
+                      ? 0.0
+                      : *std::max_element(eval.loads.begin(), eval.loads.end());
+  return eval;
+}
+
+}  // namespace skc

@@ -1,0 +1,68 @@
+#include "skc/solve/kmeanspp.h"
+
+#include <vector>
+
+#include "skc/common/check.h"
+#include "skc/geometry/metric.h"
+
+namespace skc {
+
+PointSet kmeanspp_seed(const WeightedPointSet& points, int k, LrOrder r, Rng& rng) {
+  const PointIndex n = points.size();
+  SKC_CHECK(k >= 1);
+  SKC_CHECK_MSG(n >= k, "need at least k points to seed k centers");
+  PointSet centers(points.dim());
+
+  // First seed: weight-proportional.
+  {
+    double total = points.total_weight();
+    double target = rng.uniform() * total;
+    PointIndex chosen = n - 1;
+    for (PointIndex i = 0; i < n; ++i) {
+      target -= points.weight(i);
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points.point(chosen));
+  }
+
+  // Remaining seeds: D^r sampling against the nearest chosen center.
+  std::vector<double> dist_r(static_cast<std::size_t>(n), 0.0);
+  while (centers.size() < k) {
+    double total = 0.0;
+    const PointIndex newest = centers.size() - 1;
+    for (PointIndex i = 0; i < n; ++i) {
+      const double d = dist_pow(points.point(i), centers[newest], r);
+      if (centers.size() == 1 || d < dist_r[static_cast<std::size_t>(i)]) {
+        dist_r[static_cast<std::size_t>(i)] = d;
+      }
+      total += points.weight(i) * dist_r[static_cast<std::size_t>(i)];
+    }
+    PointIndex chosen;
+    if (total <= 0.0) {
+      // All mass already on chosen centers (duplicate-heavy input): fall back
+      // to a uniform pick so we still return k centers.
+      chosen = static_cast<PointIndex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    } else {
+      double target = rng.uniform() * total;
+      chosen = n - 1;
+      for (PointIndex i = 0; i < n; ++i) {
+        target -= points.weight(i) * dist_r[static_cast<std::size_t>(i)];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centers.push_back(points.point(chosen));
+  }
+  return centers;
+}
+
+PointSet kmeanspp_seed(const PointSet& points, int k, LrOrder r, Rng& rng) {
+  return kmeanspp_seed(WeightedPointSet::unit(points), k, r, rng);
+}
+
+}  // namespace skc

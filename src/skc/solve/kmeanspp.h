@@ -1,0 +1,22 @@
+// k-means++ seeding (D^r sampling) over weighted point sets.
+//
+// Used as the initializer of both capacitated solvers (S11): seeds are drawn
+// from the data with probability proportional to w(p) * dist(p, chosen)^r,
+// the standard generalization of [AV07] to weighted inputs and l_r costs.
+#pragma once
+
+#include "skc/common/random.h"
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+#include "skc/geometry/weighted_set.h"
+
+namespace skc {
+
+/// Draws k seed centers from `points` (k <= n required).  Deterministic for
+/// a fixed rng state.
+PointSet kmeanspp_seed(const WeightedPointSet& points, int k, LrOrder r, Rng& rng);
+
+/// Unweighted convenience overload.
+PointSet kmeanspp_seed(const PointSet& points, int k, LrOrder r, Rng& rng);
+
+}  // namespace skc

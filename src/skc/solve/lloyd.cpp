@@ -1,0 +1,118 @@
+#include "skc/solve/lloyd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "skc/common/check.h"
+#include "skc/geometry/metric.h"
+#include "skc/solve/cost.h"
+#include "skc/solve/kmeanspp.h"
+
+namespace skc {
+
+namespace {
+
+/// Recomputes each cluster's center: the weighted centroid rounded to the
+/// grid for r = 2, or the best medoid among cluster members otherwise
+/// (the exact l_r minimizer has no closed form off r = 2, and the paper
+/// requires centers in [Delta]^d anyway).
+PointSet update_centers(const WeightedPointSet& points, const PointSet& old_centers,
+                        const std::vector<CenterIndex>& assignment, LrOrder r,
+                        Coord delta) {
+  const int dim = points.dim();
+  const int k = static_cast<int>(old_centers.size());
+  PointSet centers(dim);
+  if (r.r == 2.0) {
+    std::vector<double> acc(static_cast<std::size_t>(k) * dim, 0.0);
+    std::vector<double> mass(static_cast<std::size_t>(k), 0.0);
+    for (PointIndex i = 0; i < points.size(); ++i) {
+      const CenterIndex c = assignment[static_cast<std::size_t>(i)];
+      const double w = points.weight(i);
+      mass[static_cast<std::size_t>(c)] += w;
+      const auto p = points.point(i);
+      for (int j = 0; j < dim; ++j) {
+        acc[static_cast<std::size_t>(c) * dim + static_cast<std::size_t>(j)] +=
+            w * static_cast<double>(p[j]);
+      }
+    }
+    std::vector<Coord> buf(static_cast<std::size_t>(dim));
+    for (int c = 0; c < k; ++c) {
+      if (mass[static_cast<std::size_t>(c)] <= 0.0) {
+        centers.push_back(old_centers[c]);  // empty cluster keeps its center
+        continue;
+      }
+      for (int j = 0; j < dim; ++j) {
+        double v = acc[static_cast<std::size_t>(c) * dim + static_cast<std::size_t>(j)] /
+                   mass[static_cast<std::size_t>(c)];
+        Coord coord = static_cast<Coord>(std::llround(v));
+        if (delta > 0) coord = std::clamp<Coord>(coord, 1, delta);
+        buf[static_cast<std::size_t>(j)] = coord;
+      }
+      centers.push_back(buf);
+    }
+    return centers;
+  }
+
+  // Medoid update: pick the member minimizing the in-cluster l_r cost.
+  for (int c = 0; c < k; ++c) {
+    PointIndex best = -1;
+    double best_cost = kInfCost;
+    for (PointIndex cand = 0; cand < points.size(); ++cand) {
+      if (assignment[static_cast<std::size_t>(cand)] != c) continue;
+      double cost = 0.0;
+      for (PointIndex i = 0; i < points.size(); ++i) {
+        if (assignment[static_cast<std::size_t>(i)] != c) continue;
+        cost += points.weight(i) * dist_pow(points.point(i), points.point(cand), r);
+        if (cost >= best_cost) break;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = cand;
+      }
+    }
+    if (best < 0) {
+      centers.push_back(old_centers[c]);
+    } else {
+      centers.push_back(points.point(best));
+    }
+  }
+  return centers;
+}
+
+}  // namespace
+
+ClusteringResult lloyd(const WeightedPointSet& points, PointSet init, LrOrder r,
+                       const LloydOptions& options) {
+  SKC_CHECK(!init.empty());
+  ClusteringResult result;
+  result.centers = std::move(init);
+  result.cost = uncapacitated_cost(points, result.centers, r);
+
+  std::vector<CenterIndex> assignment(static_cast<std::size_t>(points.size()));
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    for (PointIndex i = 0; i < points.size(); ++i) {
+      assignment[static_cast<std::size_t>(i)] =
+          nearest_center(points.point(i), result.centers, r).index;
+    }
+    PointSet next = update_centers(points, result.centers, assignment, r, options.delta);
+    const double next_cost = uncapacitated_cost(points, next, r);
+    ++result.iterations;
+    if (next_cost < result.cost) {
+      const double gain = (result.cost - next_cost) / std::max(result.cost, 1e-30);
+      result.centers = std::move(next);
+      result.cost = next_cost;
+      if (gain < options.rel_tol) break;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+ClusteringResult kmeans(const WeightedPointSet& points, int k, LrOrder r,
+                        const LloydOptions& options, Rng& rng) {
+  return lloyd(points, kmeanspp_seed(points, k, r, rng), r, options);
+}
+
+}  // namespace skc

@@ -1,0 +1,37 @@
+// Uncapacitated Lloyd iterations (standard k-means / k-medoid refinement).
+//
+// Not part of the paper's contribution, but the uncapacitated optimum is the
+// natural lower reference line in every quality experiment, and Lloyd +
+// k-means++ is the (alpha, beta) = (O(1), infinity) black box the coreset
+// benchmarks compare against the capacitated solvers.
+#pragma once
+
+#include "skc/common/random.h"
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+#include "skc/geometry/weighted_set.h"
+
+namespace skc {
+
+struct LloydOptions {
+  int max_iters = 50;
+  double rel_tol = 1e-4;  ///< stop when the cost improves by less than this
+  Coord delta = 0;        ///< clamp centers into [1, delta]; 0 = no clamp
+};
+
+struct ClusteringResult {
+  PointSet centers;
+  double cost = 0.0;  ///< uncapacitated cost of the final centers
+  int iterations = 0;
+};
+
+/// Weighted Lloyd for l_2^2 (r = 2) and the weighted-medoid analog for other
+/// r (centers snapped to the integer grid).  Starts from `init` centers.
+ClusteringResult lloyd(const WeightedPointSet& points, PointSet init, LrOrder r,
+                       const LloydOptions& options);
+
+/// k-means++ seeding followed by Lloyd.
+ClusteringResult kmeans(const WeightedPointSet& points, int k, LrOrder r,
+                        const LloydOptions& options, Rng& rng);
+
+}  // namespace skc

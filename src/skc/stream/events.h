@@ -1,0 +1,30 @@
+// The dynamic stream model of §4.2: a sequence of point insertions and
+// deletions over [Delta]^d.  Every deletion refers to a point currently in
+// the set (the model's promise); generators uphold it and the streaming
+// builder checks the net count.
+#pragma once
+
+#include <vector>
+
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+
+namespace skc {
+
+enum class StreamOp : std::int8_t { kInsert = +1, kDelete = -1 };
+
+struct StreamEvent {
+  StreamOp op = StreamOp::kInsert;
+  Point point;
+};
+
+using Stream = std::vector<StreamEvent>;
+
+/// Replays a stream into the surviving point multiset (test/ground-truth
+/// helper; O(stream length) with a hash map keyed on coordinates).
+PointSet surviving_points(const Stream& stream, int dim);
+
+/// Wraps a static point set as an insertion-only stream.
+Stream insertion_stream(const PointSet& points);
+
+}  // namespace skc

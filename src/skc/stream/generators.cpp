@@ -1,0 +1,183 @@
+#include "skc/stream/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "skc/common/check.h"
+
+namespace skc {
+
+PointSet surviving_points(const Stream& stream, int dim) {
+  // Multiset semantics via coordinate-keyed counting.
+  struct VecHash {
+    std::size_t operator()(const Point& p) const {
+      std::size_t h = 0x9e3779b97f4a7c15ULL;
+      for (Coord c : p) {
+        h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(c)) + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+  std::unordered_map<Point, std::int64_t, VecHash> counts;
+  for (const StreamEvent& e : stream) {
+    counts[e.point] += (e.op == StreamOp::kInsert ? 1 : -1);
+  }
+  PointSet out(dim);
+  for (const auto& [p, c] : counts) {
+    SKC_CHECK_MSG(c >= 0, "stream deletes a point more often than it inserts it");
+    for (std::int64_t i = 0; i < c; ++i) out.push_back(p);
+  }
+  return out;
+}
+
+Stream insertion_stream(const PointSet& points) {
+  Stream stream;
+  stream.reserve(static_cast<std::size_t>(points.size()));
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    const auto p = points[i];
+    stream.push_back(StreamEvent{StreamOp::kInsert, Point(p.begin(), p.end())});
+  }
+  return stream;
+}
+
+PlantedMixture planted_gaussian_mixture(const MixtureConfig& config, Rng& rng) {
+  SKC_CHECK(config.clusters >= 1);
+  const Coord delta = Coord{1} << config.log_delta;
+  PlantedMixture out;
+  out.points = PointSet(config.dim);
+  out.centers = PointSet(config.dim);
+  if (config.n == 0) return out;
+  SKC_CHECK(config.n >= config.clusters);
+  out.points.reserve(config.n);
+
+  // Cluster centers uniform in the middle 80% of the grid (so Gaussian tails
+  // rarely clamp and distort shapes).
+  const Coord lo = std::max<Coord>(1, delta / 10);
+  const Coord hi = delta - delta / 10;
+  std::vector<Coord> buf(static_cast<std::size_t>(config.dim));
+  for (int c = 0; c < config.clusters; ++c) {
+    for (auto& v : buf) v = static_cast<Coord>(rng.uniform_int(lo, hi));
+    out.centers.push_back(buf);
+  }
+
+  // Cluster sizes ~ (i+1)^-skew, normalized; noise takes its share first.
+  const PointIndex noise =
+      static_cast<PointIndex>(std::llround(config.noise_fraction * static_cast<double>(config.n)));
+  const PointIndex clustered = config.n - noise;
+  std::vector<double> mass(static_cast<std::size_t>(config.clusters));
+  double total_mass = 0.0;
+  for (int c = 0; c < config.clusters; ++c) {
+    mass[static_cast<std::size_t>(c)] = std::pow(static_cast<double>(c + 1), -config.skew);
+    total_mass += mass[static_cast<std::size_t>(c)];
+  }
+  std::vector<PointIndex> sizes(static_cast<std::size_t>(config.clusters), 0);
+  PointIndex assigned = 0;
+  for (int c = 0; c < config.clusters; ++c) {
+    sizes[static_cast<std::size_t>(c)] = static_cast<PointIndex>(
+        std::floor(static_cast<double>(clustered) * mass[static_cast<std::size_t>(c)] / total_mass));
+    assigned += sizes[static_cast<std::size_t>(c)];
+  }
+  for (int c = 0; assigned < clustered; c = (c + 1) % config.clusters) {
+    ++sizes[static_cast<std::size_t>(c)];
+    ++assigned;
+  }
+
+  const double sigma = config.spread * static_cast<double>(delta);
+  for (int c = 0; c < config.clusters; ++c) {
+    const auto center = out.centers[c];
+    for (PointIndex i = 0; i < sizes[static_cast<std::size_t>(c)]; ++i) {
+      for (int j = 0; j < config.dim; ++j) {
+        const double v = static_cast<double>(center[j]) + sigma * rng.gaussian();
+        buf[static_cast<std::size_t>(j)] =
+            std::clamp<Coord>(static_cast<Coord>(std::llround(v)), 1, delta);
+      }
+      out.points.push_back(buf);
+      out.labels.push_back(c);
+    }
+  }
+  for (PointIndex i = 0; i < noise; ++i) {
+    for (int j = 0; j < config.dim; ++j) {
+      buf[static_cast<std::size_t>(j)] = static_cast<Coord>(rng.uniform_int(1, delta));
+    }
+    out.points.push_back(buf);
+    out.labels.push_back(-1);
+  }
+  return out;
+}
+
+PointSet gaussian_mixture(const MixtureConfig& config, Rng& rng) {
+  return planted_gaussian_mixture(config, rng).points;
+}
+
+PointSet uniform_points(int dim, int log_delta, PointIndex n, Rng& rng) {
+  const Coord delta = Coord{1} << log_delta;
+  PointSet out(dim);
+  out.reserve(n);
+  std::vector<Coord> buf(static_cast<std::size_t>(dim));
+  for (PointIndex i = 0; i < n; ++i) {
+    for (auto& v : buf) v = static_cast<Coord>(rng.uniform_int(1, delta));
+    out.push_back(buf);
+  }
+  return out;
+}
+
+Stream churn_stream(const PointSet& points, const PointSet& extra,
+                    const ChurnConfig& config, Rng& rng) {
+  SKC_CHECK(extra.empty() || extra.dim() == points.dim());
+  (void)config;  // delete_fraction is determined by |extra| / (|points| + 2|extra|)
+
+  // Interleave: all survivors plus the extras inserted in random order; each
+  // extra is deleted at a random later position (adversarial mode deletes
+  // extras in reverse insertion order at the very end, concentrating the
+  // churn where a prefix-based summary is most wrong).
+  Stream stream;
+  stream.reserve(static_cast<std::size_t>(points.size() + 2 * extra.size()));
+  std::vector<std::pair<int, PointIndex>> inserts;  // (0 = survivor, 1 = extra)
+  inserts.reserve(static_cast<std::size_t>(points.size() + extra.size()));
+  for (PointIndex i = 0; i < points.size(); ++i) inserts.emplace_back(0, i);
+  for (PointIndex i = 0; i < extra.size(); ++i) inserts.emplace_back(1, i);
+  rng.shuffle(inserts);
+
+  std::vector<PointIndex> pending_deletes;
+  for (const auto& [kind, idx] : inserts) {
+    const auto p = kind == 0 ? points[idx] : extra[idx];
+    stream.push_back(StreamEvent{StreamOp::kInsert, Point(p.begin(), p.end())});
+    if (kind == 1) {
+      if (config.adversarial) {
+        pending_deletes.push_back(idx);
+      } else if (rng.bernoulli(0.5)) {
+        // Delete promptly half the time; defer the rest to the tail.
+        stream.push_back(StreamEvent{StreamOp::kDelete, Point(p.begin(), p.end())});
+      } else {
+        pending_deletes.push_back(idx);
+      }
+    }
+  }
+  if (config.adversarial) {
+    std::reverse(pending_deletes.begin(), pending_deletes.end());
+  } else {
+    rng.shuffle(pending_deletes);
+  }
+  for (PointIndex idx : pending_deletes) {
+    const auto p = extra[idx];
+    stream.push_back(StreamEvent{StreamOp::kDelete, Point(p.begin(), p.end())});
+  }
+  return stream;
+}
+
+Stream shuffled_insertions(const PointSet& points, Rng& rng) {
+  std::vector<PointIndex> order(static_cast<std::size_t>(points.size()));
+  std::iota(order.begin(), order.end(), PointIndex{0});
+  rng.shuffle(order);
+  Stream stream;
+  stream.reserve(order.size());
+  for (PointIndex i : order) {
+    const auto p = points[i];
+    stream.push_back(StreamEvent{StreamOp::kInsert, Point(p.begin(), p.end())});
+  }
+  return stream;
+}
+
+}  // namespace skc

@@ -1,0 +1,70 @@
+// Synthetic workload generators.
+//
+// The paper has no datasets (it is a theory paper); these generators provide
+// the workloads of the experiment suite (DESIGN.md §3, §5).  The key design
+// requirement is that *capacity constraints must bind*: balanced clustering
+// only differs from plain clustering when the natural clusters have skewed
+// sizes, so the flagship generator draws clusters with a configurable size
+// skew.
+#pragma once
+
+#include <vector>
+
+#include "skc/common/random.h"
+#include "skc/common/types.h"
+#include "skc/geometry/point_set.h"
+#include "skc/stream/events.h"
+
+namespace skc {
+
+struct MixtureConfig {
+  int dim = 4;
+  int log_delta = 14;       ///< Delta = 2^log_delta
+  int clusters = 8;
+  PointIndex n = 4096;
+  double spread = 0.01;     ///< cluster stddev as a fraction of Delta
+  /// Cluster-size skew: sizes proportional to (i+1)^-skew.  0 = balanced;
+  /// 1.5 makes the largest cluster hold most points, so a capacity of n/k
+  /// forces reassignments (the regime balanced clustering exists for).
+  double skew = 0.0;
+  double noise_fraction = 0.0;  ///< uniform background noise points
+};
+
+/// Gaussian mixture on the grid; clamps to [1, Delta].
+PointSet gaussian_mixture(const MixtureConfig& config, Rng& rng);
+
+/// The true cluster centers used by the last call's configuration (returned
+/// alongside the sample for experiments that want the planted solution).
+struct PlantedMixture {
+  PointSet points;
+  PointSet centers;
+  std::vector<int> labels;  ///< planted cluster of each point (-1 = noise)
+};
+PlantedMixture planted_gaussian_mixture(const MixtureConfig& config, Rng& rng);
+
+/// Uniform noise over [1, Delta]^d.
+PointSet uniform_points(int dim, int log_delta, PointIndex n, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Dynamic stream generators (insertions + deletions).
+// ---------------------------------------------------------------------------
+
+struct ChurnConfig {
+  /// Fraction of events that delete a previously inserted point.
+  double delete_fraction = 0.3;
+  /// When true, deletions target the *densest* planted cluster first — an
+  /// adversarial "move the mass" stream that invalidates any sketch keyed to
+  /// early-stream statistics.
+  bool adversarial = false;
+};
+
+/// Turns a static set into a dynamic stream: inserts everything plus
+/// `extra`, then deletes `extra` again per the churn policy, so the
+/// surviving set equals `points` exactly (ground truth stays comparable).
+Stream churn_stream(const PointSet& points, const PointSet& extra,
+                    const ChurnConfig& config, Rng& rng);
+
+/// Random interleaving helper: inserts all of `points` in random order.
+Stream shuffled_insertions(const PointSet& points, Rng& rng);
+
+}  // namespace skc

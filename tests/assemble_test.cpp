@@ -1,0 +1,121 @@
+// Direct tests of the shared assembly step with synthetic recovered data —
+// pins the FAIL rules (mass bound, lost-mass budget) independent of any
+// sketch.
+#include "skc/coreset/assemble.h"
+
+#include <gtest/gtest.h>
+
+#include "skc/coreset/sampling.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+struct Fixture {
+  CoresetParams params = CoresetParams::practical(2, LrOrder{2.0}, 0.2, 0.2);
+  HierarchicalGrid grid = make_grid(2, 4, params.seed);
+
+  /// Builds recovered data describing one heavy chain root->level0 cell with
+  /// crucial children at level 1 carrying `mass` points each.
+  RecoveredLevelData simple_data(double child_mass, double o) {
+    RecoveredLevelData data;
+    const int L = grid.log_delta();
+    data.counting.resize(static_cast<std::size_t>(L));
+    data.part_mass.resize(static_cast<std::size_t>(L + 1));
+    data.sample_points.assign(static_cast<std::size_t>(L + 1), PointSet(2));
+    data.incomplete_cells.resize(static_cast<std::size_t>(L + 1));
+
+    // One heavy level-0 cell (the one containing point (8, 8)).
+    PointSet probe(2);
+    probe.push_back({8, 8});
+    const CellKey c0 = grid.cell_of(probe[0], 0);
+    const double t0 = part_threshold(grid, params.partition(), 0, o);
+    data.counting[0].push_back(EstimatedCell{c0.index, t0 + child_mass * 4.0});
+    // Its level-1 children carry the mass as crucial cells.
+    for (const CellKey& child : grid.children(c0)) {
+      data.counting[1].push_back(EstimatedCell{child.index, child_mass});
+      data.part_mass[1].push_back(EstimatedCell{child.index, child_mass});
+    }
+    return data;
+  }
+};
+
+TEST(Assemble, AcceptsCleanData) {
+  Fixture f;
+  const double o = 2e5;
+  RecoveredLevelData data = f.simple_data(12.0, o);
+  // A sample point inside one crucial child.
+  PointSet probe(2);
+  probe.push_back({8, 8});
+  data.sample_points[1].push_back(probe[0]);
+  const BuildAttempt attempt = assemble_coreset(f.grid, f.params, o, data, 60.0);
+  ASSERT_TRUE(attempt.ok) << attempt.fail_reason;
+  EXPECT_EQ(attempt.coreset.points.size(), 1);
+  EXPECT_EQ(attempt.coreset.levels[0], 1);
+}
+
+TEST(Assemble, MassBoundFails) {
+  Fixture f;
+  const double o = 2e5;
+  // Crucial cells cannot individually exceed T_1, so trip the level bound by
+  // shrinking the bound constant instead.
+  f.params.mass_bound_const = 0.001;
+  RecoveredLevelData data = f.simple_data(12.0, o);
+  const BuildAttempt attempt = assemble_coreset(f.grid, f.params, o, data, 1e9);
+  ASSERT_FALSE(attempt.ok);
+  EXPECT_NE(std::string(attempt.fail_reason).find("part mass"), std::string::npos);
+}
+
+TEST(Assemble, SmallLostMassIsAbsorbed) {
+  Fixture f;
+  const double o = 2e5;
+  RecoveredLevelData data = f.simple_data(12.0, o);
+  PointSet probe(2);
+  probe.push_back({8, 8});
+  data.sample_points[1].push_back(probe[0]);
+  // One incomplete crucial cell: budget is eta * n / (4k) = 0.2*4000/8 = 100
+  // "points"; the cell's charge min(tau, T_1) is far below that.
+  data.incomplete_cells[1].push_back(f.grid.cell_of(probe[0], 1));
+  const BuildAttempt attempt = assemble_coreset(f.grid, f.params, o, data, 4000.0);
+  EXPECT_TRUE(attempt.ok) << attempt.fail_reason;
+}
+
+TEST(Assemble, LargeLostMassFails) {
+  Fixture f;
+  const double o = 2e5;
+  RecoveredLevelData data = f.simple_data(12.0, o);
+  PointSet probe(2);
+  probe.push_back({8, 8});
+  // Tiny n makes the budget eta*n/(4k) tiny; the incomplete cell's charge
+  // exceeds it.
+  data.incomplete_cells[1].push_back(f.grid.cell_of(probe[0], 1));
+  const BuildAttempt attempt = assemble_coreset(f.grid, f.params, o, data, 60.0);
+  ASSERT_FALSE(attempt.ok);
+  EXPECT_NE(std::string(attempt.fail_reason).find("lost-mass"), std::string::npos);
+}
+
+TEST(Assemble, SamplesOutsideCrucialCellsAreIgnored) {
+  Fixture f;
+  const double o = 2e5;
+  RecoveredLevelData data = f.simple_data(12.0, o);
+  // A point far from the heavy chain: its cell is not crucial (parent not
+  // heavy), so it must not enter the coreset.
+  PointSet inside(2), outside(2);
+  inside.push_back({8, 8});
+  data.sample_points[1].push_back(inside[0]);
+  // Find a point in a different level-0 cell.
+  for (Coord x = 1; x <= 16; ++x) {
+    PointSet cand(2);
+    cand.push_back({x, 16});
+    if (!(f.grid.cell_of(cand[0], 0) == f.grid.cell_of(inside[0], 0))) {
+      data.sample_points[1].push_back(cand[0]);
+      break;
+    }
+  }
+  const BuildAttempt attempt = assemble_coreset(f.grid, f.params, o, data, 60.0);
+  ASSERT_TRUE(attempt.ok) << attempt.fail_reason;
+  EXPECT_EQ(attempt.coreset.points.size(), 1);
+}
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "skc/baseline/mapping_coreset.h"
+#include "skc/baseline/uniform_coreset.h"
+#include "skc/solve/cost.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+TEST(UniformCoreset, SizeAndExactTotalWeight) {
+  Rng rng(1);
+  PointSet pts = testutil::random_points(2, 256, 1000, rng);
+  Rng crng(2);
+  const Coreset coreset = uniform_coreset(pts, 64, crng);
+  EXPECT_EQ(coreset.points.size(), 64);
+  EXPECT_DOUBLE_EQ(coreset.total_weight(), 1000.0);
+  EXPECT_TRUE(coreset.points.integral_weights());
+}
+
+TEST(UniformCoreset, ClampsToN) {
+  Rng rng(3);
+  PointSet pts = testutil::random_points(2, 64, 10, rng);
+  Rng crng(4);
+  const Coreset coreset = uniform_coreset(pts, 50, crng);
+  EXPECT_EQ(coreset.points.size(), 10);
+  EXPECT_DOUBLE_EQ(coreset.total_weight(), 10.0);
+}
+
+TEST(UniformCoreset, SamplesAreInputPoints) {
+  Rng rng(5);
+  PointSet pts = testutil::random_points(3, 128, 300, rng);
+  Rng crng(6);
+  const Coreset coreset = uniform_coreset(pts, 40, crng);
+  auto input = testutil::canonical_multiset(pts);
+  for (PointIndex i = 0; i < coreset.points.size(); ++i) {
+    const auto p = coreset.points.point(i);
+    EXPECT_TRUE(std::binary_search(input.begin(), input.end(),
+                                   std::vector<Coord>(p.begin(), p.end())));
+  }
+}
+
+TEST(UniformCoreset, UnbiasedUncapacitatedCost) {
+  Rng rng(7);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 10;
+  cfg.clusters = 4;
+  cfg.n = 4000;
+  PointSet pts = gaussian_mixture(cfg, rng);
+  PointSet centers = testutil::random_points(2, 1024, 4, rng);
+  const double truth =
+      uncapacitated_cost(WeightedPointSet::unit(pts), centers, LrOrder{2.0});
+  // Average over several draws to beat sampling noise.
+  double avg = 0.0;
+  const int draws = 8;
+  for (int i = 0; i < draws; ++i) {
+    Rng crng(100 + i);
+    const Coreset c = uniform_coreset(pts, 400, crng);
+    avg += uncapacitated_cost(c.points, centers, LrOrder{2.0});
+  }
+  avg /= draws;
+  EXPECT_NEAR(avg, truth, 0.15 * truth);
+}
+
+TEST(MappingCoreset, ProducesWeightedCentersSummingToN) {
+  Rng rng(8);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 10;
+  cfg.clusters = 3;
+  cfg.n = 2000;
+  PointSet pts = gaussian_mixture(cfg, rng);
+  Rng crng(9);
+  const MappingCoresetResult result = mapping_coreset(pts, MappingCoresetOptions{}, crng);
+  EXPECT_EQ(result.passes, 3);
+  EXPECT_DOUBLE_EQ(result.coreset.total_weight(), 2000.0);
+  EXPECT_LE(result.coreset.points.size(), 256 + 1);
+  EXPECT_GT(result.coreset.points.size(), 0);
+  EXPECT_GE(result.movement, 0.0);
+}
+
+TEST(MappingCoreset, MovementSmallOnTightClusters) {
+  Rng rng(10);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 12;
+  cfg.clusters = 3;
+  cfg.n = 1000;
+  cfg.spread = 0.002;  // very tight
+  PointSet pts = gaussian_mixture(cfg, rng);
+  Rng crng(11);
+  MappingCoresetOptions opts;
+  opts.max_centers = 64;
+  const MappingCoresetResult result = mapping_coreset(pts, opts, crng);
+  // Movement per point far below the inter-cluster scale (~0.1 Delta)^2.
+  const double per_point = result.movement / 1000.0;
+  EXPECT_LT(per_point, std::pow(0.05 * 4096.0, 2.0));
+}
+
+TEST(MappingCoreset, CapacitatedCostIsApproximatelyPreservedOnEasyData) {
+  Rng rng(12);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 10;
+  cfg.clusters = 3;
+  cfg.n = 600;
+  cfg.spread = 0.01;
+  PointSet pts = gaussian_mixture(cfg, rng);
+  PointSet centers = testutil::random_points(2, 1024, 3, rng);
+  Rng crng(13);
+  const MappingCoresetResult mc = mapping_coreset(pts, MappingCoresetOptions{}, crng);
+  const double t = tight_capacity(600, 3);
+  const double full = capacitated_cost(pts, centers, t, LrOrder{2.0});
+  const double approx = capacitated_cost(mc.coreset.points, centers, t, LrOrder{2.0});
+  ASSERT_LT(full, kInfCost);
+  ASSERT_LT(approx, kInfCost);
+  // BBLM14-style guarantee: |approx - full| = O(movement + ...); sanity-check
+  // a generous multiplicative envelope on clusterable data.
+  EXPECT_LT(approx, 3.0 * full + 4.0 * mc.movement);
+  EXPECT_GT(approx, full / 3.0 - 4.0 * mc.movement);
+}
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,158 @@
+#include "skc/assign/capacitated_assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "skc/solve/brute_force.h"
+#include "skc/solve/cost.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+TEST(CapacitatedAssignment, UnconstrainedEqualsNearest) {
+  Rng rng(1);
+  PointSet pts = testutil::random_points(2, 64, 20, rng);
+  PointSet centers = testutil::random_points(2, 64, 3, rng);
+  const WeightedPointSet w = WeightedPointSet::unit(pts);
+  const auto a = optimal_capacitated_assignment(w, centers, 1e9, LrOrder{2.0});
+  ASSERT_TRUE(a.feasible);
+  EXPECT_NEAR(a.cost, uncapacitated_cost(w, centers, LrOrder{2.0}), 1e-6);
+}
+
+TEST(CapacitatedAssignment, InfeasibleWhenCapacityTooSmall) {
+  Rng rng(2);
+  PointSet pts = testutil::random_points(2, 32, 10, rng);
+  PointSet centers = testutil::random_points(2, 32, 2, rng);
+  const auto a = optimal_capacitated_assignment(WeightedPointSet::unit(pts), centers,
+                                                4.0, LrOrder{2.0});
+  EXPECT_FALSE(a.feasible);  // 10 points, 2 centers x cap 4 = 8 < 10
+  EXPECT_EQ(a.cost, kInfCost);
+}
+
+TEST(CapacitatedAssignment, TightCapacityBalancesExactly) {
+  Rng rng(3);
+  PointSet pts = testutil::random_points(2, 256, 12, rng);
+  PointSet centers = testutil::random_points(2, 256, 3, rng);
+  const auto a = optimal_capacitated_assignment(WeightedPointSet::unit(pts), centers,
+                                                4.0, LrOrder{2.0});
+  ASSERT_TRUE(a.feasible);
+  for (double load : a.loads) EXPECT_DOUBLE_EQ(load, 4.0);
+}
+
+TEST(CapacitatedAssignment, CapacityBindsCostMonotonically) {
+  Rng rng(4);
+  PointSet pts = testutil::random_points(2, 128, 15, rng);
+  PointSet centers = testutil::random_points(2, 128, 3, rng);
+  const WeightedPointSet w = WeightedPointSet::unit(pts);
+  double prev = kInfCost;
+  for (double t : {5.0, 6.0, 8.0, 15.0}) {
+    const auto a = optimal_capacitated_assignment(w, centers, t, LrOrder{2.0});
+    ASSERT_TRUE(a.feasible);
+    EXPECT_LE(a.cost, prev + 1e-9);  // looser capacity never costs more
+    prev = a.cost;
+  }
+}
+
+TEST(CapacitatedAssignment, WeightedLoadsRespectCapacity) {
+  WeightedPointSet pts(1);
+  const std::vector<Coord> p1 = {1}, p2 = {2}, p3 = {100};
+  pts.push_back(p1, 3.0);
+  pts.push_back(p2, 2.0);
+  pts.push_back(p3, 4.0);
+  PointSet centers(1);
+  centers.push_back({1});
+  centers.push_back({100});
+  const auto a = optimal_capacitated_assignment(pts, centers, 5.0, LrOrder{1.0});
+  ASSERT_TRUE(a.feasible);
+  for (double load : a.loads) EXPECT_LE(load, 5.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(a.loads[0] + a.loads[1], 9.0);
+}
+
+TEST(CapacitatedAssignment, RejectsFractionalWeights) {
+  WeightedPointSet pts(1);
+  const std::vector<Coord> p = {1};
+  pts.push_back(p, 1.5);
+  PointSet centers(1);
+  centers.push_back({1});
+  EXPECT_DEATH(optimal_capacitated_assignment(pts, centers, 10, LrOrder{2.0}), "");
+}
+
+class AssignmentVsBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(AssignmentVsBruteForce, FlowMatchesExhaustiveSearch) {
+  const auto [n, k, r] = GetParam();
+  Rng rng(100 + n * 7 + k * 3 + static_cast<int>(r));
+  for (int trial = 0; trial < 5; ++trial) {
+    PointSet pts = testutil::random_points(2, 64, n, rng);
+    PointSet centers = testutil::random_points(2, 64, k, rng);
+    const WeightedPointSet w = WeightedPointSet::unit(pts);
+    const double t = tight_capacity(static_cast<double>(n), k) + trial;  // sweep slack
+    const auto flow = optimal_capacitated_assignment(w, centers, t, LrOrder{r});
+    const double brute = brute_force_capacitated_cost(w, centers, t, LrOrder{r});
+    ASSERT_TRUE(flow.feasible);
+    EXPECT_NEAR(flow.cost, brute, 1e-6 * std::max(1.0, brute))
+        << "n=" << n << " k=" << k << " r=" << r << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, AssignmentVsBruteForce,
+    ::testing::Combine(::testing::Values(6, 9, 12), ::testing::Values(2, 3),
+                       ::testing::Values(1.0, 2.0, 3.0)));
+
+TEST(ExactSizeAssignment, HitsPrescribedSizes) {
+  Rng rng(7);
+  PointSet pts = testutil::random_points(2, 64, 10, rng);
+  PointSet centers = testutil::random_points(2, 64, 3, rng);
+  const std::vector<std::int64_t> sizes = {2, 3, 5};
+  const auto a = exact_size_assignment(WeightedPointSet::unit(pts), centers, sizes,
+                                       LrOrder{2.0});
+  ASSERT_TRUE(a.feasible);
+  EXPECT_DOUBLE_EQ(a.loads[0], 2.0);
+  EXPECT_DOUBLE_EQ(a.loads[1], 3.0);
+  EXPECT_DOUBLE_EQ(a.loads[2], 5.0);
+}
+
+TEST(ExactSizeAssignment, CostAtLeastCapacitatedOptimum) {
+  Rng rng(8);
+  PointSet pts = testutil::random_points(2, 64, 9, rng);
+  PointSet centers = testutil::random_points(2, 64, 3, rng);
+  const WeightedPointSet w = WeightedPointSet::unit(pts);
+  const auto fixed = exact_size_assignment(w, centers, {3, 3, 3}, LrOrder{2.0});
+  const auto capped = optimal_capacitated_assignment(w, centers, 3.0, LrOrder{2.0});
+  ASSERT_TRUE(fixed.feasible);
+  ASSERT_TRUE(capped.feasible);
+  // Capacity 3 forces sizes exactly (3,3,3) here, so costs must match.
+  EXPECT_NEAR(fixed.cost, capped.cost, 1e-6);
+}
+
+TEST(GreedyAssignment, FeasibleAndUpperBoundsOptimal) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    PointSet pts = testutil::random_points(2, 128, 30, rng);
+    PointSet centers = testutil::random_points(2, 128, 4, rng);
+    const WeightedPointSet w = WeightedPointSet::unit(pts);
+    const double t = 9.0;
+    const auto greedy = greedy_capacitated_assignment(w, centers, t, LrOrder{2.0});
+    const auto exact = optimal_capacitated_assignment(w, centers, t, LrOrder{2.0});
+    ASSERT_TRUE(greedy.feasible);
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_GE(greedy.cost, exact.cost - 1e-9);
+    EXPECT_LE(greedy.max_load(), t + 1e-9);
+    // Local swaps should keep greedy within a modest factor on random data.
+    EXPECT_LE(greedy.cost, 3.0 * exact.cost + 1e-9);
+  }
+}
+
+TEST(GreedyAssignment, MatchesExactWhenUnconstrained) {
+  Rng rng(10);
+  PointSet pts = testutil::random_points(2, 64, 25, rng);
+  PointSet centers = testutil::random_points(2, 64, 3, rng);
+  const WeightedPointSet w = WeightedPointSet::unit(pts);
+  const auto greedy = greedy_capacitated_assignment(w, centers, 1e9, LrOrder{2.0});
+  EXPECT_NEAR(greedy.cost, uncapacitated_cost(w, centers, LrOrder{2.0}), 1e-6);
+}
+
+}  // namespace
+}  // namespace skc

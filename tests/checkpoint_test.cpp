@@ -1,0 +1,123 @@
+// Checkpoint/restore of the streaming builder: feed half a stream, save,
+// restore into a fresh builder, feed the rest — the result must equal an
+// uninterrupted run exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "skc/coreset/streaming.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+MixtureConfig mixture(int n) {
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 9;
+  cfg.clusters = 3;
+  cfg.n = n;
+  cfg.spread = 0.02;
+  cfg.skew = 1.0;
+  return cfg;
+}
+
+StreamingOptions options() {
+  StreamingOptions opt;
+  opt.log_delta = 9;
+  opt.max_points = 4000;
+  return opt;
+}
+
+TEST(Checkpoint, ResumeEqualsUninterruptedRun) {
+  Rng rng(1);
+  PointSet base = gaussian_mixture(mixture(1200), rng);
+  PointSet extra = gaussian_mixture(mixture(600), rng);
+  Rng srng(2);
+  const Stream stream = churn_stream(base, extra, ChurnConfig{}, srng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+
+  // Uninterrupted reference.
+  StreamingCoresetBuilder reference(2, params, options());
+  reference.consume(stream);
+  const StreamingResult want = reference.finalize();
+  ASSERT_TRUE(want.ok);
+
+  // Interrupted run: half the stream, checkpoint, restore, rest.
+  StreamingCoresetBuilder first(2, params, options());
+  const std::size_t half = stream.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    first.update(stream[i].point, stream[i].op == StreamOp::kInsert ? +1 : -1);
+  }
+  std::stringstream checkpoint;
+  first.save(checkpoint);
+
+  StreamingCoresetBuilder second(2, params, options());
+  ASSERT_TRUE(second.load(checkpoint));
+  EXPECT_EQ(second.net_count(), first.net_count());
+  EXPECT_EQ(second.events(), first.events());
+  for (std::size_t i = half; i < stream.size(); ++i) {
+    second.update(stream[i].point, stream[i].op == StreamOp::kInsert ? +1 : -1);
+  }
+  const StreamingResult got = second.finalize();
+  ASSERT_TRUE(got.ok);
+  EXPECT_DOUBLE_EQ(got.coreset.o, want.coreset.o);
+  EXPECT_EQ(testutil::canonical_multiset(got.coreset.points),
+            testutil::canonical_multiset(want.coreset.points));
+}
+
+TEST(Checkpoint, RejectsMismatchedConfiguration) {
+  Rng rng(3);
+  PointSet pts = gaussian_mixture(mixture(300), rng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  StreamingCoresetBuilder builder(2, params, options());
+  builder.consume(insertion_stream(pts));
+  std::stringstream checkpoint;
+  builder.save(checkpoint);
+
+  // Different seed: fingerprint mismatch.
+  CoresetParams other = params;
+  other.seed = params.seed + 1;
+  StreamingCoresetBuilder wrong(2, other, options());
+  EXPECT_FALSE(wrong.load(checkpoint));
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  Rng rng(4);
+  PointSet pts = gaussian_mixture(mixture(300), rng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  StreamingCoresetBuilder builder(2, params, options());
+  builder.consume(insertion_stream(pts));
+  std::stringstream checkpoint;
+  builder.save(checkpoint);
+  std::string blob = checkpoint.str();
+  blob.resize(blob.size() / 2);
+  std::stringstream truncated(blob);
+  StreamingCoresetBuilder fresh(2, params, options());
+  EXPECT_FALSE(fresh.load(truncated));
+}
+
+TEST(Checkpoint, ExactModeRoundTripsToo) {
+  Rng rng(5);
+  PointSet pts = gaussian_mixture(mixture(500), rng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  StreamingOptions opt = options();
+  opt.exact_storing = true;
+  StreamingCoresetBuilder builder(2, params, opt);
+  builder.consume(insertion_stream(pts));
+  std::stringstream checkpoint;
+  builder.save(checkpoint);
+
+  StreamingCoresetBuilder restored(2, params, opt);
+  ASSERT_TRUE(restored.load(checkpoint));
+  const StreamingResult a = builder.finalize();
+  const StreamingResult b = restored.finalize();
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(testutil::canonical_multiset(a.coreset.points),
+            testutil::canonical_multiset(b.coreset.points));
+}
+
+}  // namespace
+}  // namespace skc

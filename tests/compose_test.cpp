@@ -1,0 +1,141 @@
+#include "skc/coreset/compose.h"
+
+#include <gtest/gtest.h>
+
+#include "skc/coreset/sampling.h"
+#include "skc/solve/cost.h"
+#include "skc/solve/kmeanspp.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+MixtureConfig mixture(int n) {
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 10;
+  cfg.clusters = 3;
+  cfg.n = n;
+  cfg.spread = 0.02;
+  cfg.skew = 1.2;
+  return cfg;
+}
+
+TEST(WeightedCoreset, UnitWeightsMatchUnweightedBuild) {
+  Rng rng(1);
+  PointSet pts = gaussian_mixture(mixture(1500), rng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  const OfflineBuildResult plain = build_offline_coreset(pts, params, 10);
+  const OfflineBuildResult weighted =
+      build_weighted_coreset(WeightedPointSet::unit(pts), params, 10);
+  ASSERT_TRUE(plain.ok);
+  ASSERT_TRUE(weighted.ok);
+  EXPECT_DOUBLE_EQ(plain.coreset.o, weighted.coreset.o);
+  EXPECT_EQ(testutil::canonical_multiset(plain.coreset.points),
+            testutil::canonical_multiset(weighted.coreset.points));
+}
+
+TEST(WeightedCoreset, WeightedInputMatchesExpandedInput) {
+  // A point of weight w must behave like w unit copies: build on the
+  // expanded set and on the compact weighted set; accepted o must agree and
+  // total weights must match closely (sampling decisions are per distinct
+  // coordinate vector, so the coresets agree exactly).
+  Rng rng(2);
+  PointSet base = gaussian_mixture(mixture(400), rng);
+  WeightedPointSet compact(2);
+  PointSet expanded(2);
+  Rng wrng(3);
+  for (PointIndex i = 0; i < base.size(); ++i) {
+    const double w = static_cast<double>(wrng.uniform_int(1, 3));
+    compact.push_back(base[i], w);
+    for (int c = 0; c < static_cast<int>(w); ++c) expanded.push_back(base[i]);
+  }
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  const OfflineBuildResult from_compact = build_weighted_coreset(compact, params, 10);
+  const OfflineBuildResult from_expanded = build_offline_coreset(expanded, params, 10);
+  ASSERT_TRUE(from_compact.ok);
+  ASSERT_TRUE(from_expanded.ok);
+  EXPECT_DOUBLE_EQ(from_compact.coreset.o, from_expanded.coreset.o);
+  EXPECT_DOUBLE_EQ(from_compact.coreset.total_weight(),
+                   from_expanded.coreset.total_weight());
+}
+
+TEST(WeightedCoreset, RejectsFractionalWeights) {
+  WeightedPointSet w(2);
+  const std::vector<Coord> p = {5, 5};
+  w.push_back(p, 1.5);
+  const CoresetParams params = CoresetParams::practical(2, LrOrder{2.0}, 0.3, 0.3);
+  const HierarchicalGrid grid = make_grid(2, 6, params.seed);
+  EXPECT_DEATH(build_weighted_coreset_at(w, grid, params, 100.0), "");
+}
+
+TEST(Composer, SummaryWeightTracksInput) {
+  Rng rng(4);
+  PointSet pts = gaussian_mixture(mixture(6000), rng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  CoresetComposer::Options opt;
+  opt.log_delta = 10;
+  opt.block_size = 1024;
+  CoresetComposer composer(2, params, opt);
+  composer.insert_all(pts);
+  const auto coreset = composer.finalize();
+  ASSERT_TRUE(coreset.has_value());
+  EXPECT_EQ(composer.points_seen(), pts.size());
+  EXPECT_GT(composer.reductions(), 4);  // blocks + tier merges + final
+  EXPECT_NEAR(coreset->total_weight(), 6000.0, 2400.0);
+  EXPECT_LT(coreset->points.size(), pts.size() / 2);
+  EXPECT_TRUE(coreset->points.integral_weights());
+}
+
+TEST(Composer, QualityEnvelopeSurvivesComposition) {
+  Rng rng(5);
+  PointSet pts = gaussian_mixture(mixture(4000), rng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  CoresetComposer::Options opt;
+  opt.log_delta = 10;
+  opt.block_size = 1000;
+  CoresetComposer composer(2, params, opt);
+  composer.insert_all(pts);
+  const auto coreset = composer.finalize();
+  ASSERT_TRUE(coreset.has_value());
+
+  // Compare capacitated costs (with the relaxed-capacity two-sided rule)
+  // against the full data at a k-means++ probe; composition compounds the
+  // error, so the envelope is looser than a one-shot build but must stay
+  // within a small constant.
+  Rng prng(6);
+  const PointSet centers =
+      kmeanspp_seed(WeightedPointSet::unit(pts), 3, LrOrder{2.0}, prng);
+  const double n = static_cast<double>(pts.size());
+  const double w = coreset->total_weight();
+  const double t = tight_capacity(n, 3) * 1.2;
+  const double relax = 1.3;
+  const double full_t = capacitated_cost(pts, centers, t, LrOrder{2.0});
+  const double full_relaxed =
+      capacitated_cost(pts, centers, t * relax * relax, LrOrder{2.0});
+  const double summary =
+      capacitated_cost(coreset->points, centers, (t * w / n) * relax, LrOrder{2.0});
+  ASSERT_LT(summary, kInfCost);
+  EXPECT_LT(summary, 1.8 * full_t);
+  EXPECT_GT(summary, full_relaxed / 1.8);
+}
+
+TEST(Composer, PeakMemoryStaysBelowInput) {
+  Rng rng(7);
+  PointSet pts = gaussian_mixture(mixture(8000), rng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  CoresetComposer::Options opt;
+  opt.log_delta = 10;
+  opt.block_size = 512;
+  CoresetComposer composer(2, params, opt);
+  composer.insert_all(pts);
+  const auto coreset = composer.finalize();
+  ASSERT_TRUE(coreset.has_value());
+  const std::size_t raw =
+      static_cast<std::size_t>(pts.size()) * 2 * sizeof(Coord);
+  EXPECT_LT(composer.peak_memory_bytes(), raw);
+}
+
+}  // namespace
+}  // namespace skc

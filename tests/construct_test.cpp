@@ -1,0 +1,112 @@
+#include "skc/assign/construct.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "skc/coreset/offline.h"
+#include "skc/geometry/metric.h"
+#include "skc/solve/capacitated_kmeans.h"
+#include "skc/solve/cost.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+struct Fixture {
+  PointSet points;
+  CoresetParams params;
+  Coreset coreset;
+  PointSet centers;
+  double t = 0.0;
+
+  static Fixture make(int n, int k, std::uint64_t seed) {
+    Fixture f;
+    Rng rng(seed);
+    MixtureConfig cfg;
+    cfg.dim = 2;
+    cfg.log_delta = 9;
+    cfg.clusters = k;
+    cfg.n = n;
+    cfg.spread = 0.02;
+    cfg.skew = 1.2;
+    f.points = gaussian_mixture(cfg, rng);
+    f.params = CoresetParams::practical(k, LrOrder{2.0}, 0.3, 0.3);
+    const OfflineBuildResult built = build_offline_coreset(f.points, f.params, 9);
+    EXPECT_TRUE(built.ok);
+    f.coreset = built.coreset;
+    f.t = tight_capacity(static_cast<double>(n), k) * 1.1;
+    Rng solver_rng(seed + 1);
+    CapacitatedSolverOptions opts;
+    const double coreset_t =
+        f.t * f.coreset.total_weight() / static_cast<double>(n);
+    const CapacitatedSolution sol = capacitated_kmeans(
+        f.coreset.points, k, coreset_t, LrOrder{2.0}, opts, solver_rng);
+    EXPECT_TRUE(sol.feasible);
+    f.centers = sol.centers;
+    return f;
+  }
+};
+
+TEST(AssignViaCoreset, ProducesFeasibleFullAssignment) {
+  Fixture f = Fixture::make(1500, 3, 11);
+  const FullAssignment full =
+      assign_via_coreset(f.points, f.params, 9, f.coreset, f.centers, f.t);
+  ASSERT_TRUE(full.feasible);
+  ASSERT_EQ(static_cast<PointIndex>(full.assignment.size()), f.points.size());
+  for (CenterIndex c : full.assignment) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 3);
+  }
+  EXPECT_GT(full.cost, 0.0);
+  EXPECT_EQ(full.transferred_points + full.fallback_points, f.points.size());
+  EXPECT_GT(full.transferred_points, full.fallback_points);
+}
+
+TEST(AssignViaCoreset, LoadsStayNearCapacity) {
+  Fixture f = Fixture::make(1800, 3, 13);
+  const FullAssignment full =
+      assign_via_coreset(f.points, f.params, 9, f.coreset, f.centers, f.t);
+  ASSERT_TRUE(full.feasible);
+  // (1 + O(eta)) violation: allow a generous practical envelope.
+  EXPECT_LE(full.max_load, 1.8 * f.t);
+}
+
+TEST(AssignViaCoreset, CostWithinFactorOfExactAssignment) {
+  Fixture f = Fixture::make(1200, 3, 17);
+  const FullAssignment full =
+      assign_via_coreset(f.points, f.params, 9, f.coreset, f.centers, f.t);
+  ASSERT_TRUE(full.feasible);
+  // Exact optimal capacitated assignment for the same centers/capacity.
+  const double exact = capacitated_cost(WeightedPointSet::unit(f.points), f.centers,
+                                        std::floor(full.max_load) + 1, LrOrder{2.0});
+  ASSERT_LT(exact, kInfCost);
+  EXPECT_LE(full.cost, 2.5 * exact + 1e-9);
+  EXPECT_GE(full.cost, exact - 1e-6);
+}
+
+TEST(AssignViaCoreset, TransferBeatsNaiveNearestUnderTightCapacity) {
+  // With skewed clusters and near-tight capacity, nearest-center assignment
+  // violates capacity badly; the transferred assignment must do better on
+  // the max-load while staying cost-comparable.
+  Fixture f = Fixture::make(1500, 3, 19);
+  const FullAssignment full =
+      assign_via_coreset(f.points, f.params, 9, f.coreset, f.centers, f.t);
+  ASSERT_TRUE(full.feasible);
+
+  std::vector<double> nearest_loads(3, 0.0);
+  for (PointIndex i = 0; i < f.points.size(); ++i) {
+    nearest_loads[static_cast<std::size_t>(
+        nearest_center(f.points[i], f.centers, LrOrder{2.0}).index)] += 1.0;
+  }
+  const double nearest_max =
+      *std::max_element(nearest_loads.begin(), nearest_loads.end());
+  if (nearest_max > 1.2 * f.t) {
+    EXPECT_LT(full.max_load, nearest_max);
+  }
+}
+
+}  // namespace
+}  // namespace skc

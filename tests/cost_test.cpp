@@ -1,0 +1,83 @@
+#include "skc/solve/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "skc/geometry/metric.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+TEST(Cost, CapacitatedAtLeastUncapacitated) {
+  Rng rng(1);
+  PointSet pts = testutil::random_points(2, 128, 20, rng);
+  PointSet centers = testutil::random_points(2, 128, 4, rng);
+  const double capped = capacitated_cost(pts, centers, 5.0, LrOrder{2.0});
+  const double open =
+      uncapacitated_cost(WeightedPointSet::unit(pts), centers, LrOrder{2.0});
+  EXPECT_GE(capped, open - 1e-9);
+}
+
+TEST(Cost, HugeCapacityMatchesUncapacitated) {
+  Rng rng(2);
+  PointSet pts = testutil::random_points(3, 64, 15, rng);
+  PointSet centers = testutil::random_points(3, 64, 3, rng);
+  EXPECT_NEAR(capacitated_cost(pts, centers, 1e9, LrOrder{2.0}),
+              uncapacitated_cost(WeightedPointSet::unit(pts), centers, LrOrder{2.0}),
+              1e-6);
+}
+
+TEST(Cost, InfeasibleReturnsInfinity) {
+  Rng rng(3);
+  PointSet pts = testutil::random_points(2, 32, 10, rng);
+  PointSet centers = testutil::random_points(2, 32, 2, rng);
+  EXPECT_EQ(capacitated_cost(pts, centers, 3.0, LrOrder{2.0}), kInfCost);
+}
+
+TEST(TightCapacity, CeilOfNOverK) {
+  EXPECT_DOUBLE_EQ(tight_capacity(10, 3), 4.0);
+  EXPECT_DOUBLE_EQ(tight_capacity(9, 3), 3.0);
+  EXPECT_DOUBLE_EQ(tight_capacity(1, 5), 1.0);
+}
+
+TEST(EvaluateAssignment, SumsCostsAndLoads) {
+  PointSet pts(1);
+  pts.push_back({0});
+  pts.push_back({10});
+  PointSet centers(1);
+  centers.push_back({1});
+  centers.push_back({8});
+  WeightedPointSet w(1);
+  w.push_back(pts[0], 2.0);
+  w.push_back(pts[1], 3.0);
+  const std::vector<CenterIndex> assignment = {0, 1};
+  const AssignmentEval eval = evaluate_assignment(w, centers, LrOrder{2.0}, assignment);
+  EXPECT_DOUBLE_EQ(eval.cost, 2.0 * 1.0 + 3.0 * 4.0);
+  EXPECT_DOUBLE_EQ(eval.loads[0], 2.0);
+  EXPECT_DOUBLE_EQ(eval.loads[1], 3.0);
+  EXPECT_DOUBLE_EQ(eval.max_load, 3.0);
+}
+
+TEST(Cost, WeightedMatchesExpandedUnweighted) {
+  // A point of weight 3 must behave exactly like 3 unit copies.
+  PointSet centers(1);
+  centers.push_back({0});
+  centers.push_back({100});
+  WeightedPointSet weighted(1);
+  const std::vector<Coord> a = {10}, b = {90};
+  weighted.push_back(a, 3.0);
+  weighted.push_back(b, 1.0);
+  PointSet expanded(1);
+  expanded.push_back(a);
+  expanded.push_back(a);
+  expanded.push_back(a);
+  expanded.push_back(b);
+  for (double t : {2.0, 3.0, 4.0}) {
+    EXPECT_NEAR(capacitated_cost(weighted, centers, t, LrOrder{2.0}),
+                capacitated_cost(expanded, centers, t, LrOrder{2.0}), 1e-9)
+        << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,99 @@
+// Differential property tests: the sketch-mode streaming pipeline against
+// its exact-mode twin across random seeds and stream shapes.  Sketch mode
+// may accept a coarser o (CountMin noise only ever pushes upward), but the
+// result must stay structurally sound: comparable total weight, integral
+// weights, subset-of-input points.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "skc/coreset/streaming.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+struct DiffCase {
+  std::uint64_t seed;
+  double delete_fraction;  // extra points relative to survivors
+  bool adversarial;
+};
+
+class SketchVsExactTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(SketchVsExactTest, SketchTracksExactReference) {
+  const DiffCase c = GetParam();
+  Rng rng(c.seed);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 10;
+  cfg.clusters = 3;
+  cfg.n = 3000;
+  cfg.spread = 0.02;
+  cfg.skew = 1.2;
+  const PointSet base = gaussian_mixture(cfg, rng);
+  MixtureConfig extra_cfg = cfg;
+  extra_cfg.n = static_cast<PointIndex>(c.delete_fraction * 3000.0);
+  const PointSet extra = gaussian_mixture(extra_cfg, rng);
+  ChurnConfig churn;
+  churn.adversarial = c.adversarial;
+  Rng srng(c.seed + 1);
+  const Stream stream = extra.empty()
+                            ? insertion_stream(base)
+                            : churn_stream(base, extra, churn, srng);
+
+  CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  params.seed = c.seed * 977 + 13;
+
+  StreamingOptions sketch_opt;
+  sketch_opt.log_delta = 10;
+  sketch_opt.max_points = base.size() + extra.size();
+  StreamingOptions exact_opt = sketch_opt;
+  exact_opt.exact_storing = true;
+
+  const StreamingResult sketch = build_streaming_coreset(stream, 2, params, sketch_opt);
+  const StreamingResult exact = build_streaming_coreset(stream, 2, params, exact_opt);
+  ASSERT_TRUE(exact.ok);
+  ASSERT_TRUE(sketch.ok) << "sketch-mode failed where exact mode succeeded";
+
+  // Sketch noise can only push the accepted o upward, by a bounded factor.
+  EXPECT_GE(sketch.coreset.o, exact.coreset.o * 0.99);
+  EXPECT_LE(sketch.coreset.o, exact.coreset.o * 64.0);
+
+  // Structural soundness of the sketch-mode coreset.
+  EXPECT_GT(sketch.coreset.points.size(), 30);
+  EXPECT_TRUE(sketch.coreset.points.integral_weights());
+  EXPECT_NEAR(sketch.coreset.total_weight(), 3000.0, 1800.0);
+  std::set<std::vector<Coord>> input;
+  for (PointIndex i = 0; i < base.size(); ++i) {
+    const auto p = base[i];
+    input.insert(std::vector<Coord>(p.begin(), p.end()));
+  }
+  for (PointIndex i = 0; i < extra.size(); ++i) {
+    const auto p = extra[i];
+    input.insert(std::vector<Coord>(p.begin(), p.end()));
+  }
+  for (PointIndex i = 0; i < sketch.coreset.points.size(); ++i) {
+    const auto p = sketch.coreset.points.point(i);
+    EXPECT_TRUE(input.count(std::vector<Coord>(p.begin(), p.end())))
+        << "sketch coreset fabricated a point";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SketchVsExactTest,
+    ::testing::Values(DiffCase{11, 0.0, false}, DiffCase{12, 0.0, false},
+                      DiffCase{13, 0.5, false}, DiffCase{14, 0.5, false},
+                      DiffCase{15, 0.8, true}, DiffCase{16, 0.3, true}),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "seed%llu_del%d_%s",
+                    static_cast<unsigned long long>(info.param.seed),
+                    static_cast<int>(info.param.delete_fraction * 10),
+                    info.param.adversarial ? "adv" : "rand");
+      return std::string(buf);
+    });
+
+}  // namespace
+}  // namespace skc

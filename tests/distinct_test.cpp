@@ -1,0 +1,100 @@
+#include "skc/sketch/distinct.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "skc/geometry/metric.h"
+
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+TEST(DistinctCells, ExactWhenUnderBudget) {
+  Rng rng(1);
+  HierarchicalGrid grid(2, 8, rng);
+  DistinctCells dc(grid, 8, 1024, 7);  // unit cells, big budget: exact
+  Rng prng(2);
+  PointSet pts = testutil::random_points(2, 256, 200, prng);
+  for (PointIndex i = 0; i < pts.size(); ++i) dc.update(pts[i], +1);
+  // Distinct unit cells = distinct points.
+  std::set<std::vector<Coord>> distinct;
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    const auto p = pts[i];
+    distinct.insert(std::vector<Coord>(p.begin(), p.end()));
+  }
+  EXPECT_DOUBLE_EQ(dc.estimate(), static_cast<double>(distinct.size()));
+}
+
+TEST(DistinctCells, DeletionRemovesCells) {
+  Rng rng(3);
+  HierarchicalGrid grid(2, 6, rng);
+  DistinctCells dc(grid, 6, 256, 9);
+  PointSet p(2);
+  p.push_back({3, 3});
+  p.push_back({40, 40});
+  dc.update(p[0], +1);
+  dc.update(p[1], +1);
+  EXPECT_DOUBLE_EQ(dc.estimate(), 2.0);
+  dc.update(p[1], -1);
+  EXPECT_DOUBLE_EQ(dc.estimate(), 1.0);
+}
+
+TEST(DistinctCells, SubsamplesOverBudgetWithinTolerance) {
+  Rng rng(4);
+  HierarchicalGrid grid(2, 12, rng);
+  DistinctCells dc(grid, 12, 128, 11);  // small budget forces subsampling
+  Rng prng(5);
+  // ~4000 distinct unit cells.
+  PointSet pts = testutil::random_points(2, 4096, 4000, prng);
+  std::set<std::vector<Coord>> distinct;
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    dc.update(pts[i], +1);
+    const auto p = pts[i];
+    distinct.insert(std::vector<Coord>(p.begin(), p.end()));
+  }
+  const double est = dc.estimate();
+  const double truth = static_cast<double>(distinct.size());
+  EXPECT_GT(est, 0.4 * truth);
+  EXPECT_LT(est, 2.5 * truth);
+  EXPECT_LT(dc.memory_bytes(), 64u * 1024u);
+}
+
+TEST(OptLowerBound, ZeroForFewCells) {
+  Rng rng(6);
+  HierarchicalGrid grid(2, 8, rng);
+  const std::vector<double> estimates(8, 3.0);  // fewer than 8k + 8 cells
+  EXPECT_DOUBLE_EQ(opt_lower_bound_from_cells(grid, 4, LrOrder{2.0}, estimates), 0.0);
+}
+
+TEST(OptLowerBound, BelowTrueOptOnMixtures) {
+  Rng rng(7);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 10;
+  cfg.clusters = 4;
+  cfg.n = 3000;
+  cfg.spread = 0.02;
+  const PlantedMixture planted = planted_gaussian_mixture(cfg, rng);
+  HierarchicalGrid grid(2, 10, rng);
+  std::vector<double> estimates;
+  for (int level = 0; level < 10; ++level) {
+    std::unordered_set<CellKey, CellKeyHash> distinct;
+    for (PointIndex i = 0; i < planted.points.size(); ++i) {
+      distinct.insert(grid.cell_of(planted.points[i], level));
+    }
+    estimates.push_back(static_cast<double>(distinct.size()));
+  }
+  const double bound =
+      opt_lower_bound_from_cells(grid, 4, LrOrder{2.0}, estimates);
+  // True OPT is at most the planted-center cost.
+  const double planted_cost =
+      unconstrained_cost(planted.points, planted.centers, LrOrder{2.0});
+  EXPECT_LE(bound, planted_cost);
+  EXPECT_GT(bound, 0.0);
+}
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,80 @@
+#include "skc/hash/field61.h"
+
+#include <gtest/gtest.h>
+
+#include "skc/common/random.h"
+
+namespace skc {
+namespace {
+
+TEST(Field61, ReduceIdentities) {
+  EXPECT_EQ(f61::reduce(0), 0u);
+  EXPECT_EQ(f61::reduce(f61::kP), 0u);
+  EXPECT_EQ(f61::reduce(f61::kP + 5), 5u);
+  EXPECT_EQ(f61::reduce(f61::kP - 1), f61::kP - 1);
+}
+
+TEST(Field61, AddSubRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.next_below(f61::kP);
+    const std::uint64_t b = rng.next_below(f61::kP);
+    EXPECT_EQ(f61::sub(f61::add(a, b), b), a);
+    EXPECT_EQ(f61::add(f61::sub(a, b), b), a);
+  }
+}
+
+TEST(Field61, MulMatchesSmallCases) {
+  EXPECT_EQ(f61::mul(3, 5), 15u);
+  EXPECT_EQ(f61::mul(f61::kP - 1, 2), f61::kP - 2);  // (-1)*2 = -2
+  EXPECT_EQ(f61::mul(0, 12345), 0u);
+}
+
+TEST(Field61, MulIsCommutativeAndAssociative) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.next_below(f61::kP);
+    const std::uint64_t b = rng.next_below(f61::kP);
+    const std::uint64_t c = rng.next_below(f61::kP);
+    EXPECT_EQ(f61::mul(a, b), f61::mul(b, a));
+    EXPECT_EQ(f61::mul(f61::mul(a, b), c), f61::mul(a, f61::mul(b, c)));
+  }
+}
+
+TEST(Field61, DistributiveLaw) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.next_below(f61::kP);
+    const std::uint64_t b = rng.next_below(f61::kP);
+    const std::uint64_t c = rng.next_below(f61::kP);
+    EXPECT_EQ(f61::mul(a, f61::add(b, c)), f61::add(f61::mul(a, b), f61::mul(a, c)));
+  }
+}
+
+TEST(Field61, PowAndFermat) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = 1 + rng.next_below(f61::kP - 1);
+    EXPECT_EQ(f61::pow(a, f61::kP - 1), 1u);  // Fermat's little theorem
+  }
+  EXPECT_EQ(f61::pow(2, 10), 1024u);
+  EXPECT_EQ(f61::pow(7, 0), 1u);
+}
+
+TEST(Field61, InverseInverts) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = 1 + rng.next_below(f61::kP - 1);
+    EXPECT_EQ(f61::mul(a, f61::inv(a)), 1u);
+  }
+}
+
+TEST(Field61, Reduce128Large) {
+  // (p-1)^2 mod p == 1.
+  const __uint128_t big =
+      static_cast<__uint128_t>(f61::kP - 1) * (f61::kP - 1);
+  EXPECT_EQ(f61::reduce128(big), 1u);
+}
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,133 @@
+#include "skc/stream/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+TEST(Generators, MixtureSizeAndRange) {
+  Rng rng(1);
+  MixtureConfig cfg;
+  cfg.dim = 3;
+  cfg.log_delta = 8;
+  cfg.clusters = 4;
+  cfg.n = 500;
+  const PointSet pts = gaussian_mixture(cfg, rng);
+  EXPECT_EQ(pts.size(), 500);
+  EXPECT_TRUE(pts.within_grid(256));
+}
+
+TEST(Generators, SkewProducesUnbalancedClusters) {
+  Rng rng(2);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 10;
+  cfg.clusters = 4;
+  cfg.n = 1000;
+  cfg.skew = 2.0;
+  const PlantedMixture planted = planted_gaussian_mixture(cfg, rng);
+  std::vector<int> sizes(4, 0);
+  for (int label : planted.labels) {
+    ASSERT_GE(label, 0);
+    ++sizes[static_cast<std::size_t>(label)];
+  }
+  // (i+1)^-2 skew: cluster 0 dominates.
+  EXPECT_GT(sizes[0], 3 * sizes[3]);
+  EXPECT_EQ(sizes[0] + sizes[1] + sizes[2] + sizes[3], 1000);
+}
+
+TEST(Generators, ZeroSkewIsNearBalanced) {
+  Rng rng(3);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 10;
+  cfg.clusters = 5;
+  cfg.n = 1000;
+  const PlantedMixture planted = planted_gaussian_mixture(cfg, rng);
+  std::vector<int> sizes(5, 0);
+  for (int label : planted.labels) ++sizes[static_cast<std::size_t>(label)];
+  for (int s : sizes) EXPECT_EQ(s, 200);
+}
+
+TEST(Generators, NoiseFractionIsLabeledMinusOne) {
+  Rng rng(4);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 8;
+  cfg.clusters = 2;
+  cfg.n = 400;
+  cfg.noise_fraction = 0.25;
+  const PlantedMixture planted = planted_gaussian_mixture(cfg, rng);
+  const auto noise = std::count(planted.labels.begin(), planted.labels.end(), -1);
+  EXPECT_EQ(noise, 100);
+}
+
+TEST(Generators, UniformPointsInGrid) {
+  Rng rng(5);
+  const PointSet pts = uniform_points(4, 6, 300, rng);
+  EXPECT_EQ(pts.size(), 300);
+  EXPECT_TRUE(pts.within_grid(64));
+}
+
+TEST(Streams, InsertionStreamSurvivorsAreInput) {
+  Rng rng(6);
+  const PointSet pts = testutil::random_points(2, 64, 100, rng);
+  const Stream stream = insertion_stream(pts);
+  EXPECT_EQ(stream.size(), 100u);
+  EXPECT_EQ(testutil::canonical_multiset(surviving_points(stream, 2)),
+            testutil::canonical_multiset(pts));
+}
+
+TEST(Streams, ChurnSurvivorsEqualBaseSet) {
+  Rng rng(7);
+  const PointSet base = testutil::random_points(2, 128, 200, rng);
+  const PointSet extra = testutil::random_points(2, 128, 150, rng);
+  Rng srng(8);
+  const Stream stream = churn_stream(base, extra, ChurnConfig{}, srng);
+  EXPECT_EQ(stream.size(), 200u + 2 * 150u);
+  EXPECT_EQ(testutil::canonical_multiset(surviving_points(stream, 2)),
+            testutil::canonical_multiset(base));
+}
+
+TEST(Streams, AdversarialChurnAlsoPreservesSurvivors) {
+  Rng rng(9);
+  const PointSet base = testutil::random_points(3, 64, 120, rng);
+  const PointSet extra = testutil::random_points(3, 64, 120, rng);
+  ChurnConfig cfg;
+  cfg.adversarial = true;
+  Rng srng(10);
+  const Stream stream = churn_stream(base, extra, cfg, srng);
+  EXPECT_EQ(testutil::canonical_multiset(surviving_points(stream, 3)),
+            testutil::canonical_multiset(base));
+  // Adversarial mode back-loads deletions: the tail of the stream should be
+  // deletion-heavy.
+  int tail_deletes = 0;
+  for (std::size_t i = stream.size() - 60; i < stream.size(); ++i) {
+    tail_deletes += stream[i].op == StreamOp::kDelete ? 1 : 0;
+  }
+  EXPECT_GT(tail_deletes, 40);
+}
+
+TEST(Streams, ShuffledInsertionsPermuteInput) {
+  Rng rng(11);
+  const PointSet pts = testutil::random_points(1, 32, 50, rng);
+  Rng srng(12);
+  const Stream stream = shuffled_insertions(pts, srng);
+  EXPECT_EQ(stream.size(), 50u);
+  for (const StreamEvent& e : stream) EXPECT_EQ(e.op, StreamOp::kInsert);
+  EXPECT_EQ(testutil::canonical_multiset(surviving_points(stream, 1)),
+            testutil::canonical_multiset(pts));
+}
+
+TEST(Streams, OverDeletingDies) {
+  Stream bad;
+  bad.push_back(StreamEvent{StreamOp::kDelete, {1, 1}});
+  EXPECT_DEATH(surviving_points(bad, 2), "");
+}
+
+}  // namespace
+}  // namespace skc

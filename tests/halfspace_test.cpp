@@ -1,0 +1,154 @@
+#include "skc/assign/halfspace.h"
+
+#include <gtest/gtest.h>
+
+#include "skc/assign/capacitated_assignment.h"
+#include "skc/solve/cost.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+TEST(HalfspaceValue, SignReflectsCloserCenter) {
+  PointSet s(2);
+  s.push_back({0, 0});   // p
+  s.push_back({1, 0});   // z_i (closer)
+  s.push_back({10, 0});  // z_j
+  EXPECT_LT(halfspace_value(s[0], s[1], s[2], LrOrder{2.0}), 0.0);
+  EXPECT_GT(halfspace_value(s[0], s[2], s[1], LrOrder{2.0}), 0.0);
+}
+
+TEST(HalfspaceLess, OrdersByValueThenAlphabetical) {
+  PointSet s(1);
+  s.push_back({1});
+  s.push_back({2});
+  PointSet z(1);
+  z.push_back({0});
+  z.push_back({10});
+  // val increases with coordinate toward z_j? For z_i = 0, z_j = 10:
+  // val(x) = x^2 - (10-x)^2 = 20x - 100, increasing in x.
+  EXPECT_TRUE(halfspace_less(s[0], s[1], z[0], z[1], LrOrder{2.0}));
+  EXPECT_FALSE(halfspace_less(s[1], s[0], z[0], z[1], LrOrder{2.0}));
+  // Equal points: neither strictly less.
+  EXPECT_FALSE(halfspace_less(s[0], s[0], z[0], z[1], LrOrder{2.0}));
+}
+
+class CanonicalizationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CanonicalizationTest, OptimalAssignmentBecomesConsistent) {
+  const LrOrder r{GetParam()};
+  Rng rng(17 + static_cast<int>(GetParam() * 10));
+  for (int trial = 0; trial < 8; ++trial) {
+    PointSet pts = testutil::random_points(2, 64, 12, rng);
+    PointSet centers = testutil::random_points(2, 64, 3, rng);
+    const WeightedPointSet w = WeightedPointSet::unit(pts);
+    const auto opt = optimal_capacitated_assignment(w, centers, 4.0, r);
+    ASSERT_TRUE(opt.feasible);
+
+    std::vector<CenterIndex> assignment = opt.assignment;
+    const AssignmentEval before = evaluate_assignment(w, centers, r, assignment);
+    canonicalize_assignment(pts, centers, r, assignment);
+    const AssignmentEval after = evaluate_assignment(w, centers, r, assignment);
+
+    EXPECT_TRUE(is_halfspace_consistent(pts, centers, r, assignment));
+    // Cost never increases; sizes are preserved exactly.
+    EXPECT_LE(after.cost, before.cost + 1e-6);
+    EXPECT_EQ(after.loads, before.loads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CanonicalizationTest, ::testing::Values(1.0, 2.0, 3.0));
+
+TEST(Canonicalization, FixesAManufacturedInversion) {
+  // Two centers on a line; assign the far point to the near center and vice
+  // versa — one switch must fix it.
+  PointSet pts(1);
+  pts.push_back({1});
+  pts.push_back({9});
+  PointSet centers(1);
+  centers.push_back({0});
+  centers.push_back({10});
+  std::vector<CenterIndex> assignment = {1, 0};  // inverted
+  EXPECT_FALSE(is_halfspace_consistent(pts, centers, LrOrder{2.0}, assignment));
+  const std::int64_t switches =
+      canonicalize_assignment(pts, centers, LrOrder{2.0}, assignment);
+  EXPECT_EQ(switches, 1);
+  EXPECT_EQ(assignment[0], 0);
+  EXPECT_EQ(assignment[1], 1);
+}
+
+TEST(Canonicalization, ConsistentInputUntouched) {
+  PointSet pts(1);
+  pts.push_back({1});
+  pts.push_back({9});
+  PointSet centers(1);
+  centers.push_back({0});
+  centers.push_back({10});
+  std::vector<CenterIndex> assignment = {0, 1};
+  EXPECT_EQ(canonicalize_assignment(pts, centers, LrOrder{2.0}, assignment), 0);
+}
+
+TEST(AssignmentHalfspaces, RegionsRecoverTheAssignment) {
+  Rng rng(23);
+  for (int trial = 0; trial < 8; ++trial) {
+    PointSet pts = testutil::random_points(2, 128, 15, rng);
+    PointSet centers = testutil::random_points(2, 128, 3, rng);
+    const WeightedPointSet w = WeightedPointSet::unit(pts);
+    const auto opt = optimal_capacitated_assignment(w, centers, 5.0, LrOrder{2.0});
+    ASSERT_TRUE(opt.feasible);
+    std::vector<CenterIndex> assignment = opt.assignment;
+    canonicalize_assignment(pts, centers, LrOrder{2.0}, assignment);
+    const auto hs =
+        AssignmentHalfspaces::from_assignment(pts, centers, LrOrder{2.0}, assignment);
+    // Every fitting point must land in its own cluster's region (value ties
+    // aside, which random integer data avoids almost surely).
+    int mismatches = 0;
+    for (PointIndex i = 0; i < pts.size(); ++i) {
+      if (hs.region_of(pts[i]) != assignment[static_cast<std::size_t>(i)]) ++mismatches;
+    }
+    EXPECT_EQ(mismatches, 0);
+  }
+}
+
+TEST(AssignmentHalfspaces, EveryPointGetsARegionWithNonemptyClusters) {
+  Rng rng(29);
+  PointSet pts = testutil::random_points(2, 64, 12, rng);
+  PointSet centers = testutil::random_points(2, 64, 3, rng);
+  const WeightedPointSet w = WeightedPointSet::unit(pts);
+  const auto opt = optimal_capacitated_assignment(w, centers, 4.0, LrOrder{2.0});
+  ASSERT_TRUE(opt.feasible);
+  std::vector<CenterIndex> assignment = opt.assignment;
+  canonicalize_assignment(pts, centers, LrOrder{2.0}, assignment);
+  const auto hs =
+      AssignmentHalfspaces::from_assignment(pts, centers, LrOrder{2.0}, assignment);
+  // Probe fresh random points: with all clusters nonempty and thresholds
+  // finite, R_0 should be rare (region_of can still return it on exact
+  // boundary ties).
+  Rng prng(31);
+  PointSet probes = testutil::random_points(2, 64, 200, prng);
+  int r0 = 0;
+  for (PointIndex i = 0; i < probes.size(); ++i) {
+    if (hs.region_of(probes[i]) == kUnassigned) ++r0;
+  }
+  EXPECT_LE(r0, 10);
+}
+
+TEST(AssignmentHalfspaces, EmptyClusterRegionIsEmpty) {
+  PointSet pts(1);
+  pts.push_back({1});
+  pts.push_back({2});
+  PointSet centers(1);
+  centers.push_back({0});
+  centers.push_back({100});
+  std::vector<CenterIndex> assignment = {0, 0};  // cluster 1 empty
+  const auto hs =
+      AssignmentHalfspaces::from_assignment(pts, centers, LrOrder{2.0}, assignment);
+  PointSet probes(1);
+  for (Coord x = 1; x <= 120; x += 7) probes.push_back({x});
+  for (PointIndex i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(hs.region_of(probes[i]), 0);
+  }
+}
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,186 @@
+#include "skc/partition/heavy_cells.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+PartitionParams small_params(int k = 4, double r = 2.0) {
+  PartitionParams p;
+  p.k = k;
+  p.r = LrOrder{r};
+  p.heavy_bound_const = 8.0;
+  return p;
+}
+
+TEST(PartThreshold, ScalesWithOAndLevel) {
+  Rng rng(1);
+  HierarchicalGrid grid(2, 8, rng);
+  const PartitionParams params = small_params();
+  const double t1 = part_threshold(grid, params, 3, 1000.0);
+  const double t2 = part_threshold(grid, params, 3, 2000.0);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+  // Finer levels have smaller cells, hence larger thresholds for r > 0.
+  EXPECT_GT(part_threshold(grid, params, 4, 1000.0), t1);
+}
+
+TEST(DimTerm, MatchesFormula) {
+  EXPECT_DOUBLE_EQ(dim_term(4, LrOrder{2.0}), 64.0);   // 4^3
+  EXPECT_DOUBLE_EQ(dim_term(9, LrOrder{1.0}), 27.0);   // 9^1.5
+}
+
+TEST(PartitionOffline, PartsCoverAllPointsDisjointly) {
+  Rng rng(2);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 8;
+  cfg.clusters = 3;
+  cfg.n = 600;
+  PointSet pts = gaussian_mixture(cfg, rng);
+  HierarchicalGrid grid(2, 8, rng);
+
+  // o roughly at the clustering cost scale: use a mid-range guess where the
+  // partition is non-degenerate.
+  const OfflinePartition partition =
+      partition_offline(pts, grid, small_params(3), 1e6);
+  ASSERT_FALSE(partition.fail);
+
+  std::vector<int> covered(static_cast<std::size_t>(pts.size()), 0);
+  for (const Part& part : partition.parts) {
+    for (PointIndex p : part.points) covered[static_cast<std::size_t>(p)] += 1;
+  }
+  // Every point in exactly one part (root is heavy at this o).
+  EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                          [](int c) { return c == 1; }));
+}
+
+TEST(PartitionOffline, LargeOCollapsesToOnePart) {
+  // With an enormous o every threshold is huge: only the root can be heavy,
+  // so all points land in the single level-0 part under the root.
+  Rng rng(3);
+  PointSet pts = testutil::random_points(2, 200, 100, rng);
+  HierarchicalGrid grid(2, 8, rng);
+  const OfflinePartition partition =
+      partition_offline(pts, grid, small_params(), 1e18);
+  ASSERT_FALSE(partition.fail);
+  // Root not heavy for absurdly large o => no parts at all; or exactly the
+  // level-0 parts under the root.  Either way no deep heavy cells.
+  EXPECT_LE(partition.total_heavy, 1);
+}
+
+TEST(PartitionOffline, TinyOFails) {
+  // o = 1 makes every cell heavy on clustered data -> heavy-cell explosion.
+  Rng rng(4);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 10;
+  cfg.clusters = 4;
+  cfg.n = 4000;
+  cfg.spread = 0.05;
+  PointSet pts = gaussian_mixture(cfg, rng);
+  HierarchicalGrid grid(2, 10, rng);
+  const OfflinePartition partition = partition_offline(pts, grid, small_params(), 1.0);
+  EXPECT_TRUE(partition.fail);
+}
+
+TEST(PartitionOffline, HeavyCountsAreConsistent) {
+  Rng rng(5);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 8;
+  cfg.clusters = 2;
+  cfg.n = 500;
+  PointSet pts = gaussian_mixture(cfg, rng);
+  HierarchicalGrid grid(2, 8, rng);
+  const OfflinePartition partition =
+      partition_offline(pts, grid, small_params(2), 5e5);
+  ASSERT_FALSE(partition.fail);
+  const std::int64_t sum = std::accumulate(partition.heavy_per_level.begin(),
+                                           partition.heavy_per_level.end(),
+                                           std::int64_t{0});
+  EXPECT_EQ(sum, partition.total_heavy);
+}
+
+TEST(PartitionOffline, PartsSitUnderHeavyParents) {
+  Rng rng(6);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 8;
+  cfg.clusters = 3;
+  cfg.n = 800;
+  PointSet pts = gaussian_mixture(cfg, rng);
+  HierarchicalGrid grid(2, 8, rng);
+  const OfflinePartition partition =
+      partition_offline(pts, grid, small_params(3), 1e6);
+  ASSERT_FALSE(partition.fail);
+  for (const Part& part : partition.parts) {
+    EXPECT_EQ(part.parent.level, part.level - 1);
+    for (PointIndex p : part.points) {
+      EXPECT_TRUE(grid.contains(part.parent, pts[p]));
+    }
+  }
+}
+
+TEST(MarkCells, AgreesWithOfflineOnExactCounts) {
+  Rng rng(7);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 7;
+  cfg.clusters = 3;
+  cfg.n = 700;
+  PointSet pts = gaussian_mixture(cfg, rng);
+  HierarchicalGrid grid(2, 7, rng);
+  const PartitionParams params = small_params(3);
+  const double o = 3e5;
+
+  // Exact per-level cell counts (the estimates an ideal sketch would give).
+  LevelEstimates estimates(static_cast<std::size_t>(grid.log_delta()));
+  for (int level = 0; level < grid.log_delta(); ++level) {
+    std::unordered_map<CellKey, double, CellKeyHash> counts;
+    for (PointIndex i = 0; i < pts.size(); ++i) {
+      counts[grid.cell_of(pts[i], level)] += 1.0;
+    }
+    for (auto& [cell, count] : counts) {
+      estimates[static_cast<std::size_t>(level)].push_back(
+          EstimatedCell{cell.index, count});
+    }
+  }
+
+  const CellMarking marking =
+      mark_cells(grid, params, o, estimates, static_cast<double>(pts.size()));
+  const OfflinePartition partition = partition_offline(pts, grid, params, o);
+  ASSERT_FALSE(marking.fail);
+  ASSERT_FALSE(partition.fail);
+  EXPECT_EQ(marking.total_heavy, partition.total_heavy);
+  EXPECT_EQ(marking.heavy_per_level, partition.heavy_per_level);
+}
+
+TEST(MarkCells, NonHeavyRootBlocksEverything) {
+  Rng rng(8);
+  HierarchicalGrid grid(2, 6, rng);
+  LevelEstimates estimates(static_cast<std::size_t>(grid.log_delta()));
+  // A would-be-heavy level-0 cell, but the root (total) is below threshold.
+  estimates[0].push_back(EstimatedCell{{0, 0}, 1e12});
+  const CellMarking marking = mark_cells(grid, small_params(), 1e15, estimates, 1.0);
+  ASSERT_FALSE(marking.fail);
+  EXPECT_EQ(marking.total_heavy, 0);
+}
+
+TEST(HeavyCellsBound, GrowsWithKAndL) {
+  const PartitionParams params = small_params(4);
+  EXPECT_LT(heavy_cells_bound(params, 2, 6), heavy_cells_bound(params, 2, 12));
+  PartitionParams bigger_k = params;
+  bigger_k.k = 16;
+  EXPECT_LT(heavy_cells_bound(params, 2, 8), heavy_cells_bound(bigger_k, 2, 8));
+}
+
+}  // namespace
+}  // namespace skc

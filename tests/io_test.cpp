@@ -1,0 +1,90 @@
+#include "skc/geometry/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+TEST(IO, PointsRoundTrip) {
+  Rng rng(1);
+  PointSet pts = testutil::random_points(3, 1000, 50, rng);
+  std::stringstream ss;
+  write_points(ss, pts);
+  const PointsParseResult parsed = read_points(ss);
+  ASSERT_FALSE(parsed.error.has_value());
+  EXPECT_EQ(parsed.points, pts);
+}
+
+TEST(IO, AcceptsCommentsBlanksAndMixedSeparators) {
+  std::stringstream ss("# header\n\n1, 2\n3\t4\n  5 6  \n");
+  const PointsParseResult parsed = read_points(ss);
+  ASSERT_FALSE(parsed.error.has_value());
+  ASSERT_EQ(parsed.points.size(), 3);
+  EXPECT_EQ(parsed.points[1][0], 3);
+  EXPECT_EQ(parsed.points[2][1], 6);
+}
+
+TEST(IO, RejectsInconsistentDimensions) {
+  std::stringstream ss("1,2\n3,4,5\n");
+  const PointsParseResult parsed = read_points(ss);
+  ASSERT_TRUE(parsed.error.has_value());
+  EXPECT_EQ(parsed.error->line, 2u);
+}
+
+TEST(IO, RejectsNonNumeric) {
+  std::stringstream ss("1,two\n");
+  EXPECT_TRUE(read_points(ss).error.has_value());
+}
+
+TEST(IO, RejectsFractionalCoordinates) {
+  std::stringstream ss("1.5,2\n");
+  EXPECT_TRUE(read_points(ss).error.has_value());
+}
+
+TEST(IO, WeightedRoundTrip) {
+  WeightedPointSet w(2);
+  const std::vector<Coord> a = {1, 2}, b = {30, 40};
+  w.push_back(a, 3.0);
+  w.push_back(b, 7.0);
+  std::stringstream ss;
+  write_weighted(ss, w);
+  const WeightedParseResult parsed = read_weighted(ss);
+  ASSERT_FALSE(parsed.error.has_value());
+  EXPECT_EQ(parsed.points, w);
+}
+
+TEST(IO, WeightedRejectsNonPositiveWeight) {
+  std::stringstream ss("1,2,0\n");
+  EXPECT_TRUE(read_weighted(ss).error.has_value());
+}
+
+TEST(IO, CoresetHeaderCarriesMetadata) {
+  Coreset coreset;
+  coreset.o = 1234.5;
+  coreset.points = WeightedPointSet(1);
+  const std::vector<Coord> p = {9};
+  coreset.points.push_back(p, 4.0);
+  std::stringstream ss;
+  write_coreset(ss, coreset);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("o=1234.5"), std::string::npos);
+  EXPECT_NE(text.find("9,4"), std::string::npos);
+  // Round-trips through the weighted reader (comments skipped).
+  std::stringstream back(text);
+  const WeightedParseResult parsed = read_weighted(back);
+  ASSERT_FALSE(parsed.error.has_value());
+  EXPECT_EQ(parsed.points, coreset.points);
+}
+
+TEST(IO, MissingFileReportsError) {
+  const PointsParseResult parsed = read_points_file("/nonexistent/zzz.csv");
+  ASSERT_TRUE(parsed.error.has_value());
+  EXPECT_EQ(parsed.error->line, 0u);
+}
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,105 @@
+#include "skc/geometry/jl_transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "skc/geometry/metric.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+TEST(JlTransform, ImageStaysOnTargetGrid) {
+  Rng rng(1);
+  JlTransform jl(16, 4, 12, 1 << 10, rng);
+  Rng prng(2);
+  PointSet pts = testutil::random_points(16, 1 << 10, 200, prng);
+  const PointSet image = jl.apply(pts);
+  EXPECT_EQ(image.dim(), 4);
+  EXPECT_EQ(image.size(), 200);
+  EXPECT_TRUE(image.within_grid(1 << 12));
+}
+
+TEST(JlTransform, Deterministic) {
+  Rng rng_a(3), rng_b(3);
+  JlTransform a(8, 3, 10, 256, rng_a);
+  JlTransform b(8, 3, 10, 256, rng_b);
+  Rng prng(4);
+  PointSet pts = testutil::random_points(8, 256, 20, prng);
+  EXPECT_EQ(a.apply(pts), b.apply(pts));
+}
+
+TEST(JlTransform, PreservesPairwiseDistancesApproximately) {
+  // The JL property in aggregate: projected squared distances, rescaled by
+  // distance_scale()^2, track source squared distances within a modest
+  // factor for most pairs (m = 8 target dims gives ~1/sqrt(8) concentration).
+  Rng rng(5);
+  const int d = 32;
+  JlTransform jl(d, 8, 14, 1 << 10, rng);
+  Rng prng(6);
+  PointSet pts = testutil::random_points(d, 1 << 10, 60, prng);
+  const PointSet image = jl.apply(pts);
+  const double s2 = jl.distance_scale() * jl.distance_scale();
+
+  double ratio_sum = 0.0;
+  int pairs = 0;
+  int bad = 0;
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    for (PointIndex j = i + 1; j < pts.size(); ++j) {
+      const double src = static_cast<double>(dist_sq(pts[i], pts[j]));
+      const double img = static_cast<double>(dist_sq(image[i], image[j])) / s2;
+      if (src <= 0) continue;
+      const double ratio = img / src;
+      ratio_sum += ratio;
+      ++pairs;
+      if (ratio < 0.3 || ratio > 3.0) ++bad;
+    }
+  }
+  const double mean_ratio = ratio_sum / pairs;
+  EXPECT_GT(mean_ratio, 0.6);
+  EXPECT_LT(mean_ratio, 1.6);
+  EXPECT_LT(static_cast<double>(bad) / pairs, 0.08);
+}
+
+TEST(JlTransform, HighDimClusterStructureSurvivesProjection) {
+  // Project a well-separated 32-dimensional mixture to 6 dimensions: points
+  // of the same planted cluster must stay mutually closer than points of
+  // different clusters (on average), i.e. the clustering signal survives.
+  Rng rng(7);
+  MixtureConfig cfg;
+  cfg.dim = 32;
+  cfg.log_delta = 10;
+  cfg.clusters = 3;
+  cfg.n = 300;
+  cfg.spread = 0.01;
+  const PlantedMixture planted = planted_gaussian_mixture(cfg, rng);
+  Rng jl_rng(8);
+  JlTransform jl(32, 6, 12, 1 << 10, jl_rng);
+  const PointSet image = jl.apply(planted.points);
+
+  double within = 0.0, across = 0.0;
+  int nwithin = 0, nacross = 0;
+  Rng pair_rng(9);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const PointIndex a = static_cast<PointIndex>(pair_rng.next_below(300));
+    const PointIndex b = static_cast<PointIndex>(pair_rng.next_below(300));
+    if (a == b) continue;
+    const double d2 = static_cast<double>(dist_sq(image[a], image[b]));
+    if (planted.labels[static_cast<std::size_t>(a)] ==
+        planted.labels[static_cast<std::size_t>(b)]) {
+      within += d2;
+      ++nwithin;
+    } else {
+      across += d2;
+      ++nacross;
+    }
+  }
+  ASSERT_GT(nwithin, 100);
+  ASSERT_GT(nacross, 100);
+  EXPECT_LT(within / nwithin, 0.25 * across / nacross);
+}
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,157 @@
+#include "skc/solve/capacitated_kcenter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "skc/geometry/metric.h"
+#include "skc/solve/cost.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+TEST(KCenterAssign, HandComputedLineInstance) {
+  // Points 1, 2, 9, 10; centers at 1 and 10; capacity 2 forces {1,2} / {9,10}
+  // with radius 1.
+  PointSet pts(1);
+  pts.push_back({1});
+  pts.push_back({2});
+  pts.push_back({9});
+  pts.push_back({10});
+  PointSet centers(1);
+  centers.push_back({1});
+  centers.push_back({10});
+  const KCenterSolution sol =
+      capacitated_kcenter_assign(WeightedPointSet::unit(pts), centers, 2.0);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_DOUBLE_EQ(sol.radius, 1.0);
+  EXPECT_EQ(sol.assignment[0], 0);
+  EXPECT_EQ(sol.assignment[1], 0);
+  EXPECT_EQ(sol.assignment[2], 1);
+  EXPECT_EQ(sol.assignment[3], 1);
+}
+
+TEST(KCenterAssign, CapacityForcesLargerRadius) {
+  // 3 points near center 0, capacity 2: one must travel to center 1.
+  PointSet pts(1);
+  pts.push_back({1});
+  pts.push_back({2});
+  pts.push_back({3});
+  PointSet centers(1);
+  centers.push_back({2});
+  centers.push_back({50});
+  const auto loose =
+      capacitated_kcenter_assign(WeightedPointSet::unit(pts), centers, 3.0);
+  const auto tight =
+      capacitated_kcenter_assign(WeightedPointSet::unit(pts), centers, 2.0);
+  ASSERT_TRUE(loose.feasible);
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_DOUBLE_EQ(loose.radius, 1.0);
+  EXPECT_GT(tight.radius, 40.0);  // someone had to cross to 50
+}
+
+TEST(KCenterAssign, InfeasibleWhenCountsDontFit) {
+  PointSet pts(1);
+  for (Coord x = 1; x <= 5; ++x) pts.push_back({x});
+  PointSet centers(1);
+  centers.push_back({3});
+  const auto sol =
+      capacitated_kcenter_assign(WeightedPointSet::unit(pts), centers, 4.0);
+  EXPECT_FALSE(sol.feasible);
+}
+
+TEST(KCenterAssign, RadiusMonotoneInCapacity) {
+  Rng rng(1);
+  PointSet pts = testutil::random_points(2, 128, 40, rng);
+  PointSet centers = testutil::random_points(2, 128, 4, rng);
+  const WeightedPointSet w = WeightedPointSet::unit(pts);
+  double prev = kInfCost;
+  for (double t : {10.0, 12.0, 20.0, 40.0}) {
+    const auto sol = capacitated_kcenter_assign(w, centers, t);
+    ASSERT_TRUE(sol.feasible);
+    EXPECT_LE(sol.radius, prev + 1e-9);
+    for (double load : sol.loads) EXPECT_LE(load, t + 1e-9);
+    prev = sol.radius;
+  }
+}
+
+TEST(KCenterAssign, UnconstrainedMatchesNearestBottleneck) {
+  Rng rng(2);
+  PointSet pts = testutil::random_points(2, 256, 50, rng);
+  PointSet centers = testutil::random_points(2, 256, 3, rng);
+  const auto sol =
+      capacitated_kcenter_assign(WeightedPointSet::unit(pts), centers, 1e9);
+  ASSERT_TRUE(sol.feasible);
+  double bottleneck = 0.0;
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    bottleneck = std::max(
+        bottleneck, std::sqrt(nearest_center(pts[i], centers, LrOrder{2.0}).cost));
+  }
+  EXPECT_NEAR(sol.radius, bottleneck, 1e-9);
+}
+
+TEST(GonzalezSeed, SeedsAreFarApart) {
+  Rng rng(3);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 12;
+  cfg.clusters = 4;
+  cfg.n = 400;
+  cfg.spread = 0.005;
+  const PlantedMixture planted = planted_gaussian_mixture(cfg, rng);
+  Rng seed_rng(4);
+  const PointSet seeds = gonzalez_seed(planted.points, 4, seed_rng);
+  // Each seed lands near a distinct planted center (farthest-point property).
+  std::set<int> hit;
+  for (PointIndex i = 0; i < seeds.size(); ++i) {
+    hit.insert(nearest_center(seeds[i], planted.centers, LrOrder{2.0}).index);
+  }
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST(KCenter, EndToEndRespectsCapacityAndImproves) {
+  Rng rng(5);
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 10;
+  cfg.clusters = 3;
+  cfg.n = 90;
+  cfg.skew = 1.5;
+  const PointSet pts = gaussian_mixture(cfg, rng);
+  const double t = tight_capacity(90, 3);
+  Rng solver_rng(6);
+  const KCenterSolution sol =
+      capacitated_kcenter(pts, 3, t, KCenterOptions{}, solver_rng);
+  ASSERT_TRUE(sol.feasible);
+  for (double load : sol.loads) EXPECT_LE(load, t + 1e-9);
+  // The reported radius is the true bottleneck of the assignment.
+  double bottleneck = 0.0;
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    bottleneck = std::max(bottleneck,
+                          dist(pts[i], sol.centers[sol.assignment[static_cast<std::size_t>(i)]]));
+  }
+  EXPECT_NEAR(sol.radius, bottleneck, 1e-9);
+}
+
+TEST(KCenter, WeightedPointsCountWithMultiplicity) {
+  WeightedPointSet pts(1);
+  const std::vector<Coord> a = {1}, b = {10};
+  pts.push_back(a, 3.0);
+  pts.push_back(b, 1.0);
+  PointSet centers(1);
+  centers.push_back({1});
+  centers.push_back({10});
+  // Capacity 2: the weight-3 point cannot fit one center alone... it CAN be
+  // split in the flow but not in radius terms — with caps 2+2 = 4 >= 4 the
+  // flow splits the heavy point across both centers; the bottleneck then
+  // includes the 1 -> 10 leg.
+  const auto sol = capacitated_kcenter_assign(pts, centers, 2.0);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_GE(sol.radius, 9.0);
+}
+
+}  // namespace
+}  // namespace skc

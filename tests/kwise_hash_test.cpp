@@ -1,0 +1,113 @@
+#include "skc/hash/kwise_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "skc/common/random.h"
+#include "skc/common/types.h"
+
+namespace skc {
+namespace {
+
+std::vector<Coord> point(std::initializer_list<Coord> c) { return {c}; }
+
+TEST(VectorFold, DeterministicAndDiscriminating) {
+  Rng rng(1);
+  VectorFold fold(rng);
+  const auto a = point({1, 2, 3});
+  const auto b = point({1, 2, 4});
+  EXPECT_EQ(fold(std::span<const Coord>(a)), fold(std::span<const Coord>(a)));
+  EXPECT_NE(fold(std::span<const Coord>(a)), fold(std::span<const Coord>(b)));
+}
+
+TEST(VectorFold, OrderSensitive) {
+  Rng rng(2);
+  VectorFold fold(rng);
+  const auto a = point({1, 2});
+  const auto b = point({2, 1});
+  EXPECT_NE(fold(std::span<const Coord>(a)), fold(std::span<const Coord>(b)));
+}
+
+TEST(KWiseHash, ValuesInField) {
+  Rng rng(3);
+  KWiseHash hash(8, rng);
+  Rng points(4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = point({static_cast<Coord>(points.uniform_int(1, 1 << 20)),
+                          static_cast<Coord>(points.uniform_int(1, 1 << 20))});
+    EXPECT_LT(hash(std::span<const Coord>(p)), f61::kP);
+  }
+}
+
+TEST(KWiseHash, IndependenceAccessor) {
+  Rng rng(5);
+  KWiseHash hash(16, rng);
+  EXPECT_EQ(hash.independence(), 16);
+}
+
+TEST(SamplingRate, RoundsToUnitFractions) {
+  EXPECT_EQ(SamplingRate::from_probability(1.0).m, 1u);
+  EXPECT_EQ(SamplingRate::from_probability(0.5).m, 2u);
+  EXPECT_EQ(SamplingRate::from_probability(0.26).m, 4u);  // 1/0.26 ~ 3.85 -> 4
+  EXPECT_EQ(SamplingRate::from_probability(0.001).m, 1000u);
+  EXPECT_TRUE(SamplingRate::from_probability(1.0).always());
+  EXPECT_FALSE(SamplingRate::from_probability(0.5).always());
+}
+
+TEST(SamplingRate, WeightIsInverseProbability) {
+  const SamplingRate r = SamplingRate::from_probability(0.125);
+  EXPECT_DOUBLE_EQ(r.weight(), 8.0);
+  EXPECT_DOUBLE_EQ(r.probability(), 0.125);
+}
+
+TEST(KWiseSampler, EmpiricalRateMatches) {
+  Rng rng(6);
+  KWiseSampler sampler(8, SamplingRate{8}, rng);  // keep ~1/8
+  Rng points(7);
+  int kept = 0;
+  const int trials = 80000;
+  std::vector<Coord> p(3);
+  for (int i = 0; i < trials; ++i) {
+    for (auto& c : p) c = static_cast<Coord>(points.uniform_int(1, 1 << 16));
+    kept += sampler.keep(p) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / trials, 0.125, 0.01);
+}
+
+TEST(KWiseSampler, DeterministicMembership) {
+  Rng rng(8);
+  KWiseSampler sampler(8, SamplingRate{4}, rng);
+  const auto p = point({10, 20, 30});
+  const bool first = sampler.keep(p);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.keep(p), first);
+}
+
+TEST(KWiseSampler, PairwiseCorrelationIsSmall) {
+  // For a pairwise(+)-independent family, keep(a) and keep(b) should be
+  // nearly uncorrelated for distinct fixed a, b over random draws of the
+  // hash function.
+  Rng seeds(9);
+  const auto a = point({1, 1});
+  const auto b = point({100, 100});
+  int both = 0, a_only = 0, b_only = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    Rng rng(seeds.next());
+    KWiseSampler sampler(4, SamplingRate{4}, rng);
+    const bool ka = sampler.keep(a);
+    const bool kb = sampler.keep(b);
+    both += (ka && kb) ? 1 : 0;
+    a_only += ka ? 1 : 0;
+    b_only += kb ? 1 : 0;
+  }
+  const double pa = static_cast<double>(a_only) / trials;
+  const double pb = static_cast<double>(b_only) / trials;
+  const double pab = static_cast<double>(both) / trials;
+  EXPECT_NEAR(pa, 0.25, 0.03);
+  EXPECT_NEAR(pb, 0.25, 0.03);
+  EXPECT_NEAR(pab, pa * pb, 0.02);
+}
+
+}  // namespace
+}  // namespace skc

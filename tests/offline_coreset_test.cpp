@@ -1,0 +1,165 @@
+#include "skc/coreset/offline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "skc/solve/cost.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+MixtureConfig small_mixture(int n = 2000) {
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 10;
+  cfg.clusters = 4;
+  cfg.n = n;
+  cfg.spread = 0.02;
+  cfg.skew = 1.0;
+  return cfg;
+}
+
+TEST(OfflineCoreset, BuildsOnMixture) {
+  Rng rng(1);
+  PointSet pts = gaussian_mixture(small_mixture(), rng);
+  const CoresetParams params = CoresetParams::practical(4, LrOrder{2.0}, 0.3, 0.3);
+  const OfflineBuildResult result = build_offline_coreset(pts, params, 10);
+  ASSERT_TRUE(result.ok);
+  EXPECT_GT(result.coreset.points.size(), 0);
+  EXPECT_GT(result.coreset.o, 0.0);
+  EXPECT_TRUE(result.coreset.points.integral_weights());
+}
+
+TEST(OfflineCoreset, CoresetIsASubsetOfInput) {
+  Rng rng(2);
+  PointSet pts = gaussian_mixture(small_mixture(1000), rng);
+  const CoresetParams params = CoresetParams::practical(4, LrOrder{2.0}, 0.3, 0.3);
+  const OfflineBuildResult result = build_offline_coreset(pts, params, 10);
+  ASSERT_TRUE(result.ok);
+
+  std::set<std::vector<Coord>> input;
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    const auto p = pts[i];
+    input.insert(std::vector<Coord>(p.begin(), p.end()));
+  }
+  for (PointIndex i = 0; i < result.coreset.points.size(); ++i) {
+    const auto p = result.coreset.points.point(i);
+    EXPECT_TRUE(input.count(std::vector<Coord>(p.begin(), p.end())))
+        << "coreset point " << to_string(p) << " not in input";
+  }
+}
+
+TEST(OfflineCoreset, TotalWeightApproximatesN) {
+  Rng rng(3);
+  PointSet pts = gaussian_mixture(small_mixture(4000), rng);
+  const CoresetParams params = CoresetParams::practical(4, LrOrder{2.0}, 0.3, 0.3);
+  const OfflineBuildResult result = build_offline_coreset(pts, params, 10);
+  ASSERT_TRUE(result.ok);
+  // Unbiased estimator of the kept-part mass; dropped parts are small, so
+  // the total should be within a modest factor of n.
+  EXPECT_NEAR(result.coreset.total_weight(), static_cast<double>(pts.size()),
+              0.35 * static_cast<double>(pts.size()));
+}
+
+TEST(OfflineCoreset, TheoryParamsKeepEveryPointOfIncludedParts) {
+  // With the paper's constants phi_i == 1, so every surviving part is kept
+  // verbatim with weight 1: the coreset is exact on kept parts.
+  Rng rng(4);
+  PointSet pts = gaussian_mixture(small_mixture(500), rng);
+  const CoresetParams params = CoresetParams::theory(4, 2, 10, LrOrder{2.0}, 0.3, 0.3);
+  const OfflineBuildResult result = build_offline_coreset(pts, params, 10);
+  ASSERT_TRUE(result.ok);
+  for (PointIndex i = 0; i < result.coreset.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.coreset.points.weight(i), 1.0);
+  }
+  // gamma with theory constants is astronomically small -> no part dropped:
+  // the coreset IS the input (as a multiset).
+  EXPECT_EQ(testutil::canonical_multiset(result.coreset.points.points()),
+            testutil::canonical_multiset(pts));
+}
+
+TEST(OfflineCoreset, SmallestNonFailingGuessIsChosen) {
+  Rng rng(5);
+  PointSet pts = gaussian_mixture(small_mixture(1500), rng);
+  const CoresetParams params = CoresetParams::practical(4, LrOrder{2.0}, 0.3, 0.3);
+  const OfflineBuildResult result = build_offline_coreset(pts, params, 10);
+  ASSERT_TRUE(result.ok);
+  // Diagnostics: every guess before the accepted one failed.
+  const auto& outcomes = result.diagnostics.guess_outcomes;
+  const auto ok_pos = std::find(outcomes.begin(), outcomes.end(), "ok");
+  ASSERT_NE(ok_pos, outcomes.end());
+  for (auto it = outcomes.begin(); it != ok_pos; ++it) EXPECT_NE(*it, "ok");
+  EXPECT_EQ(result.diagnostics.guesses_tried.size(), outcomes.size());
+}
+
+TEST(OfflineCoreset, SizeIsSublinearInN) {
+  // E1's claim in miniature: quadrupling n should not quadruple the coreset.
+  Rng rng(6);
+  const CoresetParams params = CoresetParams::practical(4, LrOrder{2.0}, 0.3, 0.3);
+  PointSet small = gaussian_mixture(small_mixture(2000), rng);
+  PointSet large = gaussian_mixture(small_mixture(8000), rng);
+  const auto rs = build_offline_coreset(small, params, 10);
+  const auto rl = build_offline_coreset(large, params, 10);
+  ASSERT_TRUE(rs.ok);
+  ASSERT_TRUE(rl.ok);
+  EXPECT_LT(static_cast<double>(rl.coreset.points.size()),
+            2.5 * static_cast<double>(std::max<PointIndex>(rs.coreset.points.size(), 50)));
+}
+
+TEST(OfflineCoreset, DeterministicForSeed) {
+  Rng rng(7);
+  PointSet pts = gaussian_mixture(small_mixture(800), rng);
+  const CoresetParams params = CoresetParams::practical(4, LrOrder{2.0}, 0.3, 0.3);
+  const auto a = build_offline_coreset(pts, params, 10);
+  const auto b = build_offline_coreset(pts, params, 10);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.coreset.points, b.coreset.points);
+  EXPECT_EQ(a.coreset.o, b.coreset.o);
+}
+
+TEST(OfflineCoreset, LevelsAlignWithWeights) {
+  Rng rng(8);
+  PointSet pts = gaussian_mixture(small_mixture(1200), rng);
+  const CoresetParams params = CoresetParams::practical(4, LrOrder{2.0}, 0.3, 0.3);
+  const auto result = build_offline_coreset(pts, params, 10);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(static_cast<PointIndex>(result.coreset.levels.size()),
+            result.coreset.points.size());
+  for (PointIndex i = 0; i < result.coreset.points.size(); ++i) {
+    const int level = result.coreset.levels[static_cast<std::size_t>(i)];
+    ASSERT_GE(level, 0);
+    ASSERT_LE(level, 10);
+    EXPECT_DOUBLE_EQ(result.coreset.points.weight(i),
+                     result.coreset.level_weights[static_cast<std::size_t>(level)]);
+  }
+}
+
+TEST(MaxOptGuess, MatchesFormula) {
+  // n * (sqrt(d) * Delta)^r.
+  EXPECT_DOUBLE_EQ(max_opt_guess(10, 4, 3, LrOrder{2.0}), 10.0 * 4.0 * 64.0);
+  EXPECT_DOUBLE_EQ(max_opt_guess(5, 1, 2, LrOrder{1.0}), 5.0 * 4.0);
+}
+
+class OfflineCoresetOrderTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OfflineCoresetOrderTest, BuildsAcrossLrOrders) {
+  const LrOrder r{GetParam()};
+  Rng rng(9 + static_cast<int>(GetParam() * 7));
+  PointSet pts = gaussian_mixture(small_mixture(1500), rng);
+  const CoresetParams params = CoresetParams::practical(4, r, 0.3, 0.3);
+  const OfflineBuildResult result = build_offline_coreset(pts, params, 10);
+  ASSERT_TRUE(result.ok) << "r = " << r.r;
+  EXPECT_GT(result.coreset.points.size(), 20);
+  EXPECT_LT(result.coreset.points.size(), pts.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OfflineCoresetOrderTest,
+                         ::testing::Values(1.0, 2.0, 3.0));
+
+}  // namespace
+}  // namespace skc

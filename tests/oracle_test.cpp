@@ -1,0 +1,135 @@
+#include "skc/assign/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "skc/assign/construct.h"
+#include "skc/coreset/offline.h"
+#include "skc/geometry/metric.h"
+#include "skc/solve/capacitated_kmeans.h"
+#include "skc/solve/cost.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+struct Fixture {
+  PointSet points;
+  CoresetParams params;
+  Coreset coreset;
+  PointSet centers;
+  double t = 0.0;
+
+  static Fixture make(int n, int k, std::uint64_t seed) {
+    Fixture f;
+    Rng rng(seed);
+    MixtureConfig cfg;
+    cfg.dim = 2;
+    cfg.log_delta = 9;
+    cfg.clusters = k;
+    cfg.n = n;
+    cfg.spread = 0.02;
+    cfg.skew = 1.3;
+    f.points = gaussian_mixture(cfg, rng);
+    f.params = CoresetParams::practical(k, LrOrder{2.0}, 0.3, 0.3);
+    const OfflineBuildResult built = build_offline_coreset(f.points, f.params, 9);
+    EXPECT_TRUE(built.ok);
+    f.coreset = built.coreset;
+    f.t = tight_capacity(static_cast<double>(n), k) * 1.1;
+    Rng solver_rng(seed + 1);
+    const CapacitatedSolution sol = capacitated_kmeans(
+        f.coreset.points, k,
+        f.t * f.coreset.total_weight() / static_cast<double>(n), LrOrder{2.0},
+        CapacitatedSolverOptions{}, solver_rng);
+    EXPECT_TRUE(sol.feasible);
+    f.centers = sol.centers;
+    return f;
+  }
+};
+
+TEST(AssignmentPlan, CompilesAndClassifiesEveryPoint) {
+  Fixture f = Fixture::make(1500, 3, 21);
+  const AssignmentPlan plan(f.params, 9, f.coreset, f.centers, f.t,
+                            static_cast<double>(f.points.size()));
+  ASSERT_TRUE(plan.ok());
+  std::vector<double> loads(3, 0.0);
+  PointIndex transferred = 0;
+  for (PointIndex i = 0; i < f.points.size(); ++i) {
+    bool used_transfer = false;
+    const CenterIndex c = plan.classify(f.points[i], &used_transfer);
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 3);
+    loads[static_cast<std::size_t>(c)] += 1.0;
+    transferred += used_transfer ? 1 : 0;
+  }
+  // Most points go through the half-space transfer, and the load stays in
+  // the (1 + O(eta)) envelope.
+  EXPECT_GT(transferred, f.points.size() / 2);
+  EXPECT_LE(*std::max_element(loads.begin(), loads.end()), 1.8 * f.t);
+}
+
+TEST(AssignmentPlan, LoadBeatsNearestCenterOnSkewedData) {
+  Fixture f = Fixture::make(2500, 3, 23);
+  const AssignmentPlan plan(f.params, 9, f.coreset, f.centers, f.t,
+                            static_cast<double>(f.points.size()));
+  ASSERT_TRUE(plan.ok());
+  std::vector<double> plan_loads(3, 0.0), naive_loads(3, 0.0);
+  for (PointIndex i = 0; i < f.points.size(); ++i) {
+    plan_loads[static_cast<std::size_t>(plan.classify(f.points[i]))] += 1.0;
+    naive_loads[static_cast<std::size_t>(
+        nearest_center(f.points[i], f.centers, LrOrder{2.0}).index)] += 1.0;
+  }
+  const double plan_max = *std::max_element(plan_loads.begin(), plan_loads.end());
+  const double naive_max = *std::max_element(naive_loads.begin(), naive_loads.end());
+  if (naive_max > 1.25 * f.t) {
+    EXPECT_LT(plan_max, naive_max);
+  }
+  EXPECT_LE(plan_max, 1.6 * f.t);
+}
+
+TEST(AssignmentPlan, CompactFootprint) {
+  Fixture f = Fixture::make(12000, 4, 29);
+  const AssignmentPlan plan(f.params, 9, f.coreset, f.centers, f.t, 12000.0);
+  ASSERT_TRUE(plan.ok());
+  const std::size_t raw = static_cast<std::size_t>(f.points.size()) * 2 * sizeof(Coord);
+  // The plan must be far smaller than the data it classifies (its size is
+  // tied to heavy cells + parts + k^2 thresholds, not to n).
+  EXPECT_LT(plan.memory_bytes(), raw / 4);
+}
+
+TEST(AssignmentPlan, DeterministicClassification) {
+  Fixture f = Fixture::make(1000, 3, 31);
+  const AssignmentPlan a(f.params, 9, f.coreset, f.centers, f.t, 1000.0);
+  const AssignmentPlan b(f.params, 9, f.coreset, f.centers, f.t, 1000.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (PointIndex i = 0; i < f.points.size(); i += 7) {
+    EXPECT_EQ(a.classify(f.points[i]), b.classify(f.points[i]));
+  }
+}
+
+TEST(AssignmentPlan, AgreesWithBatchConstructionOnLoads) {
+  // The plan and assign_via_coreset use slightly different part information
+  // (plan: coreset-estimated; batch: exact partition of Q), so assignments
+  // need not match pointwise — but their load profiles must be close.
+  Fixture f = Fixture::make(2000, 3, 37);
+  const AssignmentPlan plan(f.params, 9, f.coreset, f.centers, f.t, 2000.0);
+  ASSERT_TRUE(plan.ok());
+  const FullAssignment batch =
+      assign_via_coreset(f.points, f.params, 9, f.coreset, f.centers, f.t);
+  ASSERT_TRUE(batch.feasible);
+  std::vector<double> plan_loads(3, 0.0);
+  for (PointIndex i = 0; i < f.points.size(); ++i) {
+    plan_loads[static_cast<std::size_t>(plan.classify(f.points[i]))] += 1.0;
+  }
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(plan_loads[static_cast<std::size_t>(c)],
+                batch.loads[static_cast<std::size_t>(c)],
+                0.25 * static_cast<double>(f.points.size()));
+  }
+}
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,74 @@
+#include "skc/coreset/params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "skc/common/random.h"
+
+namespace skc {
+namespace {
+
+TEST(CoresetParams, PracticalGammaSaturates) {
+  const CoresetParams p = CoresetParams::practical(8, LrOrder{2.0}, 0.2, 0.2);
+  EXPECT_DOUBLE_EQ(p.gamma(4, 14), 0.05);
+}
+
+TEST(CoresetParams, GammaShrinksWithTighterEps) {
+  CoresetParams p = CoresetParams::theory(4, 2, 10, LrOrder{2.0}, 0.3, 0.3);
+  CoresetParams tighter = CoresetParams::theory(4, 2, 10, LrOrder{2.0}, 0.03, 0.3);
+  EXPECT_LT(tighter.gamma(2, 10), p.gamma(2, 10));
+}
+
+TEST(CoresetParams, TheorySamplingDegeneratesToOne) {
+  // The paper's constants make phi_i = 1 at any realistic threshold: the
+  // coreset keeps every point of every included part.
+  const CoresetParams p = CoresetParams::theory(8, 4, 14, LrOrder{2.0}, 0.2, 0.2);
+  Rng rng(1);
+  HierarchicalGrid grid(4, 14, rng);
+  for (int level = 0; level <= 14; ++level) {
+    EXPECT_DOUBLE_EQ(p.sampling_probability(grid, level, 1e12), 1.0);
+  }
+}
+
+TEST(CoresetParams, PracticalSamplingDropsAtFineLevels) {
+  const CoresetParams p = CoresetParams::practical(8, LrOrder{2.0}, 0.2, 0.2);
+  Rng rng(2);
+  HierarchicalGrid grid(4, 14, rng);
+  const double o = 1e10;
+  // T_i grows with the level, so phi_i decreases.
+  double prev = 2.0;
+  for (int level = 0; level <= 14; ++level) {
+    const double phi = p.sampling_probability(grid, level, o);
+    EXPECT_LE(phi, prev + 1e-12);
+    prev = phi;
+  }
+  EXPECT_LT(p.sampling_probability(grid, 14, o), 1.0);
+}
+
+TEST(CoresetParams, MassBoundGrowsWithKAndDim) {
+  const CoresetParams p = CoresetParams::practical(8, LrOrder{2.0}, 0.2, 0.2);
+  EXPECT_LT(p.mass_bound(2, 10), p.mass_bound(8, 10));
+  const CoresetParams bigger = CoresetParams::practical(32, LrOrder{2.0}, 0.2, 0.2);
+  EXPECT_LT(p.mass_bound(2, 10), bigger.mass_bound(2, 10));
+}
+
+TEST(CoresetParams, PartitionViewIsConsistent) {
+  const CoresetParams p = CoresetParams::practical(5, LrOrder{1.0}, 0.1, 0.1);
+  const PartitionParams pp = p.partition();
+  EXPECT_EQ(pp.k, 5);
+  EXPECT_EQ(pp.r.r, 1.0);
+  EXPECT_DOUBLE_EQ(pp.threshold_const, p.threshold_const);
+  EXPECT_DOUBLE_EQ(pp.heavy_bound_const, p.heavy_bound_const);
+}
+
+TEST(CoresetParams, TheoryConstantsMatchPaper) {
+  const CoresetParams p = CoresetParams::theory(4, 2, 8, LrOrder{2.0}, 0.2, 0.2);
+  EXPECT_DOUBLE_EQ(p.threshold_const, 0.01);
+  EXPECT_DOUBLE_EQ(p.heavy_bound_const, 20000.0);
+  EXPECT_DOUBLE_EQ(p.mass_bound_const, 10000.0);
+  EXPECT_DOUBLE_EQ(p.gamma_const, std::pow(2.0, -24.0));  // 2^{-2(r+10)}, r=2
+}
+
+}  // namespace
+}  // namespace skc

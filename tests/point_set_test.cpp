@@ -1,0 +1,140 @@
+#include "skc/geometry/point_set.h"
+
+#include <gtest/gtest.h>
+
+#include "skc/geometry/weighted_set.h"
+
+namespace skc {
+namespace {
+
+TEST(PointSet, EmptyBasics) {
+  PointSet s(3);
+  EXPECT_EQ(s.dim(), 3);
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.max_coord(), 0);
+}
+
+TEST(PointSet, PushAndAccess) {
+  PointSet s(2);
+  s.push_back({1, 2});
+  s.push_back({3, 4});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s[0][0], 1);
+  EXPECT_EQ(s[0][1], 2);
+  EXPECT_EQ(s[1][0], 3);
+  EXPECT_EQ(s[1][1], 4);
+}
+
+TEST(PointSet, MutablePoint) {
+  PointSet s(2);
+  s.push_back({1, 2});
+  s.mutable_point(0)[1] = 9;
+  EXPECT_EQ(s[0][1], 9);
+}
+
+TEST(PointSet, Append) {
+  PointSet a(2), b(2);
+  a.push_back({1, 1});
+  b.push_back({2, 2});
+  b.push_back({3, 3});
+  a.append(b);
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_EQ(a[2][0], 3);
+}
+
+TEST(PointSet, SwapRemove) {
+  PointSet s(1);
+  s.push_back({1});
+  s.push_back({2});
+  s.push_back({3});
+  s.swap_remove(0);
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s[0][0], 3);  // last swapped in
+  EXPECT_EQ(s[1][0], 2);
+  s.swap_remove(1);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s[0][0], 3);
+}
+
+TEST(PointSet, MinMaxCoord) {
+  PointSet s(2);
+  s.push_back({5, 17});
+  s.push_back({3, 8});
+  EXPECT_EQ(s.max_coord(), 17);
+  EXPECT_EQ(s.min_coord(), 3);
+}
+
+TEST(PointSet, WithinGrid) {
+  PointSet s(2);
+  s.push_back({1, 16});
+  EXPECT_TRUE(s.within_grid(16));
+  EXPECT_FALSE(s.within_grid(15));
+  s.push_back({0, 4});  // below 1
+  EXPECT_FALSE(s.within_grid(16));
+}
+
+TEST(PointSet, EqualityIsStructural) {
+  PointSet a(2), b(2);
+  a.push_back({1, 2});
+  b.push_back({1, 2});
+  EXPECT_EQ(a, b);
+  b.push_back({3, 4});
+  EXPECT_NE(a, b);
+}
+
+TEST(GridLogDelta, RoundsUpToPowerOfTwo) {
+  EXPECT_EQ(grid_log_delta(1), 1);
+  EXPECT_EQ(grid_log_delta(2), 1);
+  EXPECT_EQ(grid_log_delta(3), 2);
+  EXPECT_EQ(grid_log_delta(4), 2);
+  EXPECT_EQ(grid_log_delta(5), 3);
+  EXPECT_EQ(grid_log_delta(1000), 10);
+  EXPECT_EQ(grid_log_delta(1024), 10);
+  EXPECT_EQ(grid_log_delta(1025), 11);
+}
+
+TEST(ToString, RendersCoordinates) {
+  PointSet s(3);
+  s.push_back({1, -2, 30});
+  EXPECT_EQ(to_string(s[0]), "(1, -2, 30)");
+}
+
+TEST(WeightedPointSet, UnitWrapsWithOnes) {
+  PointSet s(2);
+  s.push_back({1, 2});
+  s.push_back({3, 4});
+  const WeightedPointSet w = WeightedPointSet::unit(s);
+  EXPECT_EQ(w.size(), 2);
+  EXPECT_DOUBLE_EQ(w.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.total_weight(), 2.0);
+  EXPECT_TRUE(w.integral_weights());
+}
+
+TEST(WeightedPointSet, RejectsNonPositiveWeights) {
+  WeightedPointSet w(1);
+  const std::vector<Coord> p = {1};
+  EXPECT_DEATH(w.push_back(p, 0.0), "");
+}
+
+TEST(WeightedPointSet, IntegralWeightDetection) {
+  WeightedPointSet w(1);
+  const std::vector<Coord> p = {1};
+  w.push_back(p, 4.0);
+  EXPECT_TRUE(w.integral_weights());
+  w.push_back(p, 2.5);
+  EXPECT_FALSE(w.integral_weights());
+}
+
+TEST(WeightedPointSet, AppendAccumulates) {
+  WeightedPointSet a(1), b(1);
+  const std::vector<Coord> p = {1};
+  a.push_back(p, 1.0);
+  b.push_back(p, 2.0);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 3.0);
+}
+
+}  // namespace
+}  // namespace skc

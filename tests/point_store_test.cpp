@@ -1,0 +1,158 @@
+#include "skc/sketch/point_store.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+TEST(CellPointStore, RoundTripsPointsPerCell) {
+  Rng rng(1);
+  HierarchicalGrid grid(2, 8, rng);
+  PointStoreConfig cfg;
+  CellPointStore store(grid, 4, cfg);
+  Rng prng(2);
+  PointSet pts = testutil::random_points(2, 256, 100, prng);
+  for (PointIndex i = 0; i < pts.size(); ++i) store.update(pts[i], +1);
+
+  PointSet recovered(2);
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    const CellKey key = grid.cell_of(pts[i], 4);
+    const auto cp = store.cell(key);
+    ASSERT_TRUE(cp.has_value());
+    EXPECT_TRUE(cp->complete);
+  }
+  for (const auto& [key, cp] : store.all_cells()) {
+    recovered.append(cp.points);
+  }
+  EXPECT_EQ(testutil::canonical_multiset(recovered), testutil::canonical_multiset(pts));
+}
+
+TEST(CellPointStore, DeletionsCancelExactly) {
+  Rng rng(3);
+  HierarchicalGrid grid(2, 6, rng);
+  PointStoreConfig cfg;
+  CellPointStore store(grid, 3, cfg);
+  PointSet p(2);
+  p.push_back({5, 5});
+  store.update(p[0], +1);
+  store.update(p[0], +1);
+  store.update(p[0], -1);
+  const auto cp = store.cell(grid.cell_of(p[0], 3));
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->net_count, 1);
+  EXPECT_EQ(cp->points.size(), 1);
+}
+
+TEST(CellPointStore, WatermarkEvictsHeavyCells) {
+  // Zero shift so cell membership is deterministic: level-2 cells have side
+  // 16 anchored at 0, so x in [17, 31] shares one cell and 60..61 another.
+  HierarchicalGrid grid(2, 6, std::vector<Coord>{0, 0});
+  PointStoreConfig cfg;
+  cfg.watermark = 10;
+  CellPointStore store(grid, 2, cfg);
+  // 20 points in one cell: evicted; 3 in another: kept.
+  PointSet heavy(2);
+  for (Coord x = 17; x <= 31; ++x) heavy.push_back({x, 17});
+  for (Coord x = 17; x <= 21; ++x) heavy.push_back({x, 18});
+  for (PointIndex i = 0; i < heavy.size(); ++i) store.update(heavy[i], +1);
+  PointSet light(2);
+  light.push_back({60, 60});
+  light.push_back({61, 60});
+  light.push_back({60, 61});
+  for (PointIndex i = 0; i < light.size(); ++i) store.update(light[i], +1);
+
+  const CellKey heavy_cell = grid.cell_of(heavy[0], 2);
+  const CellKey light_cell = grid.cell_of(light[0], 2);
+  ASSERT_NE(heavy_cell, light_cell);
+
+  const auto hc = store.cell(heavy_cell);
+  ASSERT_TRUE(hc.has_value());
+  EXPECT_FALSE(hc->complete);
+  EXPECT_EQ(hc->net_count, 20);  // net count survives eviction
+  EXPECT_TRUE(hc->points.empty());
+
+  const auto lc = store.cell(light_cell);
+  ASSERT_TRUE(lc.has_value());
+  EXPECT_TRUE(lc->complete);
+  EXPECT_EQ(lc->points.size(), 3);
+}
+
+TEST(CellPointStore, ExactModeNeverEvicts) {
+  Rng rng(5);
+  HierarchicalGrid grid(2, 6, rng);
+  PointStoreConfig cfg;
+  cfg.watermark = 4;
+  cfg.exact = true;
+  CellPointStore store(grid, 2, cfg);
+  PointSet pts(2);
+  for (Coord x = 1; x <= 30; ++x) pts.push_back({x, 1});
+  for (PointIndex i = 0; i < pts.size(); ++i) store.update(pts[i], +1);
+  for (const auto& [key, cp] : store.all_cells()) {
+    EXPECT_TRUE(cp.complete);
+  }
+}
+
+TEST(CellPointStore, LivePointCapKillsStructure) {
+  Rng rng(6);
+  HierarchicalGrid grid(2, 10, rng);
+  PointStoreConfig cfg;
+  cfg.watermark = 1000;
+  cfg.max_live_points = 50;
+  CellPointStore store(grid, 8, cfg);
+  Rng prng(7);
+  PointSet pts = testutil::random_points(2, 1024, 200, prng);
+  for (PointIndex i = 0; i < pts.size(); ++i) store.update(pts[i], +1);
+  EXPECT_TRUE(store.dead());
+  EXPECT_TRUE(store.all_cells().empty());
+  EXPECT_LT(store.memory_bytes(), 1000u);
+}
+
+TEST(CellPointStore, MergeMatchesConcatenation) {
+  Rng rng(8);
+  HierarchicalGrid grid(2, 7, rng);
+  PointStoreConfig cfg;
+  CellPointStore a(grid, 3, cfg);
+  CellPointStore b(grid, 3, cfg);
+  CellPointStore both(grid, 3, cfg);
+  Rng prng(9);
+  PointSet pa = testutil::random_points(2, 128, 50, prng);
+  PointSet pb = testutil::random_points(2, 128, 50, prng);
+  for (PointIndex i = 0; i < pa.size(); ++i) {
+    a.update(pa[i], +1);
+    both.update(pa[i], +1);
+  }
+  for (PointIndex i = 0; i < pb.size(); ++i) {
+    b.update(pb[i], +1);
+    both.update(pb[i], +1);
+  }
+  a.merge(b);
+  PointSet merged(2), direct(2);
+  for (const auto& [key, cp] : a.all_cells()) merged.append(cp.points);
+  for (const auto& [key, cp] : both.all_cells()) direct.append(cp.points);
+  EXPECT_EQ(testutil::canonical_multiset(merged), testutil::canonical_multiset(direct));
+}
+
+TEST(CellPointStore, ChurnLeavesOnlySurvivors) {
+  Rng rng(10);
+  HierarchicalGrid grid(2, 7, rng);
+  PointStoreConfig cfg;
+  cfg.watermark = 1 << 20;  // effectively off
+  CellPointStore store(grid, 4, cfg);
+  Rng prng(11);
+  PointSet keep = testutil::random_points(2, 128, 40, prng);
+  PointSet churn = testutil::random_points(2, 128, 60, prng);
+  for (PointIndex i = 0; i < keep.size(); ++i) store.update(keep[i], +1);
+  for (PointIndex i = 0; i < churn.size(); ++i) store.update(churn[i], +1);
+  for (PointIndex i = 0; i < churn.size(); ++i) store.update(churn[i], -1);
+  PointSet recovered(2);
+  for (const auto& [key, cp] : store.all_cells()) {
+    EXPECT_TRUE(cp.complete);
+    recovered.append(cp.points);
+  }
+  EXPECT_EQ(testutil::canonical_multiset(recovered), testutil::canonical_multiset(keep));
+}
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,193 @@
+#include "skc/sketch/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "skc/common/random.h"
+
+namespace skc {
+namespace {
+
+using Item = std::vector<std::int64_t>;
+
+std::map<Item, std::int64_t> decode_map(const SparseRecovery& sketch) {
+  auto decoded = sketch.decode();
+  EXPECT_TRUE(decoded.has_value());
+  std::map<Item, std::int64_t> out;
+  if (decoded) {
+    for (const RecoveredItem& it : *decoded) out[it.item] += it.count;
+  }
+  return out;
+}
+
+TEST(SparseRecovery, EmptyDecodesEmpty) {
+  SparseRecovery s({2, 8, 3, 1.5, 8}, 1);
+  EXPECT_TRUE(s.drained());
+  auto d = s.decode();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->empty());
+}
+
+TEST(SparseRecovery, SingleItemRoundTrip) {
+  SparseRecovery s({3, 8, 3, 1.5, 8}, 2);
+  const Item item = {5, -7, 123456};
+  s.update(item, 3);
+  auto m = decode_map(s);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[item], 3);
+}
+
+TEST(SparseRecovery, InsertDeleteCancels) {
+  SparseRecovery s({2, 8, 3, 1.5, 8}, 3);
+  const Item a = {1, 2};
+  const Item b = {3, 4};
+  s.update(a, 5);
+  s.update(b, 2);
+  s.update(a, -5);
+  EXPECT_FALSE(s.drained());
+  auto m = decode_map(s);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[b], 2);
+  s.update(b, -2);
+  EXPECT_TRUE(s.drained());
+}
+
+TEST(SparseRecovery, ManyItemsWithinCapacity) {
+  Rng rng(4);
+  SparseRecovery s({4, 64, 3, 1.5, 8}, 5);
+  std::map<Item, std::int64_t> truth;
+  for (int i = 0; i < 50; ++i) {
+    Item item(4);
+    for (auto& v : item) v = rng.uniform_int(-1000, 1000);
+    const std::int64_t count = rng.uniform_int(1, 9);
+    s.update(item, count);
+    truth[item] += count;
+  }
+  EXPECT_EQ(decode_map(s), truth);
+}
+
+TEST(SparseRecovery, OverCapacityFailsDecode) {
+  Rng rng(6);
+  SparseRecovery s({2, 8, 3, 1.5, 8}, 7);
+  for (int i = 0; i < 500; ++i) {
+    Item item = {rng.uniform_int(0, 1 << 20), rng.uniform_int(0, 1 << 20)};
+    s.update(item, 1);
+  }
+  EXPECT_FALSE(s.decode().has_value());
+}
+
+TEST(SparseRecovery, RecoversAfterMassDeletion) {
+  // Saturate far past capacity, then delete back down to a sparse state:
+  // the linear sketch must recover (the property real dynamic streams need).
+  Rng rng(8);
+  SparseRecovery s({2, 8, 3, 1.5, 8}, 9);
+  std::vector<Item> items;
+  for (int i = 0; i < 300; ++i) {
+    items.push_back({rng.uniform_int(0, 1 << 30), rng.uniform_int(0, 1 << 30)});
+    s.update(items.back(), 1);
+  }
+  for (int i = 10; i < 300; ++i) s.update(items[static_cast<std::size_t>(i)], -1);
+  std::map<Item, std::int64_t> truth;
+  for (int i = 0; i < 10; ++i) truth[items[static_cast<std::size_t>(i)]] += 1;
+  EXPECT_EQ(decode_map(s), truth);
+}
+
+TEST(SparseRecovery, MergeEqualsUnion) {
+  const SparseRecovery::Config cfg{3, 32, 3, 1.5, 8};
+  SparseRecovery a(cfg, 42), b(cfg, 42);
+  Rng rng(10);
+  std::map<Item, std::int64_t> truth;
+  for (int i = 0; i < 12; ++i) {
+    Item item = {rng.uniform_int(0, 99), rng.uniform_int(0, 99), rng.uniform_int(0, 99)};
+    a.update(item, 2);
+    truth[item] += 2;
+  }
+  for (int i = 0; i < 12; ++i) {
+    Item item = {rng.uniform_int(0, 99), rng.uniform_int(0, 99), rng.uniform_int(0, 99)};
+    b.update(item, 1);
+    truth[item] += 1;
+  }
+  a.merge(b);
+  EXPECT_EQ(decode_map(a), truth);
+}
+
+TEST(SparseRecovery, MergeRequiresSameSeed) {
+  const SparseRecovery::Config cfg{2, 8, 3, 1.5, 8};
+  SparseRecovery a(cfg, 1), b(cfg, 2);
+  EXPECT_DEATH(a.merge(b), "");
+}
+
+TEST(SparseRecovery, CoordSpanOverload) {
+  SparseRecovery s({2, 8, 3, 1.5, 8}, 11);
+  const std::vector<Coord> p = {7, -9};
+  s.update(std::span<const Coord>(p), 4);
+  const Item as64 = {7, -9};
+  auto m = decode_map(s);
+  EXPECT_EQ(m[as64], 4);
+}
+
+TEST(SparseRecovery, MemoryIsCapacityBound) {
+  SparseRecovery small({4, 8, 3, 1.5, 8}, 1);
+  SparseRecovery big({4, 512, 3, 1.5, 8}, 1);
+  EXPECT_LT(small.memory_bytes(), big.memory_bytes());
+  EXPECT_LT(big.memory_bytes(), 4u << 20);  // sane absolute bound
+}
+
+TEST(SparseRecovery, MidpointCancellationRegression) {
+  // Regression for a linear-fingerprint bug: a bucket holding items i and j
+  // with even coordinate sums must NOT verify against their midpoint
+  // ((i+j)/2 repeated twice).  With small integer items and many seeds this
+  // is overwhelmingly likely to trip a linear fingerprint.
+  Rng seeds(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    SparseRecovery s({2, 4, 1, 1.0, 8}, seeds.next());  // 1 rep, few buckets
+    Rng rng(trial);
+    std::map<Item, std::int64_t> truth;
+    for (int i = 0; i < 6; ++i) {
+      Item item = {2 * rng.uniform_int(-5, 5), 2 * rng.uniform_int(-5, 5)};
+      s.update(item, 1);
+      truth[item] += 1;
+    }
+    auto decoded = s.decode();
+    if (!decoded) continue;  // stalling is allowed; WRONG output is not
+    std::map<Item, std::int64_t> got;
+    for (const RecoveredItem& it : *decoded) got[it.item] += it.count;
+    EXPECT_EQ(got, truth) << "trial " << trial;
+  }
+}
+
+class RecoveryPropertyTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RecoveryPropertyTest, RandomMultisetRoundTrip) {
+  const auto [item_len, distinct] = GetParam();
+  Rng rng(100 + item_len * 31 + distinct);
+  SparseRecovery s({item_len, 2 * distinct, 3, 1.5, 8}, rng.next());
+  std::map<Item, std::int64_t> truth;
+  // Build a random multiset with churn: random +/- updates on a pool.
+  std::vector<Item> pool;
+  for (int i = 0; i < distinct; ++i) {
+    Item item(static_cast<std::size_t>(item_len));
+    for (auto& v : item) v = rng.uniform_int(-5000, 5000);
+    pool.push_back(item);
+  }
+  for (int step = 0; step < distinct * 20; ++step) {
+    const Item& item = pool[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(pool.size())))];
+    std::int64_t delta = rng.bernoulli(0.6) ? 1 : -1;
+    if (truth[item] + delta < 0) delta = 1;  // keep the multiset nonnegative
+    s.update(item, delta);
+    truth[item] += delta;
+  }
+  std::erase_if(truth, [](const auto& kv) { return kv.second == 0; });
+  EXPECT_EQ(decode_map(s), truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RecoveryPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8), ::testing::Values(1, 4, 16, 64)));
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,138 @@
+#include "skc/assign/rounding.h"
+
+#include <gtest/gtest.h>
+
+#include "skc/solve/cost.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+WeightedPointSet line_points(std::initializer_list<std::pair<Coord, double>> pws) {
+  WeightedPointSet out(1);
+  for (const auto& [x, w] : pws) {
+    const std::vector<Coord> p = {x};
+    out.push_back(p, w);
+  }
+  return out;
+}
+
+PointSet line_centers(std::initializer_list<Coord> xs) {
+  PointSet out(1);
+  for (Coord x : xs) out.push_back({x});
+  return out;
+}
+
+TEST(FractionalAssignment, SplitPointCounting) {
+  FractionalAssignment f;
+  f.shares = {{{0, 1.0}}, {{0, 0.5}, {1, 0.5}}, {{1, 2.0}, {0, 0.0}}};
+  EXPECT_EQ(f.split_points(), 1);
+  const auto loads = f.loads(2);
+  EXPECT_DOUBLE_EQ(loads[0], 1.5);
+  EXPECT_DOUBLE_EQ(loads[1], 2.5);
+}
+
+TEST(CancelCycles, RemovesASimpleCycleWithoutCostIncrease) {
+  // Two points each split across the same two centers: the support graph is
+  // a 4-cycle.  Costs are symmetric so rotation is cost-neutral.
+  const WeightedPointSet pts = line_points({{10, 2.0}, {90, 2.0}});
+  const PointSet centers = line_centers({0, 100});
+  FractionalAssignment f;
+  f.shares = {{{0, 1.0}, {1, 1.0}}, {{0, 1.0}, {1, 1.0}}};
+  const double cost_before = f.cost(pts, centers, LrOrder{2.0});
+  const auto loads_before = f.loads(2);
+
+  const std::int64_t cancelled = cancel_cycles(f, pts, centers, LrOrder{2.0});
+  EXPECT_GE(cancelled, 1);
+  EXPECT_LE(f.cost(pts, centers, LrOrder{2.0}), cost_before + 1e-9);
+  const auto loads_after = f.loads(2);
+  EXPECT_DOUBLE_EQ(loads_after[0], loads_before[0]);
+  EXPECT_DOUBLE_EQ(loads_after[1], loads_before[1]);
+  EXPECT_LE(f.split_points(), 1);  // forest: at most k-1 = 1 split point
+}
+
+TEST(CancelCycles, ForestInputUntouched) {
+  const WeightedPointSet pts = line_points({{10, 1.0}, {90, 1.0}});
+  const PointSet centers = line_centers({0, 100});
+  FractionalAssignment f;
+  f.shares = {{{0, 1.0}}, {{1, 1.0}}};
+  EXPECT_EQ(cancel_cycles(f, pts, centers, LrOrder{2.0}), 0);
+}
+
+TEST(CancelCycles, SuboptimalCycleStrictlyImproves) {
+  // Asymmetric costs: rotating the cycle one way is strictly cheaper.
+  const WeightedPointSet pts = line_points({{1, 2.0}, {99, 2.0}});
+  const PointSet centers = line_centers({0, 100});
+  FractionalAssignment f;
+  // Both points mostly on their FAR center — a bad fractional plan.
+  f.shares = {{{1, 1.5}, {0, 0.5}}, {{0, 1.5}, {1, 0.5}}};
+  const double before = f.cost(pts, centers, LrOrder{2.0});
+  cancel_cycles(f, pts, centers, LrOrder{2.0});
+  EXPECT_LT(f.cost(pts, centers, LrOrder{2.0}), before - 1.0);
+}
+
+TEST(RoundFractional, AtMostKMinus1SplitsAndNearestCenterCollapse) {
+  const WeightedPointSet pts = line_points({{10, 2.0}, {49, 2.0}, {90, 2.0}});
+  const PointSet centers = line_centers({0, 100});
+  FractionalAssignment f;
+  f.shares = {{{0, 2.0}}, {{0, 1.0}, {1, 1.0}}, {{1, 2.0}}};
+  const auto r = round_fractional_assignment(f, pts, centers, LrOrder{2.0});
+  EXPECT_EQ(r.split_points_rounded, 1);
+  EXPECT_EQ(r.assignment[0], 0);
+  EXPECT_EQ(r.assignment[1], 0);  // 49 is nearer to 0 than to 100
+  EXPECT_EQ(r.assignment[2], 1);
+  EXPECT_DOUBLE_EQ(r.loads[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.loads[1], 2.0);
+}
+
+TEST(RoundFractional, LoadOverflowBoundedByMaxWeightTimesKMinus1) {
+  // 3 centers, every point integral except the splits the forest allows.
+  Rng rng(51);
+  const int n = 20;
+  const int k = 3;
+  WeightedPointSet pts(2);
+  Rng prng(52);
+  for (int i = 0; i < n; ++i) {
+    const std::vector<Coord> p = {static_cast<Coord>(prng.uniform_int(1, 100)),
+                                  static_cast<Coord>(prng.uniform_int(1, 100))};
+    pts.push_back(p, 2.0);
+  }
+  PointSet centers = testutil::random_points(2, 100, k, prng);
+  // Build a fractional plan: equal thirds everywhere (heavily cyclic).
+  FractionalAssignment f;
+  f.shares.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < k; ++c) f.shares[static_cast<std::size_t>(i)].emplace_back(c, 2.0 / 3.0);
+  }
+  const auto before_loads = f.loads(k);
+  const auto r = round_fractional_assignment(f, pts, centers, LrOrder{2.0});
+  EXPECT_LE(r.split_points_rounded, k - 1);
+  for (int c = 0; c < k; ++c) {
+    EXPECT_LE(r.loads[static_cast<std::size_t>(c)],
+              before_loads[static_cast<std::size_t>(c)] + (k - 1) * 2.0 + 1e-9 +
+                  // cycle cancelling may shift integral loads too; allow the
+                  // theoretical slack of one max-weight per split plus the
+                  // rotation amount bounded by max share sums:
+                  2.0 * n / 3.0);
+  }
+  // Total load is conserved exactly.
+  double total = 0.0;
+  for (double l : r.loads) total += l;
+  EXPECT_NEAR(total, 2.0 * n, 1e-9);
+}
+
+TEST(RoundFractional, IntegralInputPassesThrough) {
+  const WeightedPointSet pts = line_points({{10, 1.0}, {90, 3.0}});
+  const PointSet centers = line_centers({0, 100});
+  FractionalAssignment f;
+  f.shares = {{{0, 1.0}}, {{1, 3.0}}};
+  const auto r = round_fractional_assignment(f, pts, centers, LrOrder{2.0});
+  EXPECT_EQ(r.cycles_cancelled, 0);
+  EXPECT_EQ(r.split_points_rounded, 0);
+  EXPECT_EQ(r.assignment[0], 0);
+  EXPECT_EQ(r.assignment[1], 1);
+  EXPECT_DOUBLE_EQ(r.cost, 1.0 * 100.0 + 3.0 * 100.0);
+}
+
+}  // namespace
+}  // namespace skc

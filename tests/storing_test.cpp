@@ -1,0 +1,175 @@
+#include "skc/sketch/storing.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+using CellMap = std::map<std::vector<std::int32_t>, std::int64_t>;
+
+CellMap ground_truth_cells(const PointSet& pts, const HierarchicalGrid& grid,
+                           int level) {
+  CellMap out;
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    const CellKey c = grid.cell_of(pts[i], level);
+    out[std::vector<std::int32_t>(c.index.begin(), c.index.end())] += 1;
+  }
+  return out;
+}
+
+CellMap result_cells(const StoringResult& r) {
+  CellMap out;
+  for (const StoredCell& c : r.cells) out[c.index] += c.count;
+  return out;
+}
+
+TEST(Storing, CellCountsMatchGroundTruth) {
+  Rng rng(1);
+  HierarchicalGrid grid(2, 8, rng);
+  Rng prng(2);
+  PointSet pts = testutil::random_points(2, 256, 60, prng);
+
+  StoringConfig cfg;
+  cfg.alpha = 128;
+  Storing storing(grid, 3, cfg, 99);
+  for (PointIndex i = 0; i < pts.size(); ++i) storing.update(pts[i], +1);
+
+  const StoringResult r = storing.finalize();
+  ASSERT_FALSE(r.fail) << r.fail_reason;
+  EXPECT_EQ(result_cells(r), ground_truth_cells(pts, grid, 3));
+}
+
+TEST(Storing, DeletionsAreExact) {
+  Rng rng(3);
+  HierarchicalGrid grid(3, 6, rng);
+  Rng prng(4);
+  PointSet keep = testutil::random_points(3, 64, 20, prng);
+  PointSet churn = testutil::random_points(3, 64, 40, prng);
+
+  StoringConfig cfg;
+  cfg.alpha = 128;
+  Storing storing(grid, 2, cfg, 7);
+  for (PointIndex i = 0; i < keep.size(); ++i) storing.update(keep[i], +1);
+  for (PointIndex i = 0; i < churn.size(); ++i) storing.update(churn[i], +1);
+  for (PointIndex i = 0; i < churn.size(); ++i) storing.update(churn[i], -1);
+
+  const StoringResult r = storing.finalize();
+  ASSERT_FALSE(r.fail) << r.fail_reason;
+  EXPECT_EQ(result_cells(r), ground_truth_cells(keep, grid, 2));
+}
+
+TEST(Storing, PointRecoveryReturnsActualPoints) {
+  Rng rng(5);
+  HierarchicalGrid grid(2, 8, rng);
+  Rng prng(6);
+  PointSet pts = testutil::random_points(2, 256, 30, prng);
+
+  StoringConfig cfg;
+  cfg.alpha = 64;
+  cfg.beta = 4;
+  Storing storing(grid, 4, cfg, 13);
+  for (PointIndex i = 0; i < pts.size(); ++i) storing.update(pts[i], +1);
+
+  const StoringResult r = storing.finalize();
+  ASSERT_FALSE(r.fail) << r.fail_reason;
+  PointSet recovered(2);
+  for (const StoredCell& c : r.cells) {
+    EXPECT_TRUE(c.points_complete);
+    recovered.append(c.points);
+  }
+  EXPECT_EQ(testutil::canonical_multiset(recovered), testutil::canonical_multiset(pts));
+}
+
+TEST(Storing, FailsWhenCellsExceedAlpha) {
+  Rng rng(7);
+  HierarchicalGrid grid(2, 10, rng);
+  Rng prng(8);
+  PointSet pts = testutil::random_points(2, 1024, 400, prng);
+
+  StoringConfig cfg;
+  cfg.alpha = 4;  // tiny budget
+  Storing storing(grid, 9, cfg, 21);
+  for (PointIndex i = 0; i < pts.size(); ++i) storing.update(pts[i], +1);
+  EXPECT_TRUE(storing.finalize().fail);
+}
+
+TEST(Storing, MergeMatchesConcatenatedStream) {
+  Rng rng(9);
+  HierarchicalGrid grid(2, 7, rng);
+  Rng prng(10);
+  PointSet a = testutil::random_points(2, 128, 25, prng);
+  PointSet b = testutil::random_points(2, 128, 25, prng);
+
+  StoringConfig cfg;
+  cfg.alpha = 128;
+  Storing sa(grid, 3, cfg, 33);
+  Storing sb(grid, 3, cfg, 33);
+  Storing both(grid, 3, cfg, 33);
+  for (PointIndex i = 0; i < a.size(); ++i) {
+    sa.update(a[i], +1);
+    both.update(a[i], +1);
+  }
+  for (PointIndex i = 0; i < b.size(); ++i) {
+    sb.update(b[i], +1);
+    both.update(b[i], +1);
+  }
+  sa.merge(sb);
+  const StoringResult merged = sa.finalize();
+  const StoringResult direct = both.finalize();
+  ASSERT_FALSE(merged.fail);
+  ASSERT_FALSE(direct.fail);
+  EXPECT_EQ(result_cells(merged), result_cells(direct));
+}
+
+TEST(Storing, DuplicatePointsCountWithMultiplicity) {
+  Rng rng(11);
+  HierarchicalGrid grid(2, 5, rng);
+  PointSet p(2);
+  p.push_back({5, 5});
+
+  StoringConfig cfg;
+  cfg.alpha = 8;
+  cfg.beta = 8;
+  Storing storing(grid, 2, cfg, 55);
+  for (int i = 0; i < 5; ++i) storing.update(p[0], +1);
+  storing.update(p[0], -1);
+
+  const StoringResult r = storing.finalize();
+  ASSERT_FALSE(r.fail) << r.fail_reason;
+  ASSERT_EQ(r.cells.size(), 1u);
+  EXPECT_EQ(r.cells[0].count, 4);
+  EXPECT_EQ(r.cells[0].points.size(), 4);
+  EXPECT_TRUE(r.cells[0].points_complete);
+}
+
+TEST(Storing, EventsCounterTracksUpdates) {
+  Rng rng(12);
+  HierarchicalGrid grid(1, 4, rng);
+  StoringConfig cfg;
+  Storing storing(grid, 1, cfg, 1);
+  PointSet p(1);
+  p.push_back({3});
+  storing.update(p[0], +1);
+  storing.update(p[0], -1);
+  EXPECT_EQ(storing.events(), 2);
+}
+
+TEST(Storing, MemoryIndependentOfStreamLength) {
+  Rng rng(13);
+  HierarchicalGrid grid(2, 8, rng);
+  StoringConfig cfg;
+  cfg.alpha = 32;
+  Storing storing(grid, 4, cfg, 2);
+  const std::size_t before = storing.memory_bytes();
+  Rng prng(14);
+  PointSet pts = testutil::random_points(2, 256, 500, prng);
+  for (PointIndex i = 0; i < pts.size(); ++i) storing.update(pts[i], +1);
+  EXPECT_EQ(storing.memory_bytes(), before);
+}
+
+}  // namespace
+}  // namespace skc

@@ -1,0 +1,192 @@
+#include "skc/coreset/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "skc/coreset/offline.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+MixtureConfig mixture(int n, int log_delta = 9) {
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = log_delta;
+  cfg.clusters = 3;
+  cfg.n = n;
+  cfg.spread = 0.02;
+  cfg.skew = 1.0;
+  return cfg;
+}
+
+/// Options that make the streaming path information-lossless: sampling
+/// rates psi/psi' forced to 1 and sketch capacities large enough to decode
+/// everything, so streamed estimates equal exact counts.
+StreamingOptions lossless_options(int log_delta, PointIndex n) {
+  StreamingOptions opt;
+  opt.log_delta = log_delta;
+  opt.max_points = n;
+  opt.counting_samples = 1e18;  // psi = psi' = 1
+  opt.exact_storing = true;     // plain-map reference structures
+  return opt;
+}
+
+TEST(StreamingCoreset, InsertionOnlyEqualsOffline) {
+  Rng rng(1);
+  PointSet pts = gaussian_mixture(mixture(700), rng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+
+  const OfflineBuildResult offline = build_offline_coreset(pts, params, 9);
+  ASSERT_TRUE(offline.ok);
+
+  StreamingCoresetBuilder builder(2, params, lossless_options(9, pts.size()));
+  builder.consume(insertion_stream(pts));
+  const StreamingResult streamed = builder.finalize();
+  ASSERT_TRUE(streamed.ok);
+
+  EXPECT_DOUBLE_EQ(streamed.coreset.o, offline.coreset.o);
+  EXPECT_EQ(testutil::canonical_multiset(streamed.coreset.points),
+            testutil::canonical_multiset(offline.coreset.points));
+}
+
+TEST(StreamingCoreset, DynamicStreamEqualsOfflineOnSurvivors) {
+  Rng rng(2);
+  PointSet base = gaussian_mixture(mixture(500), rng);
+  PointSet extra = gaussian_mixture(mixture(400), rng);
+  Rng srng(3);
+  const Stream stream = churn_stream(base, extra, ChurnConfig{}, srng);
+  const PointSet survivors = surviving_points(stream, 2);
+  ASSERT_EQ(testutil::canonical_multiset(survivors), testutil::canonical_multiset(base));
+
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  const OfflineBuildResult offline = build_offline_coreset(base, params, 9);
+  ASSERT_TRUE(offline.ok);
+
+  StreamingCoresetBuilder builder(2, params, lossless_options(9, base.size() + extra.size()));
+  builder.consume(stream);
+  EXPECT_EQ(builder.net_count(), base.size());
+  const StreamingResult streamed = builder.finalize();
+  ASSERT_TRUE(streamed.ok);
+  EXPECT_DOUBLE_EQ(streamed.coreset.o, offline.coreset.o);
+  EXPECT_EQ(testutil::canonical_multiset(streamed.coreset.points),
+            testutil::canonical_multiset(offline.coreset.points));
+}
+
+TEST(StreamingCoreset, AdversarialChurnStillMatchesOffline) {
+  Rng rng(4);
+  PointSet base = gaussian_mixture(mixture(400), rng);
+  PointSet extra = gaussian_mixture(mixture(400), rng);
+  ChurnConfig churn;
+  churn.adversarial = true;
+  Rng srng(5);
+  const Stream stream = churn_stream(base, extra, churn, srng);
+
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  const OfflineBuildResult offline = build_offline_coreset(base, params, 9);
+  ASSERT_TRUE(offline.ok);
+
+  StreamingCoresetBuilder builder(2, params, lossless_options(9, 800));
+  builder.consume(stream);
+  const StreamingResult streamed = builder.finalize();
+  ASSERT_TRUE(streamed.ok);
+  EXPECT_EQ(testutil::canonical_multiset(streamed.coreset.points),
+            testutil::canonical_multiset(offline.coreset.points));
+}
+
+TEST(StreamingCoreset, SampledRatesStillProduceUsableCoreset) {
+  // Realistic (sampled, small-sketch) configuration: the result will not be
+  // identical to offline, but must build and approximate the total weight.
+  Rng rng(6);
+  PointSet pts = gaussian_mixture(mixture(4000, 10), rng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+
+  StreamingOptions opt;
+  opt.log_delta = 10;
+  opt.max_points = pts.size();
+  StreamingCoresetBuilder builder(2, params, opt);
+  builder.consume(insertion_stream(pts));
+  const StreamingResult streamed = builder.finalize();
+  ASSERT_TRUE(streamed.ok);
+  EXPECT_GT(streamed.coreset.points.size(), 50);
+  EXPECT_NEAR(streamed.coreset.total_weight(), 4000.0, 2000.0);
+  EXPECT_TRUE(streamed.coreset.points.integral_weights());
+}
+
+TEST(StreamingCoreset, MemorySublinearInStreamLength) {
+  // E5's claim: sketch state is bounded by configuration caps, not by n.
+  // Feed 4x the data and require far less than 4x the memory (point buckets
+  // allocate lazily, so some growth up to the caps is expected).
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  StreamingOptions opt;
+  opt.log_delta = 10;
+  opt.max_points = 1 << 20;
+
+  auto run = [&](int n, std::uint64_t seed) {
+    StreamingCoresetBuilder builder(2, params, opt);
+    Rng rng(seed);
+    builder.consume(insertion_stream(gaussian_mixture(mixture(n, 10), rng)));
+    return builder.memory_bytes();
+  };
+  const std::size_t small = run(3000, 7);
+  const std::size_t large = run(12000, 7);
+  EXPECT_LT(static_cast<double>(large), 2.0 * static_cast<double>(small));
+
+  StreamingCoresetBuilder builder(2, params, opt);
+  EXPECT_GT(builder.memory_bytes_per_guess(), 0u);
+  EXPECT_LT(builder.memory_bytes_per_guess(), builder.memory_bytes());
+}
+
+TEST(StreamingCoreset, ORangeHintShrinksGuessCount) {
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  StreamingOptions full;
+  full.log_delta = 10;
+  full.max_points = 1 << 16;
+  StreamingOptions hinted = full;
+  hinted.o_min = 1e5;
+  hinted.o_max = 1e7;
+  StreamingCoresetBuilder a(2, params, full);
+  StreamingCoresetBuilder b(2, params, hinted);
+  EXPECT_GT(a.num_guesses(), b.num_guesses());
+  EXPECT_LT(b.memory_bytes(), a.memory_bytes());
+}
+
+TEST(StreamingCoreset, NetCountTracksInsertMinusDelete) {
+  const CoresetParams params = CoresetParams::practical(2, LrOrder{2.0}, 0.3, 0.3);
+  StreamingOptions opt;
+  opt.log_delta = 6;
+  opt.max_points = 100;
+  StreamingCoresetBuilder builder(2, params, opt);
+  const std::vector<Coord> p = {5, 5};
+  builder.insert(p);
+  builder.insert(p);
+  builder.erase(p);
+  EXPECT_EQ(builder.net_count(), 1);
+  EXPECT_EQ(builder.events(), 3);
+}
+
+TEST(StreamingCoreset, DiagnosticsExplainEveryGuess) {
+  Rng rng(8);
+  PointSet pts = gaussian_mixture(mixture(600), rng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  StreamingCoresetBuilder builder(2, params, lossless_options(9, pts.size()));
+  builder.consume(insertion_stream(pts));
+  const StreamingResult result = builder.finalize();
+  ASSERT_TRUE(result.ok);
+  // Outcomes are recorded up to and including the accepted guess.
+  EXPECT_EQ(result.diagnostics.guess_outcomes.back(), "ok");
+  EXPECT_EQ(result.diagnostics.guesses_tried.size(),
+            result.diagnostics.guess_outcomes.size());
+}
+
+TEST(StreamingCoreset, BuildStreamingConvenienceWrapper) {
+  Rng rng(9);
+  PointSet pts = gaussian_mixture(mixture(500), rng);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  const StreamingResult result = build_streaming_coreset(
+      insertion_stream(pts), 2, params, lossless_options(9, pts.size()));
+  EXPECT_TRUE(result.ok);
+}
+
+}  // namespace
+}  // namespace skc

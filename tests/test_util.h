@@ -1,0 +1,54 @@
+// Shared helpers for the streamkc test suite.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "skc/common/random.h"
+#include "skc/coreset/coreset.h"
+#include "skc/geometry/point_set.h"
+#include "skc/geometry/weighted_set.h"
+#include "skc/stream/generators.h"
+
+namespace skc::testutil {
+
+/// Random points in [1, delta]^d.
+inline PointSet random_points(int dim, Coord delta, PointIndex n, Rng& rng) {
+  PointSet out(dim);
+  out.reserve(n);
+  std::vector<Coord> buf(static_cast<std::size_t>(dim));
+  for (PointIndex i = 0; i < n; ++i) {
+    for (auto& v : buf) v = static_cast<Coord>(rng.uniform_int(1, delta));
+    out.push_back(buf);
+  }
+  return out;
+}
+
+/// Canonical multiset representation of a weighted set: sorted
+/// (coords, weight) pairs — order-insensitive equality for coresets.
+inline std::vector<std::pair<std::vector<Coord>, double>> canonical_multiset(
+    const WeightedPointSet& s) {
+  std::vector<std::pair<std::vector<Coord>, double>> out;
+  out.reserve(static_cast<std::size_t>(s.size()));
+  for (PointIndex i = 0; i < s.size(); ++i) {
+    const auto p = s.point(i);
+    out.emplace_back(std::vector<Coord>(p.begin(), p.end()), s.weight(i));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Canonical multiset of an unweighted set.
+inline std::vector<std::vector<Coord>> canonical_multiset(const PointSet& s) {
+  std::vector<std::vector<Coord>> out;
+  out.reserve(static_cast<std::size_t>(s.size()));
+  for (PointIndex i = 0; i < s.size(); ++i) {
+    const auto p = s[i];
+    out.emplace_back(p.begin(), p.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace skc::testutil

@@ -1,0 +1,122 @@
+#include "skc/assign/transfer.h"
+
+#include <gtest/gtest.h>
+
+#include "skc/assign/capacitated_assignment.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+/// Halfspaces splitting the line at x = 50 between centers 0 and 100.
+AssignmentHalfspaces line_halfspaces() {
+  PointSet pts(1);
+  pts.push_back({10});
+  pts.push_back({90});
+  PointSet centers(1);
+  centers.push_back({1});
+  centers.push_back({100});
+  std::vector<CenterIndex> assignment = {0, 1};
+  return AssignmentHalfspaces::from_assignment(pts, centers, LrOrder{2.0}, assignment);
+}
+
+TEST(EstimateRegions, SumsWeightsPerRegion) {
+  const auto hs = line_halfspaces();
+  PointSet samples(1);
+  samples.push_back({5});
+  samples.push_back({20});
+  samples.push_back({95});
+  const std::vector<double> weights = {2.0, 3.0, 7.0};
+  const RegionEstimates b = estimate_regions(hs, samples, weights);
+  ASSERT_EQ(b.size(), 3u);  // R_0 + two centers
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[1], 5.0);
+  EXPECT_DOUBLE_EQ(b[2], 7.0);
+}
+
+TEST(TransferredCenter, KeepsPopulatedRegion) {
+  const auto hs = line_halfspaces();
+  RegionEstimates b = {0.0, 50.0, 40.0};
+  TransferPolicy policy{0.01, 100.0};  // 2 xi T = 2
+  PointSet p(1);
+  p.push_back({10});
+  p.push_back({95});
+  EXPECT_EQ(transferred_center(hs, p[0], b, policy), 0);
+  EXPECT_EQ(transferred_center(hs, p[1], b, policy), 1);
+}
+
+TEST(TransferredCenter, ReroutesEmptyRegionToHeaviest) {
+  const auto hs = line_halfspaces();
+  // Region 1 (center 0's side) below the 2 xi T threshold.
+  RegionEstimates b = {0.0, 1.0, 90.0};
+  TransferPolicy policy{0.05, 100.0};  // 2 xi T = 10 > 1
+  PointSet p(1);
+  p.push_back({10});  // geometrically on center 0's side
+  EXPECT_EQ(transferred_center(hs, p[0], b, policy), 1);
+}
+
+TEST(TransferredCenter, ThresholdBoundaryIsInclusive) {
+  const auto hs = line_halfspaces();
+  TransferPolicy policy{0.05, 100.0};  // threshold = 10
+  RegionEstimates b = {0.0, 10.0, 90.0};
+  PointSet p(1);
+  p.push_back({10});
+  EXPECT_EQ(transferred_center(hs, p[0], b, policy), 0);  // b_i == 2 xi T keeps
+}
+
+TEST(TransferredAssignment, AppliesPointwise) {
+  const auto hs = line_halfspaces();
+  RegionEstimates b = {0.0, 50.0, 50.0};
+  TransferPolicy policy{0.01, 100.0};
+  PointSet pts(1);
+  pts.push_back({2});
+  pts.push_back({99});
+  pts.push_back({45});
+  const auto assignment = transferred_assignment(hs, pts, b, policy);
+  EXPECT_EQ(assignment[0], 0);
+  EXPECT_EQ(assignment[1], 1);
+  EXPECT_EQ(assignment[2], 0);  // 45 < 50 midpoint
+}
+
+TEST(TransferredAssignment, Lemma312SizeDriftIsBounded) {
+  // Build an optimal assignment, derive halfspaces, then perturb the region
+  // estimates within the xi tolerance: the transferred assignment's size
+  // vector should differ from the original by at most ~16 k xi * |P|.
+  Rng rng(41);
+  PointSet pts = testutil::random_points(2, 64, 40, rng);
+  PointSet centers = testutil::random_points(2, 64, 4, rng);
+  const WeightedPointSet w = WeightedPointSet::unit(pts);
+  const auto opt = optimal_capacitated_assignment(w, centers, 10.0, LrOrder{2.0});
+  ASSERT_TRUE(opt.feasible);
+  std::vector<CenterIndex> assignment = opt.assignment;
+  canonicalize_assignment(pts, centers, LrOrder{2.0}, assignment);
+  const auto hs =
+      AssignmentHalfspaces::from_assignment(pts, centers, LrOrder{2.0}, assignment);
+
+  const double T = 40.0;
+  const double xi = 0.01;
+  // Exact region counts, perturbed by +- xi T.
+  RegionEstimates b(5, 0.0);
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    const CenterIndex region = hs.region_of(pts[i]);
+    b[region == kUnassigned ? 0 : static_cast<std::size_t>(region) + 1] += 1.0;
+  }
+  Rng noise(43);
+  for (auto& v : b) v = std::max(0.0, v + noise.uniform(-xi * T, xi * T));
+
+  const auto transferred =
+      transferred_assignment(hs, pts, b, TransferPolicy{xi, T});
+  double drift = 0.0;
+  std::vector<double> s_old(4, 0.0), s_new(4, 0.0);
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    s_old[static_cast<std::size_t>(assignment[static_cast<std::size_t>(i)])] += 1;
+    s_new[static_cast<std::size_t>(transferred[static_cast<std::size_t>(i)])] += 1;
+  }
+  for (int c = 0; c < 4; ++c) {
+    drift += std::abs(s_old[static_cast<std::size_t>(c)] - s_new[static_cast<std::size_t>(c)]);
+  }
+  EXPECT_LE(drift, 16.0 * 4 * xi * static_cast<double>(pts.size()) + 1e-9);
+}
+
+}  // namespace
+}  // namespace skc

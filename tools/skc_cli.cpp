@@ -1,0 +1,166 @@
+// skc_cli — command-line front end for the streamkc pipeline.
+//
+//   skc_cli coreset  <points.csv> <k> [out.csv]    build a strong coreset
+//   skc_cli solve    <points.csv> <k> [slack]      balanced k-means end to end
+//   skc_cli assign   <points.csv> <k> [slack]      ... plus the full-data
+//                                                  assignment (§3.3), printed
+//                                                  as one center index per line
+//   skc_cli generate <n> <k> <dim> <log_delta> [skew]   synthetic workload CSV
+//
+// Points are integer CSV rows; see src/skc/geometry/io.h for the format.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "skc/geometry/io.h"
+#include "skc/skc.h"
+
+namespace {
+
+using namespace skc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  skc_cli coreset  <points.csv> <k> [out.csv]\n"
+               "  skc_cli solve    <points.csv> <k> [capacity_slack=1.1]\n"
+               "  skc_cli assign   <points.csv> <k> [capacity_slack=1.1]\n"
+               "  skc_cli generate <n> <k> <dim> <log_delta> [skew=1.0]\n");
+  return 2;
+}
+
+struct Loaded {
+  PointSet points;
+  int log_delta = 0;
+};
+
+bool load(const std::string& path, Loaded& out) {
+  PointsParseResult parsed = read_points_file(path);
+  if (parsed.error) {
+    std::fprintf(stderr, "error: %s:%zu: %s\n", path.c_str(), parsed.error->line,
+                 parsed.error->message.c_str());
+    return false;
+  }
+  if (parsed.points.empty()) {
+    std::fprintf(stderr, "error: %s holds no points\n", path.c_str());
+    return false;
+  }
+  if (parsed.points.min_coord() < 1) {
+    std::fprintf(stderr, "error: coordinates must be >= 1 (grid [1, Delta]^d)\n");
+    return false;
+  }
+  out.points = std::move(parsed.points);
+  out.log_delta = grid_log_delta(out.points.max_coord());
+  return true;
+}
+
+int cmd_coreset(int argc, char** argv) {
+  if (argc < 4) return usage();
+  Loaded data;
+  if (!load(argv[2], data)) return 1;
+  const int k = std::atoi(argv[3]);
+  if (k < 1) return usage();
+
+  const CoresetParams params = CoresetParams::practical(k, LrOrder{2.0}, 0.2, 0.2);
+  Timer timer;
+  const OfflineBuildResult built =
+      build_offline_coreset(data.points, params, data.log_delta);
+  if (!built.ok) {
+    std::fprintf(stderr, "coreset construction failed\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "coreset: %lld points (of %lld) in %.0f ms, total weight %.0f, o=%g\n",
+               static_cast<long long>(built.coreset.points.size()),
+               static_cast<long long>(data.points.size()), timer.millis(),
+               built.coreset.total_weight(), built.coreset.o);
+  if (argc >= 5) {
+    if (!write_coreset_file(argv[4], built.coreset)) {
+      std::fprintf(stderr, "error: cannot write %s\n", argv[4]);
+      return 1;
+    }
+  } else {
+    write_coreset(std::cout, built.coreset);
+  }
+  return 0;
+}
+
+int solve_common(int argc, char** argv, bool with_assignment) {
+  if (argc < 4) return usage();
+  Loaded data;
+  if (!load(argv[2], data)) return 1;
+  const int k = std::atoi(argv[3]);
+  const double slack = argc >= 5 ? std::atof(argv[4]) : 1.1;
+  if (k < 1 || slack < 1.0) return usage();
+
+  const CoresetParams params = CoresetParams::practical(k, LrOrder{2.0}, 0.2, 0.2);
+  const OfflineBuildResult built =
+      build_offline_coreset(data.points, params, data.log_delta);
+  if (!built.ok) {
+    std::fprintf(stderr, "coreset construction failed\n");
+    return 1;
+  }
+  const double n = static_cast<double>(data.points.size());
+  const double t = tight_capacity(n, k) * slack;
+  Rng rng(1);
+  CapacitatedSolverOptions opts;
+  opts.restarts = 2;
+  opts.delta = Coord{1} << data.log_delta;
+  const CapacitatedSolution sol = capacitated_kmeans(
+      built.coreset.points, k, t * built.coreset.total_weight() / n, LrOrder{2.0},
+      opts, rng);
+  if (!sol.feasible) {
+    std::fprintf(stderr, "no feasible balanced clustering at capacity %.0f\n", t);
+    return 1;
+  }
+  std::fprintf(stderr, "balanced k-means: coreset cost %.6g, capacity %.0f\n",
+               sol.cost, t);
+  for (PointIndex c = 0; c < sol.centers.size(); ++c) {
+    std::fprintf(stderr, "  center %lld: %s\n", static_cast<long long>(c),
+                 to_string(sol.centers[c]).c_str());
+  }
+  if (!with_assignment) {
+    write_points(std::cout, sol.centers);
+    return 0;
+  }
+  const FullAssignment full = assign_via_coreset(
+      data.points, params, data.log_delta, built.coreset, sol.centers, t);
+  if (!full.feasible) {
+    std::fprintf(stderr, "assignment construction failed\n");
+    return 1;
+  }
+  std::fprintf(stderr, "assignment: cost %.6g, max load %.0f (%.0f%% of capacity)\n",
+               full.cost, full.max_load, 100.0 * full.max_load / t);
+  for (CenterIndex c : full.assignment) std::printf("%d\n", c);
+  return 0;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 6) return usage();
+  MixtureConfig cfg;
+  cfg.n = std::atoll(argv[2]);
+  cfg.clusters = std::atoi(argv[3]);
+  cfg.dim = std::atoi(argv[4]);
+  cfg.log_delta = std::atoi(argv[5]);
+  cfg.skew = argc >= 7 ? std::atof(argv[6]) : 1.0;
+  cfg.spread = 0.015;
+  if (cfg.n < 1 || cfg.clusters < 1 || cfg.dim < 1 || cfg.log_delta < 2) {
+    return usage();
+  }
+  Rng rng(42);
+  write_points(std::cout, gaussian_mixture(cfg, rng));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (!std::strcmp(argv[1], "coreset")) return cmd_coreset(argc, argv);
+  if (!std::strcmp(argv[1], "solve")) return solve_common(argc, argv, false);
+  if (!std::strcmp(argv[1], "assign")) return solve_common(argc, argv, true);
+  if (!std::strcmp(argv[1], "generate")) return cmd_generate(argc, argv);
+  return usage();
+}
