@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_construction_time.dir/bench_construction_time.cpp.o"
+  "CMakeFiles/bench_construction_time.dir/bench_construction_time.cpp.o.d"
+  "bench_construction_time"
+  "bench_construction_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_construction_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

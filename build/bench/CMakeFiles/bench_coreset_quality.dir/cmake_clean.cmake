@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coreset_quality.dir/bench_coreset_quality.cpp.o"
+  "CMakeFiles/bench_coreset_quality.dir/bench_coreset_quality.cpp.o.d"
+  "bench_coreset_quality"
+  "bench_coreset_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coreset_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

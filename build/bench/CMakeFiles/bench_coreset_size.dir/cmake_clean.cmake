@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coreset_size.dir/bench_coreset_size.cpp.o"
+  "CMakeFiles/bench_coreset_size.dir/bench_coreset_size.cpp.o.d"
+  "bench_coreset_size"
+  "bench_coreset_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coreset_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

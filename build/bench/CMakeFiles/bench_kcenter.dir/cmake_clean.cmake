@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kcenter.dir/bench_kcenter.cpp.o"
+  "CMakeFiles/bench_kcenter.dir/bench_kcenter.cpp.o.d"
+  "bench_kcenter"
+  "bench_kcenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kcenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

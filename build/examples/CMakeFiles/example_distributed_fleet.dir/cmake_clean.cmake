@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_fleet.dir/distributed_fleet.cpp.o"
+  "CMakeFiles/example_distributed_fleet.dir/distributed_fleet.cpp.o.d"
+  "example_distributed_fleet"
+  "example_distributed_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_edge_router.dir/edge_router.cpp.o"
+  "CMakeFiles/example_edge_router.dir/edge_router.cpp.o.d"
+  "example_edge_router"
+  "example_edge_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_edge_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_load_balancing.dir/load_balancing.cpp.o"
+  "CMakeFiles/example_load_balancing.dir/load_balancing.cpp.o.d"
+  "example_load_balancing"
+  "example_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_streaming_telemetry.dir/streaming_telemetry.cpp.o"
+  "CMakeFiles/example_streaming_telemetry.dir/streaming_telemetry.cpp.o.d"
+  "example_streaming_telemetry"
+  "example_streaming_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_streaming_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

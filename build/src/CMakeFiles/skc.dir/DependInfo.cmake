@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skc/assign/capacitated_assignment.cpp" "src/CMakeFiles/skc.dir/skc/assign/capacitated_assignment.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/assign/capacitated_assignment.cpp.o.d"
+  "/root/repo/src/skc/assign/construct.cpp" "src/CMakeFiles/skc.dir/skc/assign/construct.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/assign/construct.cpp.o.d"
+  "/root/repo/src/skc/assign/halfspace.cpp" "src/CMakeFiles/skc.dir/skc/assign/halfspace.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/assign/halfspace.cpp.o.d"
+  "/root/repo/src/skc/assign/oracle.cpp" "src/CMakeFiles/skc.dir/skc/assign/oracle.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/assign/oracle.cpp.o.d"
+  "/root/repo/src/skc/assign/rounding.cpp" "src/CMakeFiles/skc.dir/skc/assign/rounding.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/assign/rounding.cpp.o.d"
+  "/root/repo/src/skc/assign/transfer.cpp" "src/CMakeFiles/skc.dir/skc/assign/transfer.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/assign/transfer.cpp.o.d"
+  "/root/repo/src/skc/baseline/mapping_coreset.cpp" "src/CMakeFiles/skc.dir/skc/baseline/mapping_coreset.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/baseline/mapping_coreset.cpp.o.d"
+  "/root/repo/src/skc/baseline/uniform_coreset.cpp" "src/CMakeFiles/skc.dir/skc/baseline/uniform_coreset.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/baseline/uniform_coreset.cpp.o.d"
+  "/root/repo/src/skc/common/random.cpp" "src/CMakeFiles/skc.dir/skc/common/random.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/common/random.cpp.o.d"
+  "/root/repo/src/skc/common/timer.cpp" "src/CMakeFiles/skc.dir/skc/common/timer.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/common/timer.cpp.o.d"
+  "/root/repo/src/skc/coreset/assemble.cpp" "src/CMakeFiles/skc.dir/skc/coreset/assemble.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/coreset/assemble.cpp.o.d"
+  "/root/repo/src/skc/coreset/compose.cpp" "src/CMakeFiles/skc.dir/skc/coreset/compose.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/coreset/compose.cpp.o.d"
+  "/root/repo/src/skc/coreset/coreset.cpp" "src/CMakeFiles/skc.dir/skc/coreset/coreset.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/coreset/coreset.cpp.o.d"
+  "/root/repo/src/skc/coreset/distributed.cpp" "src/CMakeFiles/skc.dir/skc/coreset/distributed.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/coreset/distributed.cpp.o.d"
+  "/root/repo/src/skc/coreset/offline.cpp" "src/CMakeFiles/skc.dir/skc/coreset/offline.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/coreset/offline.cpp.o.d"
+  "/root/repo/src/skc/coreset/params.cpp" "src/CMakeFiles/skc.dir/skc/coreset/params.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/coreset/params.cpp.o.d"
+  "/root/repo/src/skc/coreset/streaming.cpp" "src/CMakeFiles/skc.dir/skc/coreset/streaming.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/coreset/streaming.cpp.o.d"
+  "/root/repo/src/skc/dist/network.cpp" "src/CMakeFiles/skc.dir/skc/dist/network.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/dist/network.cpp.o.d"
+  "/root/repo/src/skc/flow/mcmf.cpp" "src/CMakeFiles/skc.dir/skc/flow/mcmf.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/flow/mcmf.cpp.o.d"
+  "/root/repo/src/skc/geometry/io.cpp" "src/CMakeFiles/skc.dir/skc/geometry/io.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/geometry/io.cpp.o.d"
+  "/root/repo/src/skc/geometry/jl_transform.cpp" "src/CMakeFiles/skc.dir/skc/geometry/jl_transform.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/geometry/jl_transform.cpp.o.d"
+  "/root/repo/src/skc/geometry/metric.cpp" "src/CMakeFiles/skc.dir/skc/geometry/metric.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/geometry/metric.cpp.o.d"
+  "/root/repo/src/skc/geometry/point_set.cpp" "src/CMakeFiles/skc.dir/skc/geometry/point_set.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/geometry/point_set.cpp.o.d"
+  "/root/repo/src/skc/geometry/weighted_set.cpp" "src/CMakeFiles/skc.dir/skc/geometry/weighted_set.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/geometry/weighted_set.cpp.o.d"
+  "/root/repo/src/skc/grid/hierarchical_grid.cpp" "src/CMakeFiles/skc.dir/skc/grid/hierarchical_grid.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/grid/hierarchical_grid.cpp.o.d"
+  "/root/repo/src/skc/hash/fingerprint.cpp" "src/CMakeFiles/skc.dir/skc/hash/fingerprint.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/hash/fingerprint.cpp.o.d"
+  "/root/repo/src/skc/hash/kwise_hash.cpp" "src/CMakeFiles/skc.dir/skc/hash/kwise_hash.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/hash/kwise_hash.cpp.o.d"
+  "/root/repo/src/skc/parallel/thread_pool.cpp" "src/CMakeFiles/skc.dir/skc/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/skc/partition/heavy_cells.cpp" "src/CMakeFiles/skc.dir/skc/partition/heavy_cells.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/partition/heavy_cells.cpp.o.d"
+  "/root/repo/src/skc/sketch/countmin.cpp" "src/CMakeFiles/skc.dir/skc/sketch/countmin.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/sketch/countmin.cpp.o.d"
+  "/root/repo/src/skc/sketch/distinct.cpp" "src/CMakeFiles/skc.dir/skc/sketch/distinct.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/sketch/distinct.cpp.o.d"
+  "/root/repo/src/skc/sketch/point_store.cpp" "src/CMakeFiles/skc.dir/skc/sketch/point_store.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/sketch/point_store.cpp.o.d"
+  "/root/repo/src/skc/sketch/recovery.cpp" "src/CMakeFiles/skc.dir/skc/sketch/recovery.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/sketch/recovery.cpp.o.d"
+  "/root/repo/src/skc/sketch/storing.cpp" "src/CMakeFiles/skc.dir/skc/sketch/storing.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/sketch/storing.cpp.o.d"
+  "/root/repo/src/skc/solve/brute_force.cpp" "src/CMakeFiles/skc.dir/skc/solve/brute_force.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/solve/brute_force.cpp.o.d"
+  "/root/repo/src/skc/solve/capacitated_kcenter.cpp" "src/CMakeFiles/skc.dir/skc/solve/capacitated_kcenter.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/solve/capacitated_kcenter.cpp.o.d"
+  "/root/repo/src/skc/solve/capacitated_kmeans.cpp" "src/CMakeFiles/skc.dir/skc/solve/capacitated_kmeans.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/solve/capacitated_kmeans.cpp.o.d"
+  "/root/repo/src/skc/solve/capacitated_kmedian.cpp" "src/CMakeFiles/skc.dir/skc/solve/capacitated_kmedian.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/solve/capacitated_kmedian.cpp.o.d"
+  "/root/repo/src/skc/solve/cost.cpp" "src/CMakeFiles/skc.dir/skc/solve/cost.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/solve/cost.cpp.o.d"
+  "/root/repo/src/skc/solve/kmeanspp.cpp" "src/CMakeFiles/skc.dir/skc/solve/kmeanspp.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/solve/kmeanspp.cpp.o.d"
+  "/root/repo/src/skc/solve/lloyd.cpp" "src/CMakeFiles/skc.dir/skc/solve/lloyd.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/solve/lloyd.cpp.o.d"
+  "/root/repo/src/skc/stream/generators.cpp" "src/CMakeFiles/skc.dir/skc/stream/generators.cpp.o" "gcc" "src/CMakeFiles/skc.dir/skc/stream/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assemble_test.cpp" "tests/CMakeFiles/skc_tests.dir/assemble_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/assemble_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/skc_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/capacitated_assignment_test.cpp" "tests/CMakeFiles/skc_tests.dir/capacitated_assignment_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/capacitated_assignment_test.cpp.o.d"
+  "/root/repo/tests/checkpoint_test.cpp" "tests/CMakeFiles/skc_tests.dir/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/compose_test.cpp" "tests/CMakeFiles/skc_tests.dir/compose_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/compose_test.cpp.o.d"
+  "/root/repo/tests/construct_test.cpp" "tests/CMakeFiles/skc_tests.dir/construct_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/construct_test.cpp.o.d"
+  "/root/repo/tests/cost_test.cpp" "tests/CMakeFiles/skc_tests.dir/cost_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/cost_test.cpp.o.d"
+  "/root/repo/tests/countmin_test.cpp" "tests/CMakeFiles/skc_tests.dir/countmin_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/countmin_test.cpp.o.d"
+  "/root/repo/tests/differential_test.cpp" "tests/CMakeFiles/skc_tests.dir/differential_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/differential_test.cpp.o.d"
+  "/root/repo/tests/distinct_test.cpp" "tests/CMakeFiles/skc_tests.dir/distinct_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/distinct_test.cpp.o.d"
+  "/root/repo/tests/distributed_test.cpp" "tests/CMakeFiles/skc_tests.dir/distributed_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/distributed_test.cpp.o.d"
+  "/root/repo/tests/field61_test.cpp" "tests/CMakeFiles/skc_tests.dir/field61_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/field61_test.cpp.o.d"
+  "/root/repo/tests/generators_test.cpp" "tests/CMakeFiles/skc_tests.dir/generators_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/generators_test.cpp.o.d"
+  "/root/repo/tests/grid_test.cpp" "tests/CMakeFiles/skc_tests.dir/grid_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/grid_test.cpp.o.d"
+  "/root/repo/tests/halfspace_test.cpp" "tests/CMakeFiles/skc_tests.dir/halfspace_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/halfspace_test.cpp.o.d"
+  "/root/repo/tests/heavy_cells_test.cpp" "tests/CMakeFiles/skc_tests.dir/heavy_cells_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/heavy_cells_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/skc_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/skc_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/jl_transform_test.cpp" "tests/CMakeFiles/skc_tests.dir/jl_transform_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/jl_transform_test.cpp.o.d"
+  "/root/repo/tests/kcenter_test.cpp" "tests/CMakeFiles/skc_tests.dir/kcenter_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/kcenter_test.cpp.o.d"
+  "/root/repo/tests/kwise_hash_test.cpp" "tests/CMakeFiles/skc_tests.dir/kwise_hash_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/kwise_hash_test.cpp.o.d"
+  "/root/repo/tests/mcmf_test.cpp" "tests/CMakeFiles/skc_tests.dir/mcmf_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/mcmf_test.cpp.o.d"
+  "/root/repo/tests/metric_test.cpp" "tests/CMakeFiles/skc_tests.dir/metric_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/metric_test.cpp.o.d"
+  "/root/repo/tests/offline_coreset_test.cpp" "tests/CMakeFiles/skc_tests.dir/offline_coreset_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/offline_coreset_test.cpp.o.d"
+  "/root/repo/tests/oracle_test.cpp" "tests/CMakeFiles/skc_tests.dir/oracle_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/oracle_test.cpp.o.d"
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/skc_tests.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/params_test.cpp" "tests/CMakeFiles/skc_tests.dir/params_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/params_test.cpp.o.d"
+  "/root/repo/tests/point_set_test.cpp" "tests/CMakeFiles/skc_tests.dir/point_set_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/point_set_test.cpp.o.d"
+  "/root/repo/tests/point_store_test.cpp" "tests/CMakeFiles/skc_tests.dir/point_store_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/point_store_test.cpp.o.d"
+  "/root/repo/tests/random_test.cpp" "tests/CMakeFiles/skc_tests.dir/random_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/random_test.cpp.o.d"
+  "/root/repo/tests/recovery_test.cpp" "tests/CMakeFiles/skc_tests.dir/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/recovery_test.cpp.o.d"
+  "/root/repo/tests/rounding_test.cpp" "tests/CMakeFiles/skc_tests.dir/rounding_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/rounding_test.cpp.o.d"
+  "/root/repo/tests/sampling_test.cpp" "tests/CMakeFiles/skc_tests.dir/sampling_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/sampling_test.cpp.o.d"
+  "/root/repo/tests/solvers_test.cpp" "tests/CMakeFiles/skc_tests.dir/solvers_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/solvers_test.cpp.o.d"
+  "/root/repo/tests/storing_test.cpp" "tests/CMakeFiles/skc_tests.dir/storing_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/storing_test.cpp.o.d"
+  "/root/repo/tests/streaming_test.cpp" "tests/CMakeFiles/skc_tests.dir/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/streaming_test.cpp.o.d"
+  "/root/repo/tests/transfer_test.cpp" "tests/CMakeFiles/skc_tests.dir/transfer_test.cpp.o" "gcc" "tests/CMakeFiles/skc_tests.dir/transfer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

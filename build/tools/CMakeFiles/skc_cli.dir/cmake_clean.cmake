@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skc_cli.dir/skc_cli.cpp.o"
+  "CMakeFiles/skc_cli.dir/skc_cli.cpp.o.d"
+  "skc_cli"
+  "skc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
