@@ -4,8 +4,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Prefer Ninja when available, otherwise fall back to the default generator.
+generator=()
+if command -v ninja > /dev/null 2>&1; then
+  generator=(-G Ninja)
+fi
+cmake -B build "${generator[@]}"
+cmake --build build -j "$(nproc)"
 
 ctest --test-dir build --output-on-failure
 
@@ -24,4 +29,7 @@ trap 'rm -rf "$tmp"' EXIT
 ./build/tools/skc_cli generate 2000 4 2 10 1.2 > "$tmp/pts.csv"
 ./build/tools/skc_cli coreset "$tmp/pts.csv" 4 "$tmp/coreset.csv"
 ./build/tools/skc_cli assign "$tmp/pts.csv" 4 1.1 > "$tmp/assign.txt"
+printf 'insert 5 5\ninsert 900 900\nflush\nquery\nquit\n' \
+  | ./build/tools/skc_cli serve 2 2 2 10 > "$tmp/serve.txt"
+grep -q '^ok n=2' "$tmp/serve.txt"
 echo "all checks passed"

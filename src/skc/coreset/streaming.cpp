@@ -118,6 +118,38 @@ void StreamingCoresetBuilder::maybe_prune() {
   }
 }
 
+void StreamingCoresetBuilder::merge_from(const StreamingCoresetBuilder& other) {
+  SKC_CHECK(other.dim_ == dim_);
+  SKC_CHECK(other.options_.log_delta == options_.log_delta);
+  SKC_CHECK(other.params_.seed == params_.seed);
+  SKC_CHECK(other.options_.exact_storing == options_.exact_storing);
+  SKC_CHECK(other.guesses_.size() == guesses_.size());
+  SKC_CHECK(other.distinct_.size() == distinct_.size());
+  for (std::size_t g = 0; g < guesses_.size(); ++g) {
+    GuessState& mine = guesses_[g];
+    const GuessState& theirs = other.guesses_[g];
+    SKC_CHECK(mine.o == theirs.o);
+    if (mine.pruned) continue;
+    if (theirs.pruned) {
+      mine.pruned = true;
+      for (CellCountMin& cm : mine.counts) cm.release();
+      for (CellPointStore& ps : mine.samples) ps.release();
+      continue;
+    }
+    for (std::size_t i = 0; i < mine.counts.size(); ++i) {
+      mine.counts[i].merge(theirs.counts[i]);
+    }
+    for (std::size_t i = 0; i < mine.samples.size(); ++i) {
+      mine.samples[i].merge(theirs.samples[i]);
+    }
+  }
+  for (std::size_t i = 0; i < distinct_.size(); ++i) {
+    distinct_[i].merge(other.distinct_[i]);
+  }
+  net_count_ += other.net_count_;
+  events_ += other.events_;
+}
+
 void StreamingCoresetBuilder::consume(const Stream& stream) {
   for (const StreamEvent& e : stream) {
     update(e.point, e.op == StreamOp::kInsert ? +1 : -1);

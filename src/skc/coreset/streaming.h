@@ -104,6 +104,17 @@ class StreamingCoresetBuilder {
   /// Feeds a whole stream.
   void consume(const Stream& stream);
 
+  /// Linear-sketch merge: folds another builder constructed with IDENTICAL
+  /// (dim, params, options) into this one (checked).  Because every
+  /// structure is a linear sketch of its substream, the merged builder
+  /// summarizes the concatenation of both event streams — the property that
+  /// makes the construction shardable (split a stream across builders by any
+  /// rule, merge, finalize once).  In exact mode the result is bit-identical
+  /// to a single builder fed the union; in sketch mode the eviction /
+  /// shrink heuristics are merged conservatively (see CellPointStore::merge).
+  /// A guess pruned on either side is pruned in the result.
+  void merge_from(const StreamingCoresetBuilder& other);
+
   /// Exact net point count (insertions minus deletions).
   std::int64_t net_count() const { return net_count_; }
   std::int64_t events() const { return events_; }

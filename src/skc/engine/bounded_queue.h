@@ -1,0 +1,118 @@
+// Bounded multi-producer/multi-consumer queue — the engine's per-shard
+// ingest buffer.
+//
+// A mutex + two condition variables is deliberately boring: the consumer
+// side drains in batches under the shard's builder lock, so the queue is
+// never the bottleneck (sketch updates cost microseconds per event; a
+// contended mutex costs tens of nanoseconds).  What matters is the
+// *bounded* part: push() blocks when the queue is full, which is the
+// engine's backpressure — a producer can never run ahead of the drain
+// workers by more than `capacity` events per shard.
+//
+// close() wakes every waiter; subsequent push() calls fail and pop() drains
+// the remaining items before reporting exhaustion, which is exactly the
+// graceful-shutdown order the engine needs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "skc/common/check.h"
+
+namespace skc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    SKC_CHECK(capacity >= 1);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full.  Returns false iff the queue was closed
+  /// (the item is dropped).
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop.  Returns false when the queue is currently empty.
+  bool try_pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    cv_space_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking batch pop of up to `max_items` into `out` (appended).
+  /// Returns the number of items popped.
+  template <typename Container>
+  std::size_t try_pop_batch(Container& out, std::size_t max_items) {
+    std::unique_lock<std::mutex> lock(mu_);
+    std::size_t popped = 0;
+    while (popped < max_items && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++popped;
+    }
+    lock.unlock();
+    if (popped) cv_space_.notify_all();
+    return popped;
+  }
+
+  /// Blocking pop.  Returns false iff the queue is closed AND empty.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_item_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    cv_space_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_item_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_item_;   // signaled on push
+  std::condition_variable cv_space_;  // signaled on pop/close
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace skc

@@ -1,0 +1,413 @@
+#include "skc/engine/engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "skc/common/check.h"
+#include "skc/common/random.h"
+#include "skc/common/serial.h"
+#include "skc/coreset/compose.h"
+#include "skc/engine/bounded_queue.h"
+#include "skc/parallel/thread_pool.h"
+#include "skc/solve/capacitated_kmedian.h"
+#include "skc/solve/cost.h"
+
+namespace skc {
+
+namespace {
+
+constexpr std::uint64_t kEngineMagic = 0x534b43454e474e31ULL;   // "SKCENGN1"
+constexpr std::uint64_t kEngineFooter = 0x534b43454e444f4bULL;  // "SKCENDOK"
+constexpr std::uint32_t kEngineVersion = 1;
+
+}  // namespace
+
+struct ClusteringEngine::Shard {
+  Shard(int dim, const CoresetParams& params, const StreamingOptions& streaming,
+        std::size_t queue_capacity)
+      : queue(queue_capacity),
+        builder(std::make_unique<StreamingCoresetBuilder>(dim, params, streaming)) {}
+
+  BoundedQueue<StreamEvent> queue;
+  std::atomic<bool> drain_scheduled{false};
+  std::atomic<std::int64_t> enqueued{0};
+
+  // The builder is heap-allocated and never moved: its sketch structures
+  // hold pointers into the builder's own grid, so identity must be stable
+  // (restore swaps the unique_ptr, not the object).
+  std::mutex builder_mu;
+  std::unique_ptr<StreamingCoresetBuilder> builder;
+
+  std::mutex progress_mu;
+  std::condition_variable progress_cv;
+  std::int64_t applied = 0;  // guarded by progress_mu
+};
+
+ClusteringEngine::ClusteringEngine(int dim, const CoresetParams& params,
+                                   const EngineOptions& options)
+    : dim_(dim), params_(params), options_(options) {
+  SKC_CHECK(dim >= 1);
+  SKC_CHECK(options.num_shards >= 1);
+  {
+    // Routing key derived from the configured seed so the shard split (and
+    // with it every per-shard sketch) is reproducible across runs.
+    std::uint64_t state = params.seed ^ 0x73686172645f6b31ULL;
+    route_key_ = splitmix64(state);
+  }
+  shards_.reserve(static_cast<std::size_t>(options.num_shards));
+  for (int s = 0; s < options.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(dim, params, options.streaming,
+                                              options.queue_capacity));
+  }
+  const int workers = options.worker_threads >= 0 ? options.worker_threads
+                                                  : options.num_shards;
+  pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(workers));
+}
+
+ClusteringEngine::~ClusteringEngine() { shutdown(); }
+
+std::size_t ClusteringEngine::shard_of(std::span<const Coord> p) const {
+  // Point-hash routing: an insert and its later delete carry the same
+  // coordinates, hence land on the same shard, keeping each shard's sketch a
+  // valid linear summary of a sub-multiset of the stream.
+  std::uint64_t h = route_key_;
+  for (Coord c : p) {
+    std::uint64_t state = h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(c));
+    h = splitmix64(state);
+  }
+  return static_cast<std::size_t>(h % shards_.size());
+}
+
+void ClusteringEngine::route(const StreamEvent& event) {
+  SKC_DCHECK(static_cast<int>(event.point.size()) == dim_);
+  Shard& shard = *shards_[shard_of(event.point)];
+  const bool pushed = shard.queue.push(event);
+  SKC_CHECK_MSG(pushed, "submit on a shut-down engine");
+  shard.enqueued.fetch_add(1, std::memory_order_release);
+  schedule_drain(shard);
+}
+
+void ClusteringEngine::submit(const StreamEvent& event) {
+  SKC_CHECK_MSG(accepting_.load(std::memory_order_acquire),
+                "submit after shutdown");
+  route(event);
+  counters_.events_submitted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClusteringEngine::submit(const Stream& batch) {
+  SKC_CHECK_MSG(accepting_.load(std::memory_order_acquire),
+                "submit after shutdown");
+  for (const StreamEvent& event : batch) route(event);
+  counters_.events_submitted.fetch_add(static_cast<std::int64_t>(batch.size()),
+                                       std::memory_order_relaxed);
+  counters_.batches.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClusteringEngine::insert(std::span<const Coord> p) {
+  StreamEvent e;
+  e.op = StreamOp::kInsert;
+  e.point.assign(p.begin(), p.end());
+  submit(e);
+}
+
+void ClusteringEngine::erase(std::span<const Coord> p) {
+  StreamEvent e;
+  e.op = StreamOp::kDelete;
+  e.point.assign(p.begin(), p.end());
+  submit(e);
+}
+
+void ClusteringEngine::schedule_drain(Shard& shard) {
+  if (shard.drain_scheduled.exchange(true, std::memory_order_acq_rel)) return;
+  pool_->submit([this, &shard] { drain(shard); });
+}
+
+void ClusteringEngine::drain(Shard& shard) {
+  std::vector<StreamEvent> batch;
+  for (;;) {
+    batch.clear();
+    shard.queue.try_pop_batch(batch, options_.drain_batch);
+    if (batch.empty()) {
+      shard.drain_scheduled.store(false, std::memory_order_release);
+      // A producer may have pushed between the last pop and the clear and
+      // lost its schedule_drain race against the still-set flag; re-acquire
+      // the flag and keep going if so.
+      if (shard.queue.size() == 0 ||
+          shard.drain_scheduled.exchange(true, std::memory_order_acq_rel)) {
+        return;
+      }
+      continue;
+    }
+    std::int64_t inserts = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.builder_mu);
+      for (const StreamEvent& e : batch) {
+        const std::int64_t delta = e.op == StreamOp::kInsert ? +1 : -1;
+        shard.builder->update(e.point, delta);
+        if (delta > 0) ++inserts;
+      }
+    }
+    const auto applied = static_cast<std::int64_t>(batch.size());
+    counters_.events_applied.fetch_add(applied, std::memory_order_relaxed);
+    counters_.inserts.fetch_add(inserts, std::memory_order_relaxed);
+    counters_.deletes.fetch_add(applied - inserts, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(shard.progress_mu);
+      shard.applied += applied;
+    }
+    shard.progress_cv.notify_all();
+  }
+}
+
+void ClusteringEngine::flush() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    const std::int64_t target = shard.enqueued.load(std::memory_order_acquire);
+    std::unique_lock<std::mutex> lock(shard.progress_mu);
+    shard.progress_cv.wait(lock, [&] { return shard.applied >= target; });
+  }
+}
+
+std::string ClusteringEngine::snapshot_shard(Shard& shard) {
+  std::ostringstream out(std::ios::binary);
+  std::lock_guard<std::mutex> lock(shard.builder_mu);
+  shard.builder->save(out);
+  return std::move(out).str();
+}
+
+EngineQueryResult ClusteringEngine::merge_snapshots() {
+  EngineQueryResult result;
+  // Brief per-shard locks; everything after works on the private snapshots
+  // while ingest proceeds.
+  std::vector<std::string> blobs;
+  blobs.reserve(shards_.size());
+  for (auto& shard : shards_) blobs.push_back(snapshot_shard(*shard));
+
+  Timer merge_timer;
+  auto thaw = [&](const std::string& blob, StreamingCoresetBuilder& into) {
+    std::istringstream in(blob);
+    const bool ok = into.load(in);
+    SKC_CHECK_MSG(ok, "shard snapshot failed to round-trip");
+  };
+
+  if (options_.merge_mode == MergeMode::kSketch) {
+    StreamingCoresetBuilder merged(dim_, params_, options_.streaming);
+    StreamingCoresetBuilder scratch(dim_, params_, options_.streaming);
+    thaw(blobs[0], merged);
+    for (std::size_t s = 1; s < blobs.size(); ++s) {
+      thaw(blobs[s], scratch);
+      merged.merge_from(scratch);
+    }
+    result.net_points = merged.net_count();
+    if (result.net_points <= 0) {
+      result.error = "engine holds no surviving points";
+      return result;
+    }
+    StreamingResult streamed = merged.finalize();
+    if (!streamed.ok) {
+      result.error = "merged coreset construction failed (every o-guess FAILed)";
+      return result;
+    }
+    result.summary = std::move(streamed.coreset);
+  } else {
+    // kCompose: finalize each shard independently, union the outputs.  The
+    // union of per-shard strong coresets is a strong coreset of the union;
+    // the optional re-coreset below trades one extra (eps, eta) compounding
+    // step for a bounded summary size, exactly as in merge-reduce.
+    StreamingCoresetBuilder scratch(dim_, params_, options_.streaming);
+    WeightedPointSet merged_points(dim_);
+    double o_accepted = 0.0;
+    for (const std::string& blob : blobs) {
+      thaw(blob, scratch);
+      result.net_points += scratch.net_count();
+      if (scratch.events() == 0) continue;  // shard never saw an event
+      StreamingResult streamed = scratch.finalize();
+      if (!streamed.ok) {
+        result.error = "a shard coreset construction failed";
+        return result;
+      }
+      merged_points.append(streamed.coreset.points);
+      o_accepted = std::max(o_accepted, streamed.coreset.o);
+    }
+    if (result.net_points <= 0) {
+      result.error = "engine holds no surviving points";
+      return result;
+    }
+    if (options_.compose_reduce_threshold > 0 &&
+        merged_points.size() > options_.compose_reduce_threshold) {
+      const OfflineBuildResult reduced = build_weighted_coreset(
+          merged_points, params_, options_.streaming.log_delta);
+      if (!reduced.ok) {
+        result.error = "re-coreset of the shard union failed";
+        return result;
+      }
+      result.summary = reduced.coreset;
+    } else {
+      result.summary.points = std::move(merged_points);
+      result.summary.o = o_accepted;
+    }
+  }
+  result.merge_millis = merge_timer.millis();
+  result.ok = true;
+  return result;
+}
+
+EngineQueryResult ClusteringEngine::query(const EngineQuery& q) {
+  Timer latency;
+  if (q.barrier) flush();
+  EngineQueryResult result = merge_snapshots();
+  if (result.ok && !q.summary_only) {
+    Timer solve_timer;
+    const int k = q.k > 0 ? q.k : params_.k;
+    const double n = static_cast<double>(result.net_points);
+    const double w = result.summary.points.total_weight();
+    if (w <= 0.0) {
+      result.ok = false;
+      result.error = "merged summary carries no weight";
+    } else {
+      // Capacity in full-data units, rescaled onto the summary's weight (the
+      // summary's total weight is an unbiased estimate of n).
+      result.capacity = tight_capacity(n, k) * q.capacity_slack;
+      const double t_summary = result.capacity * w / n;
+      Rng rng(params_.seed ^ 0x71756572795f3173ULL);
+      if (params_.r.r <= 1.0) {
+        result.solution = capacitated_kmedian(result.summary.points, k, t_summary,
+                                              params_.r, LocalSearchOptions{}, rng);
+      } else {
+        CapacitatedSolverOptions sopts;
+        sopts.restarts = q.solver_restarts;
+        sopts.delta = Coord{1} << options_.streaming.log_delta;
+        result.solution = capacitated_kmeans(result.summary.points, k, t_summary,
+                                             params_.r, sopts, rng);
+      }
+      result.solve_millis = solve_timer.millis();
+    }
+  }
+  const auto micros = static_cast<std::int64_t>(latency.seconds() * 1e6);
+  counters_.queries.fetch_add(1, std::memory_order_relaxed);
+  counters_.last_query_micros.store(micros, std::memory_order_relaxed);
+  counters_.total_query_micros.fetch_add(micros, std::memory_order_relaxed);
+  return result;
+}
+
+bool ClusteringEngine::checkpoint(const std::string& path) {
+  flush();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  serial::put(out, kEngineMagic);
+  serial::put<std::uint32_t>(out, kEngineVersion);
+  serial::put<std::int32_t>(out, dim_);
+  serial::put<std::int32_t>(out, options_.streaming.log_delta);
+  serial::put<std::uint64_t>(out, params_.seed);
+  serial::put<std::int32_t>(out, num_shards());
+  serial::put<std::uint8_t>(out,
+                            options_.streaming.exact_storing ? 1 : 0);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->builder_mu);
+    shard->builder->save(out);
+  }
+  serial::put(out, kEngineFooter);
+  out.flush();
+  if (!out) return false;
+  const auto bytes = static_cast<std::int64_t>(out.tellp());
+  counters_.last_checkpoint_bytes.store(bytes, std::memory_order_relaxed);
+  counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ClusteringEngine::restore(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint64_t magic = 0, seed = 0, footer = 0;
+  std::uint32_t version = 0;
+  std::int32_t dim = 0, log_delta = 0, shards = 0;
+  std::uint8_t exact = 0;
+  if (!serial::get(in, magic) || magic != kEngineMagic) return false;
+  if (!serial::get(in, version) || version != kEngineVersion) return false;
+  if (!serial::get(in, dim) || dim != dim_) return false;
+  if (!serial::get(in, log_delta) || log_delta != options_.streaming.log_delta) {
+    return false;
+  }
+  if (!serial::get(in, seed) || seed != params_.seed) return false;
+  if (!serial::get(in, shards) || shards != num_shards()) return false;
+  if (!serial::get(in, exact) ||
+      (exact != 0) != options_.streaming.exact_storing) {
+    return false;
+  }
+  // Parse into fresh builders first; the engine is only touched once the
+  // whole file (footer included) has validated.
+  std::vector<std::unique_ptr<StreamingCoresetBuilder>> fresh;
+  fresh.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto builder = std::make_unique<StreamingCoresetBuilder>(dim_, params_,
+                                                             options_.streaming);
+    if (!builder->load(in)) return false;
+    fresh.push_back(std::move(builder));
+  }
+  if (!serial::get(in, footer) || footer != kEngineFooter) return false;
+
+  flush();  // quiesce in-flight events so the swap is a clean epoch
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->builder_mu);
+    shards_[s]->builder = std::move(fresh[s]);
+  }
+  counters_.restores.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::int64_t ClusteringEngine::net_count() const {
+  std::int64_t net = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->builder_mu);
+    net += shard->builder->net_count();
+  }
+  return net;
+}
+
+EngineMetrics ClusteringEngine::metrics() const {
+  EngineMetrics m;
+  m.events_submitted = counters_.events_submitted.load(std::memory_order_relaxed);
+  m.events_applied = counters_.events_applied.load(std::memory_order_relaxed);
+  m.inserts = counters_.inserts.load(std::memory_order_relaxed);
+  m.deletes = counters_.deletes.load(std::memory_order_relaxed);
+  m.batches = counters_.batches.load(std::memory_order_relaxed);
+  m.queries = counters_.queries.load(std::memory_order_relaxed);
+  m.checkpoints = counters_.checkpoints.load(std::memory_order_relaxed);
+  m.restores = counters_.restores.load(std::memory_order_relaxed);
+  m.last_checkpoint_bytes =
+      counters_.last_checkpoint_bytes.load(std::memory_order_relaxed);
+  m.last_query_millis =
+      counters_.last_query_micros.load(std::memory_order_relaxed) / 1e3;
+  m.total_query_millis =
+      counters_.total_query_micros.load(std::memory_order_relaxed) / 1e3;
+  m.uptime_seconds = uptime_.seconds();
+  if (m.uptime_seconds > 0) {
+    m.ingest_events_per_second =
+        static_cast<double>(m.events_applied) / m.uptime_seconds;
+  }
+  m.shard_queue_depth.reserve(shards_.size());
+  m.shard_events_applied.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    m.shard_queue_depth.push_back(static_cast<std::int64_t>(shard->queue.size()));
+    {
+      std::lock_guard<std::mutex> lock(shard->progress_mu);
+      m.shard_events_applied.push_back(shard->applied);
+    }
+    std::lock_guard<std::mutex> lock(shard->builder_mu);
+    m.sketch_bytes += static_cast<std::int64_t>(shard->builder->memory_bytes());
+    m.net_points += shard->builder->net_count();
+  }
+  return m;
+}
+
+void ClusteringEngine::shutdown() {
+  accepting_.store(false, std::memory_order_release);
+  flush();
+  if (pool_) pool_->wait_idle();
+}
+
+}  // namespace skc

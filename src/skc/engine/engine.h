@@ -1,0 +1,180 @@
+// ClusteringEngine — the long-lived serving layer over the one-pass
+// dynamic-stream coreset (Theorem 4.5).
+//
+// The theorem's construction is a *linear sketch*, which makes it trivially
+// shardable: split the event stream across N independent builders by any
+// rule, add the sketches, and the sum summarizes the union — the same
+// composition the distributed protocol (Theorem 4.7) and the merge-reduce
+// lineage [HPM04/BFL16] exploit.  The engine turns that observation into a
+// concurrent system:
+//
+//   ingest   submit(event/batch) hashes each point to one of N shards and
+//            pushes the event into that shard's bounded MPMC queue
+//            (backpressure: producers block when a shard is `queue_capacity`
+//            events ahead).  Shard queues are drained by tasks on an
+//            internal ThreadPool; each drain applies a batch to the shard's
+//            StreamingCoresetBuilder under the shard lock.  Routing is by
+//            point-hash, so an insert and its later delete always land on
+//            the same shard and the shard sketch stays a valid summary of
+//            its sub-multiset.
+//
+//   query    query(q) takes an epoch barrier (waits until every event
+//            submitted before the call has been applied), snapshots each
+//            shard's builder via its checkpoint serialization (brief
+//            per-shard lock — ingest resumes immediately), merges the
+//            snapshots, and solves capacitated k-median/k-means on the
+//            merged coreset.  Merge strategies:
+//              kSketch  — add the linear sketches (merge_from) and finalize
+//                         once: identical to a single-shard run in exact
+//                         mode, and the default.
+//              kCompose — finalize each shard separately and concatenate
+//                         the per-shard coresets (re-coreset via the
+//                         weighted construction when the union grows past
+//                         compose_reduce_threshold); one extra (eps, eta)
+//                         compounding step, but finalize cost is paid
+//                         per-shard in parallel.
+//
+//   durability  checkpoint(path)/restore(path) persist every shard builder
+//            behind a versioned header; any mismatch or truncation makes
+//            restore() return false and leaves the engine untouched.
+//
+//   metrics  a lock-free counter block (events, rates, queue depths, query
+//            latency, checkpoint bytes) snapshotted by metrics() and
+//            rendered by metrics_json().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "skc/common/timer.h"
+#include "skc/coreset/coreset.h"
+#include "skc/coreset/params.h"
+#include "skc/coreset/streaming.h"
+#include "skc/engine/metrics.h"
+#include "skc/solve/capacitated_kmeans.h"
+#include "skc/stream/events.h"
+
+namespace skc {
+
+enum class MergeMode : std::uint8_t {
+  kSketch = 0,   ///< add shard sketches, finalize once (linear merge)
+  kCompose = 1,  ///< finalize per shard, concatenate / re-coreset the outputs
+};
+
+struct EngineOptions {
+  int num_shards = 4;
+  /// Drain workers on the internal pool; -1 = one per shard, 0 = inline
+  /// (every submit drains synchronously — deterministic, for tests).
+  int worker_threads = -1;
+  /// Per-shard queue bound; producers block past this backlog.
+  std::size_t queue_capacity = 4096;
+  /// Events applied per drain batch (amortizes the shard lock).
+  std::size_t drain_batch = 256;
+  /// Per-shard builder configuration.  max_points should bound the events
+  /// of the WHOLE stream, not one shard's slice, so that every shard
+  /// enumerates the same o-guess grid (required by the sketch merge).
+  StreamingOptions streaming;
+  MergeMode merge_mode = MergeMode::kSketch;
+  /// kCompose only: re-coreset the concatenated shard coresets when the
+  /// union exceeds this many points (0 = never).
+  PointIndex compose_reduce_threshold = 1 << 15;
+};
+
+struct EngineQuery {
+  int k = 0;                    ///< 0 = the k the engine's params carry
+  double capacity_slack = 1.1;  ///< capacity = slack * ceil(n / k)
+  /// Wait for all previously submitted events before snapshotting (the
+  /// epoch barrier).  false = snapshot whatever has been applied so far.
+  bool barrier = true;
+  /// Skip the solver and return only the merged summary.
+  bool summary_only = false;
+  int solver_restarts = 1;
+};
+
+struct EngineQueryResult {
+  bool ok = false;
+  std::string error;  ///< set iff !ok
+  /// Merged coreset at the query epoch (valid when ok).
+  Coreset summary;
+  /// Capacitated solution on the summary (valid when ok && !summary_only);
+  /// k-median local search for r <= 1, balanced Lloyd otherwise.
+  CapacitatedSolution solution;
+  std::int64_t net_points = 0;  ///< surviving points at the epoch
+  double capacity = 0.0;        ///< per-center capacity used (full-data units)
+  double merge_millis = 0.0;
+  double solve_millis = 0.0;
+};
+
+class ClusteringEngine {
+ public:
+  ClusteringEngine(int dim, const CoresetParams& params,
+                   const EngineOptions& options);
+  ~ClusteringEngine();
+
+  ClusteringEngine(const ClusteringEngine&) = delete;
+  ClusteringEngine& operator=(const ClusteringEngine&) = delete;
+
+  int dim() const { return dim_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const CoresetParams& params() const { return params_; }
+
+  /// Routes one event to its shard queue; blocks on backpressure.  Must not
+  /// be called after shutdown().
+  void submit(const StreamEvent& event);
+  /// Routes a batch (one metrics update, same per-event routing).
+  void submit(const Stream& batch);
+  void insert(std::span<const Coord> p);
+  void erase(std::span<const Coord> p);
+
+  /// Epoch barrier: returns once every event submitted before this call has
+  /// been applied to its shard builder.
+  void flush();
+
+  /// Merged-coreset clustering query; never stalls ingest beyond the
+  /// per-shard snapshot locks.
+  EngineQueryResult query(const EngineQuery& q);
+
+  /// Persists every shard builder behind a versioned header.  Takes the
+  /// epoch barrier first.  Returns false on I/O failure.
+  bool checkpoint(const std::string& path);
+  /// Restores a checkpoint written by an engine with identical
+  /// (dim, params, num_shards, streaming options).  Returns false on
+  /// mismatch, corruption, or truncation; the engine keeps its current
+  /// state in that case.
+  bool restore(const std::string& path);
+
+  /// Net surviving point count across shards (insertions minus deletions).
+  std::int64_t net_count() const;
+
+  EngineMetrics metrics() const;
+
+  /// Stops accepting events and drains every queue.  Idempotent; the
+  /// destructor calls it.  query()/checkpoint() remain usable afterwards.
+  void shutdown();
+
+ private:
+  struct Shard;
+
+  std::size_t shard_of(std::span<const Coord> p) const;
+  void route(const StreamEvent& event);
+  void schedule_drain(Shard& shard);
+  void drain(Shard& shard);
+  std::string snapshot_shard(Shard& shard);
+  EngineQueryResult merge_snapshots();
+
+  int dim_;
+  CoresetParams params_;
+  EngineOptions options_;
+  std::uint64_t route_key_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<class ThreadPool> pool_;
+  mutable detail::MetricCounters counters_;
+  Timer uptime_;
+  std::atomic<bool> accepting_{true};
+};
+
+}  // namespace skc

@@ -1,0 +1,76 @@
+#include "skc/engine/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace skc {
+
+namespace {
+
+void append_kv(std::string& out, const char* key, std::int64_t value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64, key, value);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", key, value);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key,
+               const std::vector<std::int64_t>& values) {
+  out += '"';
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64, i ? "," : "", values[i]);
+    out += buf;
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string metrics_json(const EngineMetrics& m) {
+  std::string out = "{";
+  append_kv(out, "events_submitted", m.events_submitted);
+  out += ',';
+  append_kv(out, "events_applied", m.events_applied);
+  out += ',';
+  append_kv(out, "inserts", m.inserts);
+  out += ',';
+  append_kv(out, "deletes", m.deletes);
+  out += ',';
+  append_kv(out, "batches", m.batches);
+  out += ',';
+  append_kv(out, "queries", m.queries);
+  out += ',';
+  append_kv(out, "checkpoints", m.checkpoints);
+  out += ',';
+  append_kv(out, "restores", m.restores);
+  out += ',';
+  append_kv(out, "net_points", m.net_points);
+  out += ',';
+  append_kv(out, "uptime_seconds", m.uptime_seconds);
+  out += ',';
+  append_kv(out, "ingest_events_per_second", m.ingest_events_per_second);
+  out += ',';
+  append_kv(out, "last_query_millis", m.last_query_millis);
+  out += ',';
+  append_kv(out, "total_query_millis", m.total_query_millis);
+  out += ',';
+  append_kv(out, "last_checkpoint_bytes", m.last_checkpoint_bytes);
+  out += ',';
+  append_kv(out, "sketch_bytes", m.sketch_bytes);
+  out += ',';
+  append_kv(out, "shard_queue_depth", m.shard_queue_depth);
+  out += ',';
+  append_kv(out, "shard_events_applied", m.shard_events_applied);
+  out += '}';
+  return out;
+}
+
+}  // namespace skc

@@ -1,0 +1,69 @@
+// Embedded metrics for the clustering engine.
+//
+// The engine updates a small set of relaxed atomics on its hot paths (one
+// fetch_add per event batch, never per coordinate) and assembles a coherent
+// EngineMetrics snapshot on demand.  The snapshot is a plain struct so
+// embedders can export it to whatever telemetry system they run;
+// metrics_json() renders the same snapshot as a single JSON object for the
+// CLI driver and the benchmarks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skc {
+
+/// Point-in-time view of the engine's counters.
+struct EngineMetrics {
+  std::int64_t events_submitted = 0;  ///< accepted by submit()
+  std::int64_t events_applied = 0;    ///< drained into a shard builder
+  std::int64_t inserts = 0;
+  std::int64_t deletes = 0;
+  std::int64_t batches = 0;   ///< submit(Stream) calls
+  std::int64_t queries = 0;
+  std::int64_t checkpoints = 0;
+  std::int64_t restores = 0;
+
+  std::int64_t net_points = 0;  ///< insertions minus deletions, applied
+  double uptime_seconds = 0.0;
+  /// events_applied / uptime — the sustained ingest rate.
+  double ingest_events_per_second = 0.0;
+
+  double last_query_millis = 0.0;
+  double total_query_millis = 0.0;
+  std::int64_t last_checkpoint_bytes = 0;
+  std::int64_t sketch_bytes = 0;  ///< summed builder footprint across shards
+
+  std::vector<std::int64_t> shard_queue_depth;  ///< current per-shard backlog
+  std::vector<std::int64_t> shard_events_applied;
+};
+
+/// Renders a snapshot as one JSON object (stable key order, no trailing
+/// whitespace) — e.g. {"events_submitted":1024,...,"shard_queue_depth":[0,3]}.
+std::string metrics_json(const EngineMetrics& m);
+
+namespace detail {
+
+/// The engine-internal counter block; all relaxed (metrics are advisory,
+/// never used for synchronization — the engine's barriers are the per-shard
+/// progress counters, not these).
+struct MetricCounters {
+  std::atomic<std::int64_t> events_submitted{0};
+  std::atomic<std::int64_t> events_applied{0};
+  std::atomic<std::int64_t> inserts{0};
+  std::atomic<std::int64_t> deletes{0};
+  std::atomic<std::int64_t> batches{0};
+  std::atomic<std::int64_t> queries{0};
+  std::atomic<std::int64_t> checkpoints{0};
+  std::atomic<std::int64_t> restores{0};
+  std::atomic<std::int64_t> last_checkpoint_bytes{0};
+  // Durations accumulate in microseconds so they fit an integer atomic.
+  std::atomic<std::int64_t> last_query_micros{0};
+  std::atomic<std::int64_t> total_query_micros{0};
+};
+
+}  // namespace detail
+
+}  // namespace skc

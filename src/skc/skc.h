@@ -47,3 +47,5 @@
 #include "skc/baseline/uniform_coreset.h"
 #include "skc/baseline/mapping_coreset.h"
 #include "skc/stream/generators.h"
+#include "skc/engine/engine.h"
+#include "skc/engine/metrics.h"

@@ -11,7 +11,10 @@ namespace skc {
 
 DistinctCells::DistinctCells(const HierarchicalGrid& grid, int level,
                              std::size_t budget, std::uint64_t seed)
-    : grid_(&grid), level_(level), budget_(std::max<std::size_t>(budget, 8)) {
+    : grid_(&grid),
+      level_(level),
+      budget_(std::max<std::size_t>(budget, 8)),
+      seed_(seed) {
   SKC_CHECK(level >= 0 && level <= grid.log_delta());
   Rng rng(seed);
   hash_ = KWiseHash(8, rng);
@@ -36,6 +39,10 @@ void DistinctCells::update(std::span<const Coord> p, std::int64_t delta) {
   }
 
   // Shrink when over budget: halve the threshold and evict.
+  shrink_to_budget();
+}
+
+void DistinctCells::shrink_to_budget() {
   while (kept_.size() > budget_) {
     ++shift_;
     const std::uint64_t new_threshold = f61::kP >> shift_;
@@ -48,6 +55,38 @@ void DistinctCells::update(std::span<const Coord> p, std::int64_t delta) {
       }
     }
   }
+}
+
+void DistinctCells::merge(const DistinctCells& other) {
+  SKC_CHECK(other.level_ == level_);
+  SKC_CHECK(other.budget_ == budget_);
+  SKC_CHECK(other.seed_ == seed_);
+  // Align both sides to the coarser threshold, then union-sum the survivors.
+  if (other.shift_ > shift_) {
+    shift_ = other.shift_;
+    const std::uint64_t threshold = f61::kP >> shift_;
+    for (auto iter = kept_.begin(); iter != kept_.end();) {
+      const auto& idx = iter->first.index;
+      if (hash_(std::span<const Coord>(idx.data(), idx.size())) >= threshold) {
+        iter = kept_.erase(iter);
+      } else {
+        ++iter;
+      }
+    }
+  }
+  const std::uint64_t threshold = f61::kP >> shift_;
+  for (const auto& [key, count] : other.kept_) {
+    const auto& idx = key.index;
+    if (hash_(std::span<const Coord>(idx.data(), idx.size())) >= threshold) continue;
+    auto it = kept_.find(key);
+    if (it == kept_.end()) {
+      if (count > 0) kept_.emplace(key, count);
+    } else {
+      it->second += count;
+      if (it->second <= 0) kept_.erase(it);
+    }
+  }
+  shrink_to_budget();
 }
 
 double DistinctCells::estimate() const {

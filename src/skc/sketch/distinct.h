@@ -36,6 +36,13 @@ class DistinctCells {
   /// Estimated number of distinct non-empty cells.
   double estimate() const;
 
+  /// Merges another estimator built with identical (grid, level, budget,
+  /// seed) — the seed is verified.  The result equals a single estimator fed
+  /// both substreams whenever neither side ever shrank below a cell that was
+  /// later deleted (always true for insertion-only substreams); otherwise the
+  /// estimate degrades gracefully, matching update()'s deletion semantics.
+  void merge(const DistinctCells& other);
+
   std::size_t memory_bytes() const;
 
   /// Checkpointing (hash re-derived from the constructor seed).
@@ -43,9 +50,12 @@ class DistinctCells {
   bool load(std::istream& in);
 
  private:
+  void shrink_to_budget();
+
   const HierarchicalGrid* grid_;
   int level_;
   std::size_t budget_;
+  std::uint64_t seed_ = 0;
   int shift_ = 0;  ///< kept iff hash < 2^61 / 2^shift
   KWiseHash hash_;
   std::unordered_map<CellKey, std::int64_t, CellKeyHash> kept_;

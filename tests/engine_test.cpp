@@ -1,0 +1,354 @@
+// ClusteringEngine: sharded ingest must be a semantics-free optimization —
+// the merged sketch equals a single-shard run on the same stream — and the
+// serving-layer features (epoch queries, checkpoint/restore, backpressure,
+// concurrent ingest) must hold up under threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "skc/coreset/streaming.h"
+#include "skc/engine/engine.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+constexpr int kDim = 2;
+constexpr int kLogDelta = 9;
+
+MixtureConfig mixture(int n) {
+  MixtureConfig cfg;
+  cfg.dim = kDim;
+  cfg.log_delta = kLogDelta;
+  cfg.clusters = 3;
+  cfg.n = n;
+  cfg.spread = 0.02;
+  cfg.skew = 1.0;
+  return cfg;
+}
+
+CoresetParams test_params() {
+  return CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+}
+
+StreamingOptions streaming_options(bool exact) {
+  StreamingOptions opt;
+  opt.log_delta = kLogDelta;
+  opt.max_points = 4000;
+  opt.exact_storing = exact;
+  // A budget the distinct estimators never outgrow at this workload size:
+  // keeps them fully linear, so the sharded merge is bit-exact.
+  opt.distinct_budget = 1 << 20;
+  opt.prune_interval = 0;
+  return opt;
+}
+
+EngineOptions engine_options(int shards, bool exact, int workers = 2) {
+  EngineOptions opt;
+  opt.num_shards = shards;
+  opt.worker_threads = workers;
+  opt.streaming = streaming_options(exact);
+  return opt;
+}
+
+Stream churn_workload(int base_n, int extra_n, std::uint64_t seed) {
+  Rng rng(seed);
+  PointSet base = gaussian_mixture(mixture(base_n), rng);
+  PointSet extra = gaussian_mixture(mixture(extra_n), rng);
+  Rng srng(seed + 1);
+  return churn_stream(base, extra, ChurnConfig{}, srng);
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+// The headline property: a 4-shard engine (events hash-routed, applied by
+// concurrent workers, sketches merged at query time) produces EXACTLY the
+// coreset of one StreamingCoresetBuilder fed the stream serially.  Exact
+// mode makes every structure a plain linear map, so equality is bit-level.
+TEST(Engine, ShardedMergeMatchesSingleShardReference) {
+  const Stream stream = churn_workload(1200, 600, 11);
+  const CoresetParams params = test_params();
+
+  StreamingCoresetBuilder reference(kDim, params, streaming_options(true));
+  reference.consume(stream);
+  const StreamingResult want = reference.finalize();
+  ASSERT_TRUE(want.ok);
+
+  ClusteringEngine engine(kDim, params, engine_options(4, /*exact=*/true));
+  engine.submit(stream);
+  EngineQuery q;
+  q.summary_only = true;
+  const EngineQueryResult got = engine.query(q);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_EQ(got.net_points, reference.net_count());
+  EXPECT_DOUBLE_EQ(got.summary.o, want.coreset.o);
+  EXPECT_EQ(testutil::canonical_multiset(got.summary.points),
+            testutil::canonical_multiset(want.coreset.points));
+}
+
+// Same property for the practical (sketch-mode) structures on an
+// insertion-only stream: CountMin counters add, point-store evictions are
+// threshold checks on linear totals, so the merge is still order-free.
+TEST(Engine, ShardedMergeMatchesReferenceInSketchMode) {
+  Rng rng(21);
+  const PointSet pts = gaussian_mixture(mixture(1500), rng);
+  const Stream stream = insertion_stream(pts);
+  const CoresetParams params = test_params();
+
+  StreamingCoresetBuilder reference(kDim, params, streaming_options(false));
+  reference.consume(stream);
+  const StreamingResult want = reference.finalize();
+  ASSERT_TRUE(want.ok);
+
+  ClusteringEngine engine(kDim, params, engine_options(4, /*exact=*/false));
+  engine.submit(stream);
+  EngineQuery q;
+  q.summary_only = true;
+  const EngineQueryResult got = engine.query(q);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_DOUBLE_EQ(got.summary.o, want.coreset.o);
+  EXPECT_EQ(testutil::canonical_multiset(got.summary.points),
+            testutil::canonical_multiset(want.coreset.points));
+}
+
+// Shard count must not matter either: 1-shard and 8-shard engines agree.
+TEST(Engine, ShardCountInvariance) {
+  const Stream stream = churn_workload(800, 400, 31);
+  const CoresetParams params = test_params();
+
+  ClusteringEngine one(kDim, params, engine_options(1, /*exact=*/true));
+  ClusteringEngine eight(kDim, params, engine_options(8, /*exact=*/true));
+  one.submit(stream);
+  eight.submit(stream);
+  EngineQuery q;
+  q.summary_only = true;
+  const EngineQueryResult a = one.query(q);
+  const EngineQueryResult b = eight.query(q);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(testutil::canonical_multiset(a.summary.points),
+            testutil::canonical_multiset(b.summary.points));
+}
+
+// Full query path: merged summary + capacitated solve under concurrent use.
+TEST(Engine, QuerySolvesBalancedClustering) {
+  const Stream stream = churn_workload(1200, 400, 41);
+  ClusteringEngine engine(kDim, test_params(), engine_options(4, /*exact=*/true));
+  engine.submit(stream);
+  EngineQuery q;
+  q.capacity_slack = 1.3;
+  const EngineQueryResult result = engine.query(q);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.solution.feasible);
+  EXPECT_EQ(result.solution.centers.size(), 3);
+  EXPECT_GT(result.capacity, 0.0);
+  EXPECT_GT(result.summary.points.size(), 0);
+}
+
+// Compose-mode merge (per-shard finalize + weighted union) must also serve
+// queries; it is the lossier but cheaper merge strategy.
+TEST(Engine, ComposeMergeServesQueries) {
+  const Stream stream = churn_workload(1200, 400, 51);
+  EngineOptions opt = engine_options(4, /*exact=*/true);
+  opt.merge_mode = MergeMode::kCompose;
+  ClusteringEngine engine(kDim, test_params(), opt);
+  engine.submit(stream);
+  const EngineQueryResult result = engine.query(EngineQuery{});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.solution.feasible);
+  EXPECT_EQ(result.net_points, 1200);
+  // The union's total weight stays an unbiased estimate of n.
+  EXPECT_GT(result.summary.points.total_weight(), 0.0);
+}
+
+TEST(Engine, CheckpointRestoreRoundTrip) {
+  const Stream stream = churn_workload(1000, 500, 61);
+  const CoresetParams params = test_params();
+  const std::string path = temp_path("engine_ckpt.bin");
+
+  // Uninterrupted run.
+  ClusteringEngine full(kDim, params, engine_options(4, /*exact=*/true));
+  full.submit(stream);
+  EngineQuery q;
+  q.summary_only = true;
+  const EngineQueryResult want = full.query(q);
+  ASSERT_TRUE(want.ok) << want.error;
+
+  // First half -> checkpoint.
+  ClusteringEngine first(kDim, params, engine_options(4, /*exact=*/true));
+  const std::size_t half = stream.size() / 2;
+  Stream head(stream.begin(), stream.begin() + static_cast<std::ptrdiff_t>(half));
+  first.submit(head);
+  ASSERT_TRUE(first.checkpoint(path));
+  EXPECT_GT(first.metrics().last_checkpoint_bytes, 0);
+
+  // Restore into a fresh engine, feed the rest.
+  ClusteringEngine second(kDim, params, engine_options(4, /*exact=*/true));
+  ASSERT_TRUE(second.restore(path));
+  EXPECT_EQ(second.net_count(), first.net_count());
+  Stream tail(stream.begin() + static_cast<std::ptrdiff_t>(half), stream.end());
+  second.submit(tail);
+  const EngineQueryResult got = second.query(q);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_DOUBLE_EQ(got.summary.o, want.summary.o);
+  EXPECT_EQ(testutil::canonical_multiset(got.summary.points),
+            testutil::canonical_multiset(want.summary.points));
+  std::remove(path.c_str());
+}
+
+TEST(Engine, RestoreRejectsTruncationWithoutCrashing) {
+  const Stream stream = churn_workload(600, 300, 71);
+  const CoresetParams params = test_params();
+  const std::string path = temp_path("engine_trunc.bin");
+
+  ClusteringEngine engine(kDim, params, engine_options(2, /*exact=*/true));
+  engine.submit(stream);
+  ASSERT_TRUE(engine.checkpoint(path));
+
+  // Truncate the file at 60%.
+  std::string blob;
+  {
+    std::ifstream in(path, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(blob.size(), 16u);
+  blob.resize(blob.size() * 3 / 5);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+
+  ClusteringEngine fresh(kDim, params, engine_options(2, /*exact=*/true));
+  EXPECT_FALSE(fresh.restore(path));
+  // The failed restore leaves the engine fully usable.
+  fresh.submit(stream);
+  EngineQuery q;
+  q.summary_only = true;
+  EXPECT_TRUE(fresh.query(q).ok);
+  std::remove(path.c_str());
+}
+
+TEST(Engine, RestoreRejectsMismatchedConfiguration) {
+  const Stream stream = churn_workload(600, 300, 81);
+  const CoresetParams params = test_params();
+  const std::string path = temp_path("engine_mismatch.bin");
+
+  ClusteringEngine engine(kDim, params, engine_options(2, /*exact=*/true));
+  engine.submit(stream);
+  ASSERT_TRUE(engine.checkpoint(path));
+
+  // Different shard count.
+  ClusteringEngine other_shards(kDim, params, engine_options(4, /*exact=*/true));
+  EXPECT_FALSE(other_shards.restore(path));
+
+  // Different seed.
+  CoresetParams other_params = params;
+  other_params.seed = params.seed + 1;
+  ClusteringEngine other_seed(kDim, other_params, engine_options(2, /*exact=*/true));
+  EXPECT_FALSE(other_seed.restore(path));
+
+  // Garbage header.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "definitely not a checkpoint";
+  }
+  ClusteringEngine garbage(kDim, params, engine_options(2, /*exact=*/true));
+  EXPECT_FALSE(garbage.restore(path));
+  EXPECT_FALSE(garbage.restore(temp_path("engine_no_such_file.bin")));
+  std::remove(path.c_str());
+}
+
+// Many producers, small queues (forcing backpressure), queries racing the
+// ingest: nothing deadlocks, every event lands, the barrier is exact.
+TEST(Engine, ConcurrentIngestStress) {
+  const CoresetParams params = test_params();
+  EngineOptions opt = engine_options(4, /*exact=*/false, /*workers=*/3);
+  opt.queue_capacity = 64;  // exercise producer blocking
+  ClusteringEngine engine(kDim, params, opt);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2500;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&engine, &ready, t] {
+      Rng rng(1000 + static_cast<std::uint64_t>(t));
+      const PointSet pts =
+          testutil::random_points(kDim, Coord{1} << kLogDelta, kPerProducer, rng);
+      ready.fetch_add(1);
+      for (PointIndex i = 0; i < pts.size(); ++i) engine.insert(pts[i]);
+    });
+  }
+  // Queries concurrent with ingest (no barrier: snapshot whatever applied).
+  std::thread querier([&engine] {
+    EngineQuery q;
+    q.summary_only = true;
+    q.barrier = false;
+    for (int i = 0; i < 3; ++i) {
+      engine.query(q);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  for (auto& t : producers) t.join();
+  querier.join();
+  engine.flush();
+
+  const EngineMetrics m = engine.metrics();
+  EXPECT_EQ(m.events_submitted, kProducers * kPerProducer);
+  EXPECT_EQ(m.events_applied, kProducers * kPerProducer);
+  EXPECT_EQ(m.inserts, kProducers * kPerProducer);
+  EXPECT_EQ(m.deletes, 0);
+  EXPECT_EQ(m.net_points, kProducers * kPerProducer);
+  std::int64_t per_shard = 0;
+  for (std::int64_t applied : m.shard_events_applied) per_shard += applied;
+  EXPECT_EQ(per_shard, kProducers * kPerProducer);
+  EXPECT_EQ(engine.net_count(), kProducers * kPerProducer);
+}
+
+// worker_threads = 0 degrades to inline draining (deterministic, no
+// threads), matching the thread pool's inline mode.
+TEST(Engine, InlineModeWorks) {
+  const Stream stream = churn_workload(600, 200, 91);
+  ClusteringEngine engine(kDim, test_params(),
+                          engine_options(2, /*exact=*/true, /*workers=*/0));
+  engine.submit(stream);
+  const EngineMetrics m = engine.metrics();
+  EXPECT_EQ(m.events_applied, static_cast<std::int64_t>(stream.size()));
+  EngineQuery q;
+  q.summary_only = true;
+  EXPECT_TRUE(engine.query(q).ok);
+}
+
+TEST(Engine, MetricsJsonIsWellFormed) {
+  ClusteringEngine engine(kDim, test_params(),
+                          engine_options(2, /*exact=*/true, /*workers=*/0));
+  Rng rng(7);
+  const PointSet pts = gaussian_mixture(mixture(200), rng);
+  engine.submit(insertion_stream(pts));
+  EngineQuery q;
+  q.summary_only = true;
+  engine.query(q);
+
+  const std::string json = metrics_json(engine.metrics());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"\"events_submitted\":", "\"events_applied\":", "\"queries\":",
+        "\"ingest_events_per_second\":", "\"shard_queue_depth\":[",
+        "\"last_query_millis\":", "\"sketch_bytes\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
+  }
+  EXPECT_NE(json.find("\"events_submitted\":200"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace skc

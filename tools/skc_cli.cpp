@@ -6,13 +6,16 @@
 //                                                  assignment (§3.3), printed
 //                                                  as one center index per line
 //   skc_cli generate <n> <k> <dim> <log_delta> [skew]   synthetic workload CSV
+//   skc_cli serve    <dim> <k> [shards] [log_delta]     interactive engine REPL
 //
 // Points are integer CSV rows; see src/skc/geometry/io.h for the format.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "skc/geometry/io.h"
 #include "skc/skc.h"
@@ -27,7 +30,8 @@ int usage() {
                "  skc_cli coreset  <points.csv> <k> [out.csv]\n"
                "  skc_cli solve    <points.csv> <k> [capacity_slack=1.1]\n"
                "  skc_cli assign   <points.csv> <k> [capacity_slack=1.1]\n"
-               "  skc_cli generate <n> <k> <dim> <log_delta> [skew=1.0]\n");
+               "  skc_cli generate <n> <k> <dim> <log_delta> [skew=1.0]\n"
+               "  skc_cli serve    <dim> <k> [shards=4] [log_delta=12]\n");
   return 2;
 }
 
@@ -154,6 +158,100 @@ int cmd_generate(int argc, char** argv) {
   return 0;
 }
 
+// Line-oriented REPL over a live ClusteringEngine.  Reads commands from
+// stdin, answers on stdout ("ok ..." / "err ..."), diagnostics on stderr —
+// scriptable with a pipe, usable by hand.
+int cmd_serve(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const int dim = std::atoi(argv[2]);
+  const int k = std::atoi(argv[3]);
+  const int shards = argc >= 5 ? std::atoi(argv[4]) : 4;
+  const int log_delta = argc >= 6 ? std::atoi(argv[5]) : 12;
+  if (dim < 1 || k < 1 || shards < 1 || log_delta < 2) return usage();
+
+  const CoresetParams params = CoresetParams::practical(k, LrOrder{2.0}, 0.2, 0.2);
+  EngineOptions opts;
+  opts.num_shards = shards;
+  opts.streaming.log_delta = log_delta;
+  ClusteringEngine engine(dim, params, opts);
+
+  const long long max_coord = 1LL << log_delta;
+  std::fprintf(stderr,
+               "engine up: dim=%d k=%d shards=%d log_delta=%d\n"
+               "commands:  insert c1 .. c%d | delete c1 .. c%d | query [slack]\n"
+               "           flush | metrics | checkpoint <path> | restore <path> | quit\n",
+               dim, k, shards, log_delta, dim, dim);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "insert" || cmd == "delete") {
+      std::vector<Coord> p(dim);
+      bool ok = true;
+      for (int i = 0; i < dim; ++i) {
+        long long c = 0;
+        if (!(in >> c) || c < 1 || c > max_coord) {
+          ok = false;
+          break;
+        }
+        p[static_cast<std::size_t>(i)] = static_cast<Coord>(c);
+      }
+      if (!ok) {
+        std::printf("err %s needs %d coordinates in [1, %lld]\n", cmd.c_str(),
+                    dim, max_coord);
+        continue;
+      }
+      if (cmd == "insert") {
+        engine.insert(p);
+      } else {
+        engine.erase(p);
+      }
+      std::printf("ok\n");
+    } else if (cmd == "query") {
+      EngineQuery q;
+      if (double slack = 0; in >> slack) q.capacity_slack = slack;
+      const EngineQueryResult res = engine.query(q);
+      if (!res.ok) {
+        std::printf("err %s\n", res.error.c_str());
+        continue;
+      }
+      std::printf("ok n=%lld summary=%lld capacity=%.0f cost=%.6g "
+                  "merge_ms=%.1f solve_ms=%.1f\n",
+                  static_cast<long long>(res.net_points),
+                  static_cast<long long>(res.summary.points.size()),
+                  res.capacity, res.solution.cost, res.merge_millis,
+                  res.solve_millis);
+      for (PointIndex c = 0; c < res.solution.centers.size(); ++c) {
+        std::printf("center %s\n", to_string(res.solution.centers[c]).c_str());
+      }
+    } else if (cmd == "flush") {
+      engine.flush();
+      std::printf("ok applied=%lld\n",
+                  static_cast<long long>(engine.metrics().events_applied));
+    } else if (cmd == "metrics") {
+      std::printf("%s\n", metrics_json(engine.metrics()).c_str());
+    } else if (cmd == "checkpoint" || cmd == "restore") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("err %s needs a path\n", cmd.c_str());
+        continue;
+      }
+      const bool saved = cmd == "checkpoint" ? engine.checkpoint(path)
+                                             : engine.restore(path);
+      std::printf(saved ? "ok %s\n" : "err %s failed\n", path.c_str());
+    } else {
+      std::printf("err unknown command '%s'\n", cmd.c_str());
+    }
+    std::fflush(stdout);
+  }
+  engine.shutdown();
+  std::fprintf(stderr, "%s\n", metrics_json(engine.metrics()).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,5 +260,6 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "solve")) return solve_common(argc, argv, false);
   if (!std::strcmp(argv[1], "assign")) return solve_common(argc, argv, true);
   if (!std::strcmp(argv[1], "generate")) return cmd_generate(argc, argv);
+  if (!std::strcmp(argv[1], "serve")) return cmd_serve(argc, argv);
   return usage();
 }
