@@ -26,7 +26,7 @@ void BM_OfflineCoreset(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
   state.counters["ns_per_point"] = benchmark::Counter(
-      static_cast<double>(n) * state.iterations(),
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
 }
 

@@ -41,9 +41,11 @@ EngineOptions engine_options(int shards, int log_delta, std::size_t events) {
 void multi_producer_submit(ClusteringEngine& engine, const Stream& stream,
                            int producers) {
   std::vector<std::thread> threads;
-  const std::size_t chunk = (stream.size() + producers - 1) / producers;
+  const std::size_t np = static_cast<std::size_t>(producers);
+  const std::size_t chunk = (stream.size() + np - 1) / np;
   for (int t = 0; t < producers; ++t) {
-    const std::size_t begin = std::min(stream.size(), t * chunk);
+    const std::size_t begin =
+        std::min(stream.size(), static_cast<std::size_t>(t) * chunk);
     const std::size_t end = std::min(stream.size(), begin + chunk);
     threads.emplace_back([&engine, &stream, begin, end] {
       for (std::size_t i = begin; i < end; ++i) engine.submit(stream[i]);

@@ -55,7 +55,7 @@ int main() {
               static_cast<unsigned long long>(result.communication.messages),
               format_bytes(result.communication.bytes).c_str());
   const std::size_t raw_bytes = static_cast<std::size_t>(planted.points.size()) *
-                                config.dim * sizeof(Coord);
+                                static_cast<std::size_t>(config.dim) * sizeof(Coord);
   std::printf("  (centralizing the raw data would ship %s)\n",
               format_bytes(raw_bytes).c_str());
   std::printf("coreset at coordinator: %lld weighted points, o=%.3g\n",

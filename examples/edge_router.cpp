@@ -55,7 +55,9 @@ int main() {
   }
   std::printf("shipped plan: %s (vs %s of raw history)\n",
               format_bytes(plan.memory_bytes()).c_str(),
-              format_bytes(static_cast<std::size_t>(n) * config.dim * 4).c_str());
+              format_bytes(static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(config.dim) * 4)
+                  .c_str());
 
   // --- Edge router: classify today's traffic (same distribution). ---
   std::vector<double> loads(static_cast<std::size_t>(k), 0.0);

@@ -51,7 +51,8 @@ int main() {
               builder.num_guesses(),
               format_bytes(builder.memory_bytes_per_guess()).c_str());
   const std::size_t raw_bytes =
-      static_cast<std::size_t>(survivors.size()) * config.dim * sizeof(Coord);
+      static_cast<std::size_t>(survivors.size()) *
+      static_cast<std::size_t>(config.dim) * sizeof(Coord);
   std::printf("raw surviving data would be %s\n", format_bytes(raw_bytes).c_str());
 
   const StreamingResult result = builder.finalize();

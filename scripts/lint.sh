@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Project lint: enforces streamkc's textual invariants (seeded randomness,
+# no stdout in library code, RAII-only ownership, include hygiene).
+# See tools/lint/skc_lint.py --help for the rule list and waiver syntax.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 tools/lint/skc_lint.py "$@"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# clang-tidy over the library sources, using the checked-in .clang-tidy
+# policy.  Requires a configured build tree for compile_commands.json
+# (created here if missing).  Usage: scripts/tidy.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" > /dev/null 2>&1; then
+  echo "scripts/tidy.sh: $tidy not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 1
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  cmake -B "$build_dir" -S . > /dev/null
+fi
+
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+
+if command -v run-clang-tidy > /dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$tidy" -p "$build_dir" -quiet \
+    "${sources[@]/#/$PWD/}"
+else
+  "$tidy" -p "$build_dir" --quiet "${sources[@]}"
+fi
+echo "clang-tidy: OK (${#sources[@]} files)"

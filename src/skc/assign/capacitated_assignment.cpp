@@ -56,7 +56,8 @@ CapacitatedAssignment solve_flow(const WeightedPointSet& points,
     flow.add_edge(source, static_cast<int>(i) + 1, w[static_cast<std::size_t>(i)], 0.0);
     for (int j = 0; j < k; ++j) {
       const double cost = dist_pow(points.point(i), centers[j], r);
-      pc_edge[static_cast<std::size_t>(i) * k + static_cast<std::size_t>(j)] =
+      pc_edge[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+              static_cast<std::size_t>(j)] =
           flow.add_edge(static_cast<int>(i) + 1, static_cast<int>(n) + 1 + j,
                         w[static_cast<std::size_t>(i)], cost);
     }
@@ -78,7 +79,8 @@ CapacitatedAssignment solve_flow(const WeightedPointSet& points,
     std::int64_t best_flow = -1;
     for (int j = 0; j < k; ++j) {
       const std::int64_t f =
-          flow.flow_on(pc_edge[static_cast<std::size_t>(i) * k + static_cast<std::size_t>(j)]);
+          flow.flow_on(pc_edge[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+                               static_cast<std::size_t>(j)]);
       if (f > 0) {
         out.loads[static_cast<std::size_t>(j)] += static_cast<double>(f);
         out.cost += static_cast<double>(f) * dist_pow(points.point(i), centers[j], r);

@@ -20,7 +20,7 @@ FullAssignment assign_via_coreset(const PointSet& points, const CoresetParams& p
   const int dim = points.dim();
   const int k = static_cast<int>(centers.size());
   SKC_CHECK(k >= 1);
-  SKC_CHECK(coreset.points.size() > 0);
+  SKC_CHECK(!coreset.points.empty());
   SKC_CHECK(static_cast<PointIndex>(coreset.levels.size()) == coreset.points.size());
 
   const HierarchicalGrid grid = make_grid(dim, log_delta, params.seed);
@@ -28,7 +28,8 @@ FullAssignment assign_via_coreset(const PointSet& points, const CoresetParams& p
 
   // --- Step 1: optimal capacitated assignment on the coreset. ---
   const double coreset_capacity =
-      t_prime * coreset.total_weight() / std::max<double>(points.size(), 1.0);
+      t_prime * coreset.total_weight() /
+      std::max(static_cast<double>(points.size()), 1.0);
   CapacitatedAssignment pi = optimal_capacitated_assignment(
       coreset.points, centers, coreset_capacity, params.r);
   if (!pi.feasible) {

@@ -106,7 +106,7 @@ AssignmentHalfspaces AssignmentHalfspaces::from_assignment(
   AssignmentHalfspaces out;
   out.centers_ = centers;
   out.r_ = r;
-  out.thresholds_.assign(static_cast<std::size_t>(k) * k,
+  out.thresholds_.assign(static_cast<std::size_t>(k) * static_cast<std::size_t>(k),
                          std::numeric_limits<double>::infinity());
   for (int i = 0; i < k; ++i) {
     for (int j = i + 1; j < k; ++j) {
@@ -137,7 +137,8 @@ AssignmentHalfspaces AssignmentHalfspaces::from_assignment(
         // measure-zero for the estimator it feeds).
         thr = 0.5 * (max_i + min_j);
       }
-      out.thresholds_[static_cast<std::size_t>(i) * k + static_cast<std::size_t>(j)] = thr;
+      out.thresholds_[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+                      static_cast<std::size_t>(j)] = thr;
     }
   }
   return out;
@@ -151,10 +152,12 @@ CenterIndex AssignmentHalfspaces::region_of(std::span<const Coord> p) const {
       if (j == i) continue;
       if (i < j) {
         const double v = halfspace_value(p, centers_[i], centers_[j], r_);
-        inside = v <= thresholds_[static_cast<std::size_t>(i) * kk + static_cast<std::size_t>(j)];
+        inside = v <= thresholds_[static_cast<std::size_t>(i) * static_cast<std::size_t>(kk) +
+                                  static_cast<std::size_t>(j)];
       } else {
         const double v = halfspace_value(p, centers_[j], centers_[i], r_);
-        inside = v > thresholds_[static_cast<std::size_t>(j) * kk + static_cast<std::size_t>(i)];
+        inside = v > thresholds_[static_cast<std::size_t>(j) * static_cast<std::size_t>(kk) +
+                                 static_cast<std::size_t>(i)];
       }
     }
     if (inside) return static_cast<CenterIndex>(i);

@@ -145,15 +145,16 @@ CenterIndex AssignmentPlan::classify(std::span<const Coord> p,
 
 std::size_t AssignmentPlan::memory_bytes() const {
   const std::size_t k = static_cast<std::size_t>(centers_.size());
-  std::size_t total = k * grid_.dim() * sizeof(Coord);
+  const std::size_t d = static_cast<std::size_t>(grid_.dim());
+  std::size_t total = k * d * sizeof(Coord);
   // Half-space thresholds: k^2 doubles per level.
   total += level_halfspaces_.size() * k * k * sizeof(double);
   // Region estimates per part + the part key.
   total += parts_.size() *
-           ((k + 1) * sizeof(double) + grid_.dim() * sizeof(std::int32_t) + 32);
+           ((k + 1) * sizeof(double) + d * sizeof(std::int32_t) + 32);
   // Heavy cells.
   for (const auto& tier : marking_.heavy) {
-    total += tier.size() * (grid_.dim() * sizeof(std::int32_t) + 32);
+    total += tier.size() * (d * sizeof(std::int32_t) + 32);
   }
   return total;
 }

@@ -26,10 +26,19 @@ namespace skc::detail {
     if (!(cond)) ::skc::detail::check_failed(#cond, __FILE__, __LINE__, msg); \
   } while (0)
 
+// In NDEBUG builds the condition must still be *referenced* (unevaluated),
+// otherwise variables used only in debug checks trip -Wunused under -Werror.
 #ifdef NDEBUG
-#define SKC_DCHECK(cond) \
-  do {                   \
+#define SKC_DCHECK(cond)           \
+  do {                             \
+    (void)sizeof((cond) ? 1 : 0);  \
+  } while (0)
+#define SKC_DCHECK_MSG(cond, msg)  \
+  do {                             \
+    (void)sizeof((cond) ? 1 : 0);  \
+    (void)sizeof(msg);             \
   } while (0)
 #else
 #define SKC_DCHECK(cond) SKC_CHECK(cond)
+#define SKC_DCHECK_MSG(cond, msg) SKC_CHECK_MSG(cond, msg)
 #endif

@@ -84,7 +84,7 @@ OfflineBuildResult build_weighted_coreset(const WeightedPointSet& points,
                                           const CoresetParams& params,
                                           int log_delta) {
   OfflineBuildResult result;
-  SKC_CHECK(points.size() > 0);
+  SKC_CHECK(!points.empty());
   if (log_delta == 0) log_delta = grid_log_delta(points.points().max_coord());
   const HierarchicalGrid grid = make_grid(points.dim(), log_delta, params.seed);
 
@@ -138,8 +138,9 @@ std::optional<WeightedPointSet> CoresetComposer::reduce(
   // inverse-probability weights multiply as if independent — inflating the
   // total weight tier over tier.
   CoresetParams tier_params = params_;
-  std::uint64_t sm = params_.seed ^ (0x9e3779b97f4a7c15ULL *
-                                     static_cast<std::uint64_t>(reductions_));
+  std::uint64_t sm =
+      params_.seed ^ (std::uint64_t{0x9e3779b97f4a7c15} *
+                      static_cast<std::uint64_t>(reductions_));
   tier_params.seed = splitmix64(sm);
   const OfflineBuildResult built =
       build_weighted_coreset(input, tier_params, options_.log_delta);
@@ -181,8 +182,8 @@ void CoresetComposer::reduce_tiers() {
 }
 
 void CoresetComposer::note_memory() {
-  std::size_t bytes =
-      static_cast<std::size_t>(buffer_.size()) * dim_ * sizeof(Coord);
+  std::size_t bytes = static_cast<std::size_t>(buffer_.size()) *
+                      static_cast<std::size_t>(dim_) * sizeof(Coord);
   for (const auto& tier : tiers_) {
     for (const WeightedPointSet& s : tier) {
       bytes += static_cast<std::size_t>(s.size()) *
@@ -205,8 +206,9 @@ std::optional<Coreset> CoresetComposer::finalize() {
   // are partially filled (fresh randomness, as in reduce()).
   ++reductions_;
   CoresetParams tier_params = params_;
-  std::uint64_t sm = params_.seed ^ (0x9e3779b97f4a7c15ULL *
-                                     static_cast<std::uint64_t>(reductions_));
+  std::uint64_t sm =
+      params_.seed ^ (std::uint64_t{0x9e3779b97f4a7c15} *
+                      static_cast<std::uint64_t>(reductions_));
   tier_params.seed = splitmix64(sm);
   const OfflineBuildResult built =
       build_weighted_coreset(merged, tier_params, options_.log_delta);

@@ -54,7 +54,9 @@ DistributedResult build_distributed_coreset(const std::vector<PointSet>& machine
     total_count += shard.size();
     for (PointIndex i = 0; i < shard.size(); ++i) {
       const auto p = shard[i];
-      for (int j = 0; j < dim; ++j) centroid[static_cast<std::size_t>(j)] += p[j];
+      for (std::size_t j = 0; j < static_cast<std::size_t>(dim); ++j) {
+        centroid[j] += p[j];
+      }
     }
     net.send(m + 1, 0, 8 + static_cast<std::uint64_t>(dim) * 8);
   }
@@ -222,7 +224,9 @@ DistributedResult build_distributed_coreset(const std::vector<PointSet>& machine
         }
       }
       net.send(m + 1, 0,
-               static_cast<std::uint64_t>(std::max<std::int64_t>(shipped, 0)) * dim * 4 + 8);
+               static_cast<std::uint64_t>(std::max<std::int64_t>(shipped, 0)) *
+                       static_cast<std::uint64_t>(dim) * 4 +
+                   8);
     }
     if (failed) {
       result.diagnostics.guess_outcomes.push_back(reason);

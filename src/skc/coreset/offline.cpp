@@ -105,7 +105,7 @@ OfflineBuildResult build_offline_coreset(const PointSet& points,
                                          const CoresetParams& params,
                                          int log_delta) {
   OfflineBuildResult result;
-  SKC_CHECK(points.size() > 0);
+  SKC_CHECK(!points.empty());
   if (log_delta == 0) log_delta = grid_log_delta(points.max_coord());
   SKC_CHECK_MSG(points.within_grid(Coord{1} << log_delta),
                 "points must lie in [1, 2^log_delta]^d");

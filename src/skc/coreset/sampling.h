@@ -48,8 +48,9 @@ inline std::vector<KWiseHash> make_level_hashes(const CoresetParams& params,
 inline std::uint64_t sketch_seed(const CoresetParams& params, int guess_index,
                                  SamplerPurpose purpose, int level) {
   std::uint64_t s = params.seed ^ (static_cast<std::uint64_t>(purpose) << 32);
-  s ^= 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(guess_index + 1);
-  s ^= 0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(level + 2);
+  s ^= std::uint64_t{0x9e3779b97f4a7c15} *
+       static_cast<std::uint64_t>(guess_index + 1);
+  s ^= std::uint64_t{0xbf58476d1ce4e5b9} * static_cast<std::uint64_t>(level + 2);
   std::uint64_t sm = s;
   return splitmix64(sm);
 }

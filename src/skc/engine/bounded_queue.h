@@ -104,6 +104,11 @@ class BoundedQueue {
     return items_.size();
   }
 
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
   std::size_t capacity() const { return capacity_; }
 
  private:

@@ -136,7 +136,7 @@ void ClusteringEngine::drain(Shard& shard) {
       // A producer may have pushed between the last pop and the clear and
       // lost its schedule_drain race against the still-set flag; re-acquire
       // the flag and keep going if so.
-      if (shard.queue.size() == 0 ||
+      if (shard.queue.empty() ||
           shard.drain_scheduled.exchange(true, std::memory_order_acq_rel)) {
         return;
       }
@@ -380,10 +380,12 @@ EngineMetrics ClusteringEngine::metrics() const {
   m.restores = counters_.restores.load(std::memory_order_relaxed);
   m.last_checkpoint_bytes =
       counters_.last_checkpoint_bytes.load(std::memory_order_relaxed);
-  m.last_query_millis =
-      counters_.last_query_micros.load(std::memory_order_relaxed) / 1e3;
-  m.total_query_millis =
-      counters_.total_query_micros.load(std::memory_order_relaxed) / 1e3;
+  m.last_query_millis = static_cast<double>(counters_.last_query_micros.load(
+                            std::memory_order_relaxed)) /
+                        1e3;
+  m.total_query_millis = static_cast<double>(counters_.total_query_micros.load(
+                             std::memory_order_relaxed)) /
+                         1e3;
   m.uptime_seconds = uptime_.seconds();
   if (m.uptime_seconds > 0) {
     m.ingest_events_per_second =

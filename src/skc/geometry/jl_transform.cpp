@@ -17,7 +17,8 @@ JlTransform::JlTransform(int input_dim, int output_dim, int target_log_delta,
   SKC_CHECK(target_log_delta >= 2 && target_log_delta <= 30);
   SKC_CHECK(sample_extent >= 1);
 
-  matrix_.resize(static_cast<std::size_t>(output_dim) * input_dim);
+  matrix_.resize(static_cast<std::size_t>(output_dim) *
+                 static_cast<std::size_t>(input_dim));
   const double sigma = 1.0 / std::sqrt(static_cast<double>(output_dim));
   for (double& v : matrix_) v = sigma * rng.gaussian();
 
@@ -39,8 +40,12 @@ Point JlTransform::apply(std::span<const Coord> p) const {
   const Coord delta = Coord{1} << target_log_delta_;
   for (int i = 0; i < output_dim_; ++i) {
     double acc = 0.0;
-    const double* row = matrix_.data() + static_cast<std::size_t>(i) * input_dim_;
-    for (int j = 0; j < input_dim_; ++j) acc += row[j] * static_cast<double>(p[j]);
+    const double* row =
+        matrix_.data() +
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(input_dim_);
+    for (std::size_t j = 0; j < static_cast<std::size_t>(input_dim_); ++j) {
+      acc += row[j] * static_cast<double>(p[j]);
+    }
     const double scaled = acc * scale_ + static_cast<double>(offset_);
     out[static_cast<std::size_t>(i)] =
         std::clamp<Coord>(static_cast<Coord>(std::llround(scaled)), 1, delta);

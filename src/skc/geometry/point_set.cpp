@@ -16,7 +16,7 @@ void PointSet::swap_remove(PointIndex i) {
   if (i != last) {
     std::copy_n(data_.begin() + last * dim_, dim_, data_.begin() + i * dim_);
   }
-  data_.resize(data_.size() - dim_);
+  data_.resize(data_.size() - static_cast<std::size_t>(dim_));
 }
 
 Coord PointSet::max_coord() const {

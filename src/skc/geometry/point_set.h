@@ -25,7 +25,10 @@ class PointSet {
 
   int dim() const { return dim_; }
   PointIndex size() const {
-    return dim_ == 0 ? 0 : static_cast<PointIndex>(data_.size() / dim_);
+    return dim_ == 0
+               ? 0
+               : static_cast<PointIndex>(data_.size() /
+                                         static_cast<std::size_t>(dim_));
   }
   bool empty() const { return data_.empty(); }
 
@@ -41,16 +44,30 @@ class PointSet {
     return {data_.data() + i * dim_, static_cast<std::size_t>(dim_)};
   }
 
-  void reserve(PointIndex n) { data_.reserve(static_cast<std::size_t>(n) * dim_); }
+  void reserve(PointIndex n) {
+    data_.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(dim_));
+  }
 
   /// Appends a point; `p.size()` must equal `dim()`.
   void push_back(std::span<const Coord> p) {
     SKC_CHECK(static_cast<int>(p.size()) == dim_);
-    data_.insert(data_.end(), p.begin(), p.end());
+    // Explicit geometric growth before a pointer-based insert: the
+    // reallocating range-insert path trips a GCC 12 -Wstringop-overflow
+    // false positive when inlined into callers.  Doubling keeps appends
+    // amortized O(1), matching what vector::insert would do itself.
+    const std::size_t need = data_.size() + p.size();
+    if (need > data_.capacity()) {
+      data_.reserve(std::max(need, data_.capacity() * 2));
+    }
+    data_.insert(data_.end(), p.data(), p.data() + p.size());
   }
 
   void push_back(std::initializer_list<Coord> p) {
-    push_back(std::span<const Coord>(p.begin(), p.size()));
+    SKC_CHECK(static_cast<int>(p.size()) == dim_);
+    // reserve() before insert() sidesteps the same GCC 12 false positive on
+    // the reallocating range-insert path.
+    data_.reserve(data_.size() + p.size());
+    data_.insert(data_.end(), p.begin(), p.end());
   }
 
   /// Appends every point of `other` (dimensions must match).

@@ -38,7 +38,7 @@ void HierarchicalGrid::cell_index_of(std::span<const Coord> p, int level,
   SKC_DCHECK(static_cast<int>(out.size()) == dim_);
   SKC_DCHECK(level >= 0 && level <= log_delta_);
   const int bits = log_delta_ - level;  // g_i = 2^bits
-  for (int j = 0; j < dim_; ++j) {
+  for (std::size_t j = 0; j < static_cast<std::size_t>(dim_); ++j) {
     out[j] = floor_div_pow2(static_cast<std::int64_t>(p[j]) - shift_[j], bits);
   }
 }

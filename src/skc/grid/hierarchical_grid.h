@@ -35,11 +35,12 @@ struct CellKey {
 
 struct CellKeyHash {
   std::size_t operator()(const CellKey& c) const {
-    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(c.level + 2);
+    std::uint64_t h = std::uint64_t{0x9e3779b97f4a7c15} ^
+                      static_cast<std::uint64_t>(c.level + 2);
     for (std::int32_t v : c.index) {
-      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) + 0x9e3779b9ULL +
-           (h << 6) + (h >> 2);
-      h *= 0xff51afd7ed558ccdULL;
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) +
+           std::uint64_t{0x9e3779b9} + (h << 6) + (h >> 2);
+      h *= std::uint64_t{0xff51afd7ed558ccd};
     }
     return static_cast<std::size_t>(h ^ (h >> 33));
   }

@@ -19,7 +19,9 @@ CellCountMin::CellCountMin(const HierarchicalGrid& grid, int level,
   fold_ = VectorFold(rng);
   row_hash_.reserve(static_cast<std::size_t>(config.depth));
   for (int r = 0; r < config.depth; ++r) row_hash_.emplace_back(8, rng);
-  counters_.assign(static_cast<std::size_t>(config.depth) * config.width, 0);
+  counters_.assign(static_cast<std::size_t>(config.depth) *
+                       static_cast<std::size_t>(config.width),
+                   0);
 }
 
 void CellCountMin::update(std::span<const Coord> p, std::int64_t delta) {
@@ -114,7 +116,8 @@ bool CellCountMin::load(std::istream& in) {
   if (!serial::get(in, events_)) return false;
   if (!serial::get_vector(in, counters_)) return false;
   if (!config_.exact && !released_ &&
-      counters_.size() != static_cast<std::size_t>(config_.depth) * config_.width) {
+      counters_.size() != static_cast<std::size_t>(config_.depth) *
+                              static_cast<std::size_t>(config_.width)) {
     return false;
   }
   std::uint64_t entries = 0;

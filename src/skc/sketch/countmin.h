@@ -66,7 +66,7 @@ class CellCountMin {
 
  private:
   std::size_t slot(int row, std::uint64_t fold) const {
-    return static_cast<std::size_t>(row) * config_.width +
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(config_.width) +
            static_cast<std::size_t>(
                row_hash_[static_cast<std::size_t>(row)].eval(fold) %
                static_cast<std::uint64_t>(config_.width));

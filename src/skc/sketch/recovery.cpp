@@ -29,13 +29,15 @@ SparseRecovery::SparseRecovery(const Config& config, std::uint64_t seed)
   for (int r = 0; r < config.reps; ++r) {
     rep_hash_.emplace_back(config.hash_independence, rng);
   }
-  cells_.assign(static_cast<std::size_t>(config.reps) * buckets_per_rep_, Cell{});
+  cells_.assign(static_cast<std::size_t>(config.reps) *
+                    static_cast<std::size_t>(buckets_per_rep_),
+                Cell{});
   sums_.assign(cells_.size() * static_cast<std::size_t>(config.item_len), 0);
 }
 
 std::size_t SparseRecovery::bucket_of(int rep, std::uint64_t fold) const {
   const std::uint64_t h = rep_hash_[static_cast<std::size_t>(rep)].eval(fold);
-  return static_cast<std::size_t>(rep) * buckets_per_rep_ +
+  return static_cast<std::size_t>(rep) * static_cast<std::size_t>(buckets_per_rep_) +
          static_cast<std::size_t>(h % static_cast<std::uint64_t>(buckets_per_rep_));
 }
 
@@ -51,7 +53,9 @@ void SparseRecovery::apply(std::span<const std::int64_t> item, std::int64_t delt
     cell.count += delta;
     cell.fp = f61::add(cell.fp, delta_fp);
     std::int64_t* s = sums.data() + b * static_cast<std::size_t>(config_.item_len);
-    for (int j = 0; j < config_.item_len; ++j) s[j] += delta * item[j];
+    for (std::size_t j = 0; j < static_cast<std::size_t>(config_.item_len); ++j) {
+      s[j] += delta * item[j];
+    }
   }
 }
 

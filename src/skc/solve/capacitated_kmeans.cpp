@@ -26,7 +26,8 @@ PointSet centroid_update(const WeightedPointSet& points, const PointSet& old_cen
   const int dim = points.dim();
   const int k = static_cast<int>(old_centers.size());
   PointSet centers(dim);
-  std::vector<double> acc(static_cast<std::size_t>(k) * dim, 0.0);
+  std::vector<double> acc(
+      static_cast<std::size_t>(k) * static_cast<std::size_t>(dim), 0.0);
   std::vector<double> mass(static_cast<std::size_t>(k), 0.0);
   for (PointIndex i = 0; i < points.size(); ++i) {
     const CenterIndex c = assignment[static_cast<std::size_t>(i)];
@@ -35,8 +36,9 @@ PointSet centroid_update(const WeightedPointSet& points, const PointSet& old_cen
     mass[static_cast<std::size_t>(c)] += w;
     const auto p = points.point(i);
     for (int j = 0; j < dim; ++j) {
-      acc[static_cast<std::size_t>(c) * dim + static_cast<std::size_t>(j)] +=
-          w * static_cast<double>(p[j]);
+      acc[static_cast<std::size_t>(c) * static_cast<std::size_t>(dim) +
+          static_cast<std::size_t>(j)] +=
+          w * static_cast<double>(p[static_cast<std::size_t>(j)]);
     }
   }
   std::vector<Coord> buf(static_cast<std::size_t>(dim));
@@ -47,7 +49,8 @@ PointSet centroid_update(const WeightedPointSet& points, const PointSet& old_cen
     }
     for (int j = 0; j < dim; ++j) {
       const double v =
-          acc[static_cast<std::size_t>(c) * dim + static_cast<std::size_t>(j)] /
+          acc[static_cast<std::size_t>(c) * static_cast<std::size_t>(dim) +
+              static_cast<std::size_t>(j)] /
           mass[static_cast<std::size_t>(c)];
       Coord coord = static_cast<Coord>(std::llround(v));
       if (delta > 0) coord = std::clamp<Coord>(coord, 1, delta);

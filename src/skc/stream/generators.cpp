@@ -89,7 +89,9 @@ PlantedMixture planted_gaussian_mixture(const MixtureConfig& config, Rng& rng) {
     const auto center = out.centers[c];
     for (PointIndex i = 0; i < sizes[static_cast<std::size_t>(c)]; ++i) {
       for (int j = 0; j < config.dim; ++j) {
-        const double v = static_cast<double>(center[j]) + sigma * rng.gaussian();
+        const double v =
+            static_cast<double>(center[static_cast<std::size_t>(j)]) +
+            sigma * rng.gaussian();
         buf[static_cast<std::size_t>(j)] =
             std::clamp<Coord>(static_cast<Coord>(std::llround(v)), 1, delta);
       }

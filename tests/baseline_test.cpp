@@ -59,7 +59,7 @@ TEST(UniformCoreset, UnbiasedUncapacitatedCost) {
   double avg = 0.0;
   const int draws = 8;
   for (int i = 0; i < draws; ++i) {
-    Rng crng(100 + i);
+    Rng crng(static_cast<std::uint64_t>(100 + i));
     const Coreset c = uniform_coreset(pts, 400, crng);
     avg += uncapacitated_cost(c.points, centers, LrOrder{2.0});
   }

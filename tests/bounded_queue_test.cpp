@@ -1,0 +1,109 @@
+#include "skc/engine/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace skc {
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 4u);
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, PopDrainsRemainingItemsAfterClose) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.pop(v));
+}
+
+// Regression test for the exact shape the TSan CI job exercises: several
+// producers blocked in push() against a full queue must ALL wake and fail
+// when the queue is closed with no consumer ever draining.  A missed
+// notify_all in close() deadlocks this test (ctest timeout) rather than
+// silently passing.
+TEST(BoundedQueue, ShutdownWhileFullWakesAllBlockedProducers) {
+  constexpr int kProducers = 8;
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(-1));
+  ASSERT_TRUE(q.push(-2));  // queue now full; every further push blocks
+
+  std::atomic<int> started{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      started.fetch_add(1, std::memory_order_relaxed);
+      if (!q.push(t)) rejected.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Wait until every producer is running (and therefore blocked or about to
+  // block on the full queue), then close.  push() re-checks closed_ under
+  // the lock, so this is race-free regardless of where each producer is.
+  while (started.load(std::memory_order_relaxed) < kProducers) {
+    std::this_thread::yield();
+  }
+  q.close();
+  for (auto& th : producers) th.join();
+
+  EXPECT_EQ(rejected.load(), kProducers);
+  EXPECT_EQ(q.size(), 2u);  // the pre-close items survive for draining
+}
+
+TEST(BoundedQueue, ConcurrentProducersAndBatchConsumerSeeEveryItem) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(16);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(t * kPerProducer + i));
+      }
+    });
+  }
+
+  std::vector<int> got;
+  std::thread consumer([&] {
+    while (got.size() < static_cast<std::size_t>(kProducers * kPerProducer)) {
+      if (q.try_pop_batch(got, 64) == 0) std::this_thread::yield();
+    }
+  });
+  for (auto& th : producers) th.join();
+  consumer.join();
+
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int v : got) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, kProducers * kPerProducer);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]) << "duplicate " << v;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace skc

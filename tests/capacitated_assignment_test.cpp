@@ -82,7 +82,7 @@ class AssignmentVsBruteForce
 
 TEST_P(AssignmentVsBruteForce, FlowMatchesExhaustiveSearch) {
   const auto [n, k, r] = GetParam();
-  Rng rng(100 + n * 7 + k * 3 + static_cast<int>(r));
+  Rng rng(static_cast<std::uint64_t>(100 + n * 7 + k * 3 + static_cast<int>(r)));
   for (int trial = 0; trial < 5; ++trial) {
     PointSet pts = testutil::random_points(2, 64, n, rng);
     PointSet centers = testutil::random_points(2, 64, k, rng);

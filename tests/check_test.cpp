@@ -1,0 +1,54 @@
+#include "skc/common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace skc {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  int x = 3;
+  SKC_CHECK(x == 3);
+  SKC_CHECK_MSG(x > 0, "positive");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithCondition) {
+  int x = 3;
+  EXPECT_DEATH(SKC_CHECK(x == 4), "SKC_CHECK failed: x == 4");
+}
+
+TEST(CheckDeathTest, FailingCheckMsgAbortsWithMessage) {
+  int x = -1;
+  EXPECT_DEATH(SKC_CHECK_MSG(x >= 0, "index must be non-negative"),
+               "index must be non-negative");
+}
+
+TEST(CheckDeathTest, CheckEvaluatesConditionExactlyOnce) {
+  int calls = 0;
+  SKC_CHECK(++calls == 1);
+  EXPECT_EQ(calls, 1);
+}
+
+#ifdef NDEBUG
+TEST(Dcheck, CompiledOutInReleaseButConditionStillParses) {
+  // The condition must be referenced unevaluated: no side effects, no
+  // unused-variable warnings for debug-only locals (the -Werror build of
+  // this file is itself the regression test for the latter).
+  int calls = 0;
+  const int debug_only = 7;
+  SKC_DCHECK(++calls == 1);
+  SKC_DCHECK(debug_only > 0);
+  SKC_DCHECK_MSG(++calls < 0, "never evaluated");
+  EXPECT_EQ(calls, 0);
+}
+#else
+TEST(DcheckDeathTest, FiresInDebugBuilds) {
+  int x = 5;
+  SKC_DCHECK(x == 5);
+  EXPECT_DEATH(SKC_DCHECK(x == 6), "SKC_CHECK failed");
+  EXPECT_DEATH(SKC_DCHECK_MSG(x == 6, "debug contract"), "debug contract");
+}
+#endif
+
+}  // namespace
+}  // namespace skc

@@ -86,12 +86,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(DiffCase{11, 0.0, false}, DiffCase{12, 0.0, false},
                       DiffCase{13, 0.5, false}, DiffCase{14, 0.5, false},
                       DiffCase{15, 0.8, true}, DiffCase{16, 0.3, true}),
-    [](const ::testing::TestParamInfo<DiffCase>& info) {
+    [](const ::testing::TestParamInfo<DiffCase>& param_info) {
       char buf[64];
       std::snprintf(buf, sizeof(buf), "seed%llu_del%d_%s",
-                    static_cast<unsigned long long>(info.param.seed),
-                    static_cast<int>(info.param.delete_fraction * 10),
-                    info.param.adversarial ? "adv" : "rand");
+                    static_cast<unsigned long long>(param_info.param.seed),
+                    static_cast<int>(param_info.param.delete_fraction * 10),
+                    param_info.param.adversarial ? "adv" : "rand");
       return std::string(buf);
     });
 

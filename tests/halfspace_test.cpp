@@ -37,7 +37,7 @@ class CanonicalizationTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(CanonicalizationTest, OptimalAssignmentBecomesConsistent) {
   const LrOrder r{GetParam()};
-  Rng rng(17 + static_cast<int>(GetParam() * 10));
+  Rng rng(static_cast<std::uint64_t>(17 + static_cast<int>(GetParam() * 10)));
   for (int trial = 0; trial < 8; ++trial) {
     PointSet pts = testutil::random_points(2, 64, 12, rng);
     PointSet centers = testutil::random_points(2, 64, 3, rng);

@@ -21,7 +21,8 @@ TEST_P(CoresetQualityTest, CapacitatedCostPreservedAcrossCenters) {
   const QualityCase qcase = GetParam();
   const int k = qcase.k;
   const LrOrder r{qcase.r};
-  Rng rng(1000 + k * 17 + static_cast<int>(qcase.r * 3 + qcase.skew * 7));
+  Rng rng(static_cast<std::uint64_t>(
+      1000 + k * 17 + static_cast<int>(qcase.r * 3 + qcase.skew * 7)));
 
   MixtureConfig cfg;
   cfg.dim = 2;
@@ -44,7 +45,7 @@ TEST_P(CoresetQualityTest, CapacitatedCostPreservedAcrossCenters) {
   // Probe several center sets: k-means++ seeds (good centers) and uniform
   // random (bad centers); capacities from tight to loose.
   for (int probe = 0; probe < 4; ++probe) {
-    Rng probe_rng(2000 + probe);
+    Rng probe_rng(static_cast<std::uint64_t>(2000 + probe));
     PointSet centers =
         probe < 2 ? kmeanspp_seed(WeightedPointSet::unit(pts), k, r, probe_rng)
                   : testutil::random_points(2, 512, k, probe_rng);
@@ -77,11 +78,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(QualityCase{2.0, 3, 1.0}, QualityCase{2.0, 4, 0.0},
                       QualityCase{1.0, 3, 1.0}, QualityCase{1.0, 4, 1.5},
                       QualityCase{3.0, 3, 1.0}),
-    [](const ::testing::TestParamInfo<QualityCase>& info) {
+    [](const ::testing::TestParamInfo<QualityCase>& param_info) {
       char buf[64];
       std::snprintf(buf, sizeof(buf), "r%dk%dskew%d",
-                    static_cast<int>(info.param.r * 10), info.param.k,
-                    static_cast<int>(info.param.skew * 10));
+                    static_cast<int>(param_info.param.r * 10), param_info.param.k,
+                    static_cast<int>(param_info.param.skew * 10));
       return std::string(buf);
     });
 

@@ -149,7 +149,7 @@ class OfflineCoresetOrderTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(OfflineCoresetOrderTest, BuildsAcrossLrOrders) {
   const LrOrder r{GetParam()};
-  Rng rng(9 + static_cast<int>(GetParam() * 7));
+  Rng rng(static_cast<std::uint64_t>(9 + static_cast<int>(GetParam() * 7)));
   PointSet pts = gaussian_mixture(small_mixture(1500), rng);
   const CoresetParams params = CoresetParams::practical(4, r, 0.3, 0.3);
   const OfflineBuildResult result = build_offline_coreset(pts, params, 10);

@@ -144,7 +144,7 @@ TEST(SparseRecovery, MidpointCancellationRegression) {
   Rng seeds(777);
   for (int trial = 0; trial < 200; ++trial) {
     SparseRecovery s({2, 4, 1, 1.0, 8}, seeds.next());  // 1 rep, few buckets
-    Rng rng(trial);
+    Rng rng(static_cast<std::uint64_t>(trial));
     std::map<Item, std::int64_t> truth;
     for (int i = 0; i < 6; ++i) {
       Item item = {2 * rng.uniform_int(-5, 5), 2 * rng.uniform_int(-5, 5)};
@@ -163,7 +163,7 @@ class RecoveryPropertyTest : public ::testing::TestWithParam<std::tuple<int, int
 
 TEST_P(RecoveryPropertyTest, RandomMultisetRoundTrip) {
   const auto [item_len, distinct] = GetParam();
-  Rng rng(100 + item_len * 31 + distinct);
+  Rng rng(static_cast<std::uint64_t>(100 + item_len * 31 + distinct));
   SparseRecovery s({item_len, 2 * distinct, 3, 1.5, 8}, rng.next());
   std::map<Item, std::int64_t> truth;
   // Build a random multiset with churn: random +/- updates on a pool.

@@ -187,7 +187,7 @@ class CapacitatedSolverSweep
 
 TEST_P(CapacitatedSolverSweep, FeasibleAtTightCapacityAcrossShapes) {
   const auto [k, r] = GetParam();
-  Rng rng(100 + k * 13 + static_cast<int>(r * 7));
+  Rng rng(static_cast<std::uint64_t>(100 + k * 13 + static_cast<int>(r * 7)));
   MixtureConfig cfg;
   cfg.dim = 2;
   cfg.log_delta = 10;
@@ -197,7 +197,7 @@ TEST_P(CapacitatedSolverSweep, FeasibleAtTightCapacityAcrossShapes) {
   const PointSet pts = gaussian_mixture(cfg, rng);
   const WeightedPointSet w = WeightedPointSet::unit(pts);
   const double t = tight_capacity(static_cast<double>(pts.size()), k);
-  Rng solver_rng(200 + k);
+  Rng solver_rng(static_cast<std::uint64_t>(200 + k));
   const CapacitatedSolution sol =
       capacitated_kmeans(w, k, t, LrOrder{r}, CapacitatedSolverOptions{}, solver_rng);
   ASSERT_TRUE(sol.feasible) << "k=" << k << " r=" << r;

@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""skc-lint: textual enforcement of streamkc project invariants.
+
+The library's exactness guarantees (bit-stable coresets across the
+streaming / offline / distributed paths) rest on conventions a compiler
+cannot check: all randomness flows through seeded skc::Rng, library code
+never writes to stdout, ownership is RAII-only, and contract failures on
+public API boundaries go through SKC_CHECK so they fire in release builds.
+This linter enforces those conventions, plus a few mechanical hygiene
+rules, across src/ tests/ bench/ tools/ examples/.
+
+Rules
+-----
+  skc-random         rand()/srand()/std::mt19937/std::random_device &
+                     friends anywhere outside skc/common/random.*.  All
+                     randomness must come from a seeded skc::Rng.
+  skc-stdout         std::cout / printf / puts / putchar in library code
+                     (src/skc/).  Library code reports through return
+                     values and metrics; diagnostics go to stderr.
+  skc-pragma-once    every header must start include guarding with
+                     `#pragma once`.
+  skc-include-order  a library .cpp must include its own header first
+                     (catches headers that silently depend on prior
+                     includes).
+  skc-naked-new      naked `new` / `delete` expressions.  Ownership is
+                     vector/unique_ptr/RAII only.
+  skc-assert         `assert(` in library code.  Use SKC_CHECK (always
+                     on) or SKC_DCHECK (debug-only) so contract failures
+                     are reported identically in every build mode.
+
+Waivers
+-------
+A violating line can be waived with an inline comment naming the rule:
+
+    legacy_api(new Foo);  // skc-lint: allow(skc-naked-new) adopted by Bar
+
+or with the same comment on the immediately preceding line.  A reason is
+required; bare allows are themselves violations.
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_EXTENSIONS = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
+HEADER_EXTENSIONS = {".h", ".hpp"}
+
+WAIVER_RE = re.compile(r"//\s*skc-lint:\s*allow\(([a-z0-9-]+)\)\s*(.*)$")
+
+# Forbidden randomness sources.  \b alone is not enough on the left: we must
+# not match `srand` inside identifiers like `x_srand`, nor `rand(` inside
+# `unbiased_rand(`-style helpers, so require a non-identifier character.
+RANDOM_RE = re.compile(
+    r"(?<![A-Za-z0-9_])"
+    r"(rand|srand|random|drand48|lrand48|mrand48)\s*\("
+    r"|std::(mt19937(_64)?|minstd_rand0?|random_device|default_random_engine"
+    r"|ranlux\w+|knuth_b)\b"
+)
+
+# Stdout writers.  snprintf/fprintf/sprintf survive because of the left
+# lookbehind; std::printf / ::printf / bare printf are all caught.
+STDOUT_RE = re.compile(
+    r"std::cout\b"
+    r"|(?<![A-Za-z0-9_])(printf|puts|putchar|putc)\s*\("
+)
+
+NAKED_NEW_RE = re.compile(
+    r"(?<![A-Za-z0-9_])new\s+[A-Za-z_(]"
+    r"|(?<![A-Za-z0-9_])delete(\[\])?\s+[A-Za-z_(*]"
+    r"|(?<![A-Za-z0-9_])delete\[\]"
+)
+
+ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+
+RULE_IDS = [
+    "skc-random",
+    "skc-stdout",
+    "skc-pragma-once",
+    "skc-include-order",
+    "skc-naked-new",
+    "skc-assert",
+]
+
+
+class Violation:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(lines: list[str]) -> list[str]:
+    """Returns lines with comments and string/char literals blanked out.
+
+    Characters are replaced (not removed) so column positions survive.
+    A line-based scanner with block-comment state is exact enough for this
+    codebase's style; raw strings are treated as ordinary strings.
+    """
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        n = len(line)
+        quote = None  # None, '"' or "'"
+        while i < n:
+            c = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+            elif quote:
+                if c == "\\":
+                    buf.append("  ")
+                    i += 2
+                elif c == quote:
+                    quote = None
+                    buf.append(c)
+                    i += 1
+                else:
+                    buf.append(" ")
+                    i += 1
+            elif c == "/" and nxt == "/":
+                buf.append(" " * (n - i))
+                break
+            elif c == "/" and nxt == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+            elif c in "\"'":
+                quote = c
+                buf.append(c)
+                i += 1
+            else:
+                buf.append(c)
+                i += 1
+        out.append("".join(buf))
+    return out
+
+
+def collect_waivers(lines: list[str]) -> tuple[dict[int, set[str]], list[tuple[int, str]]]:
+    """Maps line numbers (1-based) to the rule ids waived on them.
+
+    A waiver on a pure-comment line also covers the next line.  Returns the
+    waiver map and a list of (line, rule) for waivers missing a reason.
+    """
+    waived: dict[int, set[str]] = {}
+    bad: list[tuple[int, str]] = []
+    for idx, line in enumerate(lines, start=1):
+        m = WAIVER_RE.search(line)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2).strip()
+        if not reason:
+            bad.append((idx, rule))
+        waived.setdefault(idx, set()).add(rule)
+        if line.strip().startswith("//"):
+            waived.setdefault(idx + 1, set()).add(rule)
+    return waived, bad
+
+
+def is_library(path: Path, root: Path) -> bool:
+    rel = path.relative_to(root)
+    return rel.parts[:2] == ("src", "skc")
+
+
+def own_header_include(path: Path, root: Path) -> str | None:
+    """For src/skc/foo/bar.cpp returns "skc/foo/bar.h" if that header exists."""
+    if path.suffix != ".cpp" or not is_library(path, root):
+        return None
+    header = path.with_suffix(".h")
+    if not header.exists():
+        return None
+    return str(header.relative_to(root / "src"))
+
+
+def lint_file(path: Path, root: Path) -> list[Violation]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return [Violation(path, 1, "skc-encoding", "file is not valid UTF-8")]
+    lines = text.splitlines()
+    code = strip_code(lines)
+    waived, bad_waivers = collect_waivers(lines)
+    library = is_library(path, root)
+    in_random_impl = path.name in ("random.h", "random.cpp") and library
+
+    out = [
+        Violation(path, ln, rule, "waiver is missing a reason")
+        for ln, rule in bad_waivers
+    ]
+
+    def check(rule: str, ln: int, message: str) -> None:
+        if rule in waived.get(ln, set()):
+            return
+        out.append(Violation(path, ln, rule, message))
+
+    for idx, stripped in enumerate(code, start=1):
+        if not in_random_impl and RANDOM_RE.search(stripped):
+            check(
+                "skc-random", idx,
+                "unseeded/libc randomness; draw from a seeded skc::Rng instead",
+            )
+        if library and STDOUT_RE.search(stripped):
+            check(
+                "skc-stdout", idx,
+                "stdout write in library code; use return values, metrics, or stderr",
+            )
+        if NAKED_NEW_RE.search(stripped):
+            check(
+                "skc-naked-new", idx,
+                "naked new/delete; use containers, value types, or unique_ptr",
+            )
+        if library and ASSERT_RE.search(stripped):
+            check(
+                "skc-assert", idx,
+                "assert() in library code; use SKC_CHECK or SKC_DCHECK",
+            )
+
+    if path.suffix in HEADER_EXTENSIONS:
+        if not any(l.strip() == "#pragma once" for l in lines):
+            check("skc-pragma-once", 1, "header is missing '#pragma once'")
+
+    own = own_header_include(path, root)
+    if own is not None:
+        first = None
+        for idx, (raw, stripped) in enumerate(zip(lines, code), start=1):
+            # Match against the raw line (strip_code blanks the quoted path)
+            # but only where the stripped line confirms a real directive.
+            if not stripped.lstrip().startswith("#"):
+                continue
+            m = re.match(r'\s*#\s*include\s+["<]([^">]+)[">]', raw)
+            if m:
+                first = (idx, m.group(1))
+                break
+        if first is not None and first[1] != own:
+            check(
+                "skc-include-order", first[0],
+                f'first include must be the file\'s own header "{own}"',
+            )
+
+    return out
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="*", default=[],
+        help="files or directories to lint (default: src tests bench tools examples)",
+    )
+    parser.add_argument("--root", default=None, help="repository root (default: inferred)")
+    parser.add_argument("--list-rules", action="store_true", help="print rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("\n".join(RULE_IDS))
+        return 0
+
+    root = Path(args.root).resolve() if args.root else Path(__file__).resolve().parents[2]
+    targets = args.paths or ["src", "tests", "bench", "tools", "examples"]
+
+    files: list[Path] = []
+    for t in targets:
+        p = (root / t) if not Path(t).is_absolute() else Path(t)
+        if p.is_dir():
+            files.extend(
+                f for f in sorted(p.rglob("*")) if f.suffix in CXX_EXTENSIONS
+            )
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"skc-lint: no such path: {t}", file=sys.stderr)
+            return 2
+
+    violations: list[Violation] = []
+    for f in files:
+        violations.extend(lint_file(f, root))
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"skc-lint: {len(violations)} violation(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"skc-lint: OK ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -189,7 +189,7 @@ int cmd_serve(int argc, char** argv) {
     if (!(in >> cmd) || cmd[0] == '#') continue;
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "insert" || cmd == "delete") {
-      std::vector<Coord> p(dim);
+      std::vector<Coord> p(static_cast<std::size_t>(dim));
       bool ok = true;
       for (int i = 0; i < dim; ++i) {
         long long c = 0;
