@@ -1,0 +1,170 @@
+// E14 — TCP serving layer (EngineServer + SkcClient): sustained ingest
+// throughput and query latency over loopback for 1/4/8 concurrent clients.
+//
+// Each client connects to an in-process EngineServer on an ephemeral
+// loopback port and ships INSERT_BATCH frames of kBatchPoints points; the
+// measurement closes with one epoch-barrier summary query, so the reported
+// rate covers events *applied* to the sketch, not merely enqueued (the same
+// rule as E13's flush()).  A second phase then issues barrier-less summary
+// queries from all clients concurrently and reports p50/p95/p99 latency.
+//
+// Run with `bench_net smoke` for the CI-sized variant: same code path,
+// ~1/30 the events (scripts/check.sh uses it as the loopback smoke test).
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace skc;
+using namespace skc::bench;
+
+namespace {
+
+constexpr int kDim = 2;
+constexpr int kK = 4;
+constexpr int kLogDelta = 6;
+constexpr std::size_t kBatchPoints = 512;
+
+EngineOptions engine_options(std::int64_t total_events) {
+  // The 1-core serving configuration: an o-range hint shrinks the guess
+  // grid to ~8 doublings (instead of the ~30 the theoretical range needs)
+  // and a small CountMin keeps per-event sketch work low.  This is the
+  // regime the E14 throughput target is measured in; the full-range
+  // configurations are characterized separately in E13.
+  EngineOptions opt;
+  opt.num_shards = 2;
+  opt.queue_capacity = 8192;
+  opt.streaming.log_delta = kLogDelta;
+  opt.streaming.max_points = total_events;
+  opt.streaming.o_min = 1e6;
+  opt.streaming.o_max = 2.56e8;
+  opt.streaming.counting_samples = 16.0;
+  opt.streaming.countmin_width = 128;
+  opt.streaming.countmin_depth = 2;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && !std::strcmp(argv[1], "smoke");
+  const std::int64_t total_events = smoke ? 8'000 : 240'000;
+  const int queries_per_client = smoke ? 2 : 8;
+  const CoresetParams params =
+      CoresetParams::practical(kK, LrOrder{2.0}, 0.3, 0.3);
+
+  header("E14: TCP serving throughput and query latency (loopback)",
+         "the framed wire protocol + thread-per-connection server sustain "
+         "batched ingest at engine speed; barrier-less queries serve "
+         "concurrently with ingest-grade latency");
+  row("host: %u hardware threads, batch=%zu points, dim=%d, log_delta=%d%s",
+      std::thread::hardware_concurrency(), kBatchPoints, kDim, kLogDelta,
+      smoke ? " [smoke]" : "");
+  row("%-8s %10s %9s %10s %6s %4s %9s %9s %9s", "clients", "events",
+      "wall_ms", "events/s", "busy", "ok", "q_p50_ms", "q_p95_ms",
+      "q_p99_ms");
+
+  for (const int clients : {1, 4, 8}) {
+    const std::int64_t per_client = total_events / clients;
+    const std::int64_t events = per_client * clients;
+    ClusteringEngine engine(kDim, params, engine_options(events));
+    net::EngineServer server(engine, net::ServerOptions{});
+    std::string error;
+    if (!server.start(error)) {
+      std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+      return 1;
+    }
+    const std::uint16_t port = server.port();
+
+    // Phase 1: concurrent batched ingest, timed to the epoch barrier.
+    std::atomic<std::int64_t> busy{0};
+    std::atomic<bool> failed{false};
+    Timer timer;
+    {
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          net::SkcClient cl;
+          if (!cl.connect("127.0.0.1", port)) {
+            failed = true;
+            return;
+          }
+          Rng rng(1000 + static_cast<std::uint64_t>(c));
+          const std::uint64_t max_coord = std::uint64_t{1} << kLogDelta;
+          std::vector<Coord> coords;
+          for (std::int64_t sent = 0; sent < per_client;) {
+            const std::int64_t take = std::min<std::int64_t>(
+                static_cast<std::int64_t>(kBatchPoints), per_client - sent);
+            coords.resize(static_cast<std::size_t>(take) *
+                          static_cast<std::size_t>(kDim));
+            for (Coord& x : coords) {
+              x = static_cast<Coord>(1 + rng.next_below(max_coord));
+            }
+            if (!cl.insert_batch(kDim, coords)) {
+              failed = true;
+              return;
+            }
+            sent += take;
+          }
+          busy.fetch_add(cl.busy_retries());
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    net::SkcClient probe;
+    bool ok = !failed.load() && probe.connect("127.0.0.1", port);
+    if (ok) {
+      net::QueryRequest barrier;  // barrier defaults to true
+      barrier.summary_only = true;
+      net::QueryReply reply;
+      ok = probe.query(barrier, reply) && reply.ok &&
+           reply.net_points == events;
+    }
+    const double wall_ms = timer.millis();
+
+    // Phase 2: all clients issue barrier-less summary queries at once.
+    std::mutex mu;
+    std::vector<double> latency_ms;
+    {
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&] {
+          net::SkcClient cl;
+          if (!cl.connect("127.0.0.1", port)) return;
+          for (int q = 0; q < queries_per_client; ++q) {
+            net::QueryRequest qr;
+            qr.barrier = false;
+            qr.summary_only = true;
+            net::QueryReply reply;
+            Timer t;
+            if (!cl.query(qr, reply)) return;
+            const double ms = t.millis();
+            std::scoped_lock lock(mu);
+            latency_ms.push_back(ms);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    std::sort(latency_ms.begin(), latency_ms.end());
+    const auto pct = [&latency_ms](double p) {
+      if (latency_ms.empty()) return 0.0;
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(latency_ms.size() - 1) + 0.5);
+      return latency_ms[std::min(idx, latency_ms.size() - 1)];
+    };
+    row("%-8d %10lld %9.0f %10.0f %6lld %4s %9.1f %9.1f %9.1f", clients,
+        static_cast<long long>(events), wall_ms,
+        1e3 * static_cast<double>(events) / wall_ms,
+        static_cast<long long>(busy.load()), ok ? "yes" : "NO", pct(0.50),
+        pct(0.95), pct(0.99));
+
+    server.stop();
+    engine.shutdown();
+  }
+  return 0;
+}

@@ -22,7 +22,12 @@ ctest --test-dir build --output-on-failure
 
 for b in build/bench/bench_*; do
   echo "== $b"
-  "$b"
+  if [[ "$(basename "$b")" == bench_net ]]; then
+    # Loopback serving smoke: same code path as the full E14 run, CI-sized.
+    "$b" smoke
+  else
+    "$b"
+  fi
 done
 
 for e in build/examples/example_*; do

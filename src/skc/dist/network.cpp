@@ -1,6 +1,7 @@
 #include "skc/dist/network.h"
 
 #include "skc/common/check.h"
+#include "skc/net/frame.h"
 
 namespace skc {
 
@@ -14,11 +15,16 @@ void Network::send(int from, int to, std::uint64_t bytes) {
   SKC_CHECK(to >= 0 && to <= machines_);
   SKC_CHECK_MSG(from == 0 || to == 0,
                 "machines may only communicate with the coordinator (rank 0)");
+  // Account what the payload would occupy as one frame of the real TCP
+  // serving protocol (src/skc/net/frame.h), so the simulated coordinator
+  // cost matches the bytes a wire deployment would move (asserted against
+  // the actual encoder by tests/net_accounting_test.cpp).
+  const std::uint64_t wire = net::frame_wire_bytes(bytes);
   std::scoped_lock lock(mu_);
   total_.messages += 1;
-  total_.bytes += bytes;
-  per_machine_[static_cast<std::size_t>(from)] += bytes;
-  per_machine_[static_cast<std::size_t>(to)] += bytes;
+  total_.bytes += wire;
+  per_machine_[static_cast<std::size_t>(from)] += wire;
+  per_machine_[static_cast<std::size_t>(to)] += wire;
 }
 
 std::uint64_t Network::machine_bytes(int machine) const {

@@ -20,9 +20,12 @@ class Network {
 
   int machines() const { return machines_; }
 
-  /// Records a message of `bytes` payload from `from` to `to`.
+  /// Records a message of `bytes` payload from `from` to `to`, accounted
+  /// at its on-wire size (payload + one net/frame.h frame header, so the
+  /// simulated cost equals what the real TCP serving protocol would move).
   /// Rank 0 is the coordinator; every message must involve it.
   /// Thread-safe: machine threads account concurrently.
+  // skc-lint: allow(skc-socket) declares the simulated accountant, not a raw socket call
   void send(int from, int to, std::uint64_t bytes);
 
   struct Stats {

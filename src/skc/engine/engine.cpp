@@ -368,6 +368,14 @@ std::int64_t ClusteringEngine::net_count() const {
   return net;
 }
 
+std::int64_t ClusteringEngine::queue_backlog() const {
+  std::int64_t backlog = 0;
+  for (const auto& shard : shards_) {
+    backlog += static_cast<std::int64_t>(shard->queue.size());
+  }
+  return backlog;
+}
+
 EngineMetrics ClusteringEngine::metrics() const {
   EngineMetrics m;
   m.events_submitted = counters_.events_submitted.load(std::memory_order_relaxed);

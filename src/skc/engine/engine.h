@@ -121,6 +121,7 @@ class ClusteringEngine {
   int dim() const { return dim_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const CoresetParams& params() const { return params_; }
+  const EngineOptions& options() const { return options_; }
 
   /// Routes one event to its shard queue; blocks on backpressure.  Must not
   /// be called after shutdown().
@@ -149,6 +150,11 @@ class ClusteringEngine {
 
   /// Net surviving point count across shards (insertions minus deletions).
   std::int64_t net_count() const;
+
+  /// Events enqueued but not yet applied, summed across shards — the
+  /// backlog a front end (e.g. net::EngineServer) tests for load shedding
+  /// before submit() would block on backpressure.
+  std::int64_t queue_backlog() const;
 
   EngineMetrics metrics() const;
 

@@ -69,6 +69,20 @@ std::string metrics_json(const EngineMetrics& m) {
   append_kv(out, "shard_queue_depth", m.shard_queue_depth);
   out += ',';
   append_kv(out, "shard_events_applied", m.shard_events_applied);
+  out += ',';
+  append_kv(out, "net_connections_active", m.net_connections_active);
+  out += ',';
+  append_kv(out, "net_connections_total", m.net_connections_total);
+  out += ',';
+  append_kv(out, "net_bytes_in", m.net_bytes_in);
+  out += ',';
+  append_kv(out, "net_bytes_out", m.net_bytes_out);
+  out += ',';
+  append_kv(out, "net_busy_rejections", m.net_busy_rejections);
+  out += ',';
+  append_kv(out, "net_malformed_frames", m.net_malformed_frames);
+  out += ',';
+  append_kv(out, "net_requests_by_type", m.net_requests_by_type);
   out += '}';
   return out;
 }

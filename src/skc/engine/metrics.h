@@ -38,6 +38,19 @@ struct EngineMetrics {
 
   std::vector<std::int64_t> shard_queue_depth;  ///< current per-shard backlog
   std::vector<std::int64_t> shard_events_applied;
+
+  // Network serving layer (src/skc/net/).  All-zero for an engine used
+  // in-process; an EngineServer fills them into its metrics() snapshot and
+  // the METRICS RPC, so one JSON object covers engine + transport.
+  std::int64_t net_connections_active = 0;
+  std::int64_t net_connections_total = 0;   ///< accepted since start
+  std::int64_t net_bytes_in = 0;            ///< wire bytes received (frames)
+  std::int64_t net_bytes_out = 0;           ///< wire bytes sent (frames)
+  std::int64_t net_busy_rejections = 0;     ///< load-shed BUSY replies
+  std::int64_t net_malformed_frames = 0;    ///< rejected headers/payloads
+  /// Requests served, indexed by net::MsgType (ping, insert_batch,
+  /// delete_batch, query, metrics, checkpoint, shutdown).
+  std::vector<std::int64_t> net_requests_by_type;
 };
 
 /// Renders a snapshot as one JSON object (stable key order, no trailing

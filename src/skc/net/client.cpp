@@ -1,0 +1,168 @@
+#include "skc/net/client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "skc/common/check.h"
+
+namespace skc::net {
+
+SkcClient::SkcClient(const ClientOptions& options) : options_(options) {}
+
+SkcClient::~SkcClient() { close(); }
+
+bool SkcClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  host_ = host;
+  port_ = port;
+  int backoff = options_.retry_backoff_ms;
+  std::string error;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff *= 2;
+    }
+    sock_ = connect_to(host_, port_, options_.connect_timeout_ms, error);
+    if (sock_.valid()) {
+      last_status_ = Status::kOk;
+      return true;
+    }
+  }
+  return fail("connect to " + host + ": " + error);
+}
+
+void SkcClient::close() { sock_.close(); }
+
+bool SkcClient::fail(const std::string& message) {
+  last_error_ = message;
+  return false;
+}
+
+bool SkcClient::request(MsgType type, std::string_view body,
+                        std::string& reply_body) {
+  if (!sock_.valid()) return fail("not connected");
+  const std::string frame = encode_frame(type, Status::kOk, body);
+  int backoff = options_.retry_backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    IoResult io = send_exact(sock_, frame.data(), frame.size(),
+                             options_.io_timeout_ms);
+    if (io != IoResult::kOk) {
+      close();
+      return fail("send failed (connection lost)");
+    }
+    std::string header_buf(kFrameHeaderBytes, '\0');
+    io = recv_exact(sock_, header_buf.data(), header_buf.size(),
+                    options_.io_timeout_ms);
+    if (io != IoResult::kOk) {
+      close();
+      return fail(io == IoResult::kTimeout ? "reply timed out"
+                                           : "connection lost awaiting reply");
+    }
+    FrameHeader header;
+    if (decode_header(header_buf, header) != Status::kOk) {
+      close();
+      return fail("malformed reply header");
+    }
+    std::string payload(header.payload_bytes, '\0');
+    if (header.payload_bytes > 0) {
+      io = recv_exact(sock_, payload.data(), payload.size(),
+                      options_.io_timeout_ms);
+      if (io != IoResult::kOk) {
+        close();
+        return fail("truncated reply");
+      }
+    }
+    last_status_ = header.status;
+    if (header.status == Status::kBusy) {
+      // Load shed: nothing was applied server-side, so resending is safe.
+      if (attempt >= options_.max_retries) {
+        return fail("server busy (retries exhausted)");
+      }
+      ++busy_retries_;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff *= 2;
+      continue;
+    }
+    if (header.type != type) {
+      close();
+      return fail("reply type does not match the request");
+    }
+    if (header.status != Status::kOk) {
+      std::string detail;
+      decode_text(payload, detail);
+      return fail(std::string("server: ") + status_name(header.status) +
+                  (detail.empty() ? "" : ": " + detail));
+    }
+    reply_body = std::move(payload);
+    return true;
+  }
+}
+
+bool SkcClient::ping() {
+  const std::string_view probe = "skc-ping";
+  std::string reply;
+  if (!request(MsgType::kPing, probe, reply)) return false;
+  if (reply != probe) return fail("ping echo mismatch");
+  return true;
+}
+
+bool SkcClient::batch(MsgType type, int dim, std::span<const Coord> coords,
+                      BatchReply* ack) {
+  SKC_CHECK(dim >= 1);
+  SKC_CHECK(coords.size() % static_cast<std::size_t>(dim) == 0);
+  PointBatch body;
+  body.dim = dim;
+  body.coords.assign(coords.begin(), coords.end());
+  std::string reply;
+  if (!request(type, body.encode(), reply)) return false;
+  BatchReply parsed;
+  if (!parsed.decode(reply)) return fail("undecodable batch ack");
+  if (ack) *ack = parsed;
+  return true;
+}
+
+bool SkcClient::insert_batch(int dim, std::span<const Coord> coords,
+                             BatchReply* ack) {
+  return batch(MsgType::kInsertBatch, dim, coords, ack);
+}
+
+bool SkcClient::delete_batch(int dim, std::span<const Coord> coords,
+                             BatchReply* ack) {
+  return batch(MsgType::kDeleteBatch, dim, coords, ack);
+}
+
+bool SkcClient::insert(std::span<const Coord> point) {
+  return insert_batch(static_cast<int>(point.size()), point);
+}
+
+bool SkcClient::erase(std::span<const Coord> point) {
+  return delete_batch(static_cast<int>(point.size()), point);
+}
+
+bool SkcClient::query(const QueryRequest& req, QueryReply& reply) {
+  std::string body;
+  if (!request(MsgType::kQuery, req.encode(), body)) return false;
+  if (!reply.decode(body)) return fail("undecodable query reply");
+  return true;
+}
+
+bool SkcClient::metrics_json(std::string& json) {
+  std::string body;
+  if (!request(MsgType::kMetrics, std::string_view{}, body)) return false;
+  if (!decode_text(body, json)) return fail("undecodable metrics reply");
+  return true;
+}
+
+bool SkcClient::checkpoint(const std::string& server_path) {
+  CheckpointRequest req;
+  req.path = server_path;
+  std::string body;
+  return request(MsgType::kCheckpoint, req.encode(), body);
+}
+
+bool SkcClient::shutdown_server() {
+  std::string body;
+  return request(MsgType::kShutdown, std::string_view{}, body);
+}
+
+}  // namespace skc::net

@@ -1,0 +1,88 @@
+// SkcClient — blocking client for the EngineServer wire protocol.
+//
+// One request in flight per client; every call sends one frame and waits
+// for the matching reply under the configured timeouts.  Retry policy is
+// deliberately narrow: the client retries (with doubling backoff) only the
+// two failures the server guarantees are side-effect free — a refused /
+// timed-out connect, and an explicit BUSY reply (load shed before anything
+// was enqueued).  A transport error mid-request is NOT retried
+// automatically: the server may or may not have applied the request, and
+// only the caller knows whether its operation is idempotent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "skc/common/types.h"
+#include "skc/net/frame.h"
+#include "skc/net/socket.h"
+
+namespace skc::net {
+
+struct ClientOptions {
+  int connect_timeout_ms = 5'000;
+  /// Per-direction deadline for one request/reply exchange.  Queries can
+  /// legitimately run long (barrier + merge + solve), hence the margin.
+  int io_timeout_ms = 60'000;
+  /// Bounded retry for connect failures and BUSY replies.
+  int max_retries = 5;
+  /// First backoff; doubles per consecutive retry.
+  int retry_backoff_ms = 20;
+};
+
+class SkcClient {
+ public:
+  explicit SkcClient(const ClientOptions& options = {});
+  ~SkcClient();
+
+  SkcClient(const SkcClient&) = delete;
+  SkcClient& operator=(const SkcClient&) = delete;
+
+  /// Connects (with bounded retry) to a listening EngineServer.
+  bool connect(const std::string& host, std::uint16_t port);
+  void close();
+  bool connected() const { return sock_.valid(); }
+
+  /// Diagnostics for the last failed call.
+  const std::string& last_error() const { return last_error_; }
+  /// Status of the last reply (kOk after successful calls).
+  Status last_status() const { return last_status_; }
+  /// BUSY replies absorbed by retries since connect (back-pressure signal).
+  std::int64_t busy_retries() const { return busy_retries_; }
+
+  /// Round-trips an opaque payload (returns false on echo mismatch).
+  bool ping();
+  /// Ships `count = coords.size() / dim` points as one batch.
+  bool insert_batch(int dim, std::span<const Coord> coords,
+                    BatchReply* ack = nullptr);
+  bool delete_batch(int dim, std::span<const Coord> coords,
+                    BatchReply* ack = nullptr);
+  bool insert(std::span<const Coord> point);
+  bool erase(std::span<const Coord> point);
+  /// Remote clustering query.
+  bool query(const QueryRequest& request, QueryReply& reply);
+  /// Engine + transport metrics as one JSON object.
+  bool metrics_json(std::string& json);
+  /// Asks the server to checkpoint to a server-side path.
+  bool checkpoint(const std::string& server_path);
+  /// Requests graceful drain; the server replies before stopping.
+  bool shutdown_server();
+
+ private:
+  bool batch(MsgType type, int dim, std::span<const Coord> coords,
+             BatchReply* ack);
+  /// One request/reply exchange with BUSY retry; fills reply body on kOk.
+  bool request(MsgType type, std::string_view body, std::string& reply_body);
+  bool fail(const std::string& message);
+
+  ClientOptions options_;
+  Socket sock_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  std::string last_error_;
+  Status last_status_ = Status::kOk;
+  std::int64_t busy_retries_ = 0;
+};
+
+}  // namespace skc::net

@@ -1,0 +1,249 @@
+#include "skc/net/frame.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace skc::net {
+
+namespace {
+
+// Payload bodies follow the common/serial.h conventions (little-endian PODs
+// with explicit widths, u64 element counts) but run over flat buffers with
+// explicit bounds checks: a length prefix is validated against the bytes
+// actually remaining BEFORE any allocation, so a hostile frame can neither
+// overread nor provoke a multi-gigabyte resize.
+
+class Writer {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(v.size());
+    const auto old = buf_.size();
+    buf_.resize(old + v.size() * sizeof(T));
+    if (!v.empty()) std::memcpy(buf_.data() + old, v.data(), v.size() * sizeof(T));
+  }
+
+  void put_string(std::string_view s) {
+    put<std::uint64_t>(s.size());
+    buf_.append(s);
+  }
+
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view body) : p_(body.data()), left_(body.size()) {}
+
+  template <typename T>
+  bool get(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (left_ < sizeof(T)) return false;
+    std::memcpy(&value, p_, sizeof(T));
+    p_ += sizeof(T);
+    left_ -= sizeof(T);
+    return true;
+  }
+
+  template <typename T>
+  bool get_vector(std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint64_t count = 0;
+    if (!get(count)) return false;
+    if (count > left_ / sizeof(T)) return false;  // announced > remaining
+    v.resize(static_cast<std::size_t>(count));
+    if (count) std::memcpy(v.data(), p_, v.size() * sizeof(T));
+    p_ += count * sizeof(T);
+    left_ -= count * sizeof(T);
+    return true;
+  }
+
+  bool get_string(std::string& s) {
+    std::uint64_t size = 0;
+    if (!get(size)) return false;
+    if (size > left_) return false;
+    s.assign(p_, static_cast<std::size_t>(size));
+    p_ += size;
+    left_ -= size;
+    return true;
+  }
+
+  bool get_bool(bool& b) {
+    std::uint8_t byte = 0;
+    if (!get(byte) || byte > 1) return false;
+    b = byte != 0;
+    return true;
+  }
+
+  /// Strictness: a well-formed body is consumed exactly.
+  bool done() const { return left_ == 0; }
+
+ private:
+  const char* p_;
+  std::size_t left_;
+};
+
+void put_bool(Writer& w, bool b) { w.put<std::uint8_t>(b ? 1 : 0); }
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kBusy: return "busy";
+    case Status::kMalformed: return "malformed";
+    case Status::kUnsupported: return "unsupported";
+    case Status::kTooLarge: return "too-large";
+    case Status::kEngineError: return "engine-error";
+    case Status::kShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(MsgType type, Status status, std::string_view payload) {
+  Writer w;
+  w.put<std::uint32_t>(kFrameMagic);
+  w.put<std::uint8_t>(kWireVersion);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(type));
+  w.put<std::uint16_t>(static_cast<std::uint16_t>(status));
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(payload.size()));
+  std::string out = w.take();
+  out.append(payload);
+  return out;
+}
+
+Status decode_header(std::string_view bytes, FrameHeader& out) {
+  if (bytes.size() < kFrameHeaderBytes) return Status::kMalformed;
+  Reader r(bytes.substr(0, kFrameHeaderBytes));
+  std::uint32_t magic = 0, payload = 0;
+  std::uint8_t version = 0, type = 0;
+  std::uint16_t status = 0;
+  r.get(magic);
+  r.get(version);
+  r.get(type);
+  r.get(status);
+  r.get(payload);
+  if (magic != kFrameMagic) return Status::kMalformed;
+  if (version != kWireVersion) return Status::kUnsupported;
+  if (type >= kNumMsgTypes) return Status::kUnsupported;
+  if (status > static_cast<std::uint16_t>(Status::kShuttingDown)) {
+    return Status::kMalformed;
+  }
+  if (payload > kMaxPayloadBytes) return Status::kTooLarge;
+  out.type = static_cast<MsgType>(type);
+  out.status = static_cast<Status>(status);
+  out.payload_bytes = payload;
+  return Status::kOk;
+}
+
+std::string PointBatch::encode() const {
+  Writer w;
+  w.put<std::int32_t>(dim);
+  w.put_vector(coords);
+  return w.take();
+}
+
+bool PointBatch::decode(std::string_view body) {
+  Reader r(body);
+  if (!r.get(dim) || dim < 1 || dim > kMaxDim) return false;
+  if (!r.get_vector(coords) || !r.done()) return false;
+  if (coords.size() % static_cast<std::size_t>(dim) != 0) return false;
+  if (count() > kMaxBatchPoints) return false;
+  return true;
+}
+
+std::string BatchReply::encode() const {
+  Writer w;
+  w.put(accepted);
+  w.put(backlog);
+  return w.take();
+}
+
+bool BatchReply::decode(std::string_view body) {
+  Reader r(body);
+  return r.get(accepted) && r.get(backlog) && r.done();
+}
+
+std::string QueryRequest::encode() const {
+  Writer w;
+  w.put(k);
+  w.put(capacity_slack);
+  put_bool(w, barrier);
+  put_bool(w, summary_only);
+  w.put(solver_restarts);
+  return w.take();
+}
+
+bool QueryRequest::decode(std::string_view body) {
+  Reader r(body);
+  return r.get(k) && k >= 0 && r.get(capacity_slack) && r.get_bool(barrier) &&
+         r.get_bool(summary_only) && r.get(solver_restarts) && r.done();
+}
+
+std::string QueryReply::encode() const {
+  Writer w;
+  put_bool(w, ok);
+  w.put_string(error);
+  w.put(net_points);
+  w.put(summary_points);
+  w.put(capacity);
+  w.put(cost);
+  put_bool(w, feasible);
+  w.put(dim);
+  w.put_vector(center_coords);
+  w.put(merge_millis);
+  w.put(solve_millis);
+  return w.take();
+}
+
+bool QueryReply::decode(std::string_view body) {
+  Reader r(body);
+  if (!r.get_bool(ok) || !r.get_string(error) || !r.get(net_points) ||
+      !r.get(summary_points) || !r.get(capacity) || !r.get(cost) ||
+      !r.get_bool(feasible) || !r.get(dim)) {
+    return false;
+  }
+  if (dim < 0 || dim > kMaxDim) return false;
+  if (!r.get_vector(center_coords) || !r.get(merge_millis) ||
+      !r.get(solve_millis) || !r.done()) {
+    return false;
+  }
+  if (dim == 0) return center_coords.empty();
+  return center_coords.size() % static_cast<std::size_t>(dim) == 0;
+}
+
+std::string CheckpointRequest::encode() const {
+  Writer w;
+  w.put_string(path);
+  return w.take();
+}
+
+bool CheckpointRequest::decode(std::string_view body) {
+  Reader r(body);
+  return r.get_string(path) && !path.empty() && r.done();
+}
+
+std::string encode_text(std::string_view text) {
+  Writer w;
+  w.put_string(text);
+  return w.take();
+}
+
+bool decode_text(std::string_view body, std::string& out) {
+  Reader r(body);
+  return r.get_string(out) && r.done();
+}
+
+}  // namespace skc::net

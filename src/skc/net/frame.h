@@ -1,0 +1,157 @@
+// Wire protocol for the TCP serving layer — length-prefixed binary frames.
+//
+// Every message on the wire is one frame:
+//
+//   offset  size  field
+//   0       4     magic          0x53 0x4b 0x43 0x46 ("SKCF", little-endian u32)
+//   4       1     version        kWireVersion (1)
+//   5       1     type           MsgType
+//   6       2     status         Status (replies; kOk on requests)
+//   8       4     payload_bytes  little-endian u32, <= kMaxPayloadBytes
+//   12      n     payload        type-specific body (common/serial.h encoding:
+//                                little-endian PODs, u64-length vectors/strings)
+//
+// A request and its reply carry the same MsgType; errors travel in the
+// reply's Status with an empty or diagnostic payload.  Decoding is strictly
+// bounds-checked: a frame with a bad magic, unknown version/type, or an
+// over-limit length is rejected at the header (decode_header names the
+// Status to answer with before closing), and payload decoders reject
+// truncated bodies, impossible sizes, and trailing garbage — a malformed
+// peer can terminate its connection, never crash the process.
+//
+// The simulated coordinator network (src/skc/dist/) accounts its messages
+// with frame_wire_bytes() so Theorem 4.7's measured communication equals
+// what these frames would occupy on a real wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "skc/common/types.h"
+
+namespace skc::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x46434b53u;  // "SKCF"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Hard cap on a frame body; a header announcing more is malformed.
+inline constexpr std::uint32_t kMaxPayloadBytes = 8u << 20;
+/// Caps inside payloads (points per batch, coordinates per point).
+inline constexpr std::uint64_t kMaxBatchPoints = 1u << 20;
+inline constexpr std::int32_t kMaxDim = 4096;
+
+enum class MsgType : std::uint8_t {
+  kPing = 0,
+  kInsertBatch = 1,
+  kDeleteBatch = 2,
+  kQuery = 3,
+  kMetrics = 4,
+  kCheckpoint = 5,
+  kShutdown = 6,
+};
+inline constexpr int kNumMsgTypes = 7;
+
+enum class Status : std::uint16_t {
+  kOk = 0,
+  kBusy = 1,            ///< load shed: engine backlog over the server limit
+  kMalformed = 2,       ///< undecodable header or payload
+  kUnsupported = 3,     ///< unknown version or message type
+  kTooLarge = 4,        ///< announced payload exceeds kMaxPayloadBytes
+  kEngineError = 5,     ///< request decoded but the engine refused it
+  kShuttingDown = 6,    ///< server is draining; no new work accepted
+};
+
+/// Human-readable status name ("ok", "busy", ...) for logs and errors.
+const char* status_name(Status s);
+
+struct FrameHeader {
+  MsgType type = MsgType::kPing;
+  Status status = Status::kOk;
+  std::uint32_t payload_bytes = 0;
+};
+
+/// Bytes a frame carrying `payload_bytes` of body occupies on the wire.
+inline constexpr std::uint64_t frame_wire_bytes(std::uint64_t payload_bytes) {
+  return static_cast<std::uint64_t>(kFrameHeaderBytes) + payload_bytes;
+}
+
+/// Serializes header + payload into one contiguous wire frame.
+std::string encode_frame(MsgType type, Status status, std::string_view payload);
+
+/// Validates the 12 header bytes.  Returns Status::kOk and fills `out` on
+/// success; otherwise returns the status a server should answer with
+/// (kMalformed / kUnsupported / kTooLarge) before closing the connection.
+Status decode_header(std::string_view bytes, FrameHeader& out);
+
+// ---------------------------------------------------------------------------
+// Payload bodies.  Each struct has encode() -> body bytes and a decode()
+// returning false on truncation, limit violations, or trailing garbage.
+
+/// INSERT_BATCH / DELETE_BATCH request: `count` points of `dim` coordinates,
+/// row-major.  The reply body is BatchReply.
+struct PointBatch {
+  std::int32_t dim = 0;
+  std::vector<Coord> coords;  ///< size() == dim * count
+
+  std::uint64_t count() const {
+    return dim > 0 ? coords.size() / static_cast<std::uint64_t>(dim) : 0;
+  }
+  std::string encode() const;
+  bool decode(std::string_view body);
+};
+
+struct BatchReply {
+  std::uint64_t accepted = 0;  ///< events enqueued (0 on BUSY)
+  std::int64_t backlog = 0;    ///< engine queue depth after the batch
+
+  std::string encode() const;
+  bool decode(std::string_view body);
+};
+
+/// QUERY request — mirrors EngineQuery.
+struct QueryRequest {
+  std::int32_t k = 0;
+  double capacity_slack = 1.1;
+  bool barrier = true;
+  bool summary_only = false;
+  std::int32_t solver_restarts = 1;
+
+  std::string encode() const;
+  bool decode(std::string_view body);
+};
+
+/// QUERY reply — the serving-relevant projection of EngineQueryResult
+/// (centers + cost + diagnostics; the full summary stays server-side).
+struct QueryReply {
+  bool ok = false;
+  std::string error;
+  std::int64_t net_points = 0;
+  std::uint64_t summary_points = 0;
+  double capacity = 0.0;
+  double cost = 0.0;
+  bool feasible = false;
+  std::int32_t dim = 0;
+  std::vector<Coord> center_coords;  ///< row-major, dim per center
+  double merge_millis = 0.0;
+  double solve_millis = 0.0;
+
+  std::string encode() const;
+  bool decode(std::string_view body);
+};
+
+/// CHECKPOINT request: server-side destination path (the blob itself is not
+/// shipped; checkpoints are written where the engine runs).
+struct CheckpointRequest {
+  std::string path;
+
+  std::string encode() const;
+  bool decode(std::string_view body);
+};
+
+/// METRICS reply and error replies carry one string (JSON / diagnostic).
+std::string encode_text(std::string_view text);
+bool decode_text(std::string_view body, std::string& out);
+
+}  // namespace skc::net

@@ -1,0 +1,320 @@
+#include "skc/net/server.h"
+
+#include <utility>
+
+namespace skc::net {
+
+namespace {
+
+constexpr int kBusyCloseTimeoutMs = 1000;
+
+std::size_t type_index(MsgType type) {
+  return static_cast<std::size_t>(static_cast<std::uint8_t>(type));
+}
+
+}  // namespace
+
+EngineServer::EngineServer(ClusteringEngine& engine, const ServerOptions& options)
+    : engine_(engine), options_(options) {}
+
+EngineServer::~EngineServer() { stop(); }
+
+bool EngineServer::start(std::string& error) {
+  SKC_CHECK_MSG(!started_, "EngineServer::start called twice");
+  port_ = options_.port;
+  listener_ = listen_on(port_, options_.backlog, error);
+  if (!listener_.valid()) return false;
+  started_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void EngineServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const IoResult ready = wait_readable(listener_, /*timeout_ms=*/-1, &stopping_);
+    if (ready != IoResult::kOk) break;  // cancelled or listener error
+    Socket sock = accept_on(listener_);
+    if (!sock.valid()) continue;
+    reap_finished_conns();
+
+    if (counters_.connections_active.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      // Admission control: one explicit BUSY frame, then close.  The peer
+      // backs off and retries instead of queueing invisibly in the accept
+      // backlog.
+      counters_.busy_rejections.fetch_add(1, std::memory_order_relaxed);
+      const std::string frame =
+          encode_frame(MsgType::kPing, Status::kBusy, std::string_view{});
+      send_exact(sock, frame.data(), frame.size(), kBusyCloseTimeoutMs,
+                 &stopping_);
+      counters_.bytes_out.fetch_add(static_cast<std::int64_t>(frame.size()),
+                                    std::memory_order_relaxed);
+      continue;
+    }
+
+    counters_.connections_total.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(sock);
+    Conn* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] {
+      serve_connection(*raw);
+      counters_.connections_active.fetch_add(-1, std::memory_order_relaxed);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void EngineServer::reap_finished_conns() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EngineServer::serve_connection(Conn& conn) {
+  std::string header_buf(kFrameHeaderBytes, '\0');
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Idle wait first (its own, longer deadline), then the frame must
+    // arrive within read_timeout_ms.
+    const IoResult idle =
+        wait_readable(conn.sock, options_.idle_timeout_ms, &stopping_);
+    if (idle != IoResult::kOk) break;
+    IoResult io = recv_exact(conn.sock, header_buf.data(), kFrameHeaderBytes,
+                             options_.read_timeout_ms, &stopping_);
+    if (io == IoResult::kClosed) break;  // clean disconnect between frames
+    if (io != IoResult::kOk) {
+      // Partial header: a truncated frame, not a clean goodbye.
+      counters_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    FrameHeader header;
+    const Status header_status = decode_header(header_buf, header);
+    if (header_status != Status::kOk) {
+      counters_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+      // Best-effort diagnostic, then drop the connection: after a bad
+      // header the stream offset is unrecoverable.
+      send_reply(conn, MsgType::kPing, header_status,
+                 encode_text(status_name(header_status)));
+      break;
+    }
+    std::string body(header.payload_bytes, '\0');
+    if (header.payload_bytes > 0) {
+      io = recv_exact(conn.sock, body.data(), body.size(),
+                      options_.read_timeout_ms, &stopping_);
+      if (io != IoResult::kOk) {  // mid-frame disconnect or stall
+        counters_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+    counters_.bytes_in.fetch_add(
+        static_cast<std::int64_t>(frame_wire_bytes(body.size())),
+        std::memory_order_relaxed);
+
+    std::string reply;
+    const Status status = dispatch(header.type, body, reply);
+    if (!send_reply(conn, header.type, status, reply)) break;
+    if (status == Status::kMalformed) break;  // stream integrity is gone
+    if (header.type == MsgType::kShutdown && status == Status::kOk) {
+      request_shutdown();
+      break;
+    }
+  }
+}
+
+Status EngineServer::dispatch(MsgType type, std::string_view body,
+                              std::string& reply) {
+  counters_.requests_by_type[type_index(type)].fetch_add(
+      1, std::memory_order_relaxed);
+  switch (type) {
+    case MsgType::kPing:
+      reply.assign(body);  // echo
+      return Status::kOk;
+
+    case MsgType::kInsertBatch:
+    case MsgType::kDeleteBatch: {
+      PointBatch batch;
+      if (!batch.decode(body)) {
+        counters_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        reply = encode_text("undecodable point batch");
+        return Status::kMalformed;
+      }
+      if (batch.dim != engine_.dim()) {
+        reply = encode_text("batch dimension does not match the engine");
+        return Status::kEngineError;
+      }
+      const Coord max_coord = Coord{1}
+                              << engine_.options().streaming.log_delta;
+      for (const Coord c : batch.coords) {
+        if (c < 1 || c > max_coord) {
+          reply = encode_text("coordinate outside [1, Delta]");
+          return Status::kEngineError;
+        }
+      }
+      if (stopping_.load(std::memory_order_acquire)) {
+        return Status::kShuttingDown;
+      }
+      if (options_.busy_backlog > 0 &&
+          engine_.queue_backlog() > options_.busy_backlog) {
+        counters_.busy_rejections.fetch_add(1, std::memory_order_relaxed);
+        return Status::kBusy;
+      }
+      const std::size_t dim = static_cast<std::size_t>(batch.dim);
+      const std::uint64_t count = batch.count();
+      Stream events(static_cast<std::size_t>(count));
+      const StreamOp op = type == MsgType::kInsertBatch ? StreamOp::kInsert
+                                                        : StreamOp::kDelete;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        events[i].op = op;
+        const Coord* first = batch.coords.data() + i * dim;
+        events[i].point.assign(first, first + dim);
+      }
+      engine_.submit(events);
+      BatchReply ack;
+      ack.accepted = count;
+      ack.backlog = engine_.queue_backlog();
+      reply = ack.encode();
+      return Status::kOk;
+    }
+
+    case MsgType::kQuery: {
+      QueryRequest request;
+      if (!request.decode(body)) {
+        counters_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        reply = encode_text("undecodable query");
+        return Status::kMalformed;
+      }
+      EngineQuery q;
+      q.k = request.k;
+      q.capacity_slack = request.capacity_slack;
+      q.barrier = request.barrier;
+      q.summary_only = request.summary_only;
+      q.solver_restarts = request.solver_restarts;
+      const EngineQueryResult res = engine_.query(q);
+      QueryReply out;
+      out.ok = res.ok;
+      out.error = res.error;
+      out.net_points = res.net_points;
+      out.summary_points = static_cast<std::uint64_t>(res.summary.points.size());
+      out.capacity = res.capacity;
+      out.cost = res.solution.cost;
+      out.feasible = res.solution.feasible;
+      out.merge_millis = res.merge_millis;
+      out.solve_millis = res.solve_millis;
+      out.dim = res.solution.centers.dim();
+      for (PointIndex c = 0; c < res.solution.centers.size(); ++c) {
+        const auto p = res.solution.centers[c];
+        out.center_coords.insert(out.center_coords.end(), p.begin(), p.end());
+      }
+      reply = out.encode();
+      return Status::kOk;  // an engine-level miss travels in out.ok/error
+    }
+
+    case MsgType::kMetrics:
+      reply = encode_text(metrics_json(metrics()));
+      return Status::kOk;
+
+    case MsgType::kCheckpoint: {
+      CheckpointRequest request;
+      if (!request.decode(body)) {
+        counters_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        reply = encode_text("undecodable checkpoint request");
+        return Status::kMalformed;
+      }
+      if (!engine_.checkpoint(request.path)) {
+        reply = encode_text("checkpoint write failed");
+        return Status::kEngineError;
+      }
+      return Status::kOk;
+    }
+
+    case MsgType::kShutdown:
+      return Status::kOk;  // serve_connection requests the drain after replying
+  }
+  reply = encode_text("unknown message type");
+  return Status::kUnsupported;
+}
+
+bool EngineServer::send_reply(Conn& conn, MsgType type, Status status,
+                              std::string_view body) {
+  const std::string frame = encode_frame(type, status, body);
+  const IoResult io = send_exact(conn.sock, frame.data(), frame.size(),
+                                 options_.write_timeout_ms, &stopping_);
+  counters_.bytes_out.fetch_add(static_cast<std::int64_t>(frame.size()),
+                                std::memory_order_relaxed);
+  return io == IoResult::kOk;
+}
+
+void EngineServer::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
+}
+
+void EngineServer::wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [&] { return stopping_.load(std::memory_order_acquire); });
+}
+
+void EngineServer::stop() {
+  request_shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    drain = started_ && !drained_;
+    drained_ = true;
+  }
+  if (drain) {
+    // Everything accepted has been submitted; settle it into the builders
+    // so the post-drain engine (and the optional checkpoint) is a clean
+    // epoch of all acknowledged events.
+    engine_.flush();
+    if (!options_.drain_checkpoint_path.empty()) {
+      engine_.checkpoint(options_.drain_checkpoint_path);
+    }
+  }
+}
+
+EngineMetrics EngineServer::metrics() const {
+  EngineMetrics m = engine_.metrics();
+  m.net_connections_active =
+      counters_.connections_active.load(std::memory_order_relaxed);
+  m.net_connections_total =
+      counters_.connections_total.load(std::memory_order_relaxed);
+  m.net_bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
+  m.net_bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  m.net_busy_rejections =
+      counters_.busy_rejections.load(std::memory_order_relaxed);
+  m.net_malformed_frames =
+      counters_.malformed_frames.load(std::memory_order_relaxed);
+  m.net_requests_by_type.resize(kNumMsgTypes);
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    m.net_requests_by_type[static_cast<std::size_t>(t)] =
+        counters_.requests_by_type[static_cast<std::size_t>(t)].load(
+            std::memory_order_relaxed);
+  }
+  return m;
+}
+
+}  // namespace skc::net

@@ -1,0 +1,144 @@
+// EngineServer — hosts one ClusteringEngine on a TCP socket.
+//
+// Topology: one listener thread accepts loopback connections and hands each
+// to its own connection thread (frames are small and the engine serializes
+// the real work behind its shard queues, so thread-per-connection is the
+// right amount of machinery — the fan-in bottleneck is the sketch update,
+// not the transport).  Every read and write runs under a per-connection
+// deadline, and every blocking wait tests the server's stop flag each poll
+// tick, so a draining server never waits out a silent peer.
+//
+// Admission control is explicit, never buffering:
+//   * over `max_connections`, a fresh connection gets one BUSY frame and is
+//     closed;
+//   * while the engine's queue backlog exceeds `busy_backlog`, ingest
+//     batches are answered BUSY *without* being enqueued — the client
+//     retries with backoff instead of the server absorbing unbounded state
+//     (submit() would otherwise block the connection thread on engine
+//     backpressure, which is the hidden-buffer failure mode);
+//   * malformed, truncated, or oversized frames produce a diagnostic error
+//     reply (when the transport still works) and a closed connection —
+//     never a crash; the server keeps serving other clients.
+//
+// Shutdown (stop(), the destructor, or a SHUTDOWN frame) drains gracefully:
+// stop accepting, let in-flight requests finish, flush the engine to a
+// clean epoch, then optionally checkpoint (`drain_checkpoint_path`).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "skc/engine/engine.h"
+#include "skc/net/frame.h"
+#include "skc/net/socket.h"
+
+namespace skc::net {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see EngineServer::port()
+  int backlog = 64;
+  int max_connections = 64;
+  /// Deadline for reading one frame (header or payload) once it starts.
+  int read_timeout_ms = 30'000;
+  /// Deadline for writing one reply frame.
+  int write_timeout_ms = 10'000;
+  /// How long a connection may sit idle between requests.
+  int idle_timeout_ms = 300'000;
+  /// Load shedding: ingest batches get BUSY while the engine backlog
+  /// exceeds this many events.  <= 0 disables (connection threads then
+  /// block on engine backpressure).
+  std::int64_t busy_backlog = 1 << 15;
+  /// Graceful drain writes a checkpoint here after the final flush
+  /// (empty = skip).
+  std::string drain_checkpoint_path;
+};
+
+namespace detail {
+
+/// Transport counter block (relaxed atomics, advisory only — same contract
+/// as the engine's MetricCounters).
+struct NetCounters {
+  std::atomic<std::int64_t> connections_active{0};
+  std::atomic<std::int64_t> connections_total{0};
+  std::atomic<std::int64_t> bytes_in{0};
+  std::atomic<std::int64_t> bytes_out{0};
+  std::atomic<std::int64_t> busy_rejections{0};
+  std::atomic<std::int64_t> malformed_frames{0};
+  std::atomic<std::int64_t> requests_by_type[kNumMsgTypes] = {};
+};
+
+}  // namespace detail
+
+class EngineServer {
+ public:
+  /// The engine must outlive the server; the server never owns it (the
+  /// embedder may keep querying in-process after the server drains).
+  EngineServer(ClusteringEngine& engine, const ServerOptions& options);
+  ~EngineServer();
+
+  EngineServer(const EngineServer&) = delete;
+  EngineServer& operator=(const EngineServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor.  False (with `error` set) on
+  /// bind failure; the server object is then inert.
+  bool start(std::string& error);
+
+  /// Bound port (resolves option port 0 after start()).
+  std::uint16_t port() const { return port_; }
+
+  bool running() const { return started_ && !stopping_.load(); }
+
+  /// Blocks until shutdown is requested (SHUTDOWN frame or stop()).
+  void wait();
+
+  /// Graceful drain: stop accepting, finish in-flight requests, join all
+  /// threads, flush the engine, optionally checkpoint.  Idempotent; the
+  /// destructor calls it.  Must not be called from a connection thread
+  /// (the SHUTDOWN handler only *requests* shutdown for this reason).
+  void stop();
+
+  /// Engine snapshot with the transport counters filled in — what the
+  /// METRICS RPC returns as JSON.
+  EngineMetrics metrics() const;
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Conn& conn);
+  /// Decoded-request dispatch; returns the reply status + body.
+  Status dispatch(MsgType type, std::string_view body, std::string& reply);
+  bool send_reply(Conn& conn, MsgType type, Status status,
+                  std::string_view body);
+  void request_shutdown();
+  void reap_finished_conns();
+
+  ClusteringEngine& engine_;
+  ServerOptions options_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::thread acceptor_;
+
+  std::atomic<bool> stopping_{false};
+  bool drained_ = false;  // guarded by stop_mu_
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  mutable detail::NetCounters counters_;
+};
+
+}  // namespace skc::net

@@ -1,0 +1,239 @@
+#include "skc/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace skc::net {
+
+namespace {
+
+/// Poll tick: the longest a blocked transfer goes without testing the
+/// cancel flag.  Short enough for prompt shutdown, long enough to be free.
+constexpr int kTickMs = 100;
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Milliseconds left before the deadline; kTickMs-capped poll interval.
+class Deadline {
+ public:
+  explicit Deadline(int timeout_ms)
+      : unbounded_(timeout_ms < 0),
+        end_(std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms)) {}
+
+  bool expired() const {
+    return !unbounded_ && std::chrono::steady_clock::now() >= end_;
+  }
+
+  int tick() const {
+    if (unbounded_) return kTickMs;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          end_ - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) return 0;
+    return static_cast<int>(left < kTickMs ? left : kTickMs);
+  }
+
+ private:
+  bool unbounded_;
+  std::chrono::steady_clock::time_point end_;
+};
+
+IoResult poll_for(int fd, short events, const Deadline& deadline,
+                  const std::atomic<bool>* cancel) {
+  for (;;) {
+    if (cancel && cancel->load(std::memory_order_acquire)) {
+      return IoResult::kCancelled;
+    }
+    if (deadline.expired()) return IoResult::kTimeout;
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, deadline.tick());
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return IoResult::kError;
+    }
+    if (rc == 0) continue;  // tick elapsed; re-test cancel/deadline
+    if (pfd.revents & (POLLERR | POLLNVAL)) return IoResult::kError;
+    return IoResult::kOk;  // readable/writable (POLLHUP drains via recv)
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Socket listen_on(std::uint16_t& port, int backlog, std::string& error) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    error = errno_string("socket");
+    return {};
+  }
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error = errno_string("bind");
+    return {};
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    error = errno_string("listen");
+    return {};
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    error = errno_string("getsockname");
+    return {};
+  }
+  port = ntohs(addr.sin_port);
+  if (!set_nonblocking(sock.fd())) {
+    error = errno_string("fcntl");
+    return {};
+  }
+  return sock;
+}
+
+Socket accept_on(const Socket& listener) {
+  Socket conn(::accept(listener.fd(), nullptr, nullptr));
+  if (!conn.valid()) return {};
+  if (!set_nonblocking(conn.fd())) return {};
+  set_nodelay(conn.fd());
+  return conn;
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port, int timeout_ms,
+                  std::string& error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    error = "invalid IPv4 address '" + host + "'";
+    return {};
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    error = errno_string("socket");
+    return {};
+  }
+  if (!set_nonblocking(sock.fd())) {
+    error = errno_string("fcntl");
+    return {};
+  }
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      error = errno_string("connect");
+      return {};
+    }
+    const Deadline deadline(timeout_ms);
+    if (poll_for(sock.fd(), POLLOUT, deadline, nullptr) != IoResult::kOk) {
+      error = "connect timed out";
+      return {};
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      errno = soerr;
+      error = errno_string("connect");
+      return {};
+    }
+  }
+  set_nodelay(sock.fd());
+  return sock;
+}
+
+IoResult wait_readable(const Socket& sock, int timeout_ms,
+                       const std::atomic<bool>* cancel) {
+  return poll_for(sock.fd(), POLLIN, Deadline(timeout_ms), cancel);
+}
+
+IoResult send_exact(const Socket& sock, const void* data, std::size_t size,
+                    int timeout_ms, const std::atomic<bool>* cancel) {
+  const char* p = static_cast<const char*>(data);
+  const Deadline deadline(timeout_ms);
+  while (size > 0) {
+    const ssize_t n = ::send(sock.fd(), p, size, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      size -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return IoResult::kError;
+    }
+    const IoResult wait = poll_for(sock.fd(), POLLOUT, deadline, cancel);
+    if (wait != IoResult::kOk) return wait;
+  }
+  return IoResult::kOk;
+}
+
+IoResult recv_exact(const Socket& sock, void* data, std::size_t size,
+                    int timeout_ms, const std::atomic<bool>* cancel) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  const Deadline deadline(timeout_ms);
+  while (got < size) {
+    const ssize_t n = ::recv(sock.fd(), p + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      // Orderly close: clean only at a message boundary.
+      return got == 0 ? IoResult::kClosed : IoResult::kError;
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return IoResult::kError;
+    }
+    const IoResult wait = poll_for(sock.fd(), POLLIN, deadline, cancel);
+    if (wait != IoResult::kOk) return wait;
+  }
+  return IoResult::kOk;
+}
+
+}  // namespace skc::net

@@ -1,0 +1,73 @@
+// Thin RAII layer over POSIX TCP sockets — the only file pair in the tree
+// (with its .cpp) allowed to touch the raw socket API (enforced by the
+// skc-socket lint rule).
+//
+// Everything is blocking-with-deadline: reads and writes run poll() loops in
+// short ticks so callers get (a) a hard per-operation timeout and (b) prompt
+// cancellation via an optional atomic flag — the mechanism the server uses
+// to drain connections on shutdown without waiting out client timeouts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace skc::net {
+
+enum class IoResult : std::uint8_t {
+  kOk = 0,
+  kClosed,    ///< orderly peer close at a message boundary
+  kTimeout,   ///< deadline elapsed before the transfer completed
+  kCancelled, ///< the cancel flag was raised mid-transfer
+  kError,     ///< socket error (reset, refused, ...)
+};
+
+/// Move-only owner of a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+  /// Half-close the write side (signals EOF to the peer, reads still work).
+  void shutdown_write();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).  On success
+/// returns a valid socket and stores the bound port in `port`; on failure
+/// returns an invalid socket and describes the errno in `error`.
+Socket listen_on(std::uint16_t& port, int backlog, std::string& error);
+
+/// Accepts one pending connection (the caller polled for readability).
+/// Returns an invalid socket if the accept itself fails.
+Socket accept_on(const Socket& listener);
+
+/// Connects to host:port within `timeout_ms`.  Numeric IPv4 or "localhost".
+Socket connect_to(const std::string& host, std::uint16_t port, int timeout_ms,
+                  std::string& error);
+
+/// Waits up to `timeout_ms` for readability.  -1 waits forever (still wakes
+/// every tick to test `cancel`).
+IoResult wait_readable(const Socket& sock, int timeout_ms,
+                       const std::atomic<bool>* cancel = nullptr);
+
+/// Transfers exactly `size` bytes or reports why it could not.  kClosed is
+/// only returned by recv_exact when the peer closes before the first byte;
+/// a mid-buffer close is kError (a truncated frame).
+IoResult send_exact(const Socket& sock, const void* data, std::size_t size,
+                    int timeout_ms, const std::atomic<bool>* cancel = nullptr);
+IoResult recv_exact(const Socket& sock, void* data, std::size_t size,
+                    int timeout_ms, const std::atomic<bool>* cancel = nullptr);
+
+}  // namespace skc::net

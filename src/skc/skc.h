@@ -49,3 +49,6 @@
 #include "skc/stream/generators.h"
 #include "skc/engine/engine.h"
 #include "skc/engine/metrics.h"
+#include "skc/net/frame.h"
+#include "skc/net/server.h"
+#include "skc/net/client.h"

@@ -1,0 +1,238 @@
+// Wire protocol (src/skc/net/frame.h): every header field is validated,
+// every payload decoder is strict (truncation, impossible sizes, trailing
+// garbage all rejected), and a hostile length prefix can never provoke an
+// allocation larger than the bytes actually present — the properties the
+// server relies on to survive arbitrary peers.
+#include "skc/net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace skc::net {
+namespace {
+
+FrameHeader decode_ok(std::string_view bytes) {
+  FrameHeader h;
+  EXPECT_EQ(decode_header(bytes, h), Status::kOk);
+  return h;
+}
+
+TEST(Frame, HeaderRoundTripsEveryTypeAndStatus) {
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    for (int s = 0; s <= static_cast<int>(Status::kShuttingDown); ++s) {
+      const std::string payload(static_cast<std::size_t>(t) * 3, 'x');
+      const std::string frame =
+          encode_frame(static_cast<MsgType>(t), static_cast<Status>(s), payload);
+      ASSERT_EQ(frame.size(), frame_wire_bytes(payload.size()));
+      const FrameHeader h = decode_ok(frame);
+      EXPECT_EQ(h.type, static_cast<MsgType>(t));
+      EXPECT_EQ(h.status, static_cast<Status>(s));
+      EXPECT_EQ(h.payload_bytes, payload.size());
+      EXPECT_EQ(frame.substr(kFrameHeaderBytes), payload);
+    }
+  }
+}
+
+TEST(Frame, WireBytesMatchesEncoderOutput) {
+  // frame_wire_bytes is the contract dist/Network::send accounts with; it
+  // must equal what the encoder actually emits at every payload size.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{12},
+                              std::size_t{4096}}) {
+    const std::string body(n, 'p');
+    EXPECT_EQ(encode_frame(MsgType::kQuery, Status::kOk, body).size(),
+              frame_wire_bytes(n));
+  }
+}
+
+TEST(Frame, TruncatedHeaderIsMalformed) {
+  const std::string frame = encode_frame(MsgType::kPing, Status::kOk, "abc");
+  FrameHeader h;
+  for (std::size_t len = 0; len < kFrameHeaderBytes; ++len) {
+    EXPECT_EQ(decode_header(std::string_view(frame).substr(0, len), h),
+              Status::kMalformed)
+        << "header prefix of " << len << " bytes";
+  }
+}
+
+TEST(Frame, BadMagicIsMalformed) {
+  std::string frame = encode_frame(MsgType::kPing, Status::kOk, "");
+  frame[0] = 'X';
+  FrameHeader h;
+  EXPECT_EQ(decode_header(frame, h), Status::kMalformed);
+}
+
+TEST(Frame, UnknownVersionAndTypeAreUnsupported) {
+  std::string frame = encode_frame(MsgType::kPing, Status::kOk, "");
+  frame[4] = static_cast<char>(kWireVersion + 1);  // version byte
+  FrameHeader h;
+  EXPECT_EQ(decode_header(frame, h), Status::kUnsupported);
+
+  frame = encode_frame(MsgType::kPing, Status::kOk, "");
+  frame[5] = static_cast<char>(kNumMsgTypes);  // first invalid type
+  EXPECT_EQ(decode_header(frame, h), Status::kUnsupported);
+}
+
+TEST(Frame, InvalidStatusIsMalformed) {
+  std::string frame = encode_frame(MsgType::kPing, Status::kOk, "");
+  frame[6] = static_cast<char>(0x7f);  // status low byte, way out of range
+  FrameHeader h;
+  EXPECT_EQ(decode_header(frame, h), Status::kMalformed);
+}
+
+TEST(Frame, OverLimitPayloadLengthIsTooLarge) {
+  std::string frame = encode_frame(MsgType::kInsertBatch, Status::kOk, "");
+  const std::uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(frame.data() + 8, &huge, sizeof(huge));
+  FrameHeader h;
+  EXPECT_EQ(decode_header(frame, h), Status::kTooLarge);
+  // The cap itself is fine (the header only announces; no body needed here).
+  const std::uint32_t cap = kMaxPayloadBytes;
+  std::memcpy(frame.data() + 8, &cap, sizeof(cap));
+  EXPECT_EQ(decode_header(frame, h), Status::kOk);
+}
+
+TEST(Frame, PointBatchRoundTrip) {
+  PointBatch in;
+  in.dim = 3;
+  in.coords = {1, 2, 3, 4, 5, 6};
+  PointBatch out;
+  ASSERT_TRUE(out.decode(in.encode()));
+  EXPECT_EQ(out.dim, 3);
+  EXPECT_EQ(out.coords, in.coords);
+  EXPECT_EQ(out.count(), 2u);
+}
+
+TEST(Frame, PointBatchRejectsBadBodies) {
+  PointBatch in;
+  in.dim = 2;
+  in.coords = {7, 8, 9, 10};
+  const std::string body = in.encode();
+  PointBatch out;
+
+  // Truncation at every length strictly inside the body.
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(out.decode(std::string_view(body).substr(0, len)))
+        << "body prefix of " << len << " bytes";
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(out.decode(body + "!"));
+  // dim out of range.
+  PointBatch bad = in;
+  bad.dim = 0;
+  EXPECT_FALSE(out.decode(bad.encode()));
+  bad.dim = kMaxDim + 1;
+  EXPECT_FALSE(out.decode(bad.encode()));
+  // coords not a multiple of dim.
+  bad = in;
+  bad.coords.push_back(11);
+  EXPECT_FALSE(out.decode(bad.encode()));
+  EXPECT_TRUE(out.decode(in.encode()));  // the pristine body still decodes
+}
+
+TEST(Frame, HostileVectorLengthCannotOverAllocate) {
+  // A body announcing 2^61 coordinates but carrying none: the decoder must
+  // reject on the announced-vs-remaining comparison before any resize.
+  std::string body;
+  const std::int32_t dim = 2;
+  body.append(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  const std::uint64_t huge = std::uint64_t{1} << 61;
+  body.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  PointBatch out;
+  EXPECT_FALSE(out.decode(body));
+  EXPECT_TRUE(out.coords.empty());
+}
+
+TEST(Frame, BatchReplyRoundTrip) {
+  BatchReply in;
+  in.accepted = 512;
+  in.backlog = 12345;
+  BatchReply out;
+  ASSERT_TRUE(out.decode(in.encode()));
+  EXPECT_EQ(out.accepted, 512u);
+  EXPECT_EQ(out.backlog, 12345);
+  EXPECT_FALSE(out.decode(in.encode() + "x"));
+  EXPECT_FALSE(out.decode(""));
+}
+
+TEST(Frame, QueryRequestRoundTripAndValidation) {
+  QueryRequest in;
+  in.k = 7;
+  in.capacity_slack = 1.25;
+  in.barrier = false;
+  in.summary_only = true;
+  in.solver_restarts = 3;
+  QueryRequest out;
+  ASSERT_TRUE(out.decode(in.encode()));
+  EXPECT_EQ(out.k, 7);
+  EXPECT_DOUBLE_EQ(out.capacity_slack, 1.25);
+  EXPECT_FALSE(out.barrier);
+  EXPECT_TRUE(out.summary_only);
+  EXPECT_EQ(out.solver_restarts, 3);
+
+  // Negative k rejected; non-0/1 bool byte rejected.
+  QueryRequest bad = in;
+  bad.k = -1;
+  EXPECT_FALSE(out.decode(bad.encode()));
+  std::string body = in.encode();
+  body[sizeof(std::int32_t) + sizeof(double)] = 2;  // the `barrier` byte
+  EXPECT_FALSE(out.decode(body));
+}
+
+TEST(Frame, QueryReplyRoundTrip) {
+  QueryReply in;
+  in.ok = true;
+  in.error = "";
+  in.net_points = 4000;
+  in.summary_points = 93;
+  in.capacity = 1100.0;
+  in.cost = 3.5e6;
+  in.feasible = true;
+  in.dim = 2;
+  in.center_coords = {10, 20, 30, 40, 50, 60};
+  in.merge_millis = 12.5;
+  in.solve_millis = 80.25;
+  QueryReply out;
+  ASSERT_TRUE(out.decode(in.encode()));
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.net_points, 4000);
+  EXPECT_EQ(out.summary_points, 93u);
+  EXPECT_DOUBLE_EQ(out.capacity, 1100.0);
+  EXPECT_DOUBLE_EQ(out.cost, 3.5e6);
+  EXPECT_EQ(out.center_coords, in.center_coords);
+  EXPECT_DOUBLE_EQ(out.solve_millis, 80.25);
+
+  // Centers not a multiple of dim.
+  QueryReply bad = in;
+  bad.center_coords.push_back(70);
+  EXPECT_FALSE(out.decode(bad.encode()));
+  // dim 0 demands no centers.
+  bad = in;
+  bad.dim = 0;
+  EXPECT_FALSE(out.decode(bad.encode()));
+  bad.center_coords.clear();
+  EXPECT_TRUE(out.decode(bad.encode()));
+}
+
+TEST(Frame, CheckpointAndTextBodies) {
+  CheckpointRequest ckpt;
+  ckpt.path = "/tmp/snap.bin";
+  CheckpointRequest out;
+  ASSERT_TRUE(out.decode(ckpt.encode()));
+  EXPECT_EQ(out.path, "/tmp/snap.bin");
+  ckpt.path.clear();
+  EXPECT_FALSE(out.decode(ckpt.encode()));  // empty path is meaningless
+
+  std::string text;
+  ASSERT_TRUE(decode_text(encode_text("{\"x\":1}"), text));
+  EXPECT_EQ(text, "{\"x\":1}");
+  // String length announcing more than the body holds.
+  std::string body = encode_text("hello");
+  body.resize(body.size() - 2);
+  EXPECT_FALSE(decode_text(body, text));
+}
+
+}  // namespace
+}  // namespace skc::net

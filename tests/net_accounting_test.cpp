@@ -1,0 +1,81 @@
+// The simulated coordinator network (src/skc/dist/) accounts every message
+// at its on-wire size: payload + one frame header of the real TCP protocol
+// (src/skc/net/frame.h).  These tests pin the accounting to the actual
+// encoder — if the frame layout ever changes, the simulated communication
+// costs of Theorem 4.7 move with it or these tests fail.
+#include "skc/dist/network.h"
+
+#include <gtest/gtest.h>
+
+#include "skc/coreset/distributed.h"
+#include "skc/net/frame.h"
+#include "skc/stream/generators.h"
+
+namespace skc {
+namespace {
+
+TEST(NetAccounting, SendChargesExactEncodedFrameSize) {
+  Network net(2);
+  std::uint64_t want_total = 0;
+  std::uint64_t want_m1 = 0;
+  for (const std::size_t payload : {std::size_t{0}, std::size_t{8},
+                                    std::size_t{171}, std::size_t{4096}}) {
+    // What this payload would actually occupy on the wire, by encoding it.
+    const std::string frame = net::encode_frame(
+        net::MsgType::kInsertBatch, net::Status::kOk, std::string(payload, 'b'));
+    ASSERT_EQ(frame.size(), net::frame_wire_bytes(payload));
+    net.send(1, 0, payload);
+    want_total += frame.size();
+    want_m1 += frame.size();
+  }
+  net.send(0, 2, 16);  // coordinator -> machine 2
+  want_total += net::frame_wire_bytes(16);
+
+  EXPECT_EQ(net.total().messages, 5u);
+  EXPECT_EQ(net.total().bytes, want_total);
+  EXPECT_EQ(net.machine_bytes(1), want_m1);
+  EXPECT_EQ(net.machine_bytes(2), net::frame_wire_bytes(16));
+  // The coordinator touches every message.
+  EXPECT_EQ(net.machine_bytes(0), want_total);
+}
+
+TEST(NetAccounting, DistributedRoundReportsOnWireBytes) {
+  // One full distributed build: its reported communication must be
+  // message-count * header + payload bytes — i.e. strictly more than the
+  // headerless payload sum, by exactly kFrameHeaderBytes per message.
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 9;
+  cfg.clusters = 3;
+  cfg.n = 600;
+  cfg.spread = 0.02;
+  cfg.skew = 1.0;
+  Rng rng(4);
+  const PointSet pts = gaussian_mixture(cfg, rng);
+  std::vector<PointSet> machines(3, PointSet(cfg.dim));
+  for (PointIndex i = 0; i < pts.size(); ++i) {
+    machines[static_cast<std::size_t>(i % 3)].push_back(pts[i]);
+  }
+
+  DistributedOptions opt;
+  opt.log_delta = 9;
+  const DistributedResult res = build_distributed_coreset(
+      machines, CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3), opt);
+  ASSERT_TRUE(res.ok);
+  ASSERT_GT(res.communication.messages, 0u);
+
+  const std::uint64_t header_share =
+      res.communication.messages * net::frame_wire_bytes(0);
+  EXPECT_GT(res.communication.bytes, header_share);
+
+  // Machine-side sums double-count coordinator bytes by construction:
+  // every message involves rank 0, so sum(per-machine) == 2 * total.
+  std::uint64_t machine_sum = 0;
+  for (int m = 0; m <= 3; ++m) {
+    machine_sum += res.per_machine_bytes[static_cast<std::size_t>(m)];
+  }
+  EXPECT_EQ(machine_sum, 2 * res.communication.bytes);
+}
+
+}  // namespace
+}  // namespace skc

@@ -27,6 +27,13 @@ Rules
   skc-assert         `assert(` in library code.  Use SKC_CHECK (always
                      on) or SKC_DCHECK (debug-only) so contract failures
                      are reported identically in every build mode.
+  skc-socket         raw socket API calls (socket/bind/listen/accept/
+                     connect/send/recv/... and the global-qualified ::
+                     forms) anywhere outside src/skc/net/.  All transport
+                     goes through skc::net's Socket/SkcClient wrappers so
+                     deadlines, cancellation, and byte accounting cannot
+                     be bypassed.  Member calls (net.send(...)) and
+                     qualified names (Network::send) are not matched.
 
 Waivers
 -------
@@ -77,6 +84,22 @@ NAKED_NEW_RE = re.compile(
 
 ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
 
+# Raw socket API, confined to src/skc/net/.  The left lookbehind excludes
+# member access (net.send(, conn->send(), qualified names (Network::send()
+# and longer identifiers (request_shutdown(); `shutdown` itself is omitted
+# because engine.shutdown() is an unrelated, common API.  The second
+# alternative catches the explicitly global-qualified ::socket( spelling,
+# whose ':' the first lookbehind would otherwise skip.
+_SOCKET_FUNCS = (
+    r"(?:socket|bind|listen|accept4?|connect|sendto|sendmsg|send"
+    r"|recvfrom|recvmsg|recv|setsockopt|getsockopt|getpeername|getsockname"
+    r"|inet_pton|inet_ntop)"
+)
+SOCKET_RE = re.compile(
+    r"(?<![A-Za-z0-9_.:>])" + _SOCKET_FUNCS + r"\s*\("
+    r"|(?<![A-Za-z0-9_:])::" + _SOCKET_FUNCS + r"\s*\("
+)
+
 RULE_IDS = [
     "skc-random",
     "skc-stdout",
@@ -84,6 +107,7 @@ RULE_IDS = [
     "skc-include-order",
     "skc-naked-new",
     "skc-assert",
+    "skc-socket",
 ]
 
 
@@ -198,6 +222,7 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
     waived, bad_waivers = collect_waivers(lines)
     library = is_library(path, root)
     in_random_impl = path.name in ("random.h", "random.cpp") and library
+    in_net_impl = path.relative_to(root).parts[:3] == ("src", "skc", "net")
 
     out = [
         Violation(path, ln, rule, "waiver is missing a reason")
@@ -229,6 +254,12 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
             check(
                 "skc-assert", idx,
                 "assert() in library code; use SKC_CHECK or SKC_DCHECK",
+            )
+        if not in_net_impl and SOCKET_RE.search(stripped):
+            check(
+                "skc-socket", idx,
+                "raw socket API outside src/skc/net/; "
+                "use skc::net Socket/SkcClient (or waive with a reason)",
             )
 
     if path.suffix in HEADER_EXTENSIONS:

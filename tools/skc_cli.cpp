@@ -7,6 +7,9 @@
 //                                                  as one center index per line
 //   skc_cli generate <n> <k> <dim> <log_delta> [skew]   synthetic workload CSV
 //   skc_cli serve    <dim> <k> [shards] [log_delta]     interactive engine REPL
+//   skc_cli serve    ... --tcp <port>                   host the engine on TCP
+//   skc_cli client   <host> <port>                      REPL against a remote
+//                                                       server (same commands)
 //
 // Points are integer CSV rows; see src/skc/geometry/io.h for the format.
 #include <cstdio>
@@ -31,7 +34,8 @@ int usage() {
                "  skc_cli solve    <points.csv> <k> [capacity_slack=1.1]\n"
                "  skc_cli assign   <points.csv> <k> [capacity_slack=1.1]\n"
                "  skc_cli generate <n> <k> <dim> <log_delta> [skew=1.0]\n"
-               "  skc_cli serve    <dim> <k> [shards=4] [log_delta=12]\n");
+               "  skc_cli serve    <dim> <k> [shards=4] [log_delta=12] [--tcp <port>]\n"
+               "  skc_cli client   <host> <port>\n");
   return 2;
 }
 
@@ -160,13 +164,26 @@ int cmd_generate(int argc, char** argv) {
 
 // Line-oriented REPL over a live ClusteringEngine.  Reads commands from
 // stdin, answers on stdout ("ok ..." / "err ..."), diagnostics on stderr —
-// scriptable with a pipe, usable by hand.
+// scriptable with a pipe, usable by hand.  With --tcp <port> the engine is
+// hosted on a loopback TCP socket instead (drive it with `skc_cli client`);
+// port 0 picks an ephemeral port, printed to stderr.
 int cmd_serve(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const int dim = std::atoi(argv[2]);
-  const int k = std::atoi(argv[3]);
-  const int shards = argc >= 5 ? std::atoi(argv[4]) : 4;
-  const int log_delta = argc >= 6 ? std::atoi(argv[5]) : 12;
+  std::vector<const char*> pos;
+  long tcp_port = -1;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--tcp")) {
+      if (i + 1 >= argc) return usage();
+      tcp_port = std::atol(argv[++i]);
+      if (tcp_port < 0 || tcp_port > 65535) return usage();
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.size() < 2) return usage();
+  const int dim = std::atoi(pos[0]);
+  const int k = std::atoi(pos[1]);
+  const int shards = pos.size() >= 3 ? std::atoi(pos[2]) : 4;
+  const int log_delta = pos.size() >= 4 ? std::atoi(pos[3]) : 12;
   if (dim < 1 || k < 1 || shards < 1 || log_delta < 2) return usage();
 
   const CoresetParams params = CoresetParams::practical(k, LrOrder{2.0}, 0.2, 0.2);
@@ -174,6 +191,27 @@ int cmd_serve(int argc, char** argv) {
   opts.num_shards = shards;
   opts.streaming.log_delta = log_delta;
   ClusteringEngine engine(dim, params, opts);
+
+  if (tcp_port >= 0) {
+    net::ServerOptions sopts;
+    sopts.port = static_cast<std::uint16_t>(tcp_port);
+    net::EngineServer server(engine, sopts);
+    std::string error;
+    if (!server.start(error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "engine listening on 127.0.0.1:%u (dim=%d k=%d shards=%d "
+                 "log_delta=%d)\ndrive it with: skc_cli client 127.0.0.1 %u\n",
+                 server.port(), dim, k, shards, log_delta, server.port());
+    server.wait();  // until a client sends SHUTDOWN (or the process is killed)
+    server.stop();
+    const EngineMetrics m = server.metrics();
+    engine.shutdown();
+    std::fprintf(stderr, "%s\n", metrics_json(m).c_str());
+    return 0;
+  }
 
   const long long max_coord = 1LL << log_delta;
   std::fprintf(stderr,
@@ -252,6 +290,104 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+// REPL against a remote EngineServer — the network twin of cmd_serve's
+// in-process loop, speaking the same commands over SkcClient.  The point
+// dimension lives server-side, so insert/delete take however many
+// coordinates appear on the line.
+int cmd_client(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string host = argv[2];
+  const long port = std::atol(argv[3]);
+  if (port < 1 || port > 65535) return usage();
+
+  net::SkcClient client;
+  if (!client.connect(host, static_cast<std::uint16_t>(port))) {
+    std::fprintf(stderr, "error: connect %s:%ld: %s\n", host.c_str(), port,
+                 client.last_error().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "connected to %s:%ld\n"
+               "commands:  insert c1 c2 .. | delete c1 c2 .. | query [slack]\n"
+               "           ping | metrics | checkpoint <path> | shutdown | quit\n",
+               host.c_str(), port);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "insert" || cmd == "delete") {
+      std::vector<Coord> p;
+      for (long long c = 0; in >> c;) p.push_back(static_cast<Coord>(c));
+      const bool sent = cmd == "insert" ? client.insert(p) : client.erase(p);
+      if (sent) {
+        std::printf("ok\n");
+      } else {
+        std::printf("err %s\n", client.last_error().c_str());
+      }
+    } else if (cmd == "query") {
+      net::QueryRequest req;
+      if (double slack = 0; in >> slack) req.capacity_slack = slack;
+      net::QueryReply res;
+      if (!client.query(req, res)) {
+        std::printf("err %s\n", client.last_error().c_str());
+        continue;
+      }
+      if (!res.ok) {
+        std::printf("err %s\n", res.error.c_str());
+        continue;
+      }
+      std::printf("ok n=%lld summary=%llu capacity=%.0f cost=%.6g "
+                  "merge_ms=%.1f solve_ms=%.1f\n",
+                  static_cast<long long>(res.net_points),
+                  static_cast<unsigned long long>(res.summary_points),
+                  res.capacity, res.cost, res.merge_millis, res.solve_millis);
+      const std::size_t dim = static_cast<std::size_t>(res.dim);
+      for (std::size_t c = 0; dim > 0 && c + dim <= res.center_coords.size();
+           c += dim) {
+        std::printf("center");
+        for (std::size_t i = 0; i < dim; ++i) {
+          std::printf(" %d", res.center_coords[c + i]);
+        }
+        std::printf("\n");
+      }
+    } else if (cmd == "ping") {
+      if (client.ping()) {
+        std::printf("ok\n");
+      } else {
+        std::printf("err %s\n", client.last_error().c_str());
+      }
+    } else if (cmd == "metrics") {
+      std::string json;
+      if (client.metrics_json(json)) {
+        std::printf("%s\n", json.c_str());
+      } else {
+        std::printf("err %s\n", client.last_error().c_str());
+      }
+    } else if (cmd == "checkpoint") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("err checkpoint needs a server-side path\n");
+        continue;
+      }
+      std::printf(client.checkpoint(path) ? "ok %s\n" : "err %s failed\n",
+                  path.c_str());
+    } else if (cmd == "shutdown") {
+      if (client.shutdown_server()) {
+        std::printf("ok server draining\n");
+        break;
+      }
+      std::printf("err %s\n", client.last_error().c_str());
+    } else {
+      std::printf("err unknown command '%s'\n", cmd.c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,5 +397,6 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "assign")) return solve_common(argc, argv, true);
   if (!std::strcmp(argv[1], "generate")) return cmd_generate(argc, argv);
   if (!std::strcmp(argv[1], "serve")) return cmd_serve(argc, argv);
+  if (!std::strcmp(argv[1], "client")) return cmd_client(argc, argv);
   return usage();
 }
