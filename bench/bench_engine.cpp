@@ -124,6 +124,15 @@ int main() {
     const double load_ms = load_timer.millis();
     row("sustained ingest while querying: %.0f events/s",
         1e3 * static_cast<double>(stream.size()) / load_ms);
+    // Quantiles straight from the engine's own per-op histogram — the same
+    // buckets metrics_json and the Prometheus exposition report.
+    const EngineMetrics em = engine.metrics();
+    row("query latency (engine histogram, n=%lld): p50=%.1f ms p99=%.1f ms "
+        "p999=%.1f ms max=%.1f ms",
+        static_cast<long long>(em.query_latency.count),
+        em.query_latency.p50_millis(), em.query_latency.p99_millis(),
+        em.query_latency.p999_millis(),
+        static_cast<double>(em.query_latency.max_micros) / 1e3);
     engine.shutdown();
     row("metrics: %s", metrics_json(engine.metrics()).c_str());
   }

@@ -13,7 +13,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -64,9 +63,9 @@ int main(int argc, char** argv) {
   row("host: %u hardware threads, batch=%zu points, dim=%d, log_delta=%d%s",
       std::thread::hardware_concurrency(), kBatchPoints, kDim, kLogDelta,
       smoke ? " [smoke]" : "");
-  row("%-8s %10s %9s %10s %6s %4s %9s %9s %9s", "clients", "events",
+  row("%-8s %10s %9s %10s %6s %4s %9s %9s %9s %9s", "clients", "events",
       "wall_ms", "events/s", "busy", "ok", "q_p50_ms", "q_p95_ms",
-      "q_p99_ms");
+      "q_p99_ms", "q_p999_ms");
 
   for (const int clients : {1, 4, 8}) {
     const std::int64_t per_client = total_events / clients;
@@ -127,8 +126,9 @@ int main(int argc, char** argv) {
     const double wall_ms = timer.millis();
 
     // Phase 2: all clients issue barrier-less summary queries at once.
-    std::mutex mu;
-    std::vector<double> latency_ms;
+    // Latencies land in the shared histogram (LatencySeries is wait-free,
+    // so no mutex around recording).
+    LatencySeries latency;
     {
       std::vector<std::thread> threads;
       for (int c = 0; c < clients; ++c) {
@@ -142,26 +142,18 @@ int main(int argc, char** argv) {
             net::QueryReply reply;
             Timer t;
             if (!cl.query(qr, reply)) return;
-            const double ms = t.millis();
-            std::scoped_lock lock(mu);
-            latency_ms.push_back(ms);
+            latency.record_millis(t.millis());
           }
         });
       }
       for (std::thread& t : threads) t.join();
     }
-    std::sort(latency_ms.begin(), latency_ms.end());
-    const auto pct = [&latency_ms](double p) {
-      if (latency_ms.empty()) return 0.0;
-      const auto idx = static_cast<std::size_t>(
-          p * static_cast<double>(latency_ms.size() - 1) + 0.5);
-      return latency_ms[std::min(idx, latency_ms.size() - 1)];
-    };
-    row("%-8d %10lld %9.0f %10.0f %6lld %4s %9.1f %9.1f %9.1f", clients,
+    row("%-8d %10lld %9.0f %10.0f %6lld %4s %9.1f %9.1f %9.1f %9.1f", clients,
         static_cast<long long>(events), wall_ms,
         1e3 * static_cast<double>(events) / wall_ms,
-        static_cast<long long>(busy.load()), ok ? "yes" : "NO", pct(0.50),
-        pct(0.95), pct(0.99));
+        static_cast<long long>(busy.load()), ok ? "yes" : "NO",
+        latency.p50_ms(), latency.p95_ms(), latency.p99_ms(),
+        latency.p999_ms());
 
     server.stop();
     engine.shutdown();

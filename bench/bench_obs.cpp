@@ -1,0 +1,164 @@
+// E15 — Observability overhead: what the latency histograms and trace
+// spans cost on the paths they instrument.
+//
+// Series 1 microbenches the primitives standalone: one histogram
+// record_micros() (the per-op metrics cost), one SKC_TRACE_SPAN with
+// tracing disabled (the one-branch contract every release hot path pays),
+// and one span with tracing enabled (clock reads + ring append).
+// Series 2 measures the end-to-end budget: loopback TCP ingest through an
+// EngineServer — the E14 single-client configuration — with tracing off and
+// then on, reporting the throughput delta.  The acceptance bar is that
+// tracing *disabled* costs < 2% of ingest throughput versus the pre-obs
+// baseline; the enabled column prices what turning tracing on in production
+// would actually spend.
+//
+// Run with `bench_obs smoke` for the CI-sized variant (scripts/check.sh).
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace skc;
+using namespace skc::bench;
+
+namespace {
+
+constexpr int kDim = 2;
+constexpr int kK = 4;
+constexpr int kLogDelta = 6;
+constexpr std::size_t kBatchPoints = 512;
+
+EngineOptions engine_options(std::int64_t total_events) {
+  // Mirrors bench_net's E14 serving configuration so the tracing-off column
+  // is directly comparable to the E14 single-client baseline.
+  EngineOptions opt;
+  opt.num_shards = 2;
+  opt.queue_capacity = 8192;
+  opt.streaming.log_delta = kLogDelta;
+  opt.streaming.max_points = total_events;
+  opt.streaming.o_min = 1e6;
+  opt.streaming.o_max = 2.56e8;
+  opt.streaming.counting_samples = 16.0;
+  opt.streaming.countmin_width = 128;
+  opt.streaming.countmin_depth = 2;
+  return opt;
+}
+
+/// One loopback ingest run (single client, batched inserts, epoch barrier);
+/// returns sustained events/s or 0 on failure.
+double loopback_ingest_rate(std::int64_t events) {
+  const CoresetParams params =
+      CoresetParams::practical(kK, LrOrder{2.0}, 0.3, 0.3);
+  ClusteringEngine engine(kDim, params, engine_options(events));
+  net::EngineServer server(engine, net::ServerOptions{});
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 0.0;
+  }
+  net::SkcClient client;
+  if (!client.connect("127.0.0.1", server.port())) return 0.0;
+
+  Rng rng(99);
+  const std::uint64_t max_coord = std::uint64_t{1} << kLogDelta;
+  std::vector<Coord> coords;
+  Timer timer;
+  for (std::int64_t sent = 0; sent < events;) {
+    const std::int64_t take = std::min<std::int64_t>(
+        static_cast<std::int64_t>(kBatchPoints), events - sent);
+    coords.resize(static_cast<std::size_t>(take) *
+                  static_cast<std::size_t>(kDim));
+    for (Coord& x : coords) {
+      x = static_cast<Coord>(1 + rng.next_below(max_coord));
+    }
+    if (!client.insert_batch(kDim, coords)) return 0.0;
+    sent += take;
+  }
+  net::QueryRequest barrier;  // barrier defaults to true: count applied work
+  barrier.summary_only = true;
+  net::QueryReply reply;
+  if (!client.query(barrier, reply) || !reply.ok ||
+      reply.net_points != events) {
+    return 0.0;
+  }
+  const double wall_ms = timer.millis();
+  server.stop();
+  engine.shutdown();
+  return 1e3 * static_cast<double>(events) / wall_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && !std::strcmp(argv[1], "smoke");
+  const std::int64_t prim_iters = smoke ? 200'000 : 5'000'000;
+  const std::int64_t ingest_events = smoke ? 8'000 : 240'000;
+
+  header("E15: observability primitive cost",
+         "histogram recording is one relaxed fetch_add; a disabled trace "
+         "span is one branch — cheap enough to stay compiled into release "
+         "hot paths");
+  row("host: %u hardware threads, %lld iterations%s",
+      std::thread::hardware_concurrency(),
+      static_cast<long long>(prim_iters), smoke ? " [smoke]" : "");
+  row("%-28s %12s %14s", "primitive", "total_ms", "ns/op");
+
+  {
+    obs::LatencyHistogram hist;
+    Timer t;
+    for (std::int64_t i = 0; i < prim_iters; ++i) {
+      hist.record_micros(i & 0xFFFF);
+    }
+    const double ms = t.millis();
+    row("%-28s %12.1f %14.1f", "histogram record_micros", ms,
+        1e6 * ms / static_cast<double>(prim_iters));
+    if (hist.count() != prim_iters) return 1;  // defeat dead-code elision
+  }
+  {
+    obs::Tracer::instance().set_enabled(false);
+    Timer t;
+    for (std::int64_t i = 0; i < prim_iters; ++i) {
+      SKC_TRACE_SPAN("bench-off");
+    }
+    const double ms = t.millis();
+    row("%-28s %12.1f %14.1f", "span (tracing disabled)", ms,
+        1e6 * ms / static_cast<double>(prim_iters));
+  }
+  {
+    obs::Tracer::instance().set_enabled(true);
+    Timer t;
+    for (std::int64_t i = 0; i < prim_iters; ++i) {
+      SKC_TRACE_SPAN("bench-on");
+    }
+    const double ms = t.millis();
+    obs::Tracer::instance().set_enabled(false);
+    const std::int64_t recorded = obs::Tracer::instance().total_recorded();
+    obs::Tracer::instance().clear();
+    row("%-28s %12.1f %14.1f", "span (tracing enabled)", ms,
+        1e6 * ms / static_cast<double>(prim_iters));
+    if (recorded < prim_iters) return 1;
+  }
+
+  header("E15: tracing overhead on loopback ingest",
+         "spans stay compiled into the serving path; disabled tracing costs "
+         "< 2% of E14 single-client ingest throughput");
+  row("%-24s %10s %12s", "mode", "events", "events/s");
+  obs::Tracer::instance().set_enabled(false);
+  const double off_rate = loopback_ingest_rate(ingest_events);
+  row("%-24s %10lld %12.0f", "tracing off",
+      static_cast<long long>(ingest_events), off_rate);
+  obs::Tracer::instance().set_enabled(true);
+  const double on_rate = loopback_ingest_rate(ingest_events);
+  obs::Tracer::instance().set_enabled(false);
+  obs::Tracer::instance().clear();
+  row("%-24s %10lld %12.0f", "tracing on",
+      static_cast<long long>(ingest_events), on_rate);
+  if (off_rate > 0 && on_rate > 0) {
+    row("enabled/disabled ratio: %.3f (%.1f%% overhead when on)",
+        on_rate / off_rate, 100.0 * (1.0 - on_rate / off_rate));
+  }
+  return off_rate > 0 && on_rate > 0 ? 0 : 1;
+}

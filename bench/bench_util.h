@@ -32,6 +32,27 @@ inline void row(const char* fmt, ...) {
   std::fflush(stdout);
 }
 
+/// Latency series for benchmark reporting, backed by the library's own
+/// log-bucketed histogram (src/skc/obs/histogram.h) — benches quote the
+/// same p50/p99/p999 machinery production metrics use, instead of ad-hoc
+/// sorted-vector percentiles.
+class LatencySeries {
+ public:
+  void record_millis(double ms) { hist_.record_millis(ms); }
+  void record_micros(std::int64_t us) { hist_.record_micros(us); }
+
+  std::int64_t count() const { return hist_.count(); }
+  double p50_ms() const { return hist_.snapshot().p50_millis(); }
+  double p95_ms() const { return hist_.snapshot().percentile_millis(0.95); }
+  double p99_ms() const { return hist_.snapshot().p99_millis(); }
+  double p999_ms() const { return hist_.snapshot().p999_millis(); }
+  double mean_us() const { return hist_.snapshot().mean_micros(); }
+  obs::HistogramSnapshot snapshot() const { return hist_.snapshot(); }
+
+ private:
+  obs::LatencyHistogram hist_;
+};
+
 /// The standard skewed-mixture workload: cluster sizes ~ (i+1)^{-skew} make
 /// the capacity constraint bind, which is the regime the paper targets.
 inline PointSet standard_workload(PointIndex n, int k, int dim, int log_delta,

@@ -22,12 +22,16 @@ ctest --test-dir build --output-on-failure
 
 for b in build/bench/bench_*; do
   echo "== $b"
-  if [[ "$(basename "$b")" == bench_net ]]; then
-    # Loopback serving smoke: same code path as the full E14 run, CI-sized.
-    "$b" smoke
-  else
-    "$b"
-  fi
+  case "$(basename "$b")" in
+    bench_net|bench_obs)
+      # Loopback serving (E14) and observability overhead (E15) smokes:
+      # same code paths as the full runs, CI-sized.
+      "$b" smoke
+      ;;
+    *)
+      "$b"
+      ;;
+  esac
 done
 
 for e in build/examples/example_*; do

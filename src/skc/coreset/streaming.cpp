@@ -6,6 +6,7 @@
 #include "skc/common/check.h"
 #include "skc/common/serial.h"
 #include "skc/coreset/offline.h"
+#include "skc/obs/trace.h"
 
 namespace skc {
 
@@ -77,10 +78,16 @@ void StreamingCoresetBuilder::update(std::span<const Coord> p, std::int64_t delt
   // individually lambda-wise independent).
   std::vector<std::uint64_t> h_count(static_cast<std::size_t>(L + 1));
   std::vector<std::uint64_t> h_core(static_cast<std::size_t>(L + 1));
-  for (int i = 0; i <= L; ++i) {
-    h_count[static_cast<std::size_t>(i)] = hash_counting_[static_cast<std::size_t>(i)](p);
-    h_core[static_cast<std::size_t>(i)] = hash_coreset_[static_cast<std::size_t>(i)](p);
+  {
+    // Span taxonomy (DESIGN.md §10): "grid" = per-level grid/cell hashing
+    // (§3.1), "sketch" = feeding the CountMin / point-store structures.
+    SKC_TRACE_SPAN("grid");
+    for (int i = 0; i <= L; ++i) {
+      h_count[static_cast<std::size_t>(i)] = hash_counting_[static_cast<std::size_t>(i)](p);
+      h_core[static_cast<std::size_t>(i)] = hash_coreset_[static_cast<std::size_t>(i)](p);
+    }
   }
+  SKC_TRACE_SPAN("sketch");
   auto keep = [](std::uint64_t hash_value, const SamplingRate& rate) {
     return rate.always() || hash_value < f61::kP / rate.m;
   };
@@ -184,6 +191,7 @@ StreamingResult StreamingCoresetBuilder::finalize() const {
 
     // --- Top-down heavy discovery via CountMin queries (Algorithm 1). ---
     // Estimates are in sampled units; scale by the inverse rate per level.
+    SKC_TRACE_SPAN("recover");
     RecoveredLevelData data;
     data.counting.resize(static_cast<std::size_t>(L));
     data.part_mass.resize(static_cast<std::size_t>(L + 1));
@@ -249,6 +257,7 @@ StreamingResult StreamingCoresetBuilder::finalize() const {
       continue;
     }
 
+    SKC_TRACE_SPAN("assemble");
     BuildAttempt attempt = assemble_coreset(grid_, params_, guess.o, data,
                                             static_cast<double>(net_count_));
     if (!attempt.ok) {

@@ -12,6 +12,8 @@
 #include "skc/common/serial.h"
 #include "skc/coreset/compose.h"
 #include "skc/engine/bounded_queue.h"
+#include "skc/obs/histogram.h"
+#include "skc/obs/trace.h"
 #include "skc/parallel/thread_pool.h"
 #include "skc/solve/capacitated_kmedian.h"
 #include "skc/solve/cost.h"
@@ -101,6 +103,7 @@ void ClusteringEngine::submit(const StreamEvent& event) {
 void ClusteringEngine::submit(const Stream& batch) {
   SKC_CHECK_MSG(accepting_.load(std::memory_order_acquire),
                 "submit after shutdown");
+  obs::LatencyRecorder latency(counters_.submit_latency);
   for (const StreamEvent& event : batch) route(event);
   counters_.events_submitted.fetch_add(static_cast<std::int64_t>(batch.size()),
                                        std::memory_order_relaxed);
@@ -144,6 +147,7 @@ void ClusteringEngine::drain(Shard& shard) {
     }
     std::int64_t inserts = 0;
     {
+      SKC_TRACE_SPAN("drain");
       std::lock_guard<std::mutex> lock(shard.builder_mu);
       for (const StreamEvent& e : batch) {
         const std::int64_t delta = e.op == StreamOp::kInsert ? +1 : -1;
@@ -173,6 +177,7 @@ void ClusteringEngine::flush() {
 }
 
 std::string ClusteringEngine::snapshot_shard(Shard& shard) {
+  SKC_TRACE_SPAN("snapshot");
   std::ostringstream out(std::ios::binary);
   std::lock_guard<std::mutex> lock(shard.builder_mu);
   shard.builder->save(out);
@@ -187,6 +192,7 @@ EngineQueryResult ClusteringEngine::merge_snapshots() {
   blobs.reserve(shards_.size());
   for (auto& shard : shards_) blobs.push_back(snapshot_shard(*shard));
 
+  SKC_TRACE_SPAN("merge");
   Timer merge_timer;
   auto thaw = [&](const std::string& blob, StreamingCoresetBuilder& into) {
     std::istringstream in(blob);
@@ -257,10 +263,12 @@ EngineQueryResult ClusteringEngine::merge_snapshots() {
 }
 
 EngineQueryResult ClusteringEngine::query(const EngineQuery& q) {
-  Timer latency;
+  SKC_TRACE_SPAN("query");
+  obs::LatencyRecorder latency(counters_.query_latency);
   if (q.barrier) flush();
   EngineQueryResult result = merge_snapshots();
   if (result.ok && !q.summary_only) {
+    SKC_TRACE_SPAN("solve");
     Timer solve_timer;
     const int k = q.k > 0 ? q.k : params_.k;
     const double n = static_cast<double>(result.net_points);
@@ -287,14 +295,15 @@ EngineQueryResult ClusteringEngine::query(const EngineQuery& q) {
       result.solve_millis = solve_timer.millis();
     }
   }
-  const auto micros = static_cast<std::int64_t>(latency.seconds() * 1e6);
   counters_.queries.fetch_add(1, std::memory_order_relaxed);
-  counters_.last_query_micros.store(micros, std::memory_order_relaxed);
-  counters_.total_query_micros.fetch_add(micros, std::memory_order_relaxed);
+  // `latency` records the full wall time (barrier included) into
+  // counters_.query_latency when it leaves scope.
   return result;
 }
 
 bool ClusteringEngine::checkpoint(const std::string& path) {
+  SKC_TRACE_SPAN("checkpoint");
+  obs::LatencyRecorder latency(counters_.checkpoint_latency);
   flush();
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
@@ -388,12 +397,9 @@ EngineMetrics ClusteringEngine::metrics() const {
   m.restores = counters_.restores.load(std::memory_order_relaxed);
   m.last_checkpoint_bytes =
       counters_.last_checkpoint_bytes.load(std::memory_order_relaxed);
-  m.last_query_millis = static_cast<double>(counters_.last_query_micros.load(
-                            std::memory_order_relaxed)) /
-                        1e3;
-  m.total_query_millis = static_cast<double>(counters_.total_query_micros.load(
-                             std::memory_order_relaxed)) /
-                         1e3;
+  m.submit_latency = counters_.submit_latency.snapshot();
+  m.query_latency = counters_.query_latency.snapshot();
+  m.checkpoint_latency = counters_.checkpoint_latency.snapshot();
   m.uptime_seconds = uptime_.seconds();
   if (m.uptime_seconds > 0) {
     m.ingest_events_per_second =

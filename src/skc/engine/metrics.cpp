@@ -32,6 +32,28 @@ void append_kv(std::string& out, const char* key,
   out += ']';
 }
 
+/// Latency summary keys for one op: <prefix>_p50_ms/_p99_ms/_p999_ms plus
+/// _count and _max_ms — the JSON projection of the full bucket vector the
+/// Prometheus exposition renders.
+void append_latency(std::string& out, const char* prefix,
+                    const obs::HistogramSnapshot& h) {
+  char key[64];
+  std::snprintf(key, sizeof(key), "%s_p50_ms", prefix);
+  append_kv(out, key, h.p50_millis());
+  out += ',';
+  std::snprintf(key, sizeof(key), "%s_p99_ms", prefix);
+  append_kv(out, key, h.p99_millis());
+  out += ',';
+  std::snprintf(key, sizeof(key), "%s_p999_ms", prefix);
+  append_kv(out, key, h.p999_millis());
+  out += ',';
+  std::snprintf(key, sizeof(key), "%s_max_ms", prefix);
+  append_kv(out, key, static_cast<double>(h.max_micros) / 1e3);
+  out += ',';
+  std::snprintf(key, sizeof(key), "%s_count", prefix);
+  append_kv(out, key, h.count);
+}
+
 }  // namespace
 
 std::string metrics_json(const EngineMetrics& m) {
@@ -58,9 +80,21 @@ std::string metrics_json(const EngineMetrics& m) {
   out += ',';
   append_kv(out, "ingest_events_per_second", m.ingest_events_per_second);
   out += ',';
-  append_kv(out, "last_query_millis", m.last_query_millis);
+  // Legacy scalar keys, derived from the query histogram (the scalar
+  // counters they used to read are gone; see EngineMetrics::query_latency).
+  append_kv(out, "last_query_millis",
+            static_cast<double>(m.query_latency.last_micros) / 1e3);
   out += ',';
-  append_kv(out, "total_query_millis", m.total_query_millis);
+  append_kv(out, "total_query_millis",
+            static_cast<double>(m.query_latency.sum_micros) / 1e3);
+  out += ',';
+  append_latency(out, "query_latency", m.query_latency);
+  out += ',';
+  append_latency(out, "submit_latency", m.submit_latency);
+  out += ',';
+  append_latency(out, "checkpoint_latency", m.checkpoint_latency);
+  out += ',';
+  append_latency(out, "net_request_latency", m.net_request_latency);
   out += ',';
   append_kv(out, "last_checkpoint_bytes", m.last_checkpoint_bytes);
   out += ',';

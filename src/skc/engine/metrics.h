@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "skc/obs/histogram.h"
+
 namespace skc {
 
 /// Point-in-time view of the engine's counters.
@@ -31,8 +33,6 @@ struct EngineMetrics {
   /// events_applied / uptime — the sustained ingest rate.
   double ingest_events_per_second = 0.0;
 
-  double last_query_millis = 0.0;
-  double total_query_millis = 0.0;
   std::int64_t last_checkpoint_bytes = 0;
   std::int64_t sketch_bytes = 0;  ///< summed builder footprint across shards
 
@@ -49,8 +49,21 @@ struct EngineMetrics {
   std::int64_t net_busy_rejections = 0;     ///< load-shed BUSY replies
   std::int64_t net_malformed_frames = 0;    ///< rejected headers/payloads
   /// Requests served, indexed by net::MsgType (ping, insert_batch,
-  /// delete_batch, query, metrics, checkpoint, shutdown).
+  /// delete_batch, query, metrics, checkpoint, shutdown, trace_dump,
+  /// prometheus).
   std::vector<std::int64_t> net_requests_by_type;
+
+  // Per-op latency distributions (src/skc/obs/histogram.h).  These replace
+  // the old scalar last/total query timers: metrics_json() derives the
+  // legacy last_query_millis / total_query_millis keys from query_latency,
+  // and both it and the Prometheus exposition report p50/p99/p999 from the
+  // same buckets.
+  obs::HistogramSnapshot submit_latency;      ///< submit(Stream) batches
+  obs::HistogramSnapshot query_latency;       ///< query() wall time
+  obs::HistogramSnapshot checkpoint_latency;  ///< checkpoint() wall time
+  /// Per-request dispatch time in EngineServer (all message types);
+  /// all-zero for an engine used in-process.
+  obs::HistogramSnapshot net_request_latency;
 };
 
 /// Renders a snapshot as one JSON object (stable key order, no trailing
@@ -72,9 +85,12 @@ struct MetricCounters {
   std::atomic<std::int64_t> checkpoints{0};
   std::atomic<std::int64_t> restores{0};
   std::atomic<std::int64_t> last_checkpoint_bytes{0};
-  // Durations accumulate in microseconds so they fit an integer atomic.
-  std::atomic<std::int64_t> last_query_micros{0};
-  std::atomic<std::int64_t> total_query_micros{0};
+  // Per-op latency recorders (one relaxed fetch_add per op on the hot
+  // path); race-free by construction where the old scalar micros counters
+  // could tear a mean across a concurrent metrics() snapshot.
+  obs::LatencyHistogram submit_latency;
+  obs::LatencyHistogram query_latency;
+  obs::LatencyHistogram checkpoint_latency;
 };
 
 }  // namespace detail

@@ -153,6 +153,20 @@ bool SkcClient::metrics_json(std::string& json) {
   return true;
 }
 
+bool SkcClient::trace_json(std::string& json) {
+  std::string body;
+  if (!request(MsgType::kTraceDump, std::string_view{}, body)) return false;
+  if (!decode_text(body, json)) return fail("undecodable trace reply");
+  return true;
+}
+
+bool SkcClient::prometheus_text(std::string& text) {
+  std::string body;
+  if (!request(MsgType::kPrometheus, std::string_view{}, body)) return false;
+  if (!decode_text(body, text)) return fail("undecodable prometheus reply");
+  return true;
+}
+
 bool SkcClient::checkpoint(const std::string& server_path) {
   CheckpointRequest req;
   req.path = server_path;

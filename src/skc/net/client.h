@@ -64,6 +64,10 @@ class SkcClient {
   bool query(const QueryRequest& request, QueryReply& reply);
   /// Engine + transport metrics as one JSON object.
   bool metrics_json(std::string& json);
+  /// Server-side trace buffers as chrome://tracing JSON.
+  bool trace_json(std::string& json);
+  /// Full metrics in Prometheus text exposition format.
+  bool prometheus_text(std::string& text);
   /// Asks the server to checkpoint to a server-side path.
   bool checkpoint(const std::string& server_path);
   /// Requests graceful drain; the server replies before stopping.

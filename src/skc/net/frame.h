@@ -50,8 +50,10 @@ enum class MsgType : std::uint8_t {
   kMetrics = 4,
   kCheckpoint = 5,
   kShutdown = 6,
+  kTraceDump = 7,    ///< reply: chrome://tracing JSON (encode_text)
+  kPrometheus = 8,   ///< reply: Prometheus text exposition (encode_text)
 };
-inline constexpr int kNumMsgTypes = 7;
+inline constexpr int kNumMsgTypes = 9;
 
 enum class Status : std::uint16_t {
   kOk = 0,

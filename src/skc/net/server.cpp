@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "skc/obs/prometheus.h"
+#include "skc/obs/trace.h"
+
 namespace skc::net {
 
 namespace {
@@ -121,7 +124,14 @@ void EngineServer::serve_connection(Conn& conn) {
         std::memory_order_relaxed);
 
     std::string reply;
-    const Status status = dispatch(header.type, body, reply);
+    Status status;
+    {
+      // The request histogram (and span) covers decode + engine work +
+      // reply encoding, but not the idle wait for the frame to arrive.
+      SKC_TRACE_SPAN("request");
+      obs::LatencyRecorder latency(counters_.request_latency);
+      status = dispatch(header.type, body, reply);
+    }
     if (!send_reply(conn, header.type, status, reply)) break;
     if (status == Status::kMalformed) break;  // stream integrity is gone
     if (header.type == MsgType::kShutdown && status == Status::kOk) {
@@ -239,6 +249,14 @@ Status EngineServer::dispatch(MsgType type, std::string_view body,
 
     case MsgType::kShutdown:
       return Status::kOk;  // serve_connection requests the drain after replying
+
+    case MsgType::kTraceDump:
+      reply = encode_text(obs::Tracer::instance().dump_chrome_json());
+      return Status::kOk;
+
+    case MsgType::kPrometheus:
+      reply = encode_text(obs::prometheus_text(metrics()));
+      return Status::kOk;
   }
   reply = encode_text("unknown message type");
   return Status::kUnsupported;
@@ -314,6 +332,7 @@ EngineMetrics EngineServer::metrics() const {
         counters_.requests_by_type[static_cast<std::size_t>(t)].load(
             std::memory_order_relaxed);
   }
+  m.net_request_latency = counters_.request_latency.snapshot();
   return m;
 }
 

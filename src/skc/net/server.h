@@ -37,6 +37,7 @@
 #include "skc/engine/engine.h"
 #include "skc/net/frame.h"
 #include "skc/net/socket.h"
+#include "skc/obs/histogram.h"
 
 namespace skc::net {
 
@@ -71,6 +72,8 @@ struct NetCounters {
   std::atomic<std::int64_t> busy_rejections{0};
   std::atomic<std::int64_t> malformed_frames{0};
   std::atomic<std::int64_t> requests_by_type[kNumMsgTypes] = {};
+  /// Wall time per request, read-to-reply (EngineMetrics.net_request_latency).
+  obs::LatencyHistogram request_latency;
 };
 
 }  // namespace detail

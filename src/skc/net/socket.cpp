@@ -38,16 +38,19 @@ class Deadline {
  public:
   explicit Deadline(int timeout_ms)
       : unbounded_(timeout_ms < 0),
+        // skc-lint: allow(skc-obs) deadline arithmetic, not a latency measurement
         end_(std::chrono::steady_clock::now() +
              std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms)) {}
 
   bool expired() const {
+    // skc-lint: allow(skc-obs) deadline arithmetic, not a latency measurement
     return !unbounded_ && std::chrono::steady_clock::now() >= end_;
   }
 
   int tick() const {
     if (unbounded_) return kTickMs;
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          // skc-lint: allow(skc-obs) deadline arithmetic, not a latency measurement
                           end_ - std::chrono::steady_clock::now())
                           .count();
     if (left <= 0) return 0;

@@ -1,0 +1,161 @@
+// Lock-free log-bucketed latency histogram — the engine's one latency
+// primitive (DESIGN.md §10).
+//
+// Recording is wait-free: one relaxed fetch_add into a log-spaced bucket
+// plus relaxed count/sum updates (min/max are relaxed CAS loops that almost
+// always succeed first try).  Buckets are log-linear, HdrHistogram style:
+// values 0..15 µs get exact unit buckets, every later power-of-two octave is
+// split into 16 sub-buckets, so the relative quantization error is bounded
+// by 1/16 ≈ 6.25% across the whole int64 microsecond range — tight enough
+// that a reported p999 is the p999, not a rounding artifact.
+//
+// The histogram is a *linear* structure (bucket-wise sums), so histograms
+// recorded by independent shards/threads merge exactly: merge_from() and
+// HistogramSnapshot::merge() are associative and commutative, the same
+// composition argument the paper's sketches rely on.  Snapshots are plain
+// structs; percentile extraction interpolates inside the hit bucket and
+// clamps to the recorded [min, max].
+//
+// All counters are advisory (memory_order_relaxed): a snapshot taken while
+// recorders run may be torn across *different* ops (count ahead of sum by an
+// in-flight record), but every individual load is race-free — this replaces
+// the scalar last/total query timers that a snapshot could previously read
+// mid-update.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace skc::obs {
+
+namespace detail {
+
+/// Sub-buckets per power-of-two octave (16 ⇒ ≤ 6.25% relative error).
+inline constexpr int kSubBits = 4;
+inline constexpr std::int64_t kSubBuckets = std::int64_t{1} << kSubBits;
+
+}  // namespace detail
+
+/// Buckets cover [0, 2^62) microseconds: 16 unit buckets then 16 per octave.
+inline constexpr int kHistogramBuckets =
+    static_cast<int>((62 - detail::kSubBits + 1) << detail::kSubBits);
+
+/// Bucket index for a non-negative microsecond value (values 0..15 map to
+/// themselves; larger values land in their octave's 16-way split).
+constexpr int histogram_bucket_of(std::int64_t micros) {
+  if (micros < 0) micros = 0;
+  if (micros < detail::kSubBuckets) return static_cast<int>(micros);
+  const int msb = 63 - std::countl_zero(static_cast<std::uint64_t>(micros));
+  const int e = msb - detail::kSubBits;
+  const auto sub = (micros >> e) & (detail::kSubBuckets - 1);
+  return static_cast<int>(((std::int64_t{e} + 1) << detail::kSubBits) | sub);
+}
+
+/// Inclusive lower bound of a bucket, in microseconds.
+constexpr std::int64_t histogram_bucket_lower(int bucket) {
+  if (bucket < detail::kSubBuckets) return bucket;
+  const int e = (bucket >> detail::kSubBits) - 1;
+  const std::int64_t sub = bucket & (detail::kSubBuckets - 1);
+  return (detail::kSubBuckets + sub) << e;
+}
+
+/// Exclusive upper bound of a bucket, in microseconds.
+constexpr std::int64_t histogram_bucket_upper(int bucket) {
+  if (bucket < detail::kSubBuckets) return bucket + 1;
+  const int e = (bucket >> detail::kSubBits) - 1;
+  return histogram_bucket_lower(bucket) + (std::int64_t{1} << e);
+}
+
+/// Point-in-time copy of a histogram: plain data, freely copyable,
+/// mergeable, and queryable for percentiles.  `buckets` always carries
+/// kHistogramBuckets entries.
+struct HistogramSnapshot {
+  std::vector<std::int64_t> buckets;
+  std::int64_t count = 0;
+  std::int64_t sum_micros = 0;
+  std::int64_t min_micros = 0;  ///< 0 when count == 0
+  std::int64_t max_micros = 0;
+  std::int64_t last_micros = 0;  ///< most recent recording
+
+  HistogramSnapshot();
+
+  /// Bucket-wise sum; min/max/count/sum combine exactly, `last` keeps the
+  /// receiver's unless it was empty (merge order across shards is
+  /// advisory).  Associative and commutative on (buckets, count, sum,
+  /// min, max).
+  void merge(const HistogramSnapshot& other);
+
+  /// q-quantile in microseconds, q in [0, 1]; linear interpolation inside
+  /// the hit bucket, clamped to [min_micros, max_micros].  0 when empty.
+  double percentile_micros(double q) const;
+
+  double percentile_millis(double q) const { return percentile_micros(q) / 1e3; }
+  double p50_millis() const { return percentile_millis(0.50); }
+  double p90_millis() const { return percentile_millis(0.90); }
+  double p99_millis() const { return percentile_millis(0.99); }
+  double p999_millis() const { return percentile_millis(0.999); }
+  double mean_micros() const {
+    return count > 0 ? static_cast<double>(sum_micros) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+/// The concurrent recorder.  Not copyable or movable (atomics); snapshot()
+/// produces the value type above.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Wait-free; negative durations clamp to 0.
+  void record_micros(std::int64_t micros);
+  void record_millis(double millis) {
+    record_micros(static_cast<std::int64_t>(millis * 1e3));
+  }
+  void record_seconds(double seconds) {
+    record_micros(static_cast<std::int64_t>(seconds * 1e6));
+  }
+
+  /// Folds another recorder's counts into this one (relaxed adds).  The
+  /// other histogram should be quiescent for an exact result; with live
+  /// recorders the merge is still race-free, merely advisory.
+  void merge_from(const LatencyHistogram& other);
+
+  void reset();
+
+  HistogramSnapshot snapshot() const;
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};  // valid iff count_ > 0
+  std::atomic<std::int64_t> max_{0};
+  std::atomic<std::int64_t> last_{0};
+};
+
+/// RAII latency probe: records the scope's wall time into a histogram on
+/// destruction.  This (plus ScopedSpan in trace.h) is the sanctioned way to
+/// time code in src/skc/{engine,net,coreset,stream} — the skc-obs lint rule
+/// rejects raw steady_clock::now() there.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(LatencyHistogram& hist);
+  ~LatencyRecorder();
+
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
+
+  /// Elapsed time so far (the destructor records this at scope exit).
+  std::int64_t elapsed_micros() const;
+
+ private:
+  LatencyHistogram* hist_;
+  std::int64_t start_nanos_;
+};
+
+}  // namespace skc::obs

@@ -1,0 +1,169 @@
+#include "skc/obs/prometheus.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace skc::obs {
+
+namespace {
+
+/// Fixed `le` ladder, microseconds; labels are the matching seconds.  The
+/// last rung is followed by the implicit +Inf bucket.
+struct Rung {
+  std::int64_t micros;
+  const char* label;
+};
+constexpr Rung kLadder[] = {
+    {100, "0.0001"},     {250, "0.00025"},   {500, "0.0005"},
+    {1'000, "0.001"},    {2'500, "0.0025"},  {5'000, "0.005"},
+    {10'000, "0.01"},    {25'000, "0.025"},  {50'000, "0.05"},
+    {100'000, "0.1"},    {250'000, "0.25"},  {500'000, "0.5"},
+    {1'000'000, "1"},    {2'500'000, "2.5"}, {5'000'000, "5"},
+    {10'000'000, "10"},
+};
+constexpr int kRungs = static_cast<int>(sizeof(kLadder) / sizeof(kLadder[0]));
+
+/// Human names for net::MsgType indices (kept in sync with net/frame.h; a
+/// textual table avoids an obs -> net dependency).
+const char* request_type_name(std::size_t index) {
+  static constexpr const char* kNames[] = {
+      "ping",     "insert_batch", "delete_batch", "query",     "metrics",
+      "checkpoint", "shutdown",   "trace_dump",   "prometheus"};
+  constexpr std::size_t n = sizeof(kNames) / sizeof(kNames[0]);
+  return index < n ? kNames[index] : "unknown";
+}
+
+void line(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+
+void counter(std::string& out, const char* name, const char* help,
+             std::int64_t value) {
+  line(out, "# HELP %s %s", name, help);
+  line(out, "# TYPE %s counter", name);
+  line(out, "%s %" PRId64, name, value);
+}
+
+void gauge(std::string& out, const char* name, const char* help, double value) {
+  line(out, "# HELP %s %s", name, help);
+  line(out, "# TYPE %s gauge", name);
+  line(out, "%s %.9g", name, value);
+}
+
+void gauge_i(std::string& out, const char* name, const char* help,
+             std::int64_t value) {
+  line(out, "# HELP %s %s", name, help);
+  line(out, "# TYPE %s gauge", name);
+  line(out, "%s %" PRId64, name, value);
+}
+
+/// One labeled series of the shared skc_op_latency_seconds histogram
+/// family (the header lines are emitted once by the caller).
+void histogram_series(std::string& out, const char* op,
+                      const HistogramSnapshot& h) {
+  std::int64_t rung_counts[kRungs + 1] = {};  // +1 = the +Inf bucket
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    if (h.buckets[b] <= 0) continue;
+    const std::int64_t upper = histogram_bucket_upper(static_cast<int>(b));
+    int rung = kRungs;  // +Inf unless a ladder rung covers the bucket
+    for (int r = 0; r < kRungs; ++r) {
+      if (kLadder[r].micros >= upper) {
+        rung = r;
+        break;
+      }
+    }
+    rung_counts[rung] += h.buckets[b];
+  }
+  std::int64_t cumulative = 0;
+  for (int r = 0; r < kRungs; ++r) {
+    cumulative += rung_counts[r];
+    line(out, "skc_op_latency_seconds_bucket{op=\"%s\",le=\"%s\"} %" PRId64, op,
+         kLadder[r].label, cumulative);
+  }
+  cumulative += rung_counts[kRungs];
+  line(out, "skc_op_latency_seconds_bucket{op=\"%s\",le=\"+Inf\"} %" PRId64, op,
+       cumulative);
+  line(out, "skc_op_latency_seconds_sum{op=\"%s\"} %.9g", op,
+       static_cast<double>(h.sum_micros) / 1e6);
+  line(out, "skc_op_latency_seconds_count{op=\"%s\"} %" PRId64, op, h.count);
+}
+
+}  // namespace
+
+std::string prometheus_text(const EngineMetrics& m) {
+  std::string out;
+  out.reserve(4096);
+
+  counter(out, "skc_events_submitted_total", "Events accepted by submit().",
+          m.events_submitted);
+  counter(out, "skc_events_applied_total",
+          "Events drained into a shard builder.", m.events_applied);
+  counter(out, "skc_inserts_total", "Insert events applied.", m.inserts);
+  counter(out, "skc_deletes_total", "Delete events applied.", m.deletes);
+  counter(out, "skc_batches_total", "submit(Stream) calls.", m.batches);
+  counter(out, "skc_queries_total", "Clustering queries served.", m.queries);
+  counter(out, "skc_checkpoints_total", "Checkpoints written.", m.checkpoints);
+  counter(out, "skc_restores_total", "Checkpoints restored.", m.restores);
+
+  gauge_i(out, "skc_net_points",
+          "Surviving points (insertions minus deletions).", m.net_points);
+  gauge(out, "skc_uptime_seconds", "Engine uptime.", m.uptime_seconds);
+  gauge(out, "skc_ingest_events_per_second",
+        "Sustained ingest rate (events applied / uptime).",
+        m.ingest_events_per_second);
+  gauge_i(out, "skc_last_checkpoint_bytes", "Size of the last checkpoint.",
+          m.last_checkpoint_bytes);
+  gauge_i(out, "skc_sketch_bytes",
+          "Summed builder footprint across shards.", m.sketch_bytes);
+
+  line(out, "# HELP skc_shard_queue_depth Per-shard ingest backlog.");
+  line(out, "# TYPE skc_shard_queue_depth gauge");
+  for (std::size_t s = 0; s < m.shard_queue_depth.size(); ++s) {
+    line(out, "skc_shard_queue_depth{shard=\"%zu\"} %" PRId64, s,
+         m.shard_queue_depth[s]);
+  }
+  line(out, "# HELP skc_shard_events_applied_total Events applied per shard.");
+  line(out, "# TYPE skc_shard_events_applied_total counter");
+  for (std::size_t s = 0; s < m.shard_events_applied.size(); ++s) {
+    line(out, "skc_shard_events_applied_total{shard=\"%zu\"} %" PRId64, s,
+         m.shard_events_applied[s]);
+  }
+
+  gauge_i(out, "skc_net_connections_active", "Open TCP connections.",
+          m.net_connections_active);
+  counter(out, "skc_net_connections_total", "TCP connections accepted.",
+          m.net_connections_total);
+  counter(out, "skc_net_bytes_in_total", "Wire bytes received.", m.net_bytes_in);
+  counter(out, "skc_net_bytes_out_total", "Wire bytes sent.", m.net_bytes_out);
+  counter(out, "skc_net_busy_rejections_total", "Load-shed BUSY replies.",
+          m.net_busy_rejections);
+  counter(out, "skc_net_malformed_frames_total",
+          "Rejected headers and payloads.", m.net_malformed_frames);
+
+  line(out, "# HELP skc_net_requests_total Requests served by message type.");
+  line(out, "# TYPE skc_net_requests_total counter");
+  for (std::size_t t = 0; t < m.net_requests_by_type.size(); ++t) {
+    line(out, "skc_net_requests_total{type=\"%s\"} %" PRId64,
+         request_type_name(t), m.net_requests_by_type[t]);
+  }
+
+  line(out,
+       "# HELP skc_op_latency_seconds Operation latency by op "
+       "(submit_batch, query, checkpoint, net_request).");
+  line(out, "# TYPE skc_op_latency_seconds histogram");
+  histogram_series(out, "submit_batch", m.submit_latency);
+  histogram_series(out, "query", m.query_latency);
+  histogram_series(out, "checkpoint", m.checkpoint_latency);
+  histogram_series(out, "net_request", m.net_request_latency);
+
+  return out;
+}
+
+}  // namespace skc::obs

@@ -1,0 +1,128 @@
+#include "skc/obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace skc::obs {
+
+namespace {
+
+std::int64_t steady_nanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct Tracer::ThreadRing {
+  int tid = 0;
+  mutable std::mutex mu;
+  std::vector<TraceEvent> events;  // capacity-bounded, wraps at next
+  std::size_t next = 0;            // guarded by mu
+  std::int64_t total = 0;          // guarded by mu
+};
+
+Tracer::Tracer() : epoch_nanos_(steady_nanos()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t Tracer::now_micros() const {
+  return (steady_nanos() - epoch_nanos_) / 1000;
+}
+
+Tracer::ThreadRing& Tracer::ring_for_this_thread() {
+  // Rings are registered once and never deallocated while the process
+  // lives, so the cached pointer stays valid across clear()/dump().
+  thread_local struct {
+    Tracer* owner = nullptr;
+    ThreadRing* ring = nullptr;
+  } cache;
+  if (cache.owner == this) return *cache.ring;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  rings_.push_back(std::make_unique<ThreadRing>());
+  ThreadRing& ring = *rings_.back();
+  ring.tid = static_cast<int>(rings_.size());
+  cache.owner = this;
+  cache.ring = &ring;
+  return ring;
+}
+
+void Tracer::record(const char* name, std::int64_t start_micros,
+                    std::int64_t dur_micros) {
+  ThreadRing& ring = ring_for_this_thread();
+  std::lock_guard<std::mutex> lock(ring.mu);  // uncontended: owner thread only
+  if (ring.events.size() < kTraceRingCapacity) {
+    ring.events.push_back(TraceEvent{name, start_micros, dur_micros});
+  } else {
+    ring.events[ring.next] = TraceEvent{name, start_micros, dur_micros};
+  }
+  ring.next = (ring.next + 1) % kTraceRingCapacity;
+  ++ring.total;
+}
+
+std::vector<TaggedTraceEvent> Tracer::events() const {
+  std::vector<TaggedTraceEvent> out;
+  std::lock_guard<std::mutex> registry(registry_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    for (const TraceEvent& e : ring->events) {
+      out.push_back(TaggedTraceEvent{ring->tid, e});
+    }
+  }
+  return out;
+}
+
+std::int64_t Tracer::total_recorded() const {
+  std::int64_t total = 0;
+  std::lock_guard<std::mutex> registry(registry_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    total += ring->total;
+  }
+  return total;
+}
+
+int Tracer::num_threads() const {
+  std::lock_guard<std::mutex> registry(registry_mu_);
+  return static_cast<int>(rings_.size());
+}
+
+std::string Tracer::dump_chrome_json() const {
+  // "X" (complete) events: one object per span, ts/dur in microseconds —
+  // loadable directly by chrome://tracing and ui.perfetto.dev.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TaggedTraceEvent& tagged : events()) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"skc\",\"ph\":\"X\",\"pid\":1,"
+                  "\"tid\":%d,\"ts\":%" PRId64 ",\"dur\":%" PRId64 "}",
+                  first ? "" : ",", tagged.event.name, tagged.tid,
+                  tagged.event.start_micros, tagged.event.dur_micros);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> registry(registry_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+    ring->total = 0;
+  }
+}
+
+}  // namespace skc::obs

@@ -47,6 +47,9 @@
 #include "skc/baseline/uniform_coreset.h"
 #include "skc/baseline/mapping_coreset.h"
 #include "skc/stream/generators.h"
+#include "skc/obs/histogram.h"
+#include "skc/obs/trace.h"
+#include "skc/obs/prometheus.h"
 #include "skc/engine/engine.h"
 #include "skc/engine/metrics.h"
 #include "skc/net/frame.h"

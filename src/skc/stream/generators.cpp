@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "skc/common/check.h"
+#include "skc/obs/trace.h"
 
 namespace skc {
 
@@ -43,6 +44,7 @@ Stream insertion_stream(const PointSet& points) {
 }
 
 PlantedMixture planted_gaussian_mixture(const MixtureConfig& config, Rng& rng) {
+  SKC_TRACE_SPAN("generate");
   SKC_CHECK(config.clusters >= 1);
   const Coord delta = Coord{1} << config.log_delta;
   PlantedMixture out;

@@ -344,10 +344,80 @@ TEST(Engine, MetricsJsonIsWellFormed) {
   for (const char* key :
        {"\"events_submitted\":", "\"events_applied\":", "\"queries\":",
         "\"ingest_events_per_second\":", "\"shard_queue_depth\":[",
-        "\"last_query_millis\":", "\"sketch_bytes\":"}) {
+        "\"last_query_millis\":", "\"total_query_millis\":",
+        "\"query_latency_p50_ms\":", "\"query_latency_p99_ms\":",
+        "\"query_latency_p999_ms\":", "\"query_latency_count\":",
+        "\"submit_latency_p50_ms\":", "\"checkpoint_latency_count\":",
+        "\"net_request_latency_count\":", "\"sketch_bytes\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
   }
   EXPECT_NE(json.find("\"events_submitted\":200"), std::string::npos) << json;
+}
+
+// Per-op latency histograms: counts mirror the op counters, the derived
+// legacy keys come from the same buckets, and percentiles respect the
+// recorded range — the race-prone scalar query timers are gone.
+TEST(Engine, LatencyHistogramsTrackOperations) {
+  ClusteringEngine engine(kDim, test_params(),
+                          engine_options(2, /*exact=*/true, /*workers=*/0));
+  Rng rng(13);
+  const PointSet pts = gaussian_mixture(mixture(300), rng);
+  engine.submit(insertion_stream(pts));  // one batch
+  EngineQuery q;
+  q.summary_only = true;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(engine.query(q).ok);
+  const std::string snap =
+      std::string(::testing::TempDir()) + "engine_latency_hist_ckpt.bin";
+  ASSERT_TRUE(engine.checkpoint(snap));
+
+  const EngineMetrics m = engine.metrics();
+  EXPECT_EQ(m.submit_latency.count, m.batches);
+  EXPECT_EQ(m.query_latency.count, m.queries);
+  EXPECT_EQ(m.checkpoint_latency.count, m.checkpoints);
+  EXPECT_EQ(m.query_latency.count, 3);
+
+  // The histogram carries what the legacy scalars reported (last/sum).
+  EXPECT_GT(m.query_latency.sum_micros, 0);
+  EXPECT_GE(m.query_latency.last_micros, m.query_latency.min_micros);
+  EXPECT_LE(m.query_latency.last_micros, m.query_latency.max_micros);
+  EXPECT_GE(m.query_latency.sum_micros, m.query_latency.max_micros);
+
+  // Percentiles are ordered and live inside the observed range.
+  const double p50 = m.query_latency.p50_millis();
+  const double p99 = m.query_latency.p99_millis();
+  const double p999 = m.query_latency.p999_millis();
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_GE(p50, static_cast<double>(m.query_latency.min_micros) / 1e3);
+  EXPECT_LE(p999, static_cast<double>(m.query_latency.max_micros) / 1e3);
+}
+
+// metrics() may race arbitrarily with live queries; every snapshot must be
+// internally sane (this is the regression test for the old torn scalar
+// last/total query timers — run under TSan in CI).
+TEST(Engine, MetricsSnapshotsRaceCleanlyWithQueries) {
+  ClusteringEngine engine(kDim, test_params(),
+                          engine_options(2, /*exact=*/true, /*workers=*/2));
+  Rng rng(17);
+  const PointSet pts = gaussian_mixture(mixture(400), rng);
+  engine.submit(insertion_stream(pts));
+
+  std::thread querier([&engine] {
+    EngineQuery q;
+    q.summary_only = true;
+    q.barrier = false;
+    for (int i = 0; i < 8; ++i) engine.query(q);
+  });
+  for (int i = 0; i < 50; ++i) {
+    const EngineMetrics m = engine.metrics();
+    EXPECT_GE(m.query_latency.count, 0);
+    EXPECT_LE(m.query_latency.count, 8);
+    EXPECT_GE(m.query_latency.sum_micros, 0);
+    const std::string json = metrics_json(m);
+    EXPECT_NE(json.find("\"query_latency_count\":"), std::string::npos);
+  }
+  querier.join();
+  EXPECT_EQ(engine.metrics().query_latency.count, 8);
 }
 
 }  // namespace

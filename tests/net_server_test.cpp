@@ -14,6 +14,7 @@
 #include "skc/net/frame.h"
 #include "skc/net/server.h"
 #include "skc/net/socket.h"
+#include "skc/obs/trace.h"
 #include "skc/stream/generators.h"
 #include "test_util.h"
 
@@ -347,6 +348,61 @@ TEST(NetServer, EngineBacklogShedsIngestWithBusy) {
 
 // --------------------------------------------------------------------------
 // Graceful drain.
+
+TEST(NetServer, ObservabilityRpcsServeTraceAndPrometheus) {
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().set_enabled(true);
+  ServerFixture fx;
+  ASSERT_TRUE(fx.started);
+  net::SkcClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", fx.server.port()))
+      << client.last_error();
+
+  // Generate some traced, histogrammed work: a batch, a query, a ping.
+  std::vector<Coord> coords;
+  Rng rng(11);
+  for (int i = 0; i < 200 * kDim; ++i) {
+    coords.push_back(static_cast<Coord>(1 + rng.next_below(512)));
+  }
+  ASSERT_TRUE(client.insert_batch(kDim, coords)) << client.last_error();
+  net::QueryRequest request;
+  net::QueryReply reply;
+  ASSERT_TRUE(client.query(request, reply)) << client.last_error();
+  ASSERT_TRUE(client.ping()) << client.last_error();
+
+  // TRACE_DUMP: connection threads ran under SKC_TRACE_SPAN("request"), so
+  // the chrome JSON must carry request spans (and the engine's query span).
+  std::string trace;
+  ASSERT_TRUE(client.trace_json(trace)) << client.last_error();
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"query\""), std::string::npos);
+  obs::Tracer::instance().set_enabled(false);
+
+  // PROMETHEUS: the exposition reports the same requests the JSON metrics
+  // count, and the request histogram saw every RPC answered so far.
+  std::string prom;
+  ASSERT_TRUE(client.prometheus_text(prom)) << client.last_error();
+  EXPECT_NE(prom.find("# TYPE skc_op_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("skc_net_requests_total{type=\"trace_dump\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("skc_net_requests_total{type=\"query\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("skc_op_latency_seconds_count{op=\"query\"} 1"),
+            std::string::npos);
+
+  const EngineMetrics m = fx.server.metrics();
+  // insert_batch + query + ping + trace_dump + prometheus, at least.
+  EXPECT_GE(m.net_request_latency.count, 5);
+  EXPECT_EQ(m.query_latency.count, 1);
+  EXPECT_EQ(m.submit_latency.count, 1);
+  // Both formats derive from the same histogram: JSON agrees with the
+  // exposition on the query count.
+  const std::string json = metrics_json(m);
+  EXPECT_NE(json.find("\"query_latency_count\":1"), std::string::npos) << json;
+  obs::Tracer::instance().clear();
+}
 
 TEST(NetServer, ShutdownDrainsFlushesAndCheckpoints) {
   const std::string snap = temp_path("net_server_drain_ckpt.bin");

@@ -1,0 +1,140 @@
+// Prometheus text exposition (src/skc/obs/prometheus.h): structural
+// invariants (cumulative buckets, +Inf == count) plus a byte-for-byte
+// golden-file comparison on a fixed metrics snapshot — the renderer's
+// output is a public scrape format, so any drift should be a conscious,
+// reviewed change to tests/golden/metrics.prom.
+#include "skc/obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "skc/engine/metrics.h"
+#include "skc/obs/histogram.h"
+
+namespace skc::obs {
+namespace {
+
+/// A fully deterministic metrics snapshot: every counter distinct (so a
+/// transposed field shows up in the golden diff) and latency histograms
+/// recorded from fixed microsecond values.
+EngineMetrics golden_metrics() {
+  EngineMetrics m;
+  m.events_submitted = 1200;
+  m.events_applied = 1150;
+  m.inserts = 1000;
+  m.deletes = 150;
+  m.batches = 12;
+  m.queries = 3;
+  m.checkpoints = 2;
+  m.restores = 1;
+  m.net_points = 850;
+  m.uptime_seconds = 4.5;
+  m.ingest_events_per_second = 255.5;
+  m.last_checkpoint_bytes = 4096;
+  m.sketch_bytes = 1 << 20;
+  m.shard_queue_depth = {0, 3};
+  m.shard_events_applied = {600, 550};
+  m.net_connections_active = 2;
+  m.net_connections_total = 5;
+  m.net_bytes_in = 10000;
+  m.net_bytes_out = 20000;
+  m.net_busy_rejections = 1;
+  m.net_malformed_frames = 0;
+  m.net_requests_by_type = {4, 6, 1, 3, 2, 2, 1, 1, 1};
+
+  LatencyHistogram submit, query, checkpoint, net;
+  for (std::int64_t v : {200, 450, 450, 900}) submit.record_micros(v);
+  for (std::int64_t v : {30'000, 75'000, 220'000}) query.record_micros(v);
+  for (std::int64_t v : {1'500'000, 2'000'000}) checkpoint.record_micros(v);
+  for (std::int64_t v : {50, 80, 120, 30'000, 12'000'000}) {
+    net.record_micros(v);
+  }
+  m.submit_latency = submit.snapshot();
+  m.query_latency = query.snapshot();
+  m.checkpoint_latency = checkpoint.snapshot();
+  m.net_request_latency = net.snapshot();
+  return m;
+}
+
+TEST(Prometheus, MatchesGoldenFile) {
+  const std::string path = std::string(SKC_GOLDEN_DIR) + "/metrics.prom";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  const std::string rendered = prometheus_text(golden_metrics());
+  EXPECT_EQ(rendered, golden.str())
+      << "exposition drifted from " << path
+      << " — if intentional, regenerate the golden from the new output";
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeUpToCount) {
+  const std::string text = prometheus_text(golden_metrics());
+  // For each op: bucket counts never decrease with le, and +Inf equals the
+  // series _count (the Prometheus histogram contract scrapers assume).
+  for (const char* op : {"submit_batch", "query", "checkpoint", "net_request"}) {
+    std::istringstream lines(text);
+    std::string line;
+    std::int64_t prev = 0, inf = -1, count = -1;
+    const std::string bucket_prefix =
+        std::string("skc_op_latency_seconds_bucket{op=\"") + op + "\",le=\"";
+    const std::string count_prefix =
+        std::string("skc_op_latency_seconds_count{op=\"") + op + "\"} ";
+    int rungs = 0;
+    while (std::getline(lines, line)) {
+      if (line.rfind(bucket_prefix, 0) == 0) {
+        const std::size_t close = line.find("\"} ");
+        ASSERT_NE(close, std::string::npos) << line;
+        const std::int64_t v = std::stoll(line.substr(close + 3));
+        EXPECT_GE(v, prev) << op << ": non-monotone bucket: " << line;
+        prev = v;
+        ++rungs;
+        if (line.find("le=\"+Inf\"") != std::string::npos) inf = v;
+      } else if (line.rfind(count_prefix, 0) == 0) {
+        count = std::stoll(line.substr(count_prefix.size()));
+      }
+    }
+    EXPECT_EQ(rungs, 17) << op;  // 16 ladder rungs + the +Inf bucket
+    ASSERT_GE(inf, 0) << op;
+    EXPECT_EQ(inf, count) << op << ": +Inf bucket must equal _count";
+  }
+}
+
+TEST(Prometheus, EveryLineIsCommentOrSample) {
+  const std::string text = prometheus_text(golden_metrics());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    // A sample: metric[{labels}] value — name starts with the skc_ prefix
+    // and the line splits into exactly two fields at the last space.
+    EXPECT_EQ(line.rfind("skc_", 0), 0u) << line;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW(std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+TEST(Prometheus, EmptyHistogramsRenderAllZero) {
+  EngineMetrics m;  // default: empty histograms, no shards
+  const std::string text = prometheus_text(m);
+  EXPECT_NE(
+      text.find("skc_op_latency_seconds_bucket{op=\"query\",le=\"+Inf\"} 0"),
+      std::string::npos);
+  EXPECT_NE(text.find("skc_op_latency_seconds_count{op=\"query\"} 0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace skc::obs

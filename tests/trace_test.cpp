@@ -1,0 +1,139 @@
+// Scoped-span tracer (src/skc/obs/trace.h): the one-branch disabled path,
+// bounded ring wraparound, per-thread attribution, and the chrome://tracing
+// export.  The Tracer is a process-wide singleton, so every test starts
+// from clear() and leaves tracing disabled.
+#include "skc/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace skc::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+
+  static std::vector<TaggedTraceEvent> events_named(const char* name) {
+    std::vector<TaggedTraceEvent> out;
+    for (const TaggedTraceEvent& e : Tracer::instance().events()) {
+      if (std::string(e.event.name) == name) out.push_back(e);
+    }
+    return out;
+  }
+};
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  ASSERT_FALSE(Tracer::enabled());
+  {
+    SKC_TRACE_SPAN("never");
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_TRUE(events_named("never").empty());
+}
+
+TEST_F(TraceTest, EnabledSpanRecordsItsScope) {
+  Tracer::instance().set_enabled(true);
+  {
+    SKC_TRACE_SPAN("timed");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto spans = events_named("timed");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GE(spans[0].event.dur_micros, 1000);
+  EXPECT_GE(spans[0].event.start_micros, 0);
+}
+
+TEST_F(TraceTest, SpanOpenAcrossDisableStillRecords) {
+  // The entry decision governs: a span opened while enabled records even if
+  // the flag flips before it closes (documented in Tracer::set_enabled).
+  Tracer::instance().set_enabled(true);
+  {
+    SKC_TRACE_SPAN("straddler");
+    Tracer::instance().set_enabled(false);
+  }
+  EXPECT_EQ(events_named("straddler").size(), 1u);
+}
+
+TEST_F(TraceTest, RingWrapsKeepingTheNewestSpans) {
+  Tracer& tracer = Tracer::instance();
+  const std::int64_t n = static_cast<std::int64_t>(kTraceRingCapacity) + 10;
+  // Record with synthetic start stamps 0..n-1 so survivorship is checkable.
+  for (std::int64_t i = 0; i < n; ++i) tracer.record("wrap", i, 1);
+
+  const auto spans = events_named("wrap");
+  EXPECT_EQ(spans.size(), kTraceRingCapacity);
+  EXPECT_GE(tracer.total_recorded(), n);  // overwritten spans still counted
+  std::int64_t min_start = n, max_start = -1;
+  for (const TaggedTraceEvent& e : spans) {
+    min_start = std::min(min_start, e.event.start_micros);
+    max_start = std::max(max_start, e.event.start_micros);
+  }
+  // The 10 oldest spans were overwritten; the newest survive.
+  EXPECT_EQ(min_start, 10);
+  EXPECT_EQ(max_start, n - 1);
+}
+
+TEST_F(TraceTest, SpansCarryTheRecordingThread) {
+  Tracer::instance().set_enabled(true);
+  { SKC_TRACE_SPAN("owner-main"); }
+  std::thread worker([] { SKC_TRACE_SPAN("owner-worker"); });
+  worker.join();
+
+  const auto main_spans = events_named("owner-main");
+  const auto worker_spans = events_named("owner-worker");
+  ASSERT_EQ(main_spans.size(), 1u);
+  ASSERT_EQ(worker_spans.size(), 1u);
+  EXPECT_NE(main_spans[0].tid, worker_spans[0].tid);
+  EXPECT_GE(Tracer::instance().num_threads(), 2);
+}
+
+TEST_F(TraceTest, ConcurrentSpansFromManyThreadsAllLand) {
+  Tracer::instance().set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 100;  // < capacity: nothing may be dropped
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        SKC_TRACE_SPAN("stress");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(events_named("stress").size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST_F(TraceTest, ChromeJsonIsWellFormed) {
+  Tracer& tracer = Tracer::instance();
+  tracer.record("jsonspan", 42, 7);
+  const std::string json = tracer.dump_chrome_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"jsonspan\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":7"), std::string::npos);
+
+  tracer.clear();
+  EXPECT_EQ(tracer.dump_chrome_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+  EXPECT_EQ(tracer.total_recorded(), 0);
+}
+
+}  // namespace
+}  // namespace skc::obs

@@ -34,6 +34,13 @@ Rules
                      deadlines, cancellation, and byte accounting cannot
                      be bypassed.  Member calls (net.send(...)) and
                      qualified names (Network::send) are not matched.
+  skc-obs            raw std::chrono clock now() calls in the serving
+                     stack (src/skc/{engine,net,coreset,stream}) outside
+                     src/skc/obs/.  Timing there goes through the
+                     observability primitives — obs::LatencyRecorder for
+                     histograms, SKC_TRACE_SPAN for traces, common/timer.h
+                     for everything else — so every measurement lands in
+                     the exported metrics instead of a local variable.
 
 Waivers
 -------
@@ -100,6 +107,19 @@ SOCKET_RE = re.compile(
     r"|(?<![A-Za-z0-9_:])::" + _SOCKET_FUNCS + r"\s*\("
 )
 
+# Raw clock reads in the serving stack.  Timing there must flow through the
+# obs primitives (histograms/spans) or common/timer.h so it is exported,
+# not discarded; the obs directory itself implements those primitives.
+OBS_CLOCK_RE = re.compile(
+    r"std::chrono::(steady_clock|high_resolution_clock|system_clock)::now\s*\("
+)
+OBS_SCOPED_DIRS = (
+    ("src", "skc", "engine"),
+    ("src", "skc", "net"),
+    ("src", "skc", "coreset"),
+    ("src", "skc", "stream"),
+)
+
 RULE_IDS = [
     "skc-random",
     "skc-stdout",
@@ -108,6 +128,7 @@ RULE_IDS = [
     "skc-naked-new",
     "skc-assert",
     "skc-socket",
+    "skc-obs",
 ]
 
 
@@ -221,8 +242,10 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
     code = strip_code(lines)
     waived, bad_waivers = collect_waivers(lines)
     library = is_library(path, root)
+    rel_parts = path.relative_to(root).parts
     in_random_impl = path.name in ("random.h", "random.cpp") and library
-    in_net_impl = path.relative_to(root).parts[:3] == ("src", "skc", "net")
+    in_net_impl = rel_parts[:3] == ("src", "skc", "net")
+    obs_scoped = rel_parts[:3] in OBS_SCOPED_DIRS
 
     out = [
         Violation(path, ln, rule, "waiver is missing a reason")
@@ -260,6 +283,12 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
                 "skc-socket", idx,
                 "raw socket API outside src/skc/net/; "
                 "use skc::net Socket/SkcClient (or waive with a reason)",
+            )
+        if obs_scoped and OBS_CLOCK_RE.search(stripped):
+            check(
+                "skc-obs", idx,
+                "raw clock read in the serving stack; use obs::LatencyRecorder, "
+                "SKC_TRACE_SPAN, or skc::Timer (or waive with a reason)",
             )
 
     if path.suffix in HEADER_EXTENSIONS:

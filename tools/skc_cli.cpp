@@ -8,8 +8,11 @@
 //   skc_cli generate <n> <k> <dim> <log_delta> [skew]   synthetic workload CSV
 //   skc_cli serve    <dim> <k> [shards] [log_delta]     interactive engine REPL
 //   skc_cli serve    ... --tcp <port>                   host the engine on TCP
+//   skc_cli serve    ... --trace                        start with tracing on
 //   skc_cli client   <host> <port>                      REPL against a remote
 //                                                       server (same commands)
+//   skc_cli trace-dump <host> <port> [out.json]         fetch the server's
+//                                                       chrome://tracing JSON
 //
 // Points are integer CSV rows; see src/skc/geometry/io.h for the format.
 #include <cstdio>
@@ -34,8 +37,10 @@ int usage() {
                "  skc_cli solve    <points.csv> <k> [capacity_slack=1.1]\n"
                "  skc_cli assign   <points.csv> <k> [capacity_slack=1.1]\n"
                "  skc_cli generate <n> <k> <dim> <log_delta> [skew=1.0]\n"
-               "  skc_cli serve    <dim> <k> [shards=4] [log_delta=12] [--tcp <port>]\n"
-               "  skc_cli client   <host> <port>\n");
+               "  skc_cli serve    <dim> <k> [shards=4] [log_delta=12] "
+               "[--tcp <port>] [--trace]\n"
+               "  skc_cli client   <host> <port>\n"
+               "  skc_cli trace-dump <host> <port> [out.json]\n");
   return 2;
 }
 
@@ -43,6 +48,23 @@ struct Loaded {
   PointSet points;
   int log_delta = 0;
 };
+
+/// Writes `text` to `path` ("-" = stdout).  Diagnostics on stderr.
+bool write_text_file(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+  return ok;
+}
 
 bool load(const std::string& path, Loaded& out) {
   PointsParseResult parsed = read_points_file(path);
@@ -175,6 +197,8 @@ int cmd_serve(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       tcp_port = std::atol(argv[++i]);
       if (tcp_port < 0 || tcp_port > 65535) return usage();
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      obs::Tracer::instance().set_enabled(true);
     } else {
       pos.push_back(argv[i]);
     }
@@ -217,7 +241,8 @@ int cmd_serve(int argc, char** argv) {
   std::fprintf(stderr,
                "engine up: dim=%d k=%d shards=%d log_delta=%d\n"
                "commands:  insert c1 .. c%d | delete c1 .. c%d | query [slack]\n"
-               "           flush | metrics | checkpoint <path> | restore <path> | quit\n",
+               "           flush | metrics | prom | trace on|off|dump <path>\n"
+               "           checkpoint <path> | restore <path> | quit\n",
                dim, k, shards, log_delta, dim, dim);
 
   std::string line;
@@ -271,6 +296,29 @@ int cmd_serve(int argc, char** argv) {
                   static_cast<long long>(engine.metrics().events_applied));
     } else if (cmd == "metrics") {
       std::printf("%s\n", metrics_json(engine.metrics()).c_str());
+    } else if (cmd == "prom") {
+      std::printf("%s", obs::prometheus_text(engine.metrics()).c_str());
+    } else if (cmd == "trace") {
+      std::string sub;
+      if (!(in >> sub)) {
+        std::printf("err trace needs on|off|dump <path>\n");
+      } else if (sub == "on" || sub == "off") {
+        obs::Tracer::instance().set_enabled(sub == "on");
+        std::printf("ok tracing %s\n", sub.c_str());
+      } else if (sub == "dump") {
+        std::string path;
+        if (!(in >> path)) {
+          std::printf("err trace dump needs a path (or -)\n");
+        } else if (write_text_file(path, obs::Tracer::instance().dump_chrome_json())) {
+          std::printf("ok %lld spans\n",
+                      static_cast<long long>(
+                          obs::Tracer::instance().events().size()));
+        } else {
+          std::printf("err cannot write %s\n", path.c_str());
+        }
+      } else {
+        std::printf("err unknown trace subcommand '%s'\n", sub.c_str());
+      }
     } else if (cmd == "checkpoint" || cmd == "restore") {
       std::string path;
       if (!(in >> path)) {
@@ -309,7 +357,8 @@ int cmd_client(int argc, char** argv) {
   std::fprintf(stderr,
                "connected to %s:%ld\n"
                "commands:  insert c1 c2 .. | delete c1 c2 .. | query [slack]\n"
-               "           ping | metrics | checkpoint <path> | shutdown | quit\n",
+               "           ping | metrics | prom | trace-dump [path]\n"
+               "           checkpoint <path> | shutdown | quit\n",
                host.c_str(), port);
 
   std::string line;
@@ -366,6 +415,24 @@ int cmd_client(int argc, char** argv) {
       } else {
         std::printf("err %s\n", client.last_error().c_str());
       }
+    } else if (cmd == "prom") {
+      std::string text;
+      if (client.prometheus_text(text)) {
+        std::printf("%s", text.c_str());
+      } else {
+        std::printf("err %s\n", client.last_error().c_str());
+      }
+    } else if (cmd == "trace-dump") {
+      std::string path = "-";
+      in >> path;
+      std::string json;
+      if (!client.trace_json(json)) {
+        std::printf("err %s\n", client.last_error().c_str());
+      } else if (write_text_file(path, json)) {
+        if (path != "-") std::printf("ok %s\n", path.c_str());
+      } else {
+        std::printf("err cannot write %s\n", path.c_str());
+      }
     } else if (cmd == "checkpoint") {
       std::string path;
       if (!(in >> path)) {
@@ -388,6 +455,30 @@ int cmd_client(int argc, char** argv) {
   return 0;
 }
 
+// One-shot TRACE_DUMP RPC: fetch the server's span rings as chrome://tracing
+// JSON and write them to a file (or stdout) — load the result at
+// chrome://tracing or https://ui.perfetto.dev.
+int cmd_trace_dump(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string host = argv[2];
+  const long port = std::atol(argv[3]);
+  if (port < 1 || port > 65535) return usage();
+  const std::string path = argc >= 5 ? argv[4] : "-";
+
+  net::SkcClient client;
+  if (!client.connect(host, static_cast<std::uint16_t>(port))) {
+    std::fprintf(stderr, "error: connect %s:%ld: %s\n", host.c_str(), port,
+                 client.last_error().c_str());
+    return 1;
+  }
+  std::string json;
+  if (!client.trace_json(json)) {
+    std::fprintf(stderr, "error: %s\n", client.last_error().c_str());
+    return 1;
+  }
+  return write_text_file(path, json) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -398,5 +489,6 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "generate")) return cmd_generate(argc, argv);
   if (!std::strcmp(argv[1], "serve")) return cmd_serve(argc, argv);
   if (!std::strcmp(argv[1], "client")) return cmd_client(argc, argv);
+  if (!std::strcmp(argv[1], "trace-dump")) return cmd_trace_dump(argc, argv);
   return usage();
 }
