@@ -77,6 +77,7 @@ int main() {
       std::thread::hardware_concurrency(), producers);
   row("%-8s %10s %10s %12s %10s %8s", "shards", "events", "ingest_ms",
       "events/s", "net", "coreset");
+  JsonReport report("engine");
   for (int shards : {1, 2, 4, 8}) {
     ClusteringEngine engine(dim, params,
                             engine_options(shards, log_delta, stream.size()));
@@ -92,6 +93,19 @@ int main() {
         1e3 * static_cast<double>(stream.size()) / ms,
         static_cast<long long>(res.net_points),
         static_cast<long long>(res.summary.points.size()));
+    const EngineMetrics em = engine.metrics();
+    report.record()
+        .kv("series", "ingest_vs_shards")
+        .kv("shards", shards)
+        .kv("events", static_cast<std::int64_t>(stream.size()))
+        .kv("ingest_ms", ms)
+        .kv("events_per_s", 1e3 * static_cast<double>(stream.size()) / ms)
+        .kv("net_points", res.net_points)
+        .kv("coreset_points",
+            static_cast<std::int64_t>(res.summary.points.size()))
+        .kv("submit_p50_ms", em.submit_latency.p50_millis())
+        .kv("submit_p99_ms", em.submit_latency.p99_millis())
+        .kv("submit_p999_ms", em.submit_latency.p999_millis());
   }
 
   header("E13: query latency under concurrent ingest",
@@ -135,6 +149,17 @@ int main() {
         static_cast<double>(em.query_latency.max_micros) / 1e3);
     engine.shutdown();
     row("metrics: %s", metrics_json(engine.metrics()).c_str());
+    report.record()
+        .kv("series", "query_under_ingest")
+        .kv("shards", 4)
+        .kv("events", static_cast<std::int64_t>(stream.size()))
+        .kv("events_per_s",
+            1e3 * static_cast<double>(stream.size()) / load_ms)
+        .kv("query_p50_ms", em.query_latency.p50_millis())
+        .kv("query_p99_ms", em.query_latency.p99_millis())
+        .kv("query_p999_ms", em.query_latency.p999_millis())
+        .kv("query_count", em.query_latency.count);
   }
+  report.write();
   return 0;
 }

@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
       "wall_ms", "events/s", "busy", "ok", "q_p50_ms", "q_p95_ms",
       "q_p99_ms", "q_p999_ms");
 
+  JsonReport report("net");
   for (const int clients : {1, 4, 8}) {
     const std::int64_t per_client = total_events / clients;
     const std::int64_t events = per_client * clients;
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
 
     // Phase 1: concurrent batched ingest, timed to the epoch barrier.
     std::atomic<std::int64_t> busy{0};
+    std::atomic<std::int64_t> wire_bytes{0};
     std::atomic<bool> failed{false};
     Timer timer;
     {
@@ -110,6 +112,7 @@ int main(int argc, char** argv) {
             sent += take;
           }
           busy.fetch_add(cl.busy_retries());
+          wire_bytes.fetch_add(cl.wire_bytes_sent() + cl.wire_bytes_received());
         });
       }
       for (std::thread& t : threads) t.join();
@@ -144,6 +147,7 @@ int main(int argc, char** argv) {
             if (!cl.query(qr, reply)) return;
             latency.record_millis(t.millis());
           }
+          wire_bytes.fetch_add(cl.wire_bytes_sent() + cl.wire_bytes_received());
         });
       }
       for (std::thread& t : threads) t.join();
@@ -154,9 +158,21 @@ int main(int argc, char** argv) {
         static_cast<long long>(busy.load()), ok ? "yes" : "NO",
         latency.p50_ms(), latency.p95_ms(), latency.p99_ms(),
         latency.p999_ms());
+    report.record()
+        .kv("clients", clients)
+        .kv("events", static_cast<std::int64_t>(events))
+        .kv("wall_ms", wall_ms)
+        .kv("events_per_s", 1e3 * static_cast<double>(events) / wall_ms)
+        .kv("busy_retries", busy.load())
+        .kv("ok", ok)
+        .kv("query_p50_ms", latency.p50_ms())
+        .kv("query_p99_ms", latency.p99_ms())
+        .kv("query_p999_ms", latency.p999_ms())
+        .kv("wire_bytes", wire_bytes.load());
 
     server.stop();
     engine.shutdown();
   }
+  report.write();
   return 0;
 }

@@ -32,6 +32,85 @@ inline void row(const char* fmt, ...) {
   std::fflush(stdout);
 }
 
+/// Machine-readable companion to the printed tables: flat records written
+/// as BENCH_<name>.json in the working directory, so CI and notebooks can
+/// consume benchmark results (events/s, latency percentiles, bytes on the
+/// wire) without scraping stdout.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  class Record {
+   public:
+    Record& kv(const char* key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.10g", value);
+      return raw(key, buf);
+    }
+    Record& kv(const char* key, std::int64_t value) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+      return raw(key, buf);
+    }
+    Record& kv(const char* key, int value) {
+      return kv(key, static_cast<std::int64_t>(value));
+    }
+    Record& kv(const char* key, const std::string& value) {
+      return raw(key, "\"" + value + "\"");  // callers pass literal-safe text
+    }
+    // Without this overload a string literal would convert to bool, not to
+    // std::string, and render as `true`.
+    Record& kv(const char* key, const char* value) {
+      return kv(key, std::string(value));
+    }
+    Record& kv(const char* key, bool value) {
+      return raw(key, value ? "true" : "false");
+    }
+
+   private:
+    friend class JsonReport;
+    Record& raw(const char* key, const std::string& value) {
+      if (!body_.empty()) body_ += ",";
+      body_ += "\"";
+      body_ += key;
+      body_ += "\":";
+      body_ += value;
+      return *this;
+    }
+    std::string body_;
+  };
+
+  Record& record() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Writes BENCH_<name>.json; failures warn on stderr instead of failing
+  /// the bench (the printed table remains the primary artifact).
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::string json = "{\"bench\":\"" + name_ + "\",\"records\":[";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      if (i) json += ",";
+      json += "{" + records_[i].body_ + "}";
+    }
+    json += "]}\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f || std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      if (f) std::fclose(f);
+      return false;
+    }
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Record> records_;
+};
+
 /// Latency series for benchmark reporting, backed by the library's own
 /// log-bucketed histogram (src/skc/obs/histogram.h) — benches quote the
 /// same p50/p99/p999 machinery production metrics use, instead of ad-hoc

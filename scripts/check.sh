@@ -23,9 +23,10 @@ ctest --test-dir build --output-on-failure
 for b in build/bench/bench_*; do
   echo "== $b"
   case "$(basename "$b")" in
-    bench_net|bench_obs)
-      # Loopback serving (E14) and observability overhead (E15) smokes:
-      # same code paths as the full runs, CI-sized.
+    bench_net|bench_obs|bench_cluster)
+      # Loopback serving (E14), observability overhead (E15), and
+      # multi-process cluster (E16) smokes: same code paths as the full
+      # runs, CI-sized.
       "$b" smoke
       ;;
     *)
@@ -48,5 +49,32 @@ if [[ -x build/tools/skc_cli ]]; then
   printf 'insert 5 5\ninsert 900 900\nflush\nquery\nquit\n' \
     | ./build/tools/skc_cli serve 2 2 2 10 > "$tmp/serve.txt"
   grep -q '^ok n=2' "$tmp/serve.txt"
+
+  # Multi-process cluster smoke: coordinator + 2 worker processes over
+  # loopback; ingest, query, SIGKILL one worker, query again (the second
+  # answer exercises the checkpoint + failover path end to end).
+  ./build/tools/skc_cli worker 2 2 2 6 > "$tmp/w1.log" 2> /dev/null &
+  w1=$!
+  ./build/tools/skc_cli worker 2 2 2 6 > "$tmp/w2.log" 2> /dev/null &
+  w2=$!
+  for _ in $(seq 1 50); do
+    grep -q '^PORT ' "$tmp/w1.log" && grep -q '^PORT ' "$tmp/w2.log" && break
+    sleep 0.2
+  done
+  p1=$(awk '/^PORT /{print $2}' "$tmp/w1.log")
+  p2=$(awk '/^PORT /{print $2}' "$tmp/w2.log")
+  {
+    printf 'insert 5 5\ninsert 60 60\nflush\nquery\n'
+    sleep 1
+    kill -9 "$w2"
+    sleep 1
+    printf 'query\nquit\n'
+  } | ./build/tools/skc_cli coordinator 2 2 6 \
+        --worker "127.0.0.1:$p1" --worker "127.0.0.1:$p2" \
+        > "$tmp/cluster.txt" 2> "$tmp/cluster.err"
+  [[ "$(grep -c '^ok n=2' "$tmp/cluster.txt")" -eq 2 ]]
+  kill "$w1" 2> /dev/null || true
+  wait "$w1" 2> /dev/null || true
+  wait "$w2" 2> /dev/null || true
 fi
 echo "all checks passed"

@@ -1,0 +1,793 @@
+#include "skc/cluster/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "skc/common/check.h"
+#include "skc/common/random.h"
+#include "skc/common/timer.h"
+#include "skc/obs/trace.h"
+#include "skc/solve/capacitated_kmedian.h"
+#include "skc/solve/cost.h"
+
+namespace skc::cluster {
+
+namespace {
+
+/// host:port label for registry entries and metrics.
+std::string address_label(const WorkerAddress& a) {
+  return a.host + ":" + std::to_string(a.port);
+}
+
+}  // namespace
+
+ClusterCoordinator::ClusterCoordinator(const CoordinatorOptions& options)
+    : net::FrameServer(options.server),
+      options_(options),
+      protocol_net_(static_cast<int>(options.workers.size()) + 1),
+      ingest_net_(static_cast<int>(options.workers.size()) + 1) {
+  SKC_CHECK(options_.dim >= 1);
+  fingerprint_ = engine_config_fingerprint(options_.dim, options_.params,
+                                           options_.streaming);
+  // Same derivation discipline as the engine's shard routing: key the point
+  // hash off the configured seed so the worker split is reproducible.
+  std::uint64_t state = options_.params.seed ^ 0x636c757374657231ULL;
+  route_key_ = splitmix64(state);
+}
+
+ClusterCoordinator::~ClusterCoordinator() {
+  // Drain the front door while this subclass (and its links) is still
+  // alive — the base destructor's stop() would run after our state is gone.
+  stop();
+  stop_heartbeat();
+}
+
+bool ClusterCoordinator::connect(std::string& error) {
+  SKC_CHECK_MSG(!connected_, "ClusterCoordinator::connect called twice");
+  if (options_.workers.empty()) {
+    error = "no workers configured";
+    return false;
+  }
+  links_.reserve(options_.workers.size());
+  for (std::size_t i = 0; i < options_.workers.size(); ++i) {
+    auto link = std::make_unique<WorkerLink>();
+    link->id = static_cast<int>(i);
+    link->address = options_.workers[i];
+    const std::string label = address_label(link->address);
+    if (!link->data.connect(link->address.host, link->address.port)) {
+      error = "worker " + label + ": " + link->data.last_error();
+      return false;
+    }
+    if (!link->heartbeat.connect(link->address.host, link->address.port)) {
+      error = "worker " + label + " (heartbeat): " +
+              link->heartbeat.last_error();
+      return false;
+    }
+    net::WorkerHello hello;
+    hello.worker_id = link->id;
+    hello.dim = options_.dim;
+    hello.k = options_.params.k;
+    hello.log_delta = options_.streaming.log_delta;
+    hello.fingerprint = fingerprint_;
+    net::WorkerHelloReply reply;
+    if (!link->data.worker_hello(hello, reply)) {
+      error = "worker " + label + " hello failed: " + link->data.last_error();
+      return false;
+    }
+    account(protocol_net_, link->id, link->data.last_request_payload(),
+            link->data.last_reply_payload());
+    if (!reply.ok) {
+      error = "worker " + label + " refused registration: " + reply.message;
+      return false;
+    }
+    registry_.add(link->id, label);
+    registry_.mark_alive(link->id, /*backlog=*/0, reply.net_points,
+                         /*events_applied=*/0);
+    links_.push_back(std::move(link));
+  }
+  {
+    std::lock_guard<std::mutex> lock(topo_mu_);
+    slot_owner_.resize(links_.size());
+    for (std::size_t i = 0; i < slot_owner_.size(); ++i) {
+      slot_owner_[i] = static_cast<int>(i);
+    }
+  }
+  connected_ = true;
+  heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+  return true;
+}
+
+void ClusterCoordinator::stop_heartbeat() {
+  {
+    std::lock_guard<std::mutex> lock(hb_stop_mu_);
+    if (hb_stop_) {
+      // Already stopped; fall through to the join below (idempotent).
+    }
+    hb_stop_ = true;
+  }
+  hb_stop_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+void ClusterCoordinator::account(Network& net, int id,
+                                 std::size_t request_payload,
+                                 std::size_t reply_payload) {
+  net.send(0, id + 1, request_payload);
+  net.send(id + 1, 0, reply_payload);
+}
+
+std::size_t ClusterCoordinator::slot_of(std::span<const Coord> p) const {
+  std::uint64_t h = route_key_;
+  for (Coord c : p) {
+    std::uint64_t state =
+        h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(c));
+    h = splitmix64(state);
+  }
+  return static_cast<std::size_t>(h % links_.size());
+}
+
+std::vector<int> ClusterCoordinator::owners_snapshot() const {
+  std::lock_guard<std::mutex> lock(topo_mu_);
+  return slot_owner_;
+}
+
+bool ClusterCoordinator::forward_to(int owner, std::vector<StreamEvent>& events,
+                                    std::vector<StreamEvent>& leftover) {
+  WorkerLink& link = *links_[static_cast<std::size_t>(owner)];
+  const std::size_t dim = static_cast<std::size_t>(options_.dim);
+  std::lock_guard<std::mutex> lock(link.mu);
+  std::size_t i = 0;
+  std::vector<Coord> coords;
+  while (i < events.size()) {
+    // One wire batch per run of equal ops, preserving insert/delete order.
+    std::size_t j = i;
+    while (j < events.size() && events[j].op == events[i].op) ++j;
+    coords.clear();
+    coords.reserve((j - i) * dim);
+    for (std::size_t e = i; e < j; ++e) {
+      coords.insert(coords.end(), events[e].point.begin(),
+                    events[e].point.end());
+    }
+    net::BatchReply ack;
+    const bool ok =
+        events[i].op == StreamOp::kInsert
+            ? link.data.insert_batch(options_.dim, coords, &ack)
+            : link.data.delete_batch(options_.dim, coords, &ack);
+    if (!ok) {
+      leftover.assign(std::make_move_iterator(events.begin() +
+                                              static_cast<std::ptrdiff_t>(i)),
+                      std::make_move_iterator(events.end()));
+      return false;
+    }
+    account(ingest_net_, link.id, link.data.last_request_payload(),
+            link.data.last_reply_payload());
+    for (std::size_t e = i; e < j; ++e) {
+      link.replay.push_back({events[e].op, std::move(events[e].point)});
+    }
+    const auto n = static_cast<std::int64_t>(j - i);
+    events_forwarded_.fetch_add(n, std::memory_order_relaxed);
+    registry_.record_forwarded(link.id, n,
+                               static_cast<std::int64_t>(link.replay.size()));
+    i = j;
+  }
+  if (link.replay.size() > options_.replay_capacity) {
+    // Bound coordinator-side state: refresh the member checkpoint (which
+    // clears the replay buffer) instead of buffering without limit.  A
+    // failure here is a transport failure — report it so the caller runs
+    // failover; every event above was acknowledged, so leftover stays
+    // empty.
+    if (!checkpoint_locked(link)) return false;
+  }
+  return true;
+}
+
+bool ClusterCoordinator::submit(const Stream& batch) {
+  SKC_CHECK_MSG(connected_, "submit before connect");
+  obs::LatencyRecorder latency(forward_latency_);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<StreamEvent> pending(batch.begin(), batch.end());
+  // One re-route attempt per possible failover, plus the initial pass.
+  int attempts = static_cast<int>(links_.size()) + 1;
+  while (!pending.empty() && attempts-- > 0) {
+    const std::vector<int> owners = owners_snapshot();
+    std::vector<std::vector<StreamEvent>> buckets(links_.size());
+    for (StreamEvent& e : pending) {
+      SKC_CHECK_MSG(static_cast<int>(e.point.size()) == options_.dim,
+                    "event dimension does not match the cluster");
+      const int owner = owners[slot_of(e.point)];
+      if (owner < 0) return false;  // no survivor owns this slot
+      buckets[static_cast<std::size_t>(owner)].push_back(std::move(e));
+    }
+    pending.clear();
+    for (std::size_t owner = 0; owner < buckets.size(); ++owner) {
+      if (buckets[owner].empty()) continue;
+      std::vector<StreamEvent> leftover;
+      if (forward_to(static_cast<int>(owner), buckets[owner], leftover)) {
+        continue;
+      }
+      // Persistent BUSY is backpressure, not death: surface it to the
+      // caller instead of failing over a healthy worker.
+      {
+        WorkerLink& link = *links_[owner];
+        std::lock_guard<std::mutex> lock(link.mu);
+        if (link.data.last_status() == net::Status::kBusy) return false;
+      }
+      handle_worker_failure(static_cast<int>(owner));
+      pending.insert(pending.end(), std::make_move_iterator(leftover.begin()),
+                     std::make_move_iterator(leftover.end()));
+    }
+  }
+  return pending.empty();
+}
+
+bool ClusterCoordinator::insert(std::span<const Coord> p) {
+  StreamEvent e;
+  e.op = StreamOp::kInsert;
+  e.point.assign(p.begin(), p.end());
+  return submit(Stream{std::move(e)});
+}
+
+bool ClusterCoordinator::erase(std::span<const Coord> p) {
+  StreamEvent e;
+  e.op = StreamOp::kDelete;
+  e.point.assign(p.begin(), p.end());
+  return submit(Stream{std::move(e)});
+}
+
+void ClusterCoordinator::flush() {
+  SKC_CHECK_MSG(connected_, "flush before connect");
+  // Every forward was acknowledged post-enqueue, so "backlog == 0" on a
+  // worker means everything this coordinator sent it has been applied.
+  for (auto& link : links_) {
+    while (registry_.alive(link->id)) {
+      net::HeartbeatReply r;
+      bool ok = false;
+      {
+        std::lock_guard<std::mutex> lock(link->hb_mu);
+        ok = link->heartbeat.heartbeat(r);
+        if (ok) {
+          account(protocol_net_, link->id,
+                  link->heartbeat.last_request_payload(),
+                  link->heartbeat.last_reply_payload());
+        }
+      }
+      if (!ok || r.backlog == 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+bool ClusterCoordinator::checkpoint_locked(WorkerLink& link) {
+  net::SketchSnapshot snap;
+  {
+    obs::LatencyRecorder rec(link.merge_latency);
+    if (!link.data.merge_sketch(snap)) return false;
+  }
+  account(protocol_net_, link.id, link.data.last_request_payload(),
+          link.data.last_reply_payload());
+  link.snapshot = std::move(snap);
+  link.replay.clear();
+  member_snapshots_.fetch_add(1, std::memory_order_relaxed);
+  registry_.record_snapshot(link.id, link.snapshot.events_applied);
+  return true;
+}
+
+bool ClusterCoordinator::checkpoint_members() {
+  SKC_CHECK_MSG(connected_, "checkpoint before connect");
+  bool all_ok = true;
+  for (auto& link : links_) {
+    if (!registry_.alive(link->id)) continue;
+    bool ok = false;
+    {
+      std::lock_guard<std::mutex> lock(link->mu);
+      ok = checkpoint_locked(*link);
+    }
+    if (!ok) {
+      handle_worker_failure(link->id);
+      all_ok = false;
+    }
+  }
+  return all_ok;
+}
+
+void ClusterCoordinator::handle_worker_failure(int id) {
+  if (!registry_.mark_dead(id)) return;  // another detector already claimed it
+  failovers_.fetch_add(1, std::memory_order_relaxed);
+  WorkerLink& dead = *links_[static_cast<std::size_t>(id)];
+  net::SketchSnapshot snap;
+  std::vector<ReplayEvent> replay;
+  {
+    std::lock_guard<std::mutex> lock(dead.mu);
+    snap = std::move(dead.snapshot);
+    replay = std::move(dead.replay);
+    dead.snapshot = net::SketchSnapshot{};
+    dead.replay.clear();
+    dead.data.close();
+  }
+  {
+    std::lock_guard<std::mutex> lock(dead.hb_mu);
+    dead.heartbeat.close();
+  }
+
+  const std::size_t dim = static_cast<std::size_t>(options_.dim);
+  while (true) {
+    const int survivor = registry_.pick_survivor(id);
+    {
+      // Re-point every slot the dead worker owned; do this before shipping
+      // state so new ingest already routes to the survivor (the replay
+      // below lands behind it on the same serialized data connection).
+      std::lock_guard<std::mutex> lock(topo_mu_);
+      for (int& owner : slot_owner_) {
+        if (owner == id) owner = survivor;
+      }
+    }
+    if (survivor < 0) return;  // cluster is out of workers; slots now -1
+
+    WorkerLink& s = *links_[static_cast<std::size_t>(survivor)];
+    bool ok = true;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (!snap.blob.empty()) {
+        // The member checkpoint summarizes every event the dead worker had
+        // applied at its watermark; the linear merge makes adoption one
+        // sketch addition on the survivor.
+        ok = s.data.ship_snapshot(snap);
+        if (ok) {
+          account(protocol_net_, s.id, s.data.last_request_payload(),
+                  s.data.last_reply_payload());
+          snap = net::SketchSnapshot{};  // adopted; do not re-ship
+        }
+      }
+      // Replay the tail forwarded past the watermark, preserving op order.
+      std::size_t i = 0;
+      std::vector<Coord> coords;
+      while (ok && i < replay.size()) {
+        std::size_t j = i;
+        while (j < replay.size() && replay[j].op == replay[i].op) ++j;
+        coords.clear();
+        coords.reserve((j - i) * dim);
+        for (std::size_t e = i; e < j; ++e) {
+          coords.insert(coords.end(), replay[e].point.begin(),
+                        replay[e].point.end());
+        }
+        net::BatchReply ack;
+        ok = replay[i].op == StreamOp::kInsert
+                 ? s.data.insert_batch(options_.dim, coords, &ack)
+                 : s.data.delete_batch(options_.dim, coords, &ack);
+        if (!ok) break;
+        account(protocol_net_, s.id, s.data.last_request_payload(),
+                s.data.last_reply_payload());
+        replayed_events_.fetch_add(static_cast<std::int64_t>(j - i),
+                                   std::memory_order_relaxed);
+        for (std::size_t e = i; e < j; ++e) {
+          s.replay.push_back(std::move(replay[e]));
+        }
+        i = j;
+      }
+      if (ok) {
+        replay.clear();
+      } else {
+        // Keep the unacknowledged tail for the next survivor.
+        replay.erase(replay.begin(), replay.begin() +
+                                         static_cast<std::ptrdiff_t>(i));
+      }
+      if (ok && s.replay.size() > options_.replay_capacity) {
+        checkpoint_locked(s);  // best effort; a failure surfaces below
+      }
+    }
+    if (ok) {
+      registry_.record_failover_absorbed(survivor);
+      return;
+    }
+    // The survivor failed during adoption: cascade (bounded by the worker
+    // count), then loop to place the remaining state elsewhere.
+    handle_worker_failure(survivor);
+  }
+}
+
+EngineQueryResult ClusterCoordinator::query(const EngineQuery& q) {
+  SKC_CHECK_MSG(connected_, "query before connect");
+  SKC_TRACE_SPAN("cluster_query");
+  obs::LatencyRecorder latency(query_latency_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  EngineQueryResult result;
+  // One retry: a worker killed mid-round costs one failover plus a second
+  // merge round, never an error (as long as a survivor remains).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::vector<int> owners = owners_snapshot();
+    std::sort(owners.begin(), owners.end());
+    owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+    if (!owners.empty() && owners.front() < 0) owners.erase(owners.begin());
+    if (owners.empty()) {
+      result.error = "no live workers";
+      return result;
+    }
+
+    result = EngineQueryResult{};
+    Timer merge_timer;
+    bool round_failed = false;
+    int failed_owner = -1;
+
+    if (options_.merge_mode == MergeMode::kSketch) {
+      SKC_TRACE_SPAN("cluster_merge");
+      StreamingCoresetBuilder merged(options_.dim, options_.params,
+                                     options_.streaming);
+      StreamingCoresetBuilder scratch(options_.dim, options_.params,
+                                      options_.streaming);
+      bool first = true;
+      for (const int owner : owners) {
+        WorkerLink& link = *links_[static_cast<std::size_t>(owner)];
+        net::SketchSnapshot snap;
+        {
+          std::lock_guard<std::mutex> lock(link.mu);
+          bool ok = false;
+          {
+            obs::LatencyRecorder rec(link.merge_latency);
+            ok = link.data.merge_sketch(snap);
+          }
+          if (!ok) {
+            round_failed = true;
+            failed_owner = owner;
+          } else {
+            account(protocol_net_, link.id, link.data.last_request_payload(),
+                    link.data.last_reply_payload());
+            merge_rounds_.fetch_add(1, std::memory_order_relaxed);
+            // The fetched sketch IS the member checkpoint: everything the
+            // worker has applied, including the replay buffer's events.
+            link.snapshot = snap;
+            link.replay.clear();
+            member_snapshots_.fetch_add(1, std::memory_order_relaxed);
+            registry_.record_snapshot(link.id, snap.events_applied);
+          }
+        }
+        if (round_failed) break;
+        std::istringstream in(snap.blob);
+        StreamingCoresetBuilder& target = first ? merged : scratch;
+        if (!target.load(in)) {
+          result.error = "worker sketch failed to decode";
+          return result;
+        }
+        if (!first) merged.merge_from(scratch);
+        first = false;
+      }
+      if (!round_failed) {
+        result.net_points = merged.net_count();
+        if (result.net_points <= 0) {
+          result.error = "cluster holds no surviving points";
+          return result;
+        }
+        StreamingResult streamed = merged.finalize();
+        if (!streamed.ok) {
+          result.error =
+              "merged coreset construction failed (every o-guess FAILed)";
+          return result;
+        }
+        result.summary = std::move(streamed.coreset);
+      }
+    } else {
+      SKC_TRACE_SPAN("cluster_compose");
+      WeightedPointSet merged_points(options_.dim);
+      double o_accepted = 0.0;
+      for (const int owner : owners) {
+        WorkerLink& link = *links_[static_cast<std::size_t>(owner)];
+        net::CoresetReply rep;
+        bool ok = false;
+        {
+          std::lock_guard<std::mutex> lock(link.mu);
+          obs::LatencyRecorder rec(link.merge_latency);
+          ok = link.data.fetch_coreset(rep);
+          if (ok) {
+            account(protocol_net_, link.id, link.data.last_request_payload(),
+                    link.data.last_reply_payload());
+            merge_rounds_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (!ok) {
+          round_failed = true;
+          failed_owner = owner;
+          break;
+        }
+        result.net_points += rep.net_points;
+        if (!rep.ok) {
+          if (rep.net_points <= 0) continue;  // empty worker, not an error
+          result.error = "worker coreset failed: " + rep.error;
+          return result;
+        }
+        o_accepted = std::max(o_accepted, rep.o);
+        const std::size_t dim = static_cast<std::size_t>(options_.dim);
+        for (std::size_t i = 0; i < rep.weights.size(); ++i) {
+          merged_points.push_back(
+              std::span<const Coord>(rep.coords.data() + i * dim, dim),
+              rep.weights[i]);
+        }
+      }
+      if (!round_failed) {
+        if (result.net_points <= 0) {
+          result.error = "cluster holds no surviving points";
+          return result;
+        }
+        result.summary.points = std::move(merged_points);
+        result.summary.o = o_accepted;
+      }
+    }
+
+    if (round_failed) {
+      handle_worker_failure(failed_owner);
+      continue;
+    }
+    result.merge_millis = merge_timer.millis();
+
+    if (!q.summary_only) {
+      SKC_TRACE_SPAN("cluster_solve");
+      Timer solve_timer;
+      const int k = q.k > 0 ? q.k : options_.params.k;
+      const double n = static_cast<double>(result.net_points);
+      const double w = result.summary.points.total_weight();
+      if (w <= 0.0) {
+        result.error = "merged summary carries no weight";
+        return result;
+      }
+      // Identical solve path (capacity scaling, seed derivation, solver
+      // choice) to ClusteringEngine::query, so a cluster query over a
+      // partitioned stream matches a single engine fed the union.
+      result.capacity = tight_capacity(n, k) * q.capacity_slack;
+      const double t_summary = result.capacity * w / n;
+      Rng rng(options_.params.seed ^ 0x71756572795f3173ULL);
+      if (options_.params.r.r <= 1.0) {
+        result.solution =
+            capacitated_kmedian(result.summary.points, k, t_summary,
+                                options_.params.r, LocalSearchOptions{}, rng);
+      } else {
+        CapacitatedSolverOptions sopts;
+        sopts.restarts = q.solver_restarts;
+        sopts.delta = Coord{1} << options_.streaming.log_delta;
+        result.solution =
+            capacitated_kmeans(result.summary.points, k, t_summary,
+                               options_.params.r, sopts, rng);
+      }
+      result.solve_millis = solve_timer.millis();
+    }
+    result.ok = true;
+    return result;
+  }
+  result.ok = false;
+  if (result.error.empty()) result.error = "query failed after failover retry";
+  return result;
+}
+
+void ClusterCoordinator::shutdown_workers() {
+  for (auto& link : links_) {
+    if (!registry_.alive(link->id)) continue;
+    std::lock_guard<std::mutex> lock(link->mu);
+    if (link->data.shutdown_server()) {
+      account(protocol_net_, link->id, link->data.last_request_payload(),
+              link->data.last_reply_payload());
+    }
+  }
+}
+
+void ClusterCoordinator::heartbeat_loop() {
+  std::unique_lock<std::mutex> lock(hb_stop_mu_);
+  while (!hb_stop_) {
+    hb_stop_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.heartbeat_interval_ms),
+        [&] { return hb_stop_; });
+    if (hb_stop_) return;
+    lock.unlock();
+    for (auto& link : links_) {
+      if (registry_.status(link->id).state == WorkerState::kDead) continue;
+      net::HeartbeatReply r;
+      bool ok = false;
+      {
+        std::lock_guard<std::mutex> hb_lock(link->hb_mu);
+        ok = link->heartbeat.connected() && link->heartbeat.heartbeat(r);
+        if (ok) {
+          account(protocol_net_, link->id,
+                  link->heartbeat.last_request_payload(),
+                  link->heartbeat.last_reply_payload());
+        }
+      }
+      if (ok) {
+        registry_.mark_alive(link->id, r.backlog, r.net_points,
+                             r.events_applied);
+      } else if (registry_.mark_missed(link->id,
+                                       options_.heartbeat_miss_limit)) {
+        handle_worker_failure(link->id);
+      }
+    }
+    lock.lock();
+  }
+}
+
+ClusterMetrics ClusterCoordinator::metrics() const {
+  ClusterMetrics m;
+  m.workers = static_cast<int>(links_.size());
+  m.workers_alive = registry_.alive_count();
+  m.batches = batches_.load(std::memory_order_relaxed);
+  m.events_forwarded = events_forwarded_.load(std::memory_order_relaxed);
+  m.queries = queries_.load(std::memory_order_relaxed);
+  m.merge_rounds = merge_rounds_.load(std::memory_order_relaxed);
+  m.member_snapshots = member_snapshots_.load(std::memory_order_relaxed);
+  m.failovers = failovers_.load(std::memory_order_relaxed);
+  m.replayed_events = replayed_events_.load(std::memory_order_relaxed);
+
+  const Network::Stats protocol = protocol_net_.total();
+  m.protocol_bytes = static_cast<std::int64_t>(protocol.bytes);
+  m.protocol_messages = static_cast<std::int64_t>(protocol.messages);
+  const Network::Stats ingest = ingest_net_.total();
+  m.ingest_bytes = static_cast<std::int64_t>(ingest.bytes);
+  m.ingest_messages = static_cast<std::int64_t>(ingest.messages);
+
+  m.worker_protocol_bytes.reserve(links_.size());
+  m.worker_ingest_bytes.reserve(links_.size());
+  m.worker_wire_bytes.reserve(links_.size());
+  m.worker_merge_latency.reserve(links_.size());
+  for (auto& link : links_) {
+    m.worker_protocol_bytes.push_back(
+        static_cast<std::int64_t>(protocol_net_.machine_bytes(link->id + 1)));
+    m.worker_ingest_bytes.push_back(
+        static_cast<std::int64_t>(ingest_net_.machine_bytes(link->id + 1)));
+    std::int64_t wire = 0;
+    {
+      std::lock_guard<std::mutex> lock(link->mu);
+      wire += link->data.wire_bytes_sent() + link->data.wire_bytes_received();
+    }
+    {
+      std::lock_guard<std::mutex> lock(link->hb_mu);
+      wire += link->heartbeat.wire_bytes_sent() +
+              link->heartbeat.wire_bytes_received();
+    }
+    m.worker_wire_bytes.push_back(wire);
+    m.worker_merge_latency.push_back(link->merge_latency.snapshot());
+  }
+  m.worker_status = registry_.all();
+  m.query_latency = query_latency_.snapshot();
+  m.forward_latency = forward_latency_.snapshot();
+
+  m.net_connections_active =
+      counters_.connections_active.load(std::memory_order_relaxed);
+  m.net_connections_total =
+      counters_.connections_total.load(std::memory_order_relaxed);
+  m.net_bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
+  m.net_bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  m.net_busy_rejections =
+      counters_.busy_rejections.load(std::memory_order_relaxed);
+  m.net_malformed_frames =
+      counters_.malformed_frames.load(std::memory_order_relaxed);
+  m.net_requests_by_type.resize(net::kNumMsgTypes);
+  for (int t = 0; t < net::kNumMsgTypes; ++t) {
+    m.net_requests_by_type[static_cast<std::size_t>(t)] =
+        counters_.requests_by_type[static_cast<std::size_t>(t)].load(
+            std::memory_order_relaxed);
+  }
+  m.net_request_latency = counters_.request_latency.snapshot();
+  return m;
+}
+
+net::Status ClusterCoordinator::dispatch(net::MsgType type,
+                                         std::string_view body,
+                                         std::string& reply) {
+  using net::MsgType;
+  using net::Status;
+  switch (type) {
+    case MsgType::kPing:
+      reply.assign(body);  // echo
+      return Status::kOk;
+
+    case MsgType::kInsertBatch:
+    case MsgType::kDeleteBatch: {
+      net::PointBatch batch;
+      if (!batch.decode(body)) {
+        counters_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        reply = net::encode_text("undecodable point batch");
+        return Status::kMalformed;
+      }
+      if (batch.dim != options_.dim) {
+        reply = net::encode_text("batch dimension does not match the cluster");
+        return Status::kEngineError;
+      }
+      const Coord max_coord = Coord{1} << options_.streaming.log_delta;
+      for (const Coord c : batch.coords) {
+        if (c < 1 || c > max_coord) {
+          reply = net::encode_text("coordinate outside [1, Delta]");
+          return Status::kEngineError;
+        }
+      }
+      if (draining()) return Status::kShuttingDown;
+      const std::size_t dim = static_cast<std::size_t>(batch.dim);
+      const std::uint64_t count = batch.count();
+      Stream events(static_cast<std::size_t>(count));
+      const StreamOp op = type == MsgType::kInsertBatch ? StreamOp::kInsert
+                                                        : StreamOp::kDelete;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        events[i].op = op;
+        const Coord* first = batch.coords.data() + i * dim;
+        events[i].point.assign(first, first + dim);
+      }
+      if (!submit(events)) {
+        reply = net::encode_text("cluster could not accept the batch");
+        return Status::kEngineError;
+      }
+      net::BatchReply ack;
+      ack.accepted = count;
+      ack.backlog = 0;  // forwards are acknowledged, never queued here
+      reply = ack.encode();
+      return Status::kOk;
+    }
+
+    case MsgType::kQuery: {
+      net::QueryRequest request;
+      if (!request.decode(body)) {
+        counters_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        reply = net::encode_text("undecodable query");
+        return Status::kMalformed;
+      }
+      EngineQuery q;
+      q.k = request.k;
+      q.capacity_slack = request.capacity_slack;
+      q.barrier = request.barrier;
+      q.summary_only = request.summary_only;
+      q.solver_restarts = request.solver_restarts;
+      const EngineQueryResult res = query(q);
+      net::QueryReply out;
+      out.ok = res.ok;
+      out.error = res.error;
+      out.net_points = res.net_points;
+      out.summary_points =
+          static_cast<std::uint64_t>(res.summary.points.size());
+      out.capacity = res.capacity;
+      out.cost = res.solution.cost;
+      out.feasible = res.solution.feasible;
+      out.merge_millis = res.merge_millis;
+      out.solve_millis = res.solve_millis;
+      out.dim = res.solution.centers.dim();
+      for (PointIndex c = 0; c < res.solution.centers.size(); ++c) {
+        const auto p = res.solution.centers[c];
+        out.center_coords.insert(out.center_coords.end(), p.begin(), p.end());
+      }
+      reply = out.encode();
+      return Status::kOk;  // a cluster-level miss travels in out.ok/error
+    }
+
+    case MsgType::kMetrics:
+      reply = net::encode_text(cluster_metrics_json(metrics()));
+      return Status::kOk;
+
+    case MsgType::kCheckpoint: {
+      // The coordinator's durable state is its members' checkpoints; the
+      // request path is ignored (blobs stay coordinator-side).
+      if (draining()) return Status::kShuttingDown;
+      if (!checkpoint_members()) {
+        reply = net::encode_text("a member checkpoint failed (failover ran)");
+        return Status::kEngineError;
+      }
+      return Status::kOk;
+    }
+
+    case MsgType::kShutdown:
+      return Status::kOk;  // the base server drains after replying
+
+    case MsgType::kTraceDump:
+      reply = net::encode_text(obs::Tracer::instance().dump_chrome_json());
+      return Status::kOk;
+
+    case MsgType::kPrometheus:
+      reply = net::encode_text(cluster_prometheus_text(metrics()));
+      return Status::kOk;
+
+    case MsgType::kWorkerHello:
+    case MsgType::kHeartbeat:
+    case MsgType::kMergeSketch:
+    case MsgType::kFetchCoreset:
+    case MsgType::kShipSnapshot:
+      // Worker-side RPCs; a coordinator is not a worker.
+      break;
+  }
+  reply = net::encode_text("unsupported message type at the coordinator");
+  return net::Status::kUnsupported;
+}
+
+}  // namespace skc::cluster

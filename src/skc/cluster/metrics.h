@@ -1,0 +1,80 @@
+// Coordinator metrics — the cluster-level analogue of EngineMetrics.
+//
+// Two byte ledgers coexist on purpose:
+//   * `protocol_*` / `ingest_*` come from the coordinator's dist/Network
+//     instances: every *logical* protocol message is accounted at
+//     frame_wire_bytes(payload), exactly how the in-process simulation of
+//     Lemma 4.6 (coreset/distributed.cpp) measures Theorem 4.7's
+//     communication;
+//   * `wire_*` come from the SkcClient socket counters: what actually
+//     crossed loopback, retries and all.
+// bench_cluster asserts the two agree within ±10% per worker — the proof
+// that the wire protocol carries the paper's message structure and nothing
+// else — and that protocol bytes stay flat across a 10x stream-size sweep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "skc/cluster/registry.h"
+#include "skc/obs/histogram.h"
+
+namespace skc::cluster {
+
+struct ClusterMetrics {
+  int workers = 0;
+  int workers_alive = 0;
+
+  std::int64_t batches = 0;           ///< ingest batches accepted
+  std::int64_t events_forwarded = 0;  ///< stream events routed to workers
+  std::int64_t queries = 0;
+  std::int64_t merge_rounds = 0;      ///< per-worker sketch fetches
+  std::int64_t member_snapshots = 0;  ///< checkpoints stored coordinator-side
+  std::int64_t failovers = 0;         ///< dead workers re-assigned
+  std::int64_t replayed_events = 0;   ///< events re-forwarded during failover
+
+  /// Accounted bytes (dist/Network ledger, frame headers included).
+  /// Protocol = hello + heartbeat + merge + snapshot + failover traffic —
+  /// the Theorem 4.7 quantity; ingest = forwarded point batches (linear in
+  /// n by construction, reported separately).
+  std::int64_t protocol_bytes = 0;
+  std::int64_t protocol_messages = 0;
+  std::int64_t ingest_bytes = 0;
+  std::int64_t ingest_messages = 0;
+  std::vector<std::int64_t> worker_protocol_bytes;  ///< accounted, per rank
+  std::vector<std::int64_t> worker_ingest_bytes;
+
+  /// Real socket traffic per worker (sent + received across that worker's
+  /// data + heartbeat clients).
+  std::vector<std::int64_t> worker_wire_bytes;
+
+  /// Registry snapshot (state, misses, watermarks) per rank.
+  std::vector<WorkerStatus> worker_status;
+
+  /// Coordinator-side latencies.
+  obs::HistogramSnapshot query_latency;    ///< fan-out + merge + solve
+  obs::HistogramSnapshot forward_latency;  ///< per ingest batch fan-out
+  /// Per-worker MERGE_SKETCH round-trip (the per-worker histograms the
+  /// Prometheus exposition labels with worker="<rank>").
+  std::vector<obs::HistogramSnapshot> worker_merge_latency;
+
+  // Front-door transport counters (FrameServer), when serving TCP.
+  std::int64_t net_connections_active = 0;
+  std::int64_t net_connections_total = 0;
+  std::int64_t net_bytes_in = 0;
+  std::int64_t net_bytes_out = 0;
+  std::int64_t net_busy_rejections = 0;
+  std::int64_t net_malformed_frames = 0;
+  std::vector<std::int64_t> net_requests_by_type;
+  obs::HistogramSnapshot net_request_latency;
+};
+
+/// One JSON object (stable key order, no trailing whitespace).
+std::string cluster_metrics_json(const ClusterMetrics& m);
+
+/// Prometheus text exposition with per-worker labels (worker="<rank>") on
+/// the byte ledgers, registry gauges, and merge-latency histograms.
+std::string cluster_prometheus_text(const ClusterMetrics& m);
+
+}  // namespace skc::cluster

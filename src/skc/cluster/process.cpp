@@ -1,0 +1,148 @@
+#include "skc/cluster/process.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+extern char** environ;
+
+namespace skc::cluster {
+
+namespace {
+
+/// Scans accumulated child stdout for a complete "PORT <n>\n" line.
+/// Returns true with `port` set once the line (and its newline) arrived.
+bool parse_port_line(const std::string& buf, std::uint16_t& port) {
+  std::size_t at = buf.find("PORT ");
+  while (at != std::string::npos) {
+    // Only accept the token at a line start; a worker may log before it.
+    if (at == 0 || buf[at - 1] == '\n') {
+      const std::size_t eol = buf.find('\n', at);
+      if (eol == std::string::npos) return false;  // line still partial
+      const long value = std::strtol(buf.c_str() + at + 5, nullptr, 10);
+      if (value > 0 && value <= 65535) {
+        port = static_cast<std::uint16_t>(value);
+        return true;
+      }
+    }
+    at = buf.find("PORT ", at + 1);
+  }
+  return false;
+}
+
+}  // namespace
+
+WorkerProcess::~WorkerProcess() {
+  if (pid_ > 0 && !reaped_) {
+    kill_hard();
+    wait();
+  }
+  if (stdout_fd_ >= 0) ::close(stdout_fd_);
+}
+
+bool WorkerProcess::spawn(const WorkerProcessOptions& options) {
+  if (pid_ > 0) {
+    error_ = "spawn called twice";
+    return false;
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    error_ = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_adddup2(&actions, pipe_fds[1], STDOUT_FILENO);
+  posix_spawn_file_actions_addclose(&actions, pipe_fds[0]);
+  posix_spawn_file_actions_addclose(&actions, pipe_fds[1]);
+
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(options.binary.c_str()));
+  for (const std::string& a : options.args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  pid_t pid = -1;
+  const int rc = ::posix_spawnp(&pid, options.binary.c_str(), &actions,
+                                nullptr, argv.data(), environ);
+  posix_spawn_file_actions_destroy(&actions);
+  ::close(pipe_fds[1]);
+  if (rc != 0) {
+    ::close(pipe_fds[0]);
+    error_ = std::string("posix_spawnp: ") + std::strerror(rc);
+    return false;
+  }
+  pid_ = pid;
+  stdout_fd_ = pipe_fds[0];
+
+  // Wait for the PORT line.  The fd stays open afterwards so a chatty child
+  // never blocks on a closed pipe; harness workers print only this line.
+  std::string buf;
+  int remaining_ms = options.start_timeout_ms;
+  while (true) {
+    if (parse_port_line(buf, port_)) return true;
+    if (remaining_ms <= 0) {
+      error_ = "timed out waiting for PORT line";
+      return false;
+    }
+    struct pollfd pfd = {stdout_fd_, POLLIN, 0};
+    const int step = remaining_ms < 100 ? remaining_ms : 100;
+    const int ready = ::poll(&pfd, 1, step);
+    remaining_ms -= step;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("poll: ") + std::strerror(errno);
+      return false;
+    }
+    if (ready == 0) continue;
+    char chunk[256];
+    const ssize_t n = ::read(stdout_fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf.append(chunk, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      error_ = "worker exited before reporting a port";
+      return false;
+    } else if (errno != EINTR) {
+      error_ = std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+  }
+}
+
+bool WorkerProcess::running() {
+  if (pid_ <= 0 || reaped_) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == pid_) {
+    reaped_ = true;
+    exit_status_ = status;
+    return false;
+  }
+  return r == 0;
+}
+
+void WorkerProcess::kill_hard() {
+  if (pid_ > 0 && !reaped_) ::kill(pid_, SIGKILL);
+}
+
+int WorkerProcess::wait() {
+  if (pid_ <= 0) return -1;
+  if (reaped_) return exit_status_;
+  int status = 0;
+  while (::waitpid(pid_, &status, 0) < 0) {
+    if (errno != EINTR) return -1;
+  }
+  reaped_ = true;
+  exit_status_ = status;
+  return status;
+}
+
+}  // namespace skc::cluster

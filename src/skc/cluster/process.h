@@ -1,0 +1,61 @@
+// WorkerProcess — spawn-and-supervise for real worker processes.
+//
+// The multi-process tests and bench_cluster need actual OS processes (a
+// SIGKILLed thread proves nothing about failover), so this wraps
+// posix_spawnp: spawn the harness binary with the child's stdout on a pipe,
+// wait for it to print "PORT <n>" (workers bind port 0 and report what the
+// kernel assigned), then supervise — running()/kill_hard()/wait().
+// posix_spawnp instead of fork+exec keeps the spawner sanitizer-friendly:
+// no allocation between fork and exec under ASan/TSan.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skc::cluster {
+
+struct WorkerProcessOptions {
+  std::string binary;              ///< executable path (PATH-searched)
+  std::vector<std::string> args;   ///< argv[1..]
+  int start_timeout_ms = 15'000;   ///< deadline for the "PORT <n>" line
+};
+
+class WorkerProcess {
+ public:
+  WorkerProcess() = default;
+  /// Reaps the child: kill_hard() + wait() if it is still running.
+  ~WorkerProcess();
+
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+
+  /// Spawns the child and blocks until it reports "PORT <n>" on stdout or
+  /// the timeout passes.  Returns false (with error() set) on spawn
+  /// failure, early exit, malformed output, or timeout.
+  bool spawn(const WorkerProcessOptions& options);
+
+  pid_t pid() const { return pid_; }
+  std::uint16_t port() const { return port_; }
+  /// Non-blocking liveness probe (waitpid WNOHANG; reaps on exit).
+  bool running();
+  /// SIGKILL — the failover tests' crash injection.  Safe on a dead child.
+  void kill_hard();
+  /// Blocks until the child exits; returns the raw waitpid status (-1 when
+  /// there is nothing to wait for).
+  int wait();
+
+  const std::string& error() const { return error_; }
+
+ private:
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+  int stdout_fd_ = -1;  ///< read end of the child's stdout pipe, kept open
+  bool reaped_ = false;
+  int exit_status_ = -1;
+  std::string error_;
+};
+
+}  // namespace skc::cluster

@@ -1,0 +1,124 @@
+#include "skc/cluster/registry.h"
+
+#include "skc/common/check.h"
+
+namespace skc::cluster {
+
+const char* worker_state_name(WorkerState s) {
+  switch (s) {
+    case WorkerState::kConnecting: return "connecting";
+    case WorkerState::kAlive: return "alive";
+    case WorkerState::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+void WorkerRegistry::add(int id, const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SKC_CHECK_MSG(id == static_cast<int>(workers_.size()),
+                "worker ranks must be registered densely from 0");
+  WorkerStatus w;
+  w.id = id;
+  w.address = address;
+  workers_.push_back(std::move(w));
+}
+
+int WorkerRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+int WorkerRegistry::alive_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int alive = 0;
+  for (const WorkerStatus& w : workers_) {
+    if (w.state == WorkerState::kAlive) ++alive;
+  }
+  return alive;
+}
+
+bool WorkerRegistry::alive(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SKC_CHECK(id >= 0 && id < static_cast<int>(workers_.size()));
+  return workers_[static_cast<std::size_t>(id)].state == WorkerState::kAlive;
+}
+
+void WorkerRegistry::mark_alive(int id, std::int64_t backlog,
+                                std::int64_t net_points,
+                                std::int64_t events_applied) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SKC_CHECK(id >= 0 && id < static_cast<int>(workers_.size()));
+  WorkerStatus& w = workers_[static_cast<std::size_t>(id)];
+  if (w.state == WorkerState::kDead) return;  // no resurrection
+  w.state = WorkerState::kAlive;
+  w.consecutive_misses = 0;
+  ++w.heartbeats;
+  w.backlog = backlog;
+  w.net_points = net_points;
+  w.events_applied = events_applied;
+}
+
+bool WorkerRegistry::mark_missed(int id, int miss_limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SKC_CHECK(id >= 0 && id < static_cast<int>(workers_.size()));
+  WorkerStatus& w = workers_[static_cast<std::size_t>(id)];
+  if (w.state == WorkerState::kDead) return false;
+  ++w.consecutive_misses;
+  // Exactly-once trigger: only the miss that crosses the limit reports
+  // true, so a slow failover does not get re-requested every probe.
+  return w.consecutive_misses == miss_limit;
+}
+
+bool WorkerRegistry::mark_dead(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SKC_CHECK(id >= 0 && id < static_cast<int>(workers_.size()));
+  WorkerStatus& w = workers_[static_cast<std::size_t>(id)];
+  if (w.state == WorkerState::kDead) return false;
+  w.state = WorkerState::kDead;
+  return true;
+}
+
+int WorkerRegistry::pick_survivor(int excluding) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const WorkerStatus& w : workers_) {
+    if (w.id != excluding && w.state == WorkerState::kAlive) return w.id;
+  }
+  return -1;
+}
+
+void WorkerRegistry::record_forwarded(int id, std::int64_t events,
+                                      std::int64_t replay_depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SKC_CHECK(id >= 0 && id < static_cast<int>(workers_.size()));
+  WorkerStatus& w = workers_[static_cast<std::size_t>(id)];
+  w.events_forwarded += events;
+  w.replay_depth = replay_depth;
+}
+
+void WorkerRegistry::record_snapshot(int id, std::int64_t snapshot_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SKC_CHECK(id >= 0 && id < static_cast<int>(workers_.size()));
+  WorkerStatus& w = workers_[static_cast<std::size_t>(id)];
+  ++w.snapshots;
+  w.snapshot_events = snapshot_events;
+  w.replay_depth = 0;
+}
+
+void WorkerRegistry::record_failover_absorbed(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SKC_CHECK(id >= 0 && id < static_cast<int>(workers_.size()));
+  ++workers_[static_cast<std::size_t>(id)].failovers_absorbed;
+}
+
+WorkerStatus WorkerRegistry::status(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SKC_CHECK(id >= 0 && id < static_cast<int>(workers_.size()));
+  return workers_[static_cast<std::size_t>(id)];
+}
+
+std::vector<WorkerStatus> WorkerRegistry::all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_;
+}
+
+}  // namespace skc::cluster

@@ -1,0 +1,86 @@
+// WorkerRegistry — the coordinator's thread-safe view of worker liveness
+// and progress.
+//
+// One entry per worker rank.  The heartbeat loop feeds mark_alive() /
+// mark_missed(); the data path feeds record_forwarded() and
+// record_snapshot(); failover flips a worker to kDead exactly once (the
+// first caller of mark_dead() wins and is told so, which is what makes
+// concurrent failure detection — heartbeat thread vs. a failed forward on
+// the ingest path — race-free without a coordinator-wide lock).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace skc::cluster {
+
+enum class WorkerState : std::uint8_t {
+  kConnecting = 0,  ///< registered, handshake not yet confirmed
+  kAlive = 1,
+  kDead = 2,  ///< missed heartbeats past the limit or a failed RPC
+};
+
+const char* worker_state_name(WorkerState s);
+
+/// Snapshot of one worker's registry entry.
+struct WorkerStatus {
+  int id = 0;
+  std::string address;  ///< "host:port" for logs and metrics labels
+  WorkerState state = WorkerState::kConnecting;
+  int consecutive_misses = 0;
+  std::int64_t heartbeats = 0;  ///< successful probes
+  // Last heartbeat's load signals.
+  std::int64_t backlog = 0;
+  std::int64_t net_points = 0;
+  std::int64_t events_applied = 0;
+  // Coordinator-side progress accounting.
+  std::int64_t events_forwarded = 0;   ///< stream events routed to this worker
+  std::int64_t snapshots = 0;          ///< member checkpoints taken
+  std::int64_t snapshot_events = 0;    ///< watermark of the last checkpoint
+  std::int64_t replay_depth = 0;       ///< events buffered past the watermark
+  std::int64_t failovers_absorbed = 0; ///< dead peers this worker adopted
+};
+
+class WorkerRegistry {
+ public:
+  /// Registers rank `id` (ranks must be added densely from 0).
+  void add(int id, const std::string& address);
+
+  int size() const;
+  int alive_count() const;
+  bool alive(int id) const;
+
+  /// Heartbeat succeeded: store the load signals, clear the miss counter,
+  /// and promote kConnecting -> kAlive.  No effect on a dead worker (a
+  /// stale probe must not resurrect a failed-over member).
+  void mark_alive(int id, std::int64_t backlog, std::int64_t net_points,
+                  std::int64_t events_applied);
+
+  /// Heartbeat failed: bump the miss counter.  Returns true when this miss
+  /// crossed `miss_limit` on a live worker — i.e. the caller should start
+  /// failover.  (The state stays kAlive until mark_dead(); detection and
+  /// the failover claim are separate steps.)
+  bool mark_missed(int id, int miss_limit);
+
+  /// Claims the failure: flips the worker to kDead.  Returns true for the
+  /// first claimant only; losers must not run failover again.
+  bool mark_dead(int id);
+
+  /// First alive worker other than `excluding`, or -1 when none remains.
+  int pick_survivor(int excluding) const;
+
+  void record_forwarded(int id, std::int64_t events, std::int64_t replay_depth);
+  void record_snapshot(int id, std::int64_t snapshot_events);
+  void record_failover_absorbed(int id);
+
+  WorkerStatus status(int id) const;
+  std::vector<WorkerStatus> all() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<WorkerStatus> workers_;  // guarded by mu_
+};
+
+}  // namespace skc::cluster

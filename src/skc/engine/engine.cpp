@@ -1,6 +1,7 @@
 #include "skc/engine/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <condition_variable>
 #include <fstream>
 #include <mutex>
@@ -366,6 +367,90 @@ bool ClusteringEngine::restore(const std::string& path) {
   }
   counters_.restores.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+EngineSketchExport ClusteringEngine::export_sketch() {
+  SKC_TRACE_SPAN("export_sketch");
+  flush();
+  // Same thaw-and-add path as a kSketch query merge: the export is the
+  // linear sum of the shard sketches, i.e. exactly what a single builder
+  // fed every applied event would hold (bit-identical in exact mode).
+  StreamingCoresetBuilder merged(dim_, params_, options_.streaming);
+  StreamingCoresetBuilder scratch(dim_, params_, options_.streaming);
+  bool first = true;
+  for (auto& shard : shards_) {
+    const std::string blob = snapshot_shard(*shard);
+    std::istringstream in(blob);
+    StreamingCoresetBuilder& target = first ? merged : scratch;
+    const bool ok = target.load(in);
+    SKC_CHECK_MSG(ok, "shard snapshot failed to round-trip");
+    if (!first) merged.merge_from(scratch);
+    first = false;
+  }
+  EngineSketchExport out;
+  out.net_points = merged.net_count();
+  out.events_applied = merged.events();
+  std::ostringstream blob(std::ios::binary);
+  merged.save(blob);
+  out.blob = std::move(blob).str();
+  return out;
+}
+
+bool ClusteringEngine::import_sketch(const std::string& blob) {
+  SKC_TRACE_SPAN("import_sketch");
+  // Thaw into a builder of THIS engine's configuration; load() verifies the
+  // blob's fingerprint against it and fails closed, so a peer with a
+  // different sketch geometry can never be folded in.
+  StreamingCoresetBuilder incoming(dim_, params_, options_.streaming);
+  std::istringstream in(blob);
+  if (!incoming.load(in)) return false;
+  flush();  // quiesce so the adoption lands on a clean epoch
+  Shard& shard = *shards_[0];
+  std::lock_guard<std::mutex> lock(shard.builder_mu);
+  shard.builder->merge_from(incoming);
+  return true;
+}
+
+std::uint64_t engine_config_fingerprint(int dim, const CoresetParams& params,
+                                        const StreamingOptions& streaming) {
+  // splitmix64 chain over every knob that shapes the sketch structures or
+  // their hash functions; any drift in any of them must change the value.
+  std::uint64_t h = 0x736b636670313400ULL;  // "skcfp14"
+  auto mix = [&h](std::uint64_t v) {
+    std::uint64_t state = h ^ v;
+    h = splitmix64(state);
+  };
+  auto mix_d = [&](double v) { mix(std::bit_cast<std::uint64_t>(v)); };
+  mix(static_cast<std::uint64_t>(dim));
+  mix(static_cast<std::uint64_t>(params.k));
+  mix_d(params.r.r);
+  mix_d(params.epsilon);
+  mix_d(params.eta);
+  mix_d(params.threshold_const);
+  mix_d(params.heavy_bound_const);
+  mix_d(params.mass_bound_const);
+  mix_d(params.gamma_const);
+  mix_d(params.gamma_max);
+  mix_d(params.samples_per_part);
+  mix_d(params.sampling_gamma);
+  mix(static_cast<std::uint64_t>(params.hash_independence));
+  mix(params.use_kwise_sampling ? 1 : 0);
+  mix(params.seed);
+  mix_d(params.guess_factor);
+  mix(static_cast<std::uint64_t>(streaming.log_delta));
+  mix(static_cast<std::uint64_t>(streaming.max_points));
+  mix_d(streaming.o_min);
+  mix_d(streaming.o_max);
+  mix_d(streaming.counting_samples);
+  mix(static_cast<std::uint64_t>(streaming.countmin_width));
+  mix(static_cast<std::uint64_t>(streaming.countmin_depth));
+  mix(static_cast<std::uint64_t>(streaming.point_watermark));
+  mix(static_cast<std::uint64_t>(streaming.max_live_points));
+  mix(streaming.exact_storing ? 1 : 0);
+  mix(static_cast<std::uint64_t>(streaming.distinct_budget));
+  mix(static_cast<std::uint64_t>(streaming.prune_interval));
+  mix_d(streaming.prune_slack);
+  return h;
 }
 
 std::int64_t ClusteringEngine::net_count() const {

@@ -109,6 +109,23 @@ struct EngineQueryResult {
   double solve_millis = 0.0;
 };
 
+/// Serialized single-builder export of the engine's whole state plus its
+/// epoch watermarks — the unit the cluster protocol ships (kMergeSketch
+/// replies, kShipSnapshot requests) and import_sketch() adopts.
+struct EngineSketchExport {
+  std::string blob;
+  std::int64_t net_points = 0;
+  std::int64_t events_applied = 0;  ///< events folded into the blob
+};
+
+/// Hash of every sketch-compatibility-relevant knob (dim, the full
+/// CoresetParams, the full StreamingOptions).  Two engines whose
+/// fingerprints match build mergeable linear sketches; the cluster
+/// handshake (WORKER_HELLO) compares fingerprints so a misconfigured worker
+/// is refused before any sketch crosses the wire.
+std::uint64_t engine_config_fingerprint(int dim, const CoresetParams& params,
+                                        const StreamingOptions& streaming);
+
 class ClusteringEngine {
  public:
   ClusteringEngine(int dim, const CoresetParams& params,
@@ -147,6 +164,21 @@ class ClusteringEngine {
   /// mismatch, corruption, or truncation; the engine keeps its current
   /// state in that case.
   bool restore(const std::string& path);
+
+  /// Cluster export: takes the epoch barrier, folds every shard builder
+  /// into one via the linear merge, and serializes the result.  The blob
+  /// summarizes every event applied to this engine and merges losslessly
+  /// with any engine of identical configuration (exact mode: bit-identical
+  /// to feeding one builder the union).
+  EngineSketchExport export_sketch();
+
+  /// Cluster failover: folds a peer engine's export_sketch() blob into this
+  /// engine's state (linear merge into shard 0 — queries merge all shards,
+  /// so cross-shard placement of adopted mass is immaterial).  The blob
+  /// must come from an engine with identical (dim, params, streaming
+  /// options); returns false on mismatch or corruption, leaving this
+  /// engine untouched.
+  bool import_sketch(const std::string& blob);
 
   /// Net surviving point count across shards (insertions minus deletions).
   std::int64_t net_count() const;

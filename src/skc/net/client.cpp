@@ -50,6 +50,7 @@ bool SkcClient::request(MsgType type, std::string_view body,
       close();
       return fail("send failed (connection lost)");
     }
+    wire_bytes_sent_ += static_cast<std::int64_t>(frame.size());
     std::string header_buf(kFrameHeaderBytes, '\0');
     io = recv_exact(sock_, header_buf.data(), header_buf.size(),
                     options_.io_timeout_ms);
@@ -72,6 +73,8 @@ bool SkcClient::request(MsgType type, std::string_view body,
         return fail("truncated reply");
       }
     }
+    wire_bytes_received_ +=
+        static_cast<std::int64_t>(frame_wire_bytes(header.payload_bytes));
     last_status_ = header.status;
     if (header.status == Status::kBusy) {
       // Load shed: nothing was applied server-side, so resending is safe.
@@ -93,6 +96,8 @@ bool SkcClient::request(MsgType type, std::string_view body,
       return fail(std::string("server: ") + status_name(header.status) +
                   (detail.empty() ? "" : ": " + detail));
     }
+    last_request_payload_ = body.size();
+    last_reply_payload_ = payload.size();
     reply_body = std::move(payload);
     return true;
   }
@@ -177,6 +182,39 @@ bool SkcClient::checkpoint(const std::string& server_path) {
 bool SkcClient::shutdown_server() {
   std::string body;
   return request(MsgType::kShutdown, std::string_view{}, body);
+}
+
+bool SkcClient::worker_hello(const WorkerHello& hello, WorkerHelloReply& reply) {
+  std::string body;
+  if (!request(MsgType::kWorkerHello, hello.encode(), body)) return false;
+  if (!reply.decode(body)) return fail("undecodable worker hello reply");
+  return true;
+}
+
+bool SkcClient::heartbeat(HeartbeatReply& reply) {
+  std::string body;
+  if (!request(MsgType::kHeartbeat, std::string_view{}, body)) return false;
+  if (!reply.decode(body)) return fail("undecodable heartbeat reply");
+  return true;
+}
+
+bool SkcClient::merge_sketch(SketchSnapshot& snapshot) {
+  std::string body;
+  if (!request(MsgType::kMergeSketch, std::string_view{}, body)) return false;
+  if (!snapshot.decode(body)) return fail("undecodable sketch snapshot");
+  return true;
+}
+
+bool SkcClient::ship_snapshot(const SketchSnapshot& snapshot) {
+  std::string body;
+  return request(MsgType::kShipSnapshot, snapshot.encode(), body);
+}
+
+bool SkcClient::fetch_coreset(CoresetReply& reply) {
+  std::string body;
+  if (!request(MsgType::kFetchCoreset, std::string_view{}, body)) return false;
+  if (!reply.decode(body)) return fail("undecodable coreset reply");
+  return true;
 }
 
 }  // namespace skc::net

@@ -40,6 +40,7 @@ class SkcClient {
   SkcClient& operator=(const SkcClient&) = delete;
 
   /// Connects (with bounded retry) to a listening EngineServer.
+  // skc-lint: allow(skc-socket) wrapper API surface, not a raw syscall
   bool connect(const std::string& host, std::uint16_t port);
   void close();
   bool connected() const { return sock_.valid(); }
@@ -50,6 +51,16 @@ class SkcClient {
   Status last_status() const { return last_status_; }
   /// BUSY replies absorbed by retries since connect (back-pressure signal).
   std::int64_t busy_retries() const { return busy_retries_; }
+
+  /// Real wire traffic this client has moved (frame headers included,
+  /// retries included) — what bench_cluster compares against the logical
+  /// dist/Network accounting to validate the Lemma 4.6 message structure.
+  std::int64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+  std::int64_t wire_bytes_received() const { return wire_bytes_received_; }
+  /// Payload sizes of the most recent successful exchange (one logical
+  /// message each way; excludes frame headers and BUSY retries).
+  std::size_t last_request_payload() const { return last_request_payload_; }
+  std::size_t last_reply_payload() const { return last_reply_payload_; }
 
   /// Round-trips an opaque payload (returns false on echo mismatch).
   bool ping();
@@ -73,6 +84,19 @@ class SkcClient {
   /// Requests graceful drain; the server replies before stopping.
   bool shutdown_server();
 
+  // Cluster protocol RPCs (coordinator -> worker; src/skc/cluster/).
+  /// Configuration handshake; returns false on transport failure — a
+  /// fingerprint refusal travels in reply.ok/message.
+  bool worker_hello(const WorkerHello& hello, WorkerHelloReply& reply);
+  /// Liveness + load probe.
+  bool heartbeat(HeartbeatReply& reply);
+  /// Fetches the worker's full engine state as one serialized sketch.
+  bool merge_sketch(SketchSnapshot& snapshot);
+  /// Ships a snapshot for the worker to adopt (failover restore).
+  bool ship_snapshot(const SketchSnapshot& snapshot);
+  /// Fetches the worker's finalized local coreset (kCompose-mode merge).
+  bool fetch_coreset(CoresetReply& reply);
+
  private:
   bool batch(MsgType type, int dim, std::span<const Coord> coords,
              BatchReply* ack);
@@ -87,6 +111,10 @@ class SkcClient {
   std::string last_error_;
   Status last_status_ = Status::kOk;
   std::int64_t busy_retries_ = 0;
+  std::int64_t wire_bytes_sent_ = 0;
+  std::int64_t wire_bytes_received_ = 0;
+  std::size_t last_request_payload_ = 0;
+  std::size_t last_reply_payload_ = 0;
 };
 
 }  // namespace skc::net

@@ -141,7 +141,9 @@ Status decode_header(std::string_view bytes, FrameHeader& out) {
   if (status > static_cast<std::uint16_t>(Status::kShuttingDown)) {
     return Status::kMalformed;
   }
-  if (payload > kMaxPayloadBytes) return Status::kTooLarge;
+  if (payload > max_payload_bytes(static_cast<MsgType>(type))) {
+    return Status::kTooLarge;
+  }
   out.type = static_cast<MsgType>(type);
   out.status = static_cast<Status>(status);
   out.payload_bytes = payload;
@@ -233,6 +235,97 @@ std::string CheckpointRequest::encode() const {
 bool CheckpointRequest::decode(std::string_view body) {
   Reader r(body);
   return r.get_string(path) && !path.empty() && r.done();
+}
+
+std::string WorkerHello::encode() const {
+  Writer w;
+  w.put(worker_id);
+  w.put(dim);
+  w.put(k);
+  w.put(log_delta);
+  w.put(fingerprint);
+  return w.take();
+}
+
+bool WorkerHello::decode(std::string_view body) {
+  Reader r(body);
+  if (!r.get(worker_id) || worker_id < 0) return false;
+  if (!r.get(dim) || dim < 1 || dim > kMaxDim) return false;
+  if (!r.get(k) || k < 0) return false;
+  if (!r.get(log_delta) || log_delta < 1 || log_delta > 62) return false;
+  return r.get(fingerprint) && r.done();
+}
+
+std::string WorkerHelloReply::encode() const {
+  Writer w;
+  put_bool(w, ok);
+  w.put_string(message);
+  w.put(num_shards);
+  w.put(net_points);
+  return w.take();
+}
+
+bool WorkerHelloReply::decode(std::string_view body) {
+  Reader r(body);
+  return r.get_bool(ok) && r.get_string(message) && r.get(num_shards) &&
+         num_shards >= 0 && r.get(net_points) && r.done();
+}
+
+std::string HeartbeatReply::encode() const {
+  Writer w;
+  w.put(backlog);
+  w.put(net_points);
+  w.put(events_applied);
+  return w.take();
+}
+
+bool HeartbeatReply::decode(std::string_view body) {
+  Reader r(body);
+  return r.get(backlog) && r.get(net_points) && r.get(events_applied) &&
+         r.done();
+}
+
+std::string SketchSnapshot::encode() const {
+  Writer w;
+  w.put(net_points);
+  w.put(events_applied);
+  w.put_string(blob);
+  return w.take();
+}
+
+bool SketchSnapshot::decode(std::string_view body) {
+  Reader r(body);
+  if (!r.get(net_points) || !r.get(events_applied)) return false;
+  if (!r.get_string(blob) || !r.done()) return false;
+  return blob.size() <= kMaxSketchPayloadBytes;
+}
+
+std::string CoresetReply::encode() const {
+  Writer w;
+  put_bool(w, ok);
+  w.put_string(error);
+  w.put(net_points);
+  w.put(o);
+  w.put(dim);
+  w.put_vector(weights);
+  w.put_vector(coords);
+  return w.take();
+}
+
+bool CoresetReply::decode(std::string_view body) {
+  Reader r(body);
+  if (!r.get_bool(ok) || !r.get_string(error) || !r.get(net_points) ||
+      !r.get(o) || !r.get(dim)) {
+    return false;
+  }
+  if (dim < 0 || dim > kMaxDim) return false;
+  if (!r.get_vector(weights) || !r.get_vector(coords) || !r.done()) {
+    return false;
+  }
+  if (dim == 0) return weights.empty() && coords.empty();
+  // The coordinate block must be exactly dim coordinates per weighted point.
+  return coords.size() ==
+         weights.size() * static_cast<std::size_t>(dim);
 }
 
 std::string encode_text(std::string_view text) {

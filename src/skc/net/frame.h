@@ -36,8 +36,15 @@ namespace skc::net {
 inline constexpr std::uint32_t kFrameMagic = 0x46434b53u;  // "SKCF"
 inline constexpr std::uint8_t kWireVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
-/// Hard cap on a frame body; a header announcing more is malformed.
+/// Hard cap on an ordinary frame body; a header announcing more is
+/// malformed.  Sketch-carrying frames get the larger cap below — see
+/// max_payload_bytes().
 inline constexpr std::uint32_t kMaxPayloadBytes = 8u << 20;
+/// Cap for frames whose body is a serialized coreset builder (MERGE_SKETCH
+/// and SHIP_SNAPSHOT replies/requests, FETCH_CORESET replies).  Sketch-mode
+/// builders are size-capped independent of n, but exact-mode snapshots grow
+/// with the data, and a failover restore must be able to ship one whole.
+inline constexpr std::uint32_t kMaxSketchPayloadBytes = 256u << 20;
 /// Caps inside payloads (points per batch, coordinates per point).
 inline constexpr std::uint64_t kMaxBatchPoints = 1u << 20;
 inline constexpr std::int32_t kMaxDim = 4096;
@@ -52,8 +59,22 @@ enum class MsgType : std::uint8_t {
   kShutdown = 6,
   kTraceDump = 7,    ///< reply: chrome://tracing JSON (encode_text)
   kPrometheus = 8,   ///< reply: Prometheus text exposition (encode_text)
+  // Cluster protocol (src/skc/cluster/): coordinator <-> worker RPCs.
+  kWorkerHello = 9,   ///< config-fingerprint handshake; reply: WorkerHelloReply
+  kHeartbeat = 10,    ///< empty request; reply: HeartbeatReply
+  kMergeSketch = 11,  ///< empty request; reply: SketchSnapshot (engine export)
+  kFetchCoreset = 12, ///< empty request; reply: CoresetReply (finalized)
+  kShipSnapshot = 13, ///< request: SketchSnapshot to adopt (failover restore)
 };
-inline constexpr int kNumMsgTypes = 9;
+/// Derived from the enum's last member so every per-type table (request
+/// counters, Prometheus names) resizes with the protocol instead of relying
+/// on a hand-maintained count.  Append new types at the end and bump the
+/// static_assert — it pins the enum dense (no gaps), which type_index-style
+/// array indexing assumes.
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kShipSnapshot) + 1;
+static_assert(kNumMsgTypes == 14,
+              "MsgType must stay dense: append new members at the end, keep "
+              "kNumMsgTypes tied to the last member, and update this assert");
 
 enum class Status : std::uint16_t {
   kOk = 0,
@@ -77,6 +98,20 @@ struct FrameHeader {
 /// Bytes a frame carrying `payload_bytes` of body occupies on the wire.
 inline constexpr std::uint64_t frame_wire_bytes(std::uint64_t payload_bytes) {
   return static_cast<std::uint64_t>(kFrameHeaderBytes) + payload_bytes;
+}
+
+/// Per-type payload cap enforced by decode_header (after the type has
+/// validated): sketch-carrying frames may be much larger than ordinary
+/// request/reply bodies.
+constexpr std::uint32_t max_payload_bytes(MsgType type) {
+  switch (type) {
+    case MsgType::kMergeSketch:
+    case MsgType::kFetchCoreset:
+    case MsgType::kShipSnapshot:
+      return kMaxSketchPayloadBytes;
+    default:
+      return kMaxPayloadBytes;
+  }
 }
 
 /// Serializes header + payload into one contiguous wire frame.
@@ -147,6 +182,71 @@ struct QueryReply {
 /// shipped; checkpoints are written where the engine runs).
 struct CheckpointRequest {
   std::string path;
+
+  std::string encode() const;
+  bool decode(std::string_view body);
+};
+
+/// WORKER_HELLO request: the coordinator introduces itself and pins the
+/// engine configuration.  Merging sketches across mismatched configurations
+/// would be silently wrong, so the worker compares `fingerprint` (a hash of
+/// every sketch-relevant knob — see engine_config_fingerprint) and refuses
+/// registration on mismatch; dim/k/log_delta ride along for diagnostics.
+struct WorkerHello {
+  std::int32_t worker_id = 0;  ///< rank the coordinator assigns (0-based)
+  std::int32_t dim = 0;
+  std::int32_t k = 0;
+  std::int32_t log_delta = 0;
+  std::uint64_t fingerprint = 0;
+
+  std::string encode() const;
+  bool decode(std::string_view body);
+};
+
+struct WorkerHelloReply {
+  bool ok = false;
+  std::string message;  ///< mismatch diagnostic when !ok
+  std::int32_t num_shards = 0;
+  std::int64_t net_points = 0;
+
+  std::string encode() const;
+  bool decode(std::string_view body);
+};
+
+/// HEARTBEAT reply (the request body is empty): liveness plus the load
+/// signals the coordinator folds into its registry.
+struct HeartbeatReply {
+  std::int64_t backlog = 0;         ///< worker queue depth
+  std::int64_t net_points = 0;      ///< surviving points on the worker
+  std::int64_t events_applied = 0;  ///< drained into the worker's builders
+
+  std::string encode() const;
+  bool decode(std::string_view body);
+};
+
+/// MERGE_SKETCH reply / SHIP_SNAPSHOT request: one serialized
+/// StreamingCoresetBuilder (ClusteringEngine::export_sketch) plus its epoch
+/// watermark.  The blob is opaque to the transport; the engine validates
+/// its fingerprint on import.
+struct SketchSnapshot {
+  std::int64_t net_points = 0;
+  std::int64_t events_applied = 0;  ///< events folded into the blob
+  std::string blob;
+
+  std::string encode() const;
+  bool decode(std::string_view body);
+};
+
+/// FETCH_CORESET reply (the request body is empty): the worker's finalized
+/// local coreset — the kCompose-mode alternative to shipping raw sketches.
+struct CoresetReply {
+  bool ok = false;
+  std::string error;  ///< set iff !ok
+  std::int64_t net_points = 0;
+  double o = 0.0;     ///< accepted OPT guess
+  std::int32_t dim = 0;
+  std::vector<double> weights;
+  std::vector<Coord> coords;  ///< row-major, dim per point
 
   std::string encode() const;
   bool decode(std::string_view body);

@@ -17,13 +17,15 @@ std::size_t type_index(MsgType type) {
 
 }  // namespace
 
-EngineServer::EngineServer(ClusteringEngine& engine, const ServerOptions& options)
-    : engine_(engine), options_(options) {}
+// ---------------------------------------------------------------------------
+// FrameServer — the protocol-generic transport.
 
-EngineServer::~EngineServer() { stop(); }
+FrameServer::FrameServer(const ServerOptions& options) : options_(options) {}
 
-bool EngineServer::start(std::string& error) {
-  SKC_CHECK_MSG(!started_, "EngineServer::start called twice");
+FrameServer::~FrameServer() { stop(); }
+
+bool FrameServer::start(std::string& error) {
+  SKC_CHECK_MSG(!started_, "FrameServer::start called twice");
   port_ = options_.port;
   listener_ = listen_on(port_, options_.backlog, error);
   if (!listener_.valid()) return false;
@@ -32,7 +34,7 @@ bool EngineServer::start(std::string& error) {
   return true;
 }
 
-void EngineServer::accept_loop() {
+void FrameServer::accept_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     const IoResult ready = wait_readable(listener_, /*timeout_ms=*/-1, &stopping_);
     if (ready != IoResult::kOk) break;  // cancelled or listener error
@@ -72,7 +74,7 @@ void EngineServer::accept_loop() {
   }
 }
 
-void EngineServer::reap_finished_conns() {
+void FrameServer::reap_finished_conns() {
   std::lock_guard<std::mutex> lock(conns_mu_);
   for (auto it = conns_.begin(); it != conns_.end();) {
     if ((*it)->done.load(std::memory_order_acquire)) {
@@ -84,7 +86,7 @@ void EngineServer::reap_finished_conns() {
   }
 }
 
-void EngineServer::serve_connection(Conn& conn) {
+void FrameServer::serve_connection(Conn& conn) {
   std::string header_buf(kFrameHeaderBytes, '\0');
   while (!stopping_.load(std::memory_order_acquire)) {
     // Idle wait first (its own, longer deadline), then the frame must
@@ -122,11 +124,13 @@ void EngineServer::serve_connection(Conn& conn) {
     counters_.bytes_in.fetch_add(
         static_cast<std::int64_t>(frame_wire_bytes(body.size())),
         std::memory_order_relaxed);
+    counters_.requests_by_type[type_index(header.type)].fetch_add(
+        1, std::memory_order_relaxed);
 
     std::string reply;
     Status status;
     {
-      // The request histogram (and span) covers decode + engine work +
+      // The request histogram (and span) covers decode + subclass work +
       // reply encoding, but not the idle wait for the frame to arrive.
       SKC_TRACE_SPAN("request");
       obs::LatencyRecorder latency(counters_.request_latency);
@@ -141,10 +145,62 @@ void EngineServer::serve_connection(Conn& conn) {
   }
 }
 
+bool FrameServer::send_reply(Conn& conn, MsgType type, Status status,
+                             std::string_view body) {
+  const std::string frame = encode_frame(type, status, body);
+  const IoResult io = send_exact(conn.sock, frame.data(), frame.size(),
+                                 options_.write_timeout_ms, &stopping_);
+  counters_.bytes_out.fetch_add(static_cast<std::int64_t>(frame.size()),
+                                std::memory_order_relaxed);
+  return io == IoResult::kOk;
+}
+
+void FrameServer::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
+}
+
+void FrameServer::wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [&] { return stopping_.load(std::memory_order_acquire); });
+}
+
+void FrameServer::stop() {
+  request_shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    drain = started_ && !drained_;
+    drained_ = true;
+  }
+  if (drain) on_drain();
+}
+
+// ---------------------------------------------------------------------------
+// EngineServer — one ClusteringEngine behind the frame transport.
+
+EngineServer::EngineServer(ClusteringEngine& engine, const ServerOptions& options)
+    : FrameServer(options), engine_(engine) {}
+
+// The base destructor also calls stop(), but by then this subclass (and the
+// engine reference dispatch() uses) is gone — drain here, while it is alive.
+EngineServer::~EngineServer() { stop(); }
+
 Status EngineServer::dispatch(MsgType type, std::string_view body,
                               std::string& reply) {
-  counters_.requests_by_type[type_index(type)].fetch_add(
-      1, std::memory_order_relaxed);
   switch (type) {
     case MsgType::kPing:
       reply.assign(body);  // echo
@@ -170,11 +226,11 @@ Status EngineServer::dispatch(MsgType type, std::string_view body,
           return Status::kEngineError;
         }
       }
-      if (stopping_.load(std::memory_order_acquire)) {
+      if (draining()) {
         return Status::kShuttingDown;
       }
-      if (options_.busy_backlog > 0 &&
-          engine_.queue_backlog() > options_.busy_backlog) {
+      if (server_options().busy_backlog > 0 &&
+          engine_.queue_backlog() > server_options().busy_backlog) {
         counters_.busy_rejections.fetch_add(1, std::memory_order_relaxed);
         return Status::kBusy;
       }
@@ -257,60 +313,100 @@ Status EngineServer::dispatch(MsgType type, std::string_view body,
     case MsgType::kPrometheus:
       reply = encode_text(obs::prometheus_text(metrics()));
       return Status::kOk;
+
+    case MsgType::kWorkerHello: {
+      WorkerHello hello;
+      if (!hello.decode(body)) {
+        counters_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        reply = encode_text("undecodable worker hello");
+        return Status::kMalformed;
+      }
+      WorkerHelloReply out;
+      const std::uint64_t fp = engine_config_fingerprint(
+          engine_.dim(), engine_.params(), engine_.options().streaming);
+      out.ok = hello.fingerprint == fp;
+      if (!out.ok) {
+        out.message =
+            "engine configuration fingerprint mismatch (dim/k/log_delta and "
+            "every sketch knob must match the coordinator exactly)";
+      }
+      out.num_shards = engine_.num_shards();
+      out.net_points = engine_.net_count();
+      reply = out.encode();
+      return Status::kOk;  // a refusal travels in out.ok/message
+    }
+
+    case MsgType::kHeartbeat: {
+      HeartbeatReply out;
+      const EngineMetrics m = engine_.metrics();
+      out.backlog = engine_.queue_backlog();
+      out.net_points = m.net_points;
+      out.events_applied = m.events_applied;
+      reply = out.encode();
+      return Status::kOk;
+    }
+
+    case MsgType::kMergeSketch: {
+      if (draining()) return Status::kShuttingDown;
+      EngineSketchExport ex = engine_.export_sketch();
+      SketchSnapshot out;
+      out.net_points = ex.net_points;
+      out.events_applied = ex.events_applied;
+      out.blob = std::move(ex.blob);
+      reply = out.encode();
+      return Status::kOk;
+    }
+
+    case MsgType::kFetchCoreset: {
+      if (draining()) return Status::kShuttingDown;
+      EngineQuery q;
+      q.summary_only = true;  // barrier defaults to true: a clean epoch
+      const EngineQueryResult res = engine_.query(q);
+      CoresetReply out;
+      out.ok = res.ok;
+      out.error = res.error;
+      out.net_points = res.net_points;
+      out.o = res.summary.o;
+      out.dim = res.summary.points.dim();
+      const WeightedPointSet& pts = res.summary.points;
+      out.weights.assign(pts.weights().begin(), pts.weights().end());
+      out.coords.reserve(static_cast<std::size_t>(pts.size()) *
+                         static_cast<std::size_t>(engine_.dim()));
+      for (PointIndex i = 0; i < pts.size(); ++i) {
+        const auto p = pts.point(i);
+        out.coords.insert(out.coords.end(), p.begin(), p.end());
+      }
+      reply = out.encode();
+      return Status::kOk;
+    }
+
+    case MsgType::kShipSnapshot: {
+      SketchSnapshot in;
+      if (!in.decode(body)) {
+        counters_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        reply = encode_text("undecodable sketch snapshot");
+        return Status::kMalformed;
+      }
+      if (draining()) return Status::kShuttingDown;
+      if (!engine_.import_sketch(in.blob)) {
+        reply = encode_text(
+            "sketch blob rejected (configuration mismatch or corruption)");
+        return Status::kEngineError;
+      }
+      return Status::kOk;
+    }
   }
   reply = encode_text("unknown message type");
   return Status::kUnsupported;
 }
 
-bool EngineServer::send_reply(Conn& conn, MsgType type, Status status,
-                              std::string_view body) {
-  const std::string frame = encode_frame(type, status, body);
-  const IoResult io = send_exact(conn.sock, frame.data(), frame.size(),
-                                 options_.write_timeout_ms, &stopping_);
-  counters_.bytes_out.fetch_add(static_cast<std::int64_t>(frame.size()),
-                                std::memory_order_relaxed);
-  return io == IoResult::kOk;
-}
-
-void EngineServer::request_shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(stop_mu_);
-    stopping_.store(true, std::memory_order_release);
-  }
-  stop_cv_.notify_all();
-}
-
-void EngineServer::wait() {
-  std::unique_lock<std::mutex> lock(stop_mu_);
-  stop_cv_.wait(lock, [&] { return stopping_.load(std::memory_order_acquire); });
-}
-
-void EngineServer::stop() {
-  request_shutdown();
-  if (acceptor_.joinable()) acceptor_.join();
-  listener_.close();
-  std::vector<std::unique_ptr<Conn>> conns;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns.swap(conns_);
-  }
-  for (auto& conn : conns) {
-    if (conn->thread.joinable()) conn->thread.join();
-  }
-  bool drain = false;
-  {
-    std::lock_guard<std::mutex> lock(stop_mu_);
-    drain = started_ && !drained_;
-    drained_ = true;
-  }
-  if (drain) {
-    // Everything accepted has been submitted; settle it into the builders
-    // so the post-drain engine (and the optional checkpoint) is a clean
-    // epoch of all acknowledged events.
-    engine_.flush();
-    if (!options_.drain_checkpoint_path.empty()) {
-      engine_.checkpoint(options_.drain_checkpoint_path);
-    }
+void EngineServer::on_drain() {
+  // Everything accepted has been submitted; settle it into the builders so
+  // the post-drain engine (and the optional checkpoint) is a clean epoch of
+  // all acknowledged events.
+  engine_.flush();
+  if (!server_options().drain_checkpoint_path.empty()) {
+    engine_.checkpoint(server_options().drain_checkpoint_path);
   }
 }
 

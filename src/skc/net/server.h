@@ -1,12 +1,23 @@
-// EngineServer — hosts one ClusteringEngine on a TCP socket.
+// Frame transport servers — FrameServer (reusable base) and EngineServer
+// (hosts one ClusteringEngine on a TCP socket).
 //
 // Topology: one listener thread accepts loopback connections and hands each
-// to its own connection thread (frames are small and the engine serializes
-// the real work behind its shard queues, so thread-per-connection is the
-// right amount of machinery — the fan-in bottleneck is the sketch update,
-// not the transport).  Every read and write runs under a per-connection
-// deadline, and every blocking wait tests the server's stop flag each poll
-// tick, so a draining server never waits out a silent peer.
+// to its own connection thread (frames are small and the real work is
+// serialized behind the engine's shard queues or the coordinator's worker
+// links, so thread-per-connection is the right amount of machinery — the
+// fan-in bottleneck is the sketch update, not the transport).  Every read
+// and write runs under a per-connection deadline, and every blocking wait
+// tests the server's stop flag each poll tick, so a draining server never
+// waits out a silent peer.
+//
+// FrameServer owns everything protocol-generic: the accept loop, admission
+// control over `max_connections`, frame read/decode/reply with the
+// malformed-peer policy below, per-request latency + per-type counters, and
+// the graceful drain.  A subclass supplies dispatch() (decoded-request
+// handling) and optionally on_drain() (post-join cleanup).  EngineServer is
+// the single-engine subclass; cluster::ClusterCoordinator derives the same
+// way for its front door, so no transport code is duplicated across the
+// serving and cluster layers.
 //
 // Admission control is explicit, never buffering:
 //   * over `max_connections`, a fresh connection gets one BUSY frame and is
@@ -21,8 +32,9 @@
 //     never a crash; the server keeps serving other clients.
 //
 // Shutdown (stop(), the destructor, or a SHUTDOWN frame) drains gracefully:
-// stop accepting, let in-flight requests finish, flush the engine to a
-// clean epoch, then optionally checkpoint (`drain_checkpoint_path`).
+// stop accepting, let in-flight requests finish, then run the subclass
+// on_drain() hook (EngineServer: flush the engine to a clean epoch, then
+// optionally checkpoint via `drain_checkpoint_path`).
 #pragma once
 
 #include <atomic>
@@ -42,7 +54,7 @@
 namespace skc::net {
 
 struct ServerOptions {
-  std::uint16_t port = 0;  ///< 0 = ephemeral; see EngineServer::port()
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see FrameServer::port()
   int backlog = 64;
   int max_connections = 64;
   /// Deadline for reading one frame (header or payload) once it starts.
@@ -56,7 +68,7 @@ struct ServerOptions {
   /// block on engine backpressure).
   std::int64_t busy_backlog = 1 << 15;
   /// Graceful drain writes a checkpoint here after the final flush
-  /// (empty = skip).
+  /// (EngineServer only; empty = skip).
   std::string drain_checkpoint_path;
 };
 
@@ -78,15 +90,14 @@ struct NetCounters {
 
 }  // namespace detail
 
-class EngineServer {
+/// Protocol-generic framed TCP server; subclasses implement dispatch().
+class FrameServer {
  public:
-  /// The engine must outlive the server; the server never owns it (the
-  /// embedder may keep querying in-process after the server drains).
-  EngineServer(ClusteringEngine& engine, const ServerOptions& options);
-  ~EngineServer();
+  explicit FrameServer(const ServerOptions& options);
+  virtual ~FrameServer();
 
-  EngineServer(const EngineServer&) = delete;
-  EngineServer& operator=(const EngineServer&) = delete;
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
 
   /// Binds, listens, and starts the acceptor.  False (with `error` set) on
   /// bind failure; the server object is then inert.
@@ -101,14 +112,29 @@ class EngineServer {
   void wait();
 
   /// Graceful drain: stop accepting, finish in-flight requests, join all
-  /// threads, flush the engine, optionally checkpoint.  Idempotent; the
-  /// destructor calls it.  Must not be called from a connection thread
-  /// (the SHUTDOWN handler only *requests* shutdown for this reason).
+  /// threads, then run on_drain().  Idempotent; the destructor calls it
+  /// (subclasses whose dispatch() touches subclass state MUST also call it
+  /// from their own destructor, before that state is destroyed).  Must not
+  /// be called from a connection thread (the SHUTDOWN handler only
+  /// *requests* shutdown for this reason).
   void stop();
 
-  /// Engine snapshot with the transport counters filled in — what the
-  /// METRICS RPC returns as JSON.
-  EngineMetrics metrics() const;
+ protected:
+  /// Decoded-request dispatch; returns the reply status + body.  Runs on a
+  /// connection thread; kShutdown (answered kOk) triggers the drain after
+  /// the reply is written.
+  virtual Status dispatch(MsgType type, std::string_view body,
+                          std::string& reply) = 0;
+
+  /// Runs once inside stop(), after every connection thread has joined.
+  virtual void on_drain() {}
+
+  /// True once a drain has been requested (dispatch() can shed ingest).
+  bool draining() const { return stopping_.load(std::memory_order_acquire); }
+
+  const ServerOptions& server_options() const { return options_; }
+
+  mutable detail::NetCounters counters_;
 
  private:
   struct Conn {
@@ -119,14 +145,11 @@ class EngineServer {
 
   void accept_loop();
   void serve_connection(Conn& conn);
-  /// Decoded-request dispatch; returns the reply status + body.
-  Status dispatch(MsgType type, std::string_view body, std::string& reply);
   bool send_reply(Conn& conn, MsgType type, Status status,
                   std::string_view body);
   void request_shutdown();
   void reap_finished_conns();
 
-  ClusteringEngine& engine_;
   ServerOptions options_;
   Socket listener_;
   std::uint16_t port_ = 0;
@@ -140,8 +163,26 @@ class EngineServer {
 
   std::mutex conns_mu_;
   std::vector<std::unique_ptr<Conn>> conns_;
+};
 
-  mutable detail::NetCounters counters_;
+class EngineServer : public FrameServer {
+ public:
+  /// The engine must outlive the server; the server never owns it (the
+  /// embedder may keep querying in-process after the server drains).
+  EngineServer(ClusteringEngine& engine, const ServerOptions& options);
+  ~EngineServer() override;
+
+  /// Engine snapshot with the transport counters filled in — what the
+  /// METRICS RPC returns as JSON.
+  EngineMetrics metrics() const;
+
+ protected:
+  Status dispatch(MsgType type, std::string_view body,
+                  std::string& reply) override;
+  void on_drain() override;
+
+ private:
+  ClusteringEngine& engine_;
 };
 
 }  // namespace skc::net

@@ -1,0 +1,88 @@
+#include "skc/obs/prom_format.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace skc::obs::prom {
+
+namespace {
+
+/// Fixed `le` ladder, microseconds; labels are the matching seconds.  The
+/// last rung is followed by the implicit +Inf bucket.
+struct Rung {
+  std::int64_t micros;
+  const char* label;
+};
+constexpr Rung kLadder[] = {
+    {100, "0.0001"},     {250, "0.00025"},   {500, "0.0005"},
+    {1'000, "0.001"},    {2'500, "0.0025"},  {5'000, "0.005"},
+    {10'000, "0.01"},    {25'000, "0.025"},  {50'000, "0.05"},
+    {100'000, "0.1"},    {250'000, "0.25"},  {500'000, "0.5"},
+    {1'000'000, "1"},    {2'500'000, "2.5"}, {5'000'000, "5"},
+    {10'000'000, "10"},
+};
+constexpr int kRungs = static_cast<int>(sizeof(kLadder) / sizeof(kLadder[0]));
+
+}  // namespace
+
+void line(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+
+void counter(std::string& out, const char* name, const char* help,
+             std::int64_t value) {
+  line(out, "# HELP %s %s", name, help);
+  line(out, "# TYPE %s counter", name);
+  line(out, "%s %" PRId64, name, value);
+}
+
+void gauge(std::string& out, const char* name, const char* help, double value) {
+  line(out, "# HELP %s %s", name, help);
+  line(out, "# TYPE %s gauge", name);
+  line(out, "%s %.9g", name, value);
+}
+
+void gauge_i(std::string& out, const char* name, const char* help,
+             std::int64_t value) {
+  line(out, "# HELP %s %s", name, help);
+  line(out, "# TYPE %s gauge", name);
+  line(out, "%s %" PRId64, name, value);
+}
+
+void histogram_series(std::string& out, const char* metric,
+                      const std::string& labels, const HistogramSnapshot& h) {
+  std::int64_t rung_counts[kRungs + 1] = {};  // +1 = the +Inf bucket
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    if (h.buckets[b] <= 0) continue;
+    const std::int64_t upper = histogram_bucket_upper(static_cast<int>(b));
+    int rung = kRungs;  // +Inf unless a ladder rung covers the bucket
+    for (int r = 0; r < kRungs; ++r) {
+      if (kLadder[r].micros >= upper) {
+        rung = r;
+        break;
+      }
+    }
+    rung_counts[rung] += h.buckets[b];
+  }
+  std::int64_t cumulative = 0;
+  for (int r = 0; r < kRungs; ++r) {
+    cumulative += rung_counts[r];
+    line(out, "%s_bucket{%s,le=\"%s\"} %" PRId64, metric, labels.c_str(),
+         kLadder[r].label, cumulative);
+  }
+  cumulative += rung_counts[kRungs];
+  line(out, "%s_bucket{%s,le=\"+Inf\"} %" PRId64, metric, labels.c_str(),
+       cumulative);
+  line(out, "%s_sum{%s} %.9g", metric, labels.c_str(),
+       static_cast<double>(h.sum_micros) / 1e6);
+  line(out, "%s_count{%s} %" PRId64, metric, labels.c_str(), h.count);
+}
+
+}  // namespace skc::obs::prom

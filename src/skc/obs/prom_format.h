@@ -1,0 +1,38 @@
+// Prometheus text-format emitters shared by every exposition in the tree
+// (engine metrics in obs/prometheus.cpp, cluster metrics in
+// cluster/metrics.cpp).  Pure string building — no metric registry, no
+// state; each call appends fully formed exposition lines to `out`.
+//
+// histogram_series() re-aggregates the library's log-bucketed histograms
+// onto a fixed 16-rung `le` ladder (100 µs .. 10 s): each internal bucket
+// folds into the first rung at or above its upper bound, which can only
+// push a sample UP a rung — cumulative bucket counts stay valid upper
+// bounds and the distortion is bounded by the internal 6.25% bucket width.
+// _sum and _count are exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "skc/obs/histogram.h"
+
+namespace skc::obs::prom {
+
+/// printf-appends one exposition line (newline added).
+void line(std::string& out, const char* fmt, ...);
+
+/// HELP + TYPE + value lines for one unlabeled counter / gauge.
+void counter(std::string& out, const char* name, const char* help,
+             std::int64_t value);
+void gauge(std::string& out, const char* name, const char* help, double value);
+void gauge_i(std::string& out, const char* name, const char* help,
+             std::int64_t value);
+
+/// One labeled series of a `<metric>` histogram family (the HELP/TYPE
+/// header lines are emitted once by the caller).  `labels` is the series'
+/// label list without braces, e.g. `op="query"` or
+/// `op="merge_sketch",worker="2"`; the `le` label is appended after it.
+void histogram_series(std::string& out, const char* metric,
+                      const std::string& labels, const HistogramSnapshot& h);
+
+}  // namespace skc::obs::prom

@@ -1,98 +1,38 @@
 #include "skc/obs/prometheus.h"
 
 #include <cinttypes>
-#include <cstdarg>
-#include <cstdio>
+
+#include "skc/obs/prom_format.h"
 
 namespace skc::obs {
 
 namespace {
 
-/// Fixed `le` ladder, microseconds; labels are the matching seconds.  The
-/// last rung is followed by the implicit +Inf bucket.
-struct Rung {
-  std::int64_t micros;
-  const char* label;
-};
-constexpr Rung kLadder[] = {
-    {100, "0.0001"},     {250, "0.00025"},   {500, "0.0005"},
-    {1'000, "0.001"},    {2'500, "0.0025"},  {5'000, "0.005"},
-    {10'000, "0.01"},    {25'000, "0.025"},  {50'000, "0.05"},
-    {100'000, "0.1"},    {250'000, "0.25"},  {500'000, "0.5"},
-    {1'000'000, "1"},    {2'500'000, "2.5"}, {5'000'000, "5"},
-    {10'000'000, "10"},
-};
-constexpr int kRungs = static_cast<int>(sizeof(kLadder) / sizeof(kLadder[0]));
+using prom::counter;
+using prom::gauge;
+using prom::gauge_i;
+using prom::line;
 
 /// Human names for net::MsgType indices (kept in sync with net/frame.h; a
-/// textual table avoids an obs -> net dependency).
+/// textual table avoids an obs -> net dependency.  frame.h's static_assert
+/// on kNumMsgTypes pins the enum dense, and the Prometheus golden test
+/// covers every index, so a new opcode without a name here shows up as an
+/// "unknown" label in a reviewed golden diff).
 const char* request_type_name(std::size_t index) {
   static constexpr const char* kNames[] = {
-      "ping",     "insert_batch", "delete_batch", "query",     "metrics",
-      "checkpoint", "shutdown",   "trace_dump",   "prometheus"};
+      "ping",         "insert_batch", "delete_batch", "query",
+      "metrics",      "checkpoint",   "shutdown",     "trace_dump",
+      "prometheus",   "worker_hello", "heartbeat",    "merge_sketch",
+      "fetch_coreset", "ship_snapshot"};
   constexpr std::size_t n = sizeof(kNames) / sizeof(kNames[0]);
   return index < n ? kNames[index] : "unknown";
 }
 
-void line(std::string& out, const char* fmt, ...) {
-  char buf[256];
-  va_list args;
-  va_start(args, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, args);
-  va_end(args);
-  out += buf;
-  out += '\n';
-}
-
-void counter(std::string& out, const char* name, const char* help,
-             std::int64_t value) {
-  line(out, "# HELP %s %s", name, help);
-  line(out, "# TYPE %s counter", name);
-  line(out, "%s %" PRId64, name, value);
-}
-
-void gauge(std::string& out, const char* name, const char* help, double value) {
-  line(out, "# HELP %s %s", name, help);
-  line(out, "# TYPE %s gauge", name);
-  line(out, "%s %.9g", name, value);
-}
-
-void gauge_i(std::string& out, const char* name, const char* help,
-             std::int64_t value) {
-  line(out, "# HELP %s %s", name, help);
-  line(out, "# TYPE %s gauge", name);
-  line(out, "%s %" PRId64, name, value);
-}
-
-/// One labeled series of the shared skc_op_latency_seconds histogram
-/// family (the header lines are emitted once by the caller).
-void histogram_series(std::string& out, const char* op,
-                      const HistogramSnapshot& h) {
-  std::int64_t rung_counts[kRungs + 1] = {};  // +1 = the +Inf bucket
-  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
-    if (h.buckets[b] <= 0) continue;
-    const std::int64_t upper = histogram_bucket_upper(static_cast<int>(b));
-    int rung = kRungs;  // +Inf unless a ladder rung covers the bucket
-    for (int r = 0; r < kRungs; ++r) {
-      if (kLadder[r].micros >= upper) {
-        rung = r;
-        break;
-      }
-    }
-    rung_counts[rung] += h.buckets[b];
-  }
-  std::int64_t cumulative = 0;
-  for (int r = 0; r < kRungs; ++r) {
-    cumulative += rung_counts[r];
-    line(out, "skc_op_latency_seconds_bucket{op=\"%s\",le=\"%s\"} %" PRId64, op,
-         kLadder[r].label, cumulative);
-  }
-  cumulative += rung_counts[kRungs];
-  line(out, "skc_op_latency_seconds_bucket{op=\"%s\",le=\"+Inf\"} %" PRId64, op,
-       cumulative);
-  line(out, "skc_op_latency_seconds_sum{op=\"%s\"} %.9g", op,
-       static_cast<double>(h.sum_micros) / 1e6);
-  line(out, "skc_op_latency_seconds_count{op=\"%s\"} %" PRId64, op, h.count);
+/// One series of the shared skc_op_latency_seconds histogram family.
+void op_latency_series(std::string& out, const char* op,
+                       const HistogramSnapshot& h) {
+  prom::histogram_series(out, "skc_op_latency_seconds",
+                         std::string("op=\"") + op + "\"", h);
 }
 
 }  // namespace
@@ -158,10 +98,10 @@ std::string prometheus_text(const EngineMetrics& m) {
        "# HELP skc_op_latency_seconds Operation latency by op "
        "(submit_batch, query, checkpoint, net_request).");
   line(out, "# TYPE skc_op_latency_seconds histogram");
-  histogram_series(out, "submit_batch", m.submit_latency);
-  histogram_series(out, "query", m.query_latency);
-  histogram_series(out, "checkpoint", m.checkpoint_latency);
-  histogram_series(out, "net_request", m.net_request_latency);
+  op_latency_series(out, "submit_batch", m.submit_latency);
+  op_latency_series(out, "query", m.query_latency);
+  op_latency_series(out, "checkpoint", m.checkpoint_latency);
+  op_latency_series(out, "net_request", m.net_request_latency);
 
   return out;
 }

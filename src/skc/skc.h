@@ -55,3 +55,7 @@
 #include "skc/net/frame.h"
 #include "skc/net/server.h"
 #include "skc/net/client.h"
+#include "skc/cluster/registry.h"
+#include "skc/cluster/metrics.h"
+#include "skc/cluster/process.h"
+#include "skc/cluster/coordinator.h"

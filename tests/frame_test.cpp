@@ -216,6 +216,210 @@ TEST(Frame, QueryReplyRoundTrip) {
   EXPECT_TRUE(out.decode(bad.encode()));
 }
 
+// Decoding `body` must succeed, and every strict prefix plus one byte of
+// trailing garbage must be rejected — the strictness contract every payload
+// codec in the protocol promises.
+template <typename Body>
+void expect_strict(const std::string& body) {
+  Body out;
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(out.decode(std::string_view(body).substr(0, len)))
+        << "body prefix of " << len << " bytes";
+  }
+  EXPECT_FALSE(out.decode(body + "!"));
+  EXPECT_TRUE(out.decode(body));
+}
+
+TEST(Frame, WorkerHelloRoundTrip) {
+  WorkerHello in;
+  in.worker_id = 3;
+  in.dim = 5;
+  in.k = 9;
+  in.log_delta = 12;
+  in.fingerprint = 0xfeedbeefcafe1234ull;
+  WorkerHello out;
+  ASSERT_TRUE(out.decode(in.encode()));
+  EXPECT_EQ(out.worker_id, 3);
+  EXPECT_EQ(out.dim, 5);
+  EXPECT_EQ(out.k, 9);
+  EXPECT_EQ(out.log_delta, 12);
+  EXPECT_EQ(out.fingerprint, 0xfeedbeefcafe1234ull);
+  expect_strict<WorkerHello>(in.encode());
+}
+
+TEST(Frame, WorkerHelloReplyRoundTrip) {
+  WorkerHelloReply in;
+  in.ok = false;
+  in.message = "config fingerprint mismatch";
+  in.num_shards = 4;
+  in.net_points = 777;
+  WorkerHelloReply out;
+  ASSERT_TRUE(out.decode(in.encode()));
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.message, "config fingerprint mismatch");
+  EXPECT_EQ(out.num_shards, 4);
+  EXPECT_EQ(out.net_points, 777);
+  expect_strict<WorkerHelloReply>(in.encode());
+}
+
+TEST(Frame, HeartbeatReplyRoundTrip) {
+  HeartbeatReply in;
+  in.backlog = 42;
+  in.net_points = 4096;
+  in.events_applied = 5000;
+  HeartbeatReply out;
+  ASSERT_TRUE(out.decode(in.encode()));
+  EXPECT_EQ(out.backlog, 42);
+  EXPECT_EQ(out.net_points, 4096);
+  EXPECT_EQ(out.events_applied, 5000);
+  expect_strict<HeartbeatReply>(in.encode());
+}
+
+TEST(Frame, SketchSnapshotRoundTrip) {
+  SketchSnapshot in;
+  in.net_points = 123;
+  in.events_applied = 456;
+  in.blob = std::string("\x00\x01\x02opaque-builder-bytes\xff", 24);
+  SketchSnapshot out;
+  ASSERT_TRUE(out.decode(in.encode()));
+  EXPECT_EQ(out.net_points, 123);
+  EXPECT_EQ(out.events_applied, 456);
+  EXPECT_EQ(out.blob, in.blob);
+  expect_strict<SketchSnapshot>(in.encode());
+}
+
+TEST(Frame, CoresetReplyRoundTrip) {
+  CoresetReply in;
+  in.ok = true;
+  in.net_points = 900;
+  in.o = 2.5e4;
+  in.dim = 2;
+  in.weights = {1.0, 2.5, 3.0};
+  in.coords = {1, 2, 3, 4, 5, 6};
+  CoresetReply out;
+  ASSERT_TRUE(out.decode(in.encode()));
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.net_points, 900);
+  EXPECT_DOUBLE_EQ(out.o, 2.5e4);
+  EXPECT_EQ(out.weights, in.weights);
+  EXPECT_EQ(out.coords, in.coords);
+  expect_strict<CoresetReply>(in.encode());
+
+  // Structural validation: coords must be dim * weights.size().
+  CoresetReply bad = in;
+  bad.coords.push_back(7);
+  EXPECT_FALSE(out.decode(bad.encode()));
+  bad = in;
+  bad.weights.push_back(4.0);
+  EXPECT_FALSE(out.decode(bad.encode()));
+}
+
+// Exhaustive per-type round-trip: a representative payload for every one of
+// the kNumMsgTypes opcodes framed and decoded end to end, so adding a
+// MsgType without a codec (or with a lax one) fails here, not in
+// production.  The switch has no default: a new enum member breaks the
+// compile until this test covers it.
+TEST(Frame, EveryMessageTypeHasAStrictPayloadCodec) {
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    const MsgType type = static_cast<MsgType>(t);
+    std::string body;
+    switch (type) {
+      case MsgType::kPing:
+      case MsgType::kHeartbeat:
+      case MsgType::kMergeSketch:
+      case MsgType::kFetchCoreset:
+      case MsgType::kShutdown:
+        body.clear();  // empty request bodies
+        break;
+      case MsgType::kInsertBatch:
+      case MsgType::kDeleteBatch: {
+        PointBatch b;
+        b.dim = 2;
+        b.coords = {1, 2, 3, 4};
+        body = b.encode();
+        expect_strict<PointBatch>(body);
+        break;
+      }
+      case MsgType::kQuery: {
+        QueryRequest q;
+        q.k = 3;
+        body = q.encode();
+        expect_strict<QueryRequest>(body);
+        break;
+      }
+      case MsgType::kMetrics:
+      case MsgType::kTraceDump:
+      case MsgType::kPrometheus: {
+        body = encode_text("payload");
+        std::string text;
+        EXPECT_TRUE(decode_text(body, text));
+        EXPECT_FALSE(decode_text(body.substr(0, body.size() - 1), text));
+        break;
+      }
+      case MsgType::kCheckpoint: {
+        CheckpointRequest c;
+        c.path = "/tmp/x";
+        body = c.encode();
+        expect_strict<CheckpointRequest>(body);
+        break;
+      }
+      case MsgType::kWorkerHello: {
+        WorkerHello h;
+        h.dim = 2;
+        h.k = 4;
+        h.log_delta = 6;
+        h.fingerprint = 99;
+        body = h.encode();
+        expect_strict<WorkerHello>(body);
+        break;
+      }
+      case MsgType::kShipSnapshot: {
+        SketchSnapshot s;
+        s.net_points = 10;
+        s.blob = "blob";
+        body = s.encode();
+        expect_strict<SketchSnapshot>(body);
+        break;
+      }
+    }
+    const std::string frame = encode_frame(type, Status::kOk, body);
+    const FrameHeader h = decode_ok(frame);
+    EXPECT_EQ(h.type, type);
+    EXPECT_EQ(h.payload_bytes, body.size());
+    EXPECT_EQ(frame.substr(kFrameHeaderBytes), body);
+  }
+}
+
+// Per-type payload caps: sketch-carrying frames accept bodies the ordinary
+// cap rejects, and the big cap still has a hard ceiling.
+TEST(Frame, PerTypePayloadCapBoundaries) {
+  FrameHeader h;
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    const MsgType type = static_cast<MsgType>(t);
+    std::string frame = encode_frame(type, Status::kOk, "");
+    const std::uint32_t cap = max_payload_bytes(type);
+
+    // At the cap: accepted.  One past: kTooLarge.
+    std::memcpy(frame.data() + 8, &cap, sizeof(cap));
+    EXPECT_EQ(decode_header(frame, h), Status::kOk) << "type " << t;
+    const std::uint32_t over = cap + 1;
+    std::memcpy(frame.data() + 8, &over, sizeof(over));
+    EXPECT_EQ(decode_header(frame, h), Status::kTooLarge) << "type " << t;
+
+    // The sketch types' cap must exceed the ordinary one (that asymmetry is
+    // the point), and the ordinary types must reject a sketch-sized body.
+    const bool sketchy = type == MsgType::kMergeSketch ||
+                         type == MsgType::kFetchCoreset ||
+                         type == MsgType::kShipSnapshot;
+    EXPECT_EQ(cap, sketchy ? kMaxSketchPayloadBytes : kMaxPayloadBytes);
+    if (!sketchy) {
+      const std::uint32_t sketch_sized = kMaxPayloadBytes + 1;
+      std::memcpy(frame.data() + 8, &sketch_sized, sizeof(sketch_sized));
+      EXPECT_EQ(decode_header(frame, h), Status::kTooLarge) << "type " << t;
+    }
+  }
+}
+
 TEST(Frame, CheckpointAndTextBodies) {
   CheckpointRequest ckpt;
   ckpt.path = "/tmp/snap.bin";

@@ -1,0 +1,150 @@
+// cluster_harness — minimal worker-process launcher for the multi-process
+// cluster tests and bench_cluster.
+//
+//   cluster_harness worker [flags]
+//
+// Hosts one ClusteringEngine behind an EngineServer on 127.0.0.1 and prints
+// exactly one line to stdout:
+//
+//   PORT <n>
+//
+// (workers bind port 0 by default; the parent parses the kernel-assigned
+// port — see cluster::WorkerProcess).  All flags default to the values the
+// in-tree tests and bench_cluster construct on the coordinator side; the
+// WORKER_HELLO fingerprint handshake catches any drift, so a mismatch shows
+// up as a refused registration, never a silently wrong merge.
+//
+// The process runs until a SHUTDOWN frame arrives or it is killed — being
+// SIGKILLed mid-ingest is this binary's job description (failover tests).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "skc/coreset/params.h"
+#include "skc/engine/engine.h"
+#include "skc/net/server.h"
+
+namespace {
+
+using namespace skc;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: cluster_harness worker [--port N] [--dim D] [--k K]\n"
+      "         [--shards S] [--log-delta L] [--seed X] [--eps E] [--eta H]\n"
+      "         [--exact] [--max-points N] [--o-min V] [--o-max V]\n"
+      "         [--counting-samples V] [--countmin-width W] "
+      "[--countmin-depth D]\n"
+      "         [--queue-capacity N] [--busy-backlog N]\n");
+  return 2;
+}
+
+int cmd_worker(int argc, char** argv) {
+  long port = 0;
+  int dim = 2, k = 4, shards = 2, log_delta = 6;
+  std::uint64_t seed = 20230614;
+  double eps = 0.3, eta = 0.3;
+  bool exact = false;
+  long long max_points = 1 << 20;
+  double o_min = 0.0, o_max = 0.0, counting_samples = 64.0;
+  int countmin_width = 512, countmin_depth = 3;
+  long queue_capacity = 8192;
+  long long busy_backlog = 1 << 15;
+
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--port")) {
+      port = std::atol(next("--port"));
+    } else if (!std::strcmp(argv[i], "--dim")) {
+      dim = std::atoi(next("--dim"));
+    } else if (!std::strcmp(argv[i], "--k")) {
+      k = std::atoi(next("--k"));
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      shards = std::atoi(next("--shards"));
+    } else if (!std::strcmp(argv[i], "--log-delta")) {
+      log_delta = std::atoi(next("--log-delta"));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--eps")) {
+      eps = std::atof(next("--eps"));
+    } else if (!std::strcmp(argv[i], "--eta")) {
+      eta = std::atof(next("--eta"));
+    } else if (!std::strcmp(argv[i], "--exact")) {
+      exact = true;
+    } else if (!std::strcmp(argv[i], "--max-points")) {
+      max_points = std::atoll(next("--max-points"));
+    } else if (!std::strcmp(argv[i], "--o-min")) {
+      o_min = std::atof(next("--o-min"));
+    } else if (!std::strcmp(argv[i], "--o-max")) {
+      o_max = std::atof(next("--o-max"));
+    } else if (!std::strcmp(argv[i], "--counting-samples")) {
+      counting_samples = std::atof(next("--counting-samples"));
+    } else if (!std::strcmp(argv[i], "--countmin-width")) {
+      countmin_width = std::atoi(next("--countmin-width"));
+    } else if (!std::strcmp(argv[i], "--countmin-depth")) {
+      countmin_depth = std::atoi(next("--countmin-depth"));
+    } else if (!std::strcmp(argv[i], "--queue-capacity")) {
+      queue_capacity = std::atol(next("--queue-capacity"));
+    } else if (!std::strcmp(argv[i], "--busy-backlog")) {
+      busy_backlog = std::atoll(next("--busy-backlog"));
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (dim < 1 || k < 1 || shards < 1 || log_delta < 2 || port < 0 ||
+      port > 65535) {
+    return usage();
+  }
+
+  CoresetParams params = CoresetParams::practical(k, LrOrder{2.0}, eps, eta);
+  params.seed = seed;
+  EngineOptions opts;
+  opts.num_shards = shards;
+  opts.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  opts.streaming.log_delta = log_delta;
+  opts.streaming.max_points = static_cast<PointIndex>(max_points);
+  opts.streaming.o_min = o_min;
+  opts.streaming.o_max = o_max;
+  opts.streaming.counting_samples = counting_samples;
+  opts.streaming.countmin_width = countmin_width;
+  opts.streaming.countmin_depth = countmin_depth;
+  opts.streaming.exact_storing = exact;
+  ClusteringEngine engine(dim, params, opts);
+
+  net::ServerOptions sopts;
+  sopts.port = static_cast<std::uint16_t>(port);
+  sopts.busy_backlog = busy_backlog;
+  net::EngineServer server(engine, sopts);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  // The one machine-readable line the spawner waits for.
+  std::printf("PORT %u\n", server.port());
+  std::fflush(stdout);
+  std::fprintf(stderr, "worker on 127.0.0.1:%u (dim=%d k=%d shards=%d)\n",
+               server.port(), dim, k, shards);
+
+  server.wait();
+  server.stop();
+  engine.shutdown();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (!std::strcmp(argv[1], "worker")) return cmd_worker(argc, argv);
+  return usage();
+}

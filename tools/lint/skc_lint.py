@@ -29,10 +29,11 @@ Rules
                      are reported identically in every build mode.
   skc-socket         raw socket API calls (socket/bind/listen/accept/
                      connect/send/recv/... and the global-qualified ::
-                     forms) anywhere outside src/skc/net/.  All transport
-                     goes through skc::net's Socket/SkcClient wrappers so
-                     deadlines, cancellation, and byte accounting cannot
-                     be bypassed.  Member calls (net.send(...)) and
+                     forms) anywhere outside src/skc/net/socket.{h,cpp}.
+                     All transport goes through skc::net's Socket/SkcClient
+                     wrappers so deadlines, cancellation, and byte
+                     accounting cannot be bypassed — even within the rest
+                     of src/skc/net/.  Member calls (net.send(...)) and
                      qualified names (Network::send) are not matched.
   skc-obs            raw std::chrono clock now() calls in the serving
                      stack (src/skc/{engine,net,coreset,stream}) outside
@@ -91,7 +92,8 @@ NAKED_NEW_RE = re.compile(
 
 ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
 
-# Raw socket API, confined to src/skc/net/.  The left lookbehind excludes
+# Raw socket API, confined to src/skc/net/socket.{h,cpp} — the single
+# translation unit that owns every syscall.  The left lookbehind excludes
 # member access (net.send(, conn->send(), qualified names (Network::send()
 # and longer identifiers (request_shutdown(); `shutdown` itself is omitted
 # because engine.shutdown() is an unrelated, common API.  The second
@@ -244,7 +246,10 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
     library = is_library(path, root)
     rel_parts = path.relative_to(root).parts
     in_random_impl = path.name in ("random.h", "random.cpp") and library
-    in_net_impl = rel_parts[:3] == ("src", "skc", "net")
+    in_socket_impl = rel_parts[:3] == ("src", "skc", "net") and path.name in (
+        "socket.h",
+        "socket.cpp",
+    )
     obs_scoped = rel_parts[:3] in OBS_SCOPED_DIRS
 
     out = [
@@ -278,10 +283,10 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
                 "skc-assert", idx,
                 "assert() in library code; use SKC_CHECK or SKC_DCHECK",
             )
-        if not in_net_impl and SOCKET_RE.search(stripped):
+        if not in_socket_impl and SOCKET_RE.search(stripped):
             check(
                 "skc-socket", idx,
-                "raw socket API outside src/skc/net/; "
+                "raw socket API outside src/skc/net/socket.{h,cpp}; "
                 "use skc::net Socket/SkcClient (or waive with a reason)",
             )
         if obs_scoped and OBS_CLOCK_RE.search(stripped):

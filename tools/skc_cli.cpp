@@ -13,6 +13,12 @@
 //                                                       server (same commands)
 //   skc_cli trace-dump <host> <port> [out.json]         fetch the server's
 //                                                       chrome://tracing JSON
+//   skc_cli worker   <dim> <k> [shards] [log_delta] [--port N]
+//                                                       cluster worker: engine
+//                                                       on TCP, prints PORT <n>
+//   skc_cli coordinator <dim> <k> [log_delta] --worker host:port ...
+//                    [--tcp N] [--compose]              cluster front end over
+//                                                       the given workers
 //
 // Points are integer CSV rows; see src/skc/geometry/io.h for the format.
 #include <cstdio>
@@ -40,7 +46,11 @@ int usage() {
                "  skc_cli serve    <dim> <k> [shards=4] [log_delta=12] "
                "[--tcp <port>] [--trace]\n"
                "  skc_cli client   <host> <port>\n"
-               "  skc_cli trace-dump <host> <port> [out.json]\n");
+               "  skc_cli trace-dump <host> <port> [out.json]\n"
+               "  skc_cli worker   <dim> <k> [shards=4] [log_delta=12] "
+               "[--port N]\n"
+               "  skc_cli coordinator <dim> <k> [log_delta=12] "
+               "--worker host:port [--worker ...] [--tcp N] [--compose]\n");
   return 2;
 }
 
@@ -455,6 +465,184 @@ int cmd_client(int argc, char** argv) {
   return 0;
 }
 
+// Cluster worker: one engine behind an EngineServer, configured exactly
+// like `skc_cli coordinator` configures itself (CoresetParams::practical
+// with eps = eta = 0.2 — the WORKER_HELLO fingerprint handshake refuses a
+// drifted pairing).  Prints "PORT <n>" on stdout so spawners (and humans)
+// learn the kernel-assigned port when started with --port 0.
+int cmd_worker(int argc, char** argv) {
+  std::vector<const char*> pos;
+  long port = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--port")) {
+      if (i + 1 >= argc) return usage();
+      port = std::atol(argv[++i]);
+      if (port < 0 || port > 65535) return usage();
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.size() < 2) return usage();
+  const int dim = std::atoi(pos[0]);
+  const int k = std::atoi(pos[1]);
+  const int shards = pos.size() >= 3 ? std::atoi(pos[2]) : 4;
+  const int log_delta = pos.size() >= 4 ? std::atoi(pos[3]) : 12;
+  if (dim < 1 || k < 1 || shards < 1 || log_delta < 2) return usage();
+
+  const CoresetParams params = CoresetParams::practical(k, LrOrder{2.0}, 0.2, 0.2);
+  EngineOptions opts;
+  opts.num_shards = shards;
+  opts.streaming.log_delta = log_delta;
+  ClusteringEngine engine(dim, params, opts);
+
+  net::ServerOptions sopts;
+  sopts.port = static_cast<std::uint16_t>(port);
+  net::EngineServer server(engine, sopts);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("PORT %u\n", server.port());
+  std::fflush(stdout);
+  std::fprintf(stderr,
+               "worker listening on 127.0.0.1:%u (dim=%d k=%d shards=%d "
+               "log_delta=%d)\n",
+               server.port(), dim, k, shards, log_delta);
+  server.wait();
+  server.stop();
+  engine.shutdown();
+  return 0;
+}
+
+// Cluster coordinator: dials the given workers, serves the same wire
+// protocol on its own TCP port (drive it with `skc_cli client`), and offers
+// the serve-style REPL locally.
+int cmd_coordinator(int argc, char** argv) {
+  std::vector<const char*> pos;
+  cluster::CoordinatorOptions copts;
+  long tcp_port = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--worker")) {
+      if (i + 1 >= argc) return usage();
+      const std::string spec = argv[++i];
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "error: --worker needs host:port, got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      const long port = std::atol(spec.c_str() + colon + 1);
+      if (port < 1 || port > 65535) return usage();
+      copts.workers.push_back(
+          {spec.substr(0, colon), static_cast<std::uint16_t>(port)});
+    } else if (!std::strcmp(argv[i], "--tcp")) {
+      if (i + 1 >= argc) return usage();
+      tcp_port = std::atol(argv[++i]);
+      if (tcp_port < 0 || tcp_port > 65535) return usage();
+    } else if (!std::strcmp(argv[i], "--compose")) {
+      copts.merge_mode = MergeMode::kCompose;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.size() < 2 || copts.workers.empty()) return usage();
+  const int dim = std::atoi(pos[0]);
+  const int k = std::atoi(pos[1]);
+  const int log_delta = pos.size() >= 3 ? std::atoi(pos[2]) : 12;
+  if (dim < 1 || k < 1 || log_delta < 2) return usage();
+
+  copts.dim = dim;
+  copts.params = CoresetParams::practical(k, LrOrder{2.0}, 0.2, 0.2);
+  copts.streaming.log_delta = log_delta;
+  copts.server.port = static_cast<std::uint16_t>(tcp_port);
+
+  cluster::ClusterCoordinator coordinator(copts);
+  std::string error;
+  if (!coordinator.connect(error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (!coordinator.start(error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "coordinator on 127.0.0.1:%u over %d worker(s)\n"
+               "commands:  insert c1 .. c%d | delete c1 .. c%d | "
+               "query [slack]\n"
+               "           flush | metrics | prom | checkpoint | "
+               "shutdown-workers | quit\n",
+               coordinator.port(), coordinator.workers(), dim, dim);
+
+  const long long max_coord = 1LL << log_delta;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "insert" || cmd == "delete") {
+      std::vector<Coord> p(static_cast<std::size_t>(dim));
+      bool ok = true;
+      for (int i = 0; i < dim; ++i) {
+        long long c = 0;
+        if (!(in >> c) || c < 1 || c > max_coord) {
+          ok = false;
+          break;
+        }
+        p[static_cast<std::size_t>(i)] = static_cast<Coord>(c);
+      }
+      if (!ok) {
+        std::printf("err %s needs %d coordinates in [1, %lld]\n", cmd.c_str(),
+                    dim, max_coord);
+        continue;
+      }
+      const bool sent =
+          cmd == "insert" ? coordinator.insert(p) : coordinator.erase(p);
+      std::printf(sent ? "ok\n" : "err cluster rejected the event\n");
+    } else if (cmd == "query") {
+      EngineQuery q;
+      if (double slack = 0; in >> slack) q.capacity_slack = slack;
+      const EngineQueryResult res = coordinator.query(q);
+      if (!res.ok) {
+        std::printf("err %s\n", res.error.c_str());
+        continue;
+      }
+      std::printf("ok n=%lld summary=%lld capacity=%.0f cost=%.6g "
+                  "merge_ms=%.1f solve_ms=%.1f\n",
+                  static_cast<long long>(res.net_points),
+                  static_cast<long long>(res.summary.points.size()),
+                  res.capacity, res.solution.cost, res.merge_millis,
+                  res.solve_millis);
+      for (PointIndex c = 0; c < res.solution.centers.size(); ++c) {
+        std::printf("center %s\n", to_string(res.solution.centers[c]).c_str());
+      }
+    } else if (cmd == "flush") {
+      coordinator.flush();
+      std::printf("ok\n");
+    } else if (cmd == "metrics") {
+      std::printf("%s\n", cluster::cluster_metrics_json(coordinator.metrics()).c_str());
+    } else if (cmd == "prom") {
+      std::printf("%s",
+                  cluster::cluster_prometheus_text(coordinator.metrics()).c_str());
+    } else if (cmd == "checkpoint") {
+      std::printf(coordinator.checkpoint_members() ? "ok\n"
+                                                   : "err a member failed\n");
+    } else if (cmd == "shutdown-workers") {
+      coordinator.shutdown_workers();
+      std::printf("ok\n");
+    } else {
+      std::printf("err unknown command '%s'\n", cmd.c_str());
+    }
+    std::fflush(stdout);
+  }
+  coordinator.stop();
+  std::fprintf(stderr, "%s\n",
+               cluster::cluster_metrics_json(coordinator.metrics()).c_str());
+  return 0;
+}
+
 // One-shot TRACE_DUMP RPC: fetch the server's span rings as chrome://tracing
 // JSON and write them to a file (or stdout) — load the result at
 // chrome://tracing or https://ui.perfetto.dev.
@@ -488,6 +676,8 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "assign")) return solve_common(argc, argv, true);
   if (!std::strcmp(argv[1], "generate")) return cmd_generate(argc, argv);
   if (!std::strcmp(argv[1], "serve")) return cmd_serve(argc, argv);
+  if (!std::strcmp(argv[1], "worker")) return cmd_worker(argc, argv);
+  if (!std::strcmp(argv[1], "coordinator")) return cmd_coordinator(argc, argv);
   if (!std::strcmp(argv[1], "client")) return cmd_client(argc, argv);
   if (!std::strcmp(argv[1], "trace-dump")) return cmd_trace_dump(argc, argv);
   return usage();
