@@ -160,6 +160,61 @@ int main() {
         .kv("query_p999_ms", em.query_latency.p999_millis())
         .kv("query_count", em.query_latency.count);
   }
+  header("E17: ingest mode sweep — batched exact vs sampled CountMin",
+         "the flag-gated NitroSketch-style sampled mode trades one-sided "
+         "CountMin estimates for drain throughput; coreset quality must stay "
+         "within the envelope");
+  {
+    // Quality is evaluated on a dedicated small stream (n small enough for
+    // exact capacitated-cost probes, like bench_streaming); throughput is
+    // timed on the full-size stream.
+    const PointIndex nq = 2000;
+    const PointSet q_survivors =
+        standard_workload(nq, k, dim, log_delta, 1.3, 7);
+    const Stream q_stream = make_stream(nq, k, dim, log_delta);
+    row("%-14s %12s %10s %8s %10s %10s", "mode", "events/s", "ingest_ms",
+        "coreset", "q_upper", "q_lower");
+    for (const bool sampled : {false, true}) {
+      EngineOptions opt = engine_options(1, log_delta, stream.size());
+      opt.streaming.sampled_countmin = sampled;
+      ClusteringEngine engine(dim, params, opt);
+      Timer timer;
+      multi_producer_submit(engine, stream, producers);
+      engine.flush();
+      const double ms = timer.millis();
+      EngineQuery q;
+      q.summary_only = true;
+      const EngineQueryResult res = engine.query(q);
+      EngineOptions qopt = engine_options(1, log_delta, q_stream.size());
+      qopt.streaming.sampled_countmin = sampled;
+      ClusteringEngine q_engine(dim, params, qopt);
+      multi_producer_submit(q_engine, q_stream, producers);
+      q_engine.flush();
+      const EngineQueryResult q_res = q_engine.query(q);
+      QualityEnvelope env;
+      if (q_res.ok) {
+        env = measure_quality(q_survivors, q_res.summary.points, k,
+                              LrOrder{2.0}, 0.3, log_delta);
+      }
+      row("%-14s %12.0f %10.0f %8lld %10.3f %10.3f",
+          sampled ? "sampled" : "exact-batched",
+          1e3 * static_cast<double>(stream.size()) / ms, ms,
+          res.ok ? static_cast<long long>(res.summary.points.size()) : -1,
+          env.upper, env.lower);
+      report.record()
+          .kv("series", "ingest_mode_sweep")
+          .kv("mode", sampled ? "sampled" : "exact_batched")
+          .kv("shards", 1)
+          .kv("events", static_cast<std::int64_t>(stream.size()))
+          .kv("ingest_ms", ms)
+          .kv("events_per_s", 1e3 * static_cast<double>(stream.size()) / ms)
+          .kv("coreset_points",
+              res.ok ? static_cast<std::int64_t>(res.summary.points.size())
+                     : std::int64_t{-1})
+          .kv("quality_upper", env.upper)
+          .kv("quality_lower", env.lower);
+    }
+  }
   report.write();
   return 0;
 }

@@ -20,6 +20,11 @@ cmake --build build -j "$(nproc)"
 
 ctest --test-dir build --output-on-failure
 
+# Batch-vs-pointwise determinism gate, run by name so a test-glob change
+# can't silently drop it: the batched ingest hot path must produce
+# byte-identical sketches to the pointwise reference (DESIGN.md §12).
+ctest --test-dir build --output-on-failure -R '^(BatchIngest|SampledCountMin)\.'
+
 for b in build/bench/bench_*; do
   echo "== $b"
   case "$(basename "$b")" in
@@ -34,6 +39,12 @@ for b in build/bench/bench_*; do
       ;;
   esac
 done
+
+# Ingest-throughput regression gate: the benches above wrote BENCH_*.json
+# into the repo root; fail on >20% drops below the bench/baselines floors.
+if ls BENCH_*.json > /dev/null 2>&1; then
+  ./scripts/bench_compare.py
+fi
 
 for e in build/examples/example_*; do
   echo "== $e"

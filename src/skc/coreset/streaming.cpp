@@ -50,13 +50,30 @@ StreamingCoresetBuilder::StreamingCoresetBuilder(int dim, const CoresetParams& p
       cm.width = options.countmin_width;
       cm.depth = options.countmin_depth;
       cm.exact = options.exact_storing;
+      cm.sampled = options.sampled_countmin;
       guess.counts.emplace_back(
           grid_, i, cm, sketch_seed(params, guess_index, SamplerPurpose::kCounting, i));
-      PointStoreConfig ps;
-      ps.watermark = options.point_watermark;
-      ps.max_live_points = options.max_live_points;
-      ps.exact = options.exact_storing;
-      guess.samples.emplace_back(grid_, i, ps);
+      // Point stores are deduplicated by (level, phi.m): guesses with the
+      // same rounded sampling rate at a level would build byte-identical
+      // structures from byte-identical substreams (see SharedStore).
+      SharedStore* shared = nullptr;
+      for (auto& pooled : store_pool_) {
+        if (pooled->level == i && pooled->phi.m == guess.phi.back().m) {
+          shared = pooled.get();
+          break;
+        }
+      }
+      if (shared == nullptr) {
+        PointStoreConfig ps;
+        ps.watermark = options.point_watermark;
+        ps.max_live_points = options.max_live_points;
+        ps.exact = options.exact_storing;
+        store_pool_.push_back(
+            std::make_unique<SharedStore>(i, guess.phi.back(), grid_, ps));
+        shared = store_pool_.back().get();
+      }
+      ++shared->refs;
+      guess.samples.push_back(shared);
     }
     guesses_.push_back(std::move(guess));
     ++guess_index;
@@ -67,7 +84,24 @@ StreamingCoresetBuilder::StreamingCoresetBuilder(int dim, const CoresetParams& p
     distinct_.emplace_back(grid_, i, options.distinct_budget,
                            sketch_seed(params, 0, SamplerPurpose::kCounting, 100 + i));
   }
+  h_count_scratch_.resize(static_cast<std::size_t>(L + 1));
+  h_core_scratch_.resize(static_cast<std::size_t>(L + 1));
 }
+
+void StreamingCoresetBuilder::set_countmin_sample_skip(std::uint32_t m) {
+  for (GuessState& guess : guesses_) {
+    if (guess.pruned) continue;
+    for (CellCountMin& cm : guess.counts) cm.set_sample_skip(m);
+  }
+}
+
+namespace {
+
+inline bool keep_event(std::uint64_t hash_value, const SamplingRate& rate) {
+  return rate.always() || hash_value < f61::kP / rate.m;
+}
+
+}  // namespace
 
 void StreamingCoresetBuilder::update(std::span<const Coord> p, std::int64_t delta) {
   SKC_DCHECK(static_cast<int>(p.size()) == dim_);
@@ -75,9 +109,10 @@ void StreamingCoresetBuilder::update(std::span<const Coord> p, std::int64_t delt
   const int L = grid_.log_delta();
   // Evaluate the shared per-level hashes once per event; every guess reuses
   // them with its own thresholds (nested subsampling keeps each guess
-  // individually lambda-wise independent).
-  std::vector<std::uint64_t> h_count(static_cast<std::size_t>(L + 1));
-  std::vector<std::uint64_t> h_core(static_cast<std::size_t>(L + 1));
+  // individually lambda-wise independent).  The rows live in member scratch
+  // so the pointwise fallback pays no allocation per event.
+  std::uint64_t* h_count = h_count_scratch_.data();
+  std::uint64_t* h_core = h_core_scratch_.data();
   {
     // Span taxonomy (DESIGN.md §10): "grid" = per-level grid/cell hashing
     // (§3.1), "sketch" = feeding the CountMin / point-store structures.
@@ -88,17 +123,18 @@ void StreamingCoresetBuilder::update(std::span<const Coord> p, std::int64_t delt
     }
   }
   SKC_TRACE_SPAN("sketch");
-  auto keep = [](std::uint64_t hash_value, const SamplingRate& rate) {
-    return rate.always() || hash_value < f61::kP / rate.m;
-  };
   for (GuessState& guess : guesses_) {
     if (guess.pruned) continue;
     for (int i = 0; i <= L; ++i) {
       const std::size_t li = static_cast<std::size_t>(i);
-      if (keep(h_count[li], guess.psi[li])) guess.counts[li].update(p, delta);
-      if (keep(h_core[li], guess.phi[li]) && !guess.samples[li].dead()) {
-        guess.samples[li].update(p, delta);
-      }
+      if (keep_event(h_count[li], guess.psi[li])) guess.counts[li].update(p, delta);
+    }
+  }
+  for (auto& shared : store_pool_) {
+    if (shared->refs == 0) continue;
+    if (keep_event(h_core[static_cast<std::size_t>(shared->level)], shared->phi) &&
+        !shared->store.dead()) {
+      shared->store.update(p, delta);
     }
   }
   for (DistinctCells& dc : distinct_) dc.update(p, delta);
@@ -106,6 +142,104 @@ void StreamingCoresetBuilder::update(std::span<const Coord> p, std::int64_t delt
   ++events_;
   if (options_.prune_interval > 0 && !options_.exact_storing &&
       events_ % options_.prune_interval == 0) {
+    maybe_prune();
+  }
+}
+
+void StreamingCoresetBuilder::update_batch(std::span<const StreamEvent> events) {
+  const std::size_t B = events.size();
+  if (B == 0) return;
+  const int L = grid_.log_delta();
+  const auto dim = static_cast<std::size_t>(dim_);
+  const auto levels = static_cast<std::size_t>(L + 1);
+
+  batch_pts_.resize(B * dim);
+  batch_delta_.resize(B);
+  batch_h_count_.resize(levels * B);
+  batch_h_core_.resize(levels * B);
+  batch_idx_.resize(levels * B * dim);
+  sel_idx_.resize(B * dim);
+  sel_pts_.resize(B * dim);
+  sel_delta_.resize(B);
+
+  for (std::size_t b = 0; b < B; ++b) {
+    SKC_DCHECK(static_cast<int>(events[b].point.size()) == dim_);
+    std::copy(events[b].point.begin(), events[b].point.end(),
+              batch_pts_.begin() + static_cast<std::ptrdiff_t>(b * dim));
+    batch_delta_[b] = events[b].op == StreamOp::kInsert ? +1 : -1;
+  }
+
+  {
+    // Whole-batch substream hashing and cell indexing: one SoA Horner sweep
+    // per (level, family) and one grid pass per level, shared by every
+    // guess below.
+    SKC_TRACE_SPAN("grid");
+    for (std::size_t i = 0; i < levels; ++i) {
+      hash_counting_[i].hash_batch(batch_pts_.data(), dim, B,
+                                   batch_h_count_.data() + i * B);
+      hash_coreset_[i].hash_batch(batch_pts_.data(), dim, B,
+                                  batch_h_core_.data() + i * B);
+      grid_.cell_index_of_batch(batch_pts_.data(), B, static_cast<int>(i),
+                                batch_idx_.data() + i * B * dim);
+    }
+  }
+
+  {
+    SKC_TRACE_SPAN("sketch");
+    for (GuessState& guess : guesses_) {
+      if (guess.pruned) continue;
+      for (std::size_t i = 0; i < levels; ++i) {
+        const std::uint64_t* hc = batch_h_count_.data() + i * B;
+        const std::int32_t* idx = batch_idx_.data() + i * B * dim;
+        // Counting substream: gather the psi-kept rows, then land them in
+        // one contiguous sweep per sketch row.
+        std::size_t nsel = 0;
+        for (std::size_t b = 0; b < B; ++b) {
+          if (!keep_event(hc[b], guess.psi[i])) continue;
+          std::copy(idx + b * dim, idx + (b + 1) * dim,
+                    sel_idx_.begin() + static_cast<std::ptrdiff_t>(nsel * dim));
+          sel_delta_[nsel] = batch_delta_[b];
+          ++nsel;
+        }
+        if (nsel > 0) {
+          guess.counts[i].update_cells(sel_idx_.data(), sel_delta_.data(), nsel);
+        }
+      }
+    }
+    // Coreset substream, once per deduplicated (level, phi.m) store: the
+    // point store also needs the points themselves (it carries the samples).
+    for (auto& shared : store_pool_) {
+      if (shared->refs == 0 || shared->store.dead()) continue;
+      const auto i = static_cast<std::size_t>(shared->level);
+      const std::uint64_t* hs = batch_h_core_.data() + i * B;
+      const std::int32_t* idx = batch_idx_.data() + i * B * dim;
+      std::size_t nsel = 0;
+      for (std::size_t b = 0; b < B; ++b) {
+        if (!keep_event(hs[b], shared->phi)) continue;
+        std::copy(idx + b * dim, idx + (b + 1) * dim,
+                  sel_idx_.begin() + static_cast<std::ptrdiff_t>(nsel * dim));
+        std::copy(batch_pts_.begin() + static_cast<std::ptrdiff_t>(b * dim),
+                  batch_pts_.begin() + static_cast<std::ptrdiff_t>((b + 1) * dim),
+                  sel_pts_.begin() + static_cast<std::ptrdiff_t>(nsel * dim));
+        sel_delta_[nsel] = batch_delta_[b];
+        ++nsel;
+      }
+      if (nsel > 0) {
+        shared->store.update_batch(sel_pts_.data(), sel_idx_.data(),
+                                   sel_delta_.data(), nsel);
+      }
+    }
+    for (std::size_t i = 0; i < distinct_.size(); ++i) {
+      distinct_[i].update_batch(batch_idx_.data() + i * B * dim,
+                                batch_delta_.data(), B);
+    }
+  }
+
+  for (std::size_t b = 0; b < B; ++b) net_count_ += batch_delta_[b];
+  const std::int64_t events_before = events_;
+  events_ += static_cast<std::int64_t>(B);
+  if (options_.prune_interval > 0 && !options_.exact_storing &&
+      events_before / options_.prune_interval != events_ / options_.prune_interval) {
     maybe_prune();
   }
 }
@@ -121,7 +255,9 @@ void StreamingCoresetBuilder::maybe_prune() {
     if (guess.pruned || guess.o * options_.prune_slack >= lb) continue;
     guess.pruned = true;
     for (CellCountMin& cm : guess.counts) cm.release();
-    for (CellPointStore& ps : guess.samples) ps.release();
+    for (SharedStore* shared : guess.samples) {
+      if (--shared->refs == 0) shared->store.release();
+    }
   }
 }
 
@@ -132,6 +268,9 @@ void StreamingCoresetBuilder::merge_from(const StreamingCoresetBuilder& other) {
   SKC_CHECK(other.options_.exact_storing == options_.exact_storing);
   SKC_CHECK(other.guesses_.size() == guesses_.size());
   SKC_CHECK(other.distinct_.size() == distinct_.size());
+  SKC_CHECK(other.store_pool_.size() == store_pool_.size());
+  // Pass 1: propagate pruned flags and merge the per-guess CountMins.  Store
+  // refcounts drop as guesses prune, so the pool merge below sees final refs.
   for (std::size_t g = 0; g < guesses_.size(); ++g) {
     GuessState& mine = guesses_[g];
     const GuessState& theirs = other.guesses_[g];
@@ -140,15 +279,24 @@ void StreamingCoresetBuilder::merge_from(const StreamingCoresetBuilder& other) {
     if (theirs.pruned) {
       mine.pruned = true;
       for (CellCountMin& cm : mine.counts) cm.release();
-      for (CellPointStore& ps : mine.samples) ps.release();
+      for (SharedStore* shared : mine.samples) {
+        if (--shared->refs == 0) shared->store.release();
+      }
       continue;
     }
     for (std::size_t i = 0; i < mine.counts.size(); ++i) {
       mine.counts[i].merge(theirs.counts[i]);
     }
-    for (std::size_t i = 0; i < mine.samples.size(); ++i) {
-      mine.samples[i].merge(theirs.samples[i]);
-    }
+  }
+  // Pass 2: merge the deduplicated stores once each.  Identical options give
+  // identical pools in identical order; a live store here implies at least
+  // one unpruned guess referencing it, which (post pass 1) implies the same
+  // guess is unpruned on the other side, so the peer store is live too.
+  for (std::size_t s = 0; s < store_pool_.size(); ++s) {
+    SKC_CHECK(store_pool_[s]->level == other.store_pool_[s]->level);
+    SKC_CHECK(store_pool_[s]->phi.m == other.store_pool_[s]->phi.m);
+    if (store_pool_[s]->refs == 0) continue;
+    store_pool_[s]->store.merge(other.store_pool_[s]->store);
   }
   for (std::size_t i = 0; i < distinct_.size(); ++i) {
     distinct_[i].merge(other.distinct_[i]);
@@ -158,8 +306,13 @@ void StreamingCoresetBuilder::merge_from(const StreamingCoresetBuilder& other) {
 }
 
 void StreamingCoresetBuilder::consume(const Stream& stream) {
-  for (const StreamEvent& e : stream) {
-    update(e.point, e.op == StreamOp::kInsert ? +1 : -1);
+  // Batched for throughput; bit-identical to the pointwise loop (see
+  // update_batch).  256 events amortize the per-batch hash sweeps without
+  // letting the scratch rows outgrow L2.
+  constexpr std::size_t kConsumeBatch = 256;
+  for (std::size_t base = 0; base < stream.size(); base += kConsumeBatch) {
+    const std::size_t n = std::min(kConsumeBatch, stream.size() - base);
+    update_batch(std::span<const StreamEvent>(stream.data() + base, n));
   }
 }
 
@@ -210,7 +363,7 @@ StreamingResult StreamingCoresetBuilder::finalize() const {
       const std::size_t li = static_cast<std::size_t>(i);
       const double inv_psi = guess.psi[li].weight();
       const double ti = part_threshold(grid_, params_.partition(), i, guess.o);
-      if (guess.samples[li].dead()) {
+      if (guess.samples[li]->store.dead()) {
         failed = true;
         reason = "sample store saturated";
         break;
@@ -229,7 +382,7 @@ StreamingResult StreamingCoresetBuilder::finalize() const {
             // Crucial candidate: its mass feeds the part estimates and its
             // sampled points feed the coreset.
             data.part_mass[li].push_back(EstimatedCell{child.index, tau});
-            const auto cp = guess.samples[li].cell(child);
+            const auto cp = guess.samples[li]->store.cell(child);
             if (cp && cp->complete) {
               data.sample_points[li].append(cp->points);
             } else if (cp && !cp->complete) {
@@ -276,28 +429,36 @@ std::size_t StreamingCoresetBuilder::memory_bytes() const {
   std::size_t total = 0;
   for (const GuessState& guess : guesses_) {
     for (const CellCountMin& s : guess.counts) total += s.memory_bytes();
-    for (const CellPointStore& s : guess.samples) total += s.memory_bytes();
   }
+  // Shared stores are physical memory once, no matter how many guesses
+  // reference them.
+  for (const auto& shared : store_pool_) total += shared->store.memory_bytes();
   for (const DistinctCells& dc : distinct_) total += dc.memory_bytes();
   return total;
 }
 
 std::size_t StreamingCoresetBuilder::memory_bytes_per_guess() const {
   // Report the largest live guess (pruned guesses hold no memory and would
-  // understate the per-guess footprint).
+  // understate the per-guess footprint).  A guess is charged its referenced
+  // stores in full — the logical per-guess footprint Theorem 4.5 bounds,
+  // even though sharing makes the physical sum smaller.
   std::size_t best = 0;
   for (const GuessState& guess : guesses_) {
     if (guess.pruned) continue;
     std::size_t total = 0;
     for (const CellCountMin& s : guess.counts) total += s.memory_bytes();
-    for (const CellPointStore& s : guess.samples) total += s.memory_bytes();
+    for (const SharedStore* shared : guess.samples) {
+      total += shared->store.memory_bytes();
+    }
     best = std::max(best, total);
   }
   return best;
 }
 
 namespace {
-constexpr std::uint64_t kCheckpointMagic = 0x534b435354524d31ULL;  // "SKCSTRM1"
+// Bumped STRM1 -> STRM2 when point stores moved into the deduplicated pool
+// (serialized once each instead of per guess).
+constexpr std::uint64_t kCheckpointMagic = 0x534b435354524d32ULL;  // "SKCSTRM2"
 }
 
 void StreamingCoresetBuilder::save(std::ostream& out) const {
@@ -311,15 +472,18 @@ void StreamingCoresetBuilder::save(std::ostream& out) const {
   for (const GuessState& guess : guesses_) {
     serial::put<std::uint8_t>(out, guess.pruned ? 1 : 0);
     for (const CellCountMin& cm : guess.counts) cm.save(out);
-    for (const CellPointStore& ps : guess.samples) ps.save(out);
   }
+  // Pool stores once each, in pool order (deterministic given options, so a
+  // same-configured loader rebuilds the identical pool to read into).
+  serial::put<std::uint64_t>(out, store_pool_.size());
+  for (const auto& shared : store_pool_) shared->store.save(out);
   for (const DistinctCells& dc : distinct_) dc.save(out);
 }
 
 bool StreamingCoresetBuilder::load(std::istream& in) {
   std::uint64_t magic = 0;
   std::int32_t dim = 0, log_delta = 0;
-  std::uint64_t seed = 0, nguesses = 0;
+  std::uint64_t seed = 0, nguesses = 0, nstores = 0;
   if (!serial::get(in, magic) || magic != kCheckpointMagic) return false;
   if (!serial::get(in, dim) || dim != dim_) return false;
   if (!serial::get(in, log_delta) || log_delta != options_.log_delta) return false;
@@ -334,9 +498,16 @@ bool StreamingCoresetBuilder::load(std::istream& in) {
     for (CellCountMin& cm : guess.counts) {
       if (!cm.load(in)) return false;
     }
-    for (CellPointStore& ps : guess.samples) {
-      if (!ps.load(in)) return false;
-    }
+  }
+  if (!serial::get(in, nstores) || nstores != store_pool_.size()) return false;
+  for (auto& shared : store_pool_) {
+    if (!shared->store.load(in)) return false;
+  }
+  // Refcounts are derived state: recompute from the loaded pruned flags.
+  for (auto& shared : store_pool_) shared->refs = 0;
+  for (const GuessState& guess : guesses_) {
+    if (guess.pruned) continue;
+    for (SharedStore* shared : guess.samples) ++shared->refs;
   }
   for (DistinctCells& dc : distinct_) {
     if (!dc.load(in)) return false;

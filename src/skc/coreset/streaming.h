@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -83,6 +84,15 @@ struct StreamingOptions {
   /// prunes.  0 disables.
   std::int64_t prune_interval = 4096;
   double prune_slack = 100.0;
+
+  /// NitroSketch-style sampled CountMin updates (flag-gated, OFF by
+  /// default): each kept counting-substream event updates one sampled
+  /// sketch row with a compensating depth x increment instead of all rows,
+  /// and the engine may raise the skip factor under queue pressure
+  /// (set_countmin_sample_skip).  Cuts per-event sketch cost ~depth x at the
+  /// price of statistical (two-sided) count estimates; ignored in exact
+  /// mode.  See DESIGN.md §12.
+  bool sampled_countmin = false;
 };
 
 struct StreamingResult {
@@ -101,8 +111,26 @@ class StreamingCoresetBuilder {
   void erase(std::span<const Coord> p) { update(p, -1); }
   void update(std::span<const Coord> p, std::int64_t delta);
 
-  /// Feeds a whole stream.
+  /// Batched ingest: drains a whole event batch level-by-level instead of
+  /// point-by-point.  Per batch, the shared per-level substream hashes and
+  /// cell indices are evaluated ONCE over all events (SoA Horner batches in
+  /// src/skc/hash/), then every guess consumes precomputed rows — the
+  /// pointwise path instead recomputes the cell index inside every sketch
+  /// structure it touches.  The result is bit-identical to feeding the same
+  /// events through update() in order (every per-structure event sequence
+  /// is preserved; this is a pure reorganization of the same field ops),
+  /// with one scheduling exception: mid-stream pruning fires at batch
+  /// boundaries when an interval multiple was crossed inside the batch.
+  void update_batch(std::span<const StreamEvent> events);
+
+  /// Feeds a whole stream (batched).
   void consume(const Stream& stream);
+
+  /// Sampled-countmin mode only (StreamingOptions::sampled_countmin):
+  /// forwards the skip factor m to every live CountMin; 1 = sample every
+  /// kept event onto one row, m > 1 = land ~1/m of them with m-scaled
+  /// compensation.  The engine adapts m to its queue depth.
+  void set_countmin_sample_skip(std::uint32_t m);
 
   /// Linear-sketch merge: folds another builder constructed with IDENTICAL
   /// (dim, params, options) into this one (checked).  Because every
@@ -139,14 +167,34 @@ class StreamingCoresetBuilder {
   bool load(std::istream& in);
 
  private:
+  /// One physical CellPointStore shared by every guess with the same
+  /// (level, phi.m).  The store has no per-guess randomness (no seed), and
+  /// the hat-h substream keep predicate `h_core[level] < p / m` depends only
+  /// on the shared per-level hash and the rounded rate m — so all guesses
+  /// with equal (level, m) would feed byte-identical event sequences into
+  /// byte-identical structures.  Deduplicating them is a pure win: the
+  /// profile shows the per-guess copies dominating ingest (hash-map walks),
+  /// and memory drops by the sharing factor.  `refs` counts live (unpruned)
+  /// guesses; the store is released when it hits zero.
+  struct SharedStore {
+    SharedStore(int level_in, SamplingRate phi_in, const HierarchicalGrid& grid,
+                const PointStoreConfig& config)
+        : level(level_in), phi(phi_in), store(grid, level_in, config) {}
+    int level;
+    SamplingRate phi;
+    int refs = 0;
+    CellPointStore store;
+  };
+
   struct GuessState {
     double o = 1.0;
     bool pruned = false;
     // Indexed by level: counts has L entries (levels 0..L-1, marking only
     // needs counts above the leaf level... plus level L for part masses),
-    // so both vectors carry L+1 entries (levels 0..L).
+    // so both vectors carry L+1 entries (levels 0..L).  samples point into
+    // store_pool_ (shared across guesses; see SharedStore).
     std::vector<CellCountMin> counts;
-    std::vector<CellPointStore> samples;
+    std::vector<SharedStore*> samples;
     std::vector<SamplingRate> psi, phi;
   };
 
@@ -156,10 +204,29 @@ class StreamingCoresetBuilder {
   HierarchicalGrid grid_;
   std::vector<KWiseHash> hash_counting_, hash_coreset_;
   std::vector<GuessState> guesses_;
+  // Deduplicated point stores, in creation order (guess-major / level-minor
+  // first occurrence — deterministic given options, which save/load and
+  // merge_from rely on).  unique_ptr keeps addresses stable for the
+  // guess-side pointers.
+  std::vector<std::unique_ptr<SharedStore>> store_pool_;
   std::vector<DistinctCells> distinct_;
   void maybe_prune();
   std::int64_t net_count_ = 0;
   std::int64_t events_ = 0;
+
+  // Ingest scratch, hoisted out of the hot path (the builder is single-
+  // writer: the engine serializes updates under the shard lock).  The
+  // pointwise path reuses the two per-level hash rows; the batch path lays
+  // scratch out level-major: hashes at [level * B + event], cell indices at
+  // [(level * B + event) * dim + coord].
+  std::vector<std::uint64_t> h_count_scratch_, h_core_scratch_;
+  std::vector<Coord> batch_pts_;
+  std::vector<std::int64_t> batch_delta_;
+  std::vector<std::uint64_t> batch_h_count_, batch_h_core_;
+  std::vector<std::int32_t> batch_idx_;
+  std::vector<std::int32_t> sel_idx_;
+  std::vector<Coord> sel_pts_;
+  std::vector<std::int64_t> sel_delta_;
 };
 
 /// Convenience: stream -> coreset in one call.

@@ -147,14 +147,27 @@ void ClusteringEngine::drain(Shard& shard) {
       continue;
     }
     std::int64_t inserts = 0;
+    for (const StreamEvent& e : batch) {
+      if (e.op == StreamOp::kInsert) ++inserts;
+    }
     {
       SKC_TRACE_SPAN("drain");
       std::lock_guard<std::mutex> lock(shard.builder_mu);
-      for (const StreamEvent& e : batch) {
-        const std::int64_t delta = e.op == StreamOp::kInsert ? +1 : -1;
-        shard.builder->update(e.point, delta);
-        if (delta > 0) ++inserts;
+      if (options_.streaming.sampled_countmin) {
+        // Adapt the NitroSketch skip factor to queue pressure: a deep
+        // backlog trades sketch-row coverage for drain throughput, an empty
+        // queue restores exact (skip 1) landing.  Thresholds are in events
+        // relative to the configured drain batch.
+        const std::size_t depth = shard.queue.size();
+        std::uint32_t skip = 1;
+        if (depth >= 8 * options_.drain_batch) {
+          skip = 4;
+        } else if (depth >= 2 * options_.drain_batch) {
+          skip = 2;
+        }
+        shard.builder->set_countmin_sample_skip(skip);
       }
+      shard.builder->update_batch(batch);
     }
     const auto applied = static_cast<std::int64_t>(batch.size());
     counters_.events_applied.fetch_add(applied, std::memory_order_relaxed);
@@ -450,6 +463,7 @@ std::uint64_t engine_config_fingerprint(int dim, const CoresetParams& params,
   mix(static_cast<std::uint64_t>(streaming.distinct_budget));
   mix(static_cast<std::uint64_t>(streaming.prune_interval));
   mix_d(streaming.prune_slack);
+  mix(streaming.sampled_countmin ? 1 : 0);
   return h;
 }
 

@@ -43,6 +43,20 @@ void HierarchicalGrid::cell_index_of(std::span<const Coord> p, int level,
   }
 }
 
+void HierarchicalGrid::cell_index_of_batch(const Coord* points, std::size_t n,
+                                           int level, std::int32_t* out) const {
+  SKC_DCHECK(level >= 0 && level <= log_delta_);
+  const int bits = log_delta_ - level;  // g_i = 2^bits
+  const auto dim = static_cast<std::size_t>(dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Coord* p = points + i * dim;
+    std::int32_t* o = out + i * dim;
+    for (std::size_t j = 0; j < dim; ++j) {
+      o[j] = floor_div_pow2(static_cast<std::int64_t>(p[j]) - shift_[j], bits);
+    }
+  }
+}
+
 CellKey HierarchicalGrid::cell_of(std::span<const Coord> p, int level) const {
   if (level < 0) return CellKey{};  // the virtual root
   CellKey key;

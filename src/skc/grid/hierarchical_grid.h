@@ -12,6 +12,7 @@
 // membership only depends on floor((p - v)/g_i), and g_i is integral).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -78,6 +79,13 @@ class HierarchicalGrid {
   /// allocating; hot path for sketch updates.
   void cell_index_of(std::span<const Coord> p, int level,
                      std::span<std::int32_t> out) const;
+
+  /// Batch form: `points` holds n points back-to-back (row-major, n * dim
+  /// coordinates); writes the n cell index rows into `out` (n * dim
+  /// entries).  One pass per drained batch replaces the per-event,
+  /// per-structure recomputation in the pointwise path.
+  void cell_index_of_batch(const Coord* points, std::size_t n, int level,
+                           std::int32_t* out) const;
 
   /// Parent cell (one level coarser).  Parent of a level-0 cell is the root.
   CellKey parent(const CellKey& cell) const;

@@ -18,6 +18,7 @@
 // caller rounds psi to 1/m first (see SamplingRate).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "skc/common/random.h"
 #include "skc/common/types.h"
 #include "skc/hash/field61.h"
+#include "skc/hash/field61_batch.h"
 
 namespace skc {
 
@@ -55,6 +57,24 @@ class VectorFold {
     return f61::add(acc, salt_);
   }
 
+  /// Folds `n` keys of `len` coordinates stored back-to-back (row-major) into
+  /// `out[0..n)`.  Bit-identical to n calls of the Coord overload; the
+  /// coordinate loop is hoisted outside the lane loop (SoA order) so the
+  /// field multiplies of independent keys pipeline (and vectorize under
+  /// SKC_SIMD).
+  void fold_batch(const Coord* keys, std::size_t len, std::size_t n,
+                  std::uint64_t* out) const;
+
+  /// Same, for keys already widened to int64 semantics (matches the int64
+  /// overload's 2^62 offset) but stored as int32 — the cell-index layout the
+  /// sketch batch paths carry.
+  void fold_cells_batch(const std::int32_t* keys, std::size_t len, std::size_t n,
+                        std::uint64_t* out) const;
+
+  /// Same, for int64 rows (matches the int64 overload exactly).
+  void fold64_batch(const std::int64_t* keys, std::size_t len, std::size_t n,
+                    std::uint64_t* out) const;
+
  private:
   std::uint64_t theta_ = 3;
   std::uint64_t salt_ = 0;
@@ -78,8 +98,24 @@ class KWiseHash {
     return acc;
   }
 
+  /// Horner evaluation over a batch of field elements, in place: xs[i] is
+  /// replaced by eval(xs[i]).  Bit-identical to n scalar eval() calls; the
+  /// coefficient loop runs outside the lane loop (SoA order).
+  void eval_batch(std::uint64_t* xs, std::size_t n) const;
+
   /// Hash of a coordinate vector via the fold.
   std::uint64_t operator()(std::span<const Coord> p) const { return eval(fold_(p)); }
+
+  /// Batch hash of `n` keys of `len` coordinates stored row-major:
+  /// out[i] = eval(fold(keys[i*len .. i*len+len))).  Bit-identical to n
+  /// scalar operator() calls.
+  void hash_batch(const Coord* keys, std::size_t len, std::size_t n,
+                  std::uint64_t* out) const {
+    fold_.fold_batch(keys, len, n, out);
+    eval_batch(out, n);
+  }
+
+  const VectorFold& fold() const { return fold_; }
 
  private:
   VectorFold fold_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "skc/common/check.h"
 #include "skc/common/random.h"
@@ -40,6 +41,37 @@ void DistinctCells::update(std::span<const Coord> p, std::int64_t delta) {
 
   // Shrink when over budget: halve the threshold and evict.
   shrink_to_budget();
+}
+
+void DistinctCells::update_batch(const std::int32_t* cell_idx,
+                                 const std::int64_t* deltas, std::size_t n) {
+  const auto dim = static_cast<std::size_t>(grid_->dim());
+  static_assert(std::is_same_v<Coord, std::int32_t>,
+                "cell index rows are hashed as coordinate vectors");
+  std::uint64_t hashes[f61::kBatchTile];
+  CellKey key;
+  key.level = level_;
+  for (std::size_t base = 0; base < n; base += f61::kBatchTile) {
+    const std::size_t tn = std::min(f61::kBatchTile, n - base);
+    hash_.hash_batch(cell_idx + base * dim, dim, tn, hashes);
+    for (std::size_t b = 0; b < tn; ++b) {
+      // The kept threshold can shrink mid-batch (shrink_to_budget), so it is
+      // re-read per event exactly as the pointwise path does.
+      const std::uint64_t threshold = f61::kP >> shift_;
+      if (hashes[b] >= threshold) continue;
+      const std::size_t i = base + b;
+      key.index.assign(cell_idx + i * dim, cell_idx + (i + 1) * dim);
+      auto it = kept_.find(key);
+      if (it == kept_.end()) {
+        if (deltas[i] <= 0) continue;
+        kept_.emplace(key, deltas[i]);
+      } else {
+        it->second += deltas[i];
+        if (it->second <= 0) kept_.erase(it);
+      }
+      shrink_to_budget();
+    }
+  }
 }
 
 void DistinctCells::shrink_to_budget() {

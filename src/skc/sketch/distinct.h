@@ -33,6 +33,13 @@ class DistinctCells {
 
   void update(std::span<const Coord> p, std::int64_t delta);
 
+  /// Batch form over precomputed level-`level` cell indices (`cell_idx`
+  /// holds n rows of grid dim entries).  Equivalent to n pointwise updates
+  /// in order — bit-identical state; the cell hash is evaluated over the
+  /// whole batch at once (SoA Horner) instead of per event.
+  void update_batch(const std::int32_t* cell_idx, const std::int64_t* deltas,
+                    std::size_t n);
+
   /// Estimated number of distinct non-empty cells.
   double estimate() const;
 

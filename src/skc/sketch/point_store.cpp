@@ -68,6 +68,45 @@ void CellPointStore::update(std::span<const Coord> p, std::int64_t delta) {
   }
 }
 
+void CellPointStore::update_batch(const Coord* points, const std::int32_t* cell_idx,
+                                  const std::int64_t* deltas, std::size_t n) {
+  const auto dim = static_cast<std::size_t>(grid_->dim());
+  CellKey key;
+  key.level = level_;
+  std::string packed;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dead_) return;  // a pointwise caller checks dead() per event
+    ++events_;
+    key.index.assign(cell_idx + i * dim, cell_idx + (i + 1) * dim);
+    Entry& entry = cells_[key];
+    entry.net += deltas[i];
+    entry.net_peak = std::max(entry.net_peak, entry.net);
+    if (!entry.tombstoned) {
+      packed.assign(reinterpret_cast<const char*>(points + i * dim),
+                    dim * sizeof(Coord));
+      auto it = entry.points.find(packed);
+      if (it == entry.points.end()) {
+        if (deltas[i] > 0) {
+          entry.points.emplace(packed, deltas[i]);
+          ++live_points_;
+        }
+      } else {
+        it->second += deltas[i];
+        if (it->second == 0) {
+          entry.points.erase(it);
+          --live_points_;
+        }
+      }
+      maybe_evict(entry);
+    }
+    if (!config_.exact && live_points_ > config_.max_live_points) {
+      dead_ = true;
+      cells_.clear();
+      live_points_ = 0;
+    }
+  }
+}
+
 std::optional<CellPointStore::CellPoints> CellPointStore::cell(
     const CellKey& key) const {
   SKC_DCHECK(key.level == level_);

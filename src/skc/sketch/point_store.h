@@ -54,6 +54,16 @@ class CellPointStore {
 
   void update(std::span<const Coord> p, std::int64_t delta);
 
+  /// Batch form over precomputed cell indices: `points` holds n points
+  /// row-major (n * dim coords), `cell_idx` their level-`level()` cell index
+  /// rows (same layout), `deltas` the signed multiplicities.  Equivalent to
+  /// n pointwise updates in order (bit-identical state, including the
+  /// eviction history); stops counting events once the structure dies
+  /// mid-batch, matching a caller that checks dead() before every pointwise
+  /// update.
+  void update_batch(const Coord* points, const std::int32_t* cell_idx,
+                    const std::int64_t* deltas, std::size_t n);
+
   bool dead() const { return dead_; }
   std::int64_t events() const { return events_; }
 

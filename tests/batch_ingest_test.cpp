@@ -1,0 +1,498 @@
+// Batch-vs-pointwise determinism for the batched ingest hot path.
+//
+// The batch APIs (hash_batch / cell_index_of_batch / update_cells /
+// update_batch, and StreamingCoresetBuilder::update_batch above them) claim
+// to be pure reorganizations of the pointwise field operations: in exact
+// mode AND in non-sampled sketch mode, feeding the same events through the
+// batch path must leave every structure in a byte-identical serialized
+// state.  These tests pin that claim at every layer, then bound the
+// statistical error of the flag-gated sampled CountMin mode against the
+// plain sketch at matched memory.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "skc/coreset/sampling.h"
+#include "skc/coreset/streaming.h"
+#include "skc/engine/engine.h"
+#include "skc/grid/hierarchical_grid.h"
+#include "skc/hash/kwise_hash.h"
+#include "skc/sketch/countmin.h"
+#include "skc/sketch/distinct.h"
+#include "skc/sketch/point_store.h"
+#include "skc/sketch/recovery.h"
+#include "skc/stream/generators.h"
+#include "test_util.h"
+
+namespace skc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hash kernels: batch forms are bit-identical to the scalar loops.
+// ---------------------------------------------------------------------------
+
+TEST(BatchHash, FoldBatchMatchesScalar) {
+  Rng rng(11);
+  VectorFold fold(rng);
+  const std::size_t len = 5, n = 67;  // non-multiple of the batch tile
+  std::vector<Coord> keys(n * len);
+  for (auto& c : keys) c = static_cast<Coord>(rng.uniform_int(-1000, 1000));
+  std::vector<std::uint64_t> batch(n);
+  fold.fold_batch(keys.data(), len, n, batch.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(batch[i], fold(std::span<const Coord>(keys.data() + i * len, len)))
+        << "lane " << i;
+  }
+}
+
+TEST(BatchHash, FoldCellsBatchMatchesInt64Overload) {
+  Rng rng(12);
+  VectorFold fold(rng);
+  const std::size_t len = 3, n = 40;
+  std::vector<std::int32_t> keys(n * len);
+  for (auto& c : keys) c = static_cast<std::int32_t>(rng.uniform_int(-512, 512));
+  std::vector<std::uint64_t> batch(n);
+  fold.fold_cells_batch(keys.data(), len, n, batch.data());
+  std::vector<std::int64_t> wide(len);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < len; ++j) wide[j] = keys[i * len + j];
+    EXPECT_EQ(batch[i], fold(std::span<const std::int64_t>(wide))) << "lane " << i;
+  }
+}
+
+TEST(BatchHash, Fold64BatchMatchesInt64Overload) {
+  Rng rng(13);
+  VectorFold fold(rng);
+  const std::size_t len = 4, n = 33;
+  std::vector<std::int64_t> keys(n * len);
+  for (auto& c : keys) c = rng.uniform_int(-100000, 100000);
+  std::vector<std::uint64_t> batch(n);
+  fold.fold64_batch(keys.data(), len, n, batch.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(batch[i],
+              fold(std::span<const std::int64_t>(keys.data() + i * len, len)))
+        << "lane " << i;
+  }
+}
+
+TEST(BatchHash, EvalBatchMatchesScalar) {
+  Rng rng(14);
+  KWiseHash hash(8, rng);
+  const std::size_t n = 100;
+  std::vector<std::uint64_t> xs(n), expect(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.next() % f61::kP;
+    expect[i] = hash.eval(xs[i]);
+  }
+  hash.eval_batch(xs.data(), n);
+  EXPECT_EQ(xs, expect);
+}
+
+TEST(BatchHash, HashBatchMatchesScalar) {
+  Rng rng(15);
+  KWiseHash hash(6, rng);
+  const std::size_t len = 2, n = 51;
+  std::vector<Coord> keys(n * len);
+  for (auto& c : keys) c = static_cast<Coord>(rng.uniform_int(1, 1 << 14));
+  std::vector<std::uint64_t> batch(n);
+  hash.hash_batch(keys.data(), len, n, batch.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(batch[i], hash(std::span<const Coord>(keys.data() + i * len, len)))
+        << "lane " << i;
+  }
+}
+
+TEST(BatchGrid, CellIndexBatchMatchesPointwise) {
+  const HierarchicalGrid grid = make_grid(3, 10, 77);
+  Rng rng(16);
+  const std::size_t n = 45;
+  std::vector<Coord> pts(n * 3);
+  for (auto& c : pts) c = static_cast<Coord>(rng.uniform_int(1, 1 << 10));
+  std::vector<std::int32_t> batch(n * 3), one(3);
+  for (int level = 0; level <= 10; level += 5) {
+    grid.cell_index_of_batch(pts.data(), n, level, batch.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      grid.cell_index_of(std::span<const Coord>(pts.data() + i * 3, 3), level,
+                         one);
+      for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(batch[i * 3 + j], one[j]) << "point " << i << " level " << level;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sketch structures: batch update == pointwise update, serialized bytes.
+// ---------------------------------------------------------------------------
+
+template <typename S>
+std::string serialized(const S& s) {
+  std::ostringstream out(std::ios::binary);
+  s.save(out);
+  return std::move(out).str();
+}
+
+struct CellEventBatch {
+  std::vector<Coord> pts;          // n * dim
+  std::vector<std::int32_t> idx;   // n * dim
+  std::vector<std::int64_t> delta; // n
+  std::size_t n = 0;
+};
+
+// Churny cell-event workload: random points, ~1/3 deletions of earlier points.
+CellEventBatch make_cell_events(const HierarchicalGrid& grid, int level,
+                                std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  CellEventBatch out;
+  const auto dim = static_cast<std::size_t>(grid.dim());
+  out.n = n;
+  out.pts.resize(n * dim);
+  out.idx.resize(n * dim);
+  out.delta.resize(n);
+  std::vector<Coord> p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 4 && rng.uniform_int(0, 2) == 0) {
+      // Delete a previously inserted point (keeps net counts >= 0 per point
+      // in expectation; the structures tolerate any signed multiset anyway).
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::copy(out.pts.begin() + static_cast<std::ptrdiff_t>(j * dim),
+                out.pts.begin() + static_cast<std::ptrdiff_t>((j + 1) * dim),
+                out.pts.begin() + static_cast<std::ptrdiff_t>(i * dim));
+      out.delta[i] = -1;
+    } else {
+      for (std::size_t d = 0; d < dim; ++d) {
+        out.pts[i * dim + d] =
+            static_cast<Coord>(rng.uniform_int(1, grid.delta()));
+      }
+      out.delta[i] = +1;
+    }
+  }
+  grid.cell_index_of_batch(out.pts.data(), n, level, out.idx.data());
+  return out;
+}
+
+TEST(BatchSketch, CountMinUpdateCellsMatchesPointwise) {
+  const HierarchicalGrid grid = make_grid(2, 8, 5);
+  const int level = 4;
+  const CellEventBatch ev = make_cell_events(grid, level, 700, 21);
+  for (const bool exact : {false, true}) {
+    CellCountMinConfig cfg;
+    cfg.width = 64;
+    cfg.depth = 3;
+    cfg.exact = exact;
+    CellCountMin pointwise(grid, level, cfg, 99);
+    CellCountMin batched(grid, level, cfg, 99);
+    for (std::size_t i = 0; i < ev.n; ++i) {
+      pointwise.update(std::span<const Coord>(ev.pts.data() + i * 2, 2),
+                       ev.delta[i]);
+    }
+    // Feed in two unequal chunks to cross the internal tile boundary.
+    batched.update_cells(ev.idx.data(), ev.delta.data(), 123);
+    batched.update_cells(ev.idx.data() + 123 * 2, ev.delta.data() + 123,
+                         ev.n - 123);
+    EXPECT_EQ(serialized(batched), serialized(pointwise))
+        << (exact ? "exact" : "sketch") << " mode";
+    EXPECT_EQ(batched.events(), pointwise.events());
+  }
+}
+
+TEST(BatchSketch, PointStoreUpdateBatchMatchesPointwiseIncludingEviction) {
+  const HierarchicalGrid grid = make_grid(2, 8, 6);
+  const int level = 5;
+  const CellEventBatch ev = make_cell_events(grid, level, 900, 22);
+  PointStoreConfig cfg;
+  cfg.watermark = 4;  // force tombstoning mid-stream
+  cfg.max_live_points = 1 << 12;
+  for (const bool exact : {false, true}) {
+    PointStoreConfig c = cfg;
+    c.exact = exact;
+    CellPointStore pointwise(grid, level, c);
+    CellPointStore batched(grid, level, c);
+    for (std::size_t i = 0; i < ev.n; ++i) {
+      if (pointwise.dead()) break;
+      pointwise.update(std::span<const Coord>(ev.pts.data() + i * 2, 2),
+                       ev.delta[i]);
+    }
+    batched.update_batch(ev.pts.data(), ev.idx.data(), ev.delta.data(), ev.n);
+    EXPECT_EQ(serialized(batched), serialized(pointwise))
+        << (exact ? "exact" : "sketch") << " mode";
+    EXPECT_EQ(batched.events(), pointwise.events());
+    EXPECT_EQ(batched.dead(), pointwise.dead());
+  }
+}
+
+TEST(BatchSketch, PointStoreBatchStopsCountingWhenDeadMidBatch) {
+  const HierarchicalGrid grid = make_grid(2, 8, 7);
+  const int level = 0;  // one coarse level: few cells, dies fast
+  PointStoreConfig cfg;
+  cfg.watermark = 1 << 20;
+  cfg.max_live_points = 8;  // death after 8 live points
+  const CellEventBatch ev = make_cell_events(grid, level, 64, 23);
+  CellPointStore pointwise(grid, level, cfg);
+  CellPointStore batched(grid, level, cfg);
+  for (std::size_t i = 0; i < ev.n; ++i) {
+    if (pointwise.dead()) break;  // the builder's caller-side check
+    pointwise.update(std::span<const Coord>(ev.pts.data() + i * 2, 2),
+                     ev.delta[i]);
+  }
+  batched.update_batch(ev.pts.data(), ev.idx.data(), ev.delta.data(), ev.n);
+  ASSERT_TRUE(pointwise.dead());
+  EXPECT_TRUE(batched.dead());
+  EXPECT_EQ(batched.events(), pointwise.events());
+  EXPECT_EQ(serialized(batched), serialized(pointwise));
+}
+
+TEST(BatchSketch, DistinctCellsUpdateBatchMatchesPointwise) {
+  const HierarchicalGrid grid = make_grid(2, 8, 8);
+  const int level = 6;
+  const CellEventBatch ev = make_cell_events(grid, level, 800, 24);
+  // Tiny budget so shrink_to_budget fires repeatedly mid-batch.
+  DistinctCells pointwise(grid, level, 8, 55);
+  DistinctCells batched(grid, level, 8, 55);
+  for (std::size_t i = 0; i < ev.n; ++i) {
+    pointwise.update(std::span<const Coord>(ev.pts.data() + i * 2, 2),
+                     ev.delta[i]);
+  }
+  batched.update_batch(ev.idx.data(), ev.delta.data(), ev.n);
+  EXPECT_EQ(serialized(batched), serialized(pointwise));
+  EXPECT_DOUBLE_EQ(batched.estimate(), pointwise.estimate());
+}
+
+TEST(BatchSketch, SparseRecoveryUpdateBatchMatchesPointwise) {
+  SparseRecovery::Config cfg;
+  cfg.item_len = 3;
+  cfg.capacity = 16;
+  Rng rng(25);
+  SparseRecovery pointwise(cfg, 77);
+  SparseRecovery batched(cfg, 77);
+  const std::size_t n = 50;
+  std::vector<std::int64_t> items(n * 3), deltas(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      items[i * 3 + j] = rng.uniform_int(-20, 20);
+    }
+    deltas[i] = rng.uniform_int(-2, 3);  // includes delta == 0 rows
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    pointwise.update(std::span<const std::int64_t>(items.data() + i * 3, 3),
+                     deltas[i]);
+  }
+  batched.update_batch(items.data(), deltas.data(), n);
+  const auto a = pointwise.decode();
+  const auto b = batched.decode();
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (a && b) {
+    ASSERT_EQ(a->size(), b->size());
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].item, (*b)[i].item);
+      EXPECT_EQ((*a)[i].count, (*b)[i].count);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Builder + engine determinism on a 10k-event churn stream.
+// ---------------------------------------------------------------------------
+
+Stream churn_10k(std::uint64_t seed) {
+  MixtureConfig cfg;
+  cfg.dim = 2;
+  cfg.log_delta = 9;
+  cfg.clusters = 3;
+  cfg.n = 6000;
+  cfg.spread = 0.02;
+  cfg.skew = 1.0;
+  Rng rng(seed);
+  PointSet base = gaussian_mixture(cfg, rng);
+  cfg.n = 2000;
+  PointSet extra = gaussian_mixture(cfg, rng);
+  Rng srng(seed + 1);
+  return churn_stream(base, extra, ChurnConfig{}, srng);  // 10k events
+}
+
+StreamingOptions exact_options(PointIndex n) {
+  StreamingOptions opt;
+  opt.log_delta = 9;
+  opt.max_points = n;
+  opt.counting_samples = 1e18;
+  opt.exact_storing = true;
+  return opt;
+}
+
+StreamingOptions sketch_options(PointIndex n) {
+  StreamingOptions opt;
+  opt.log_delta = 9;
+  opt.max_points = n;
+  opt.prune_interval = 0;  // pruning fires at batch boundaries, so disable it
+                           // for the strict byte-equality claim
+  return opt;
+}
+
+TEST(BatchIngest, BuilderBatchBytesIdenticalToPointwiseEveryBatchSize) {
+  const Stream stream = churn_10k(31);
+  ASSERT_EQ(stream.size(), 10000u);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  for (const bool exact : {true, false}) {
+    const StreamingOptions opt = exact
+                                     ? exact_options(PointIndex(stream.size()))
+                                     : sketch_options(PointIndex(stream.size()));
+    StreamingCoresetBuilder pointwise(2, params, opt);
+    for (const StreamEvent& e : stream) {
+      pointwise.update(e.point, e.op == StreamOp::kInsert ? +1 : -1);
+    }
+    const std::string want = serialized(pointwise);
+    for (const std::size_t bsz : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{256},
+                                  std::size_t{1024}, stream.size()}) {
+      StreamingCoresetBuilder batched(2, params, opt);
+      for (std::size_t base = 0; base < stream.size(); base += bsz) {
+        const std::size_t n = std::min(bsz, stream.size() - base);
+        batched.update_batch(
+            std::span<const StreamEvent>(stream.data() + base, n));
+      }
+      EXPECT_EQ(serialized(batched), want)
+          << (exact ? "exact" : "sketch") << " mode, batch size " << bsz;
+      EXPECT_EQ(batched.events(), pointwise.events());
+      EXPECT_EQ(batched.net_count(), pointwise.net_count());
+    }
+  }
+}
+
+TEST(BatchIngest, EngineCoresetIdenticalToPointwiseBuilderEveryShardCount) {
+  const Stream stream = churn_10k(32);
+  const CoresetParams params = CoresetParams::practical(3, LrOrder{2.0}, 0.3, 0.3);
+  const StreamingOptions opt = exact_options(PointIndex(stream.size()));
+
+  StreamingCoresetBuilder reference(2, params, opt);
+  for (const StreamEvent& e : stream) {
+    reference.update(e.point, e.op == StreamOp::kInsert ? +1 : -1);
+  }
+  const StreamingResult want = reference.finalize();
+  ASSERT_TRUE(want.ok);
+
+  for (const int shards : {1, 2, 4, 8}) {
+    EngineOptions eopt;
+    eopt.num_shards = shards;
+    eopt.worker_threads = 0;  // inline drains: deterministic
+    eopt.streaming = opt;
+    eopt.merge_mode = MergeMode::kSketch;
+    ClusteringEngine engine(2, params, eopt);
+    engine.submit(stream);
+    EngineQuery q;
+    q.summary_only = true;
+    const EngineQueryResult got = engine.query(q);
+    ASSERT_TRUE(got.ok) << got.error << " (shards " << shards << ")";
+    EXPECT_DOUBLE_EQ(got.summary.o, want.coreset.o) << "shards " << shards;
+    EXPECT_EQ(testutil::canonical_multiset(got.summary.points),
+              testutil::canonical_multiset(want.coreset.points))
+        << "shards " << shards;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sampled CountMin: statistical error bound at matched memory.
+// ---------------------------------------------------------------------------
+
+TEST(SampledCountMin, ErrorBoundedVersusExactAtMatchedMemory) {
+  const HierarchicalGrid grid = make_grid(2, 8, 9);
+  const int level = 3;
+  CellCountMinConfig cfg;
+  cfg.width = 512;
+  cfg.depth = 3;
+  CellCountMinConfig scfg = cfg;
+  scfg.sampled = true;  // same width * depth memory, sampled landing
+
+  CellCountMin plain(grid, level, cfg, 123);
+  CellCountMin sampled(grid, level, scfg, 123);
+  std::unordered_map<CellKey, std::int64_t, CellKeyHash> truth;
+
+  // Skewed workload: a handful of hot points carry most of the mass.
+  Rng rng(33);
+  const std::size_t kPoints = 64, kEvents = 60000;
+  std::vector<Coord> pts(kPoints * 2);
+  for (auto& c : pts) c = static_cast<Coord>(rng.uniform_int(1, 1 << 8));
+  for (std::size_t e = 0; e < kEvents; ++e) {
+    // Zipf-ish pick: index ~ min of two uniforms biases toward 0.
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kPoints) - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kPoints) - 1));
+    const std::size_t i = std::min(a, b);
+    const std::span<const Coord> p(pts.data() + i * 2, 2);
+    plain.update(p, +1);
+    sampled.update(p, +1);
+    truth[grid.cell_of(p, level)] += 1;
+  }
+
+  for (const auto& [key, count] : truth) {
+    if (count < 2000) continue;  // bound the heavy hitters, where the
+                                 // relative-error claim is meaningful
+    const double t = static_cast<double>(count);
+    // Plain CountMin estimates are one-sided (never undercount).
+    EXPECT_GE(plain.query(key), t);
+    EXPECT_LE(plain.query(key), 1.25 * t);
+    // Sampled estimates are two-sided but concentrated: with depth 3 and
+    // >= 2000 landings expected per heavy cell, 25% relative slack holds
+    // with huge margin for the fixed seed.
+    EXPECT_NEAR(sampled.query(key), t, 0.25 * t) << "cell count " << count;
+  }
+
+  // Raising the skip factor keeps estimates unbiased (looser tolerance:
+  // variance grows by the skip).
+  CellCountMin skipped(grid, level, scfg, 321);
+  skipped.set_sample_skip(4);
+  std::unordered_map<CellKey, std::int64_t, CellKeyHash> truth2;
+  for (std::size_t e = 0; e < kEvents; ++e) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kPoints) / 8));
+    const std::span<const Coord> p(pts.data() + i * 2, 2);
+    skipped.update(p, +1);
+    truth2[grid.cell_of(p, level)] += 1;
+  }
+  for (const auto& [key, count] : truth2) {
+    if (count < 4000) continue;
+    const double t = static_cast<double>(count);
+    EXPECT_NEAR(skipped.query(key), t, 0.4 * t) << "cell count " << count;
+  }
+}
+
+TEST(SampledCountMin, MergeRefusesMixedModes) {
+  const HierarchicalGrid grid = make_grid(2, 6, 10);
+  CellCountMinConfig cfg;
+  cfg.width = 32;
+  cfg.depth = 2;
+  CellCountMinConfig scfg = cfg;
+  scfg.sampled = true;
+  CellCountMin plain(grid, 2, cfg, 1);
+  CellCountMin sampled(grid, 2, scfg, 1);
+  EXPECT_DEATH(plain.merge(sampled), "sampled");
+}
+
+TEST(SampledCountMin, ExactModeIgnoresSampledFlag) {
+  const HierarchicalGrid grid = make_grid(2, 6, 11);
+  CellCountMinConfig cfg;
+  cfg.width = 32;
+  cfg.depth = 2;
+  cfg.exact = true;
+  cfg.sampled = true;  // must be ignored: exact mode stays exact
+  CellCountMin cm(grid, 2, cfg, 1);
+  Rng rng(44);
+  std::vector<Coord> p(2);
+  std::unordered_map<CellKey, std::int64_t, CellKeyHash> truth;
+  for (int e = 0; e < 500; ++e) {
+    for (auto& c : p) c = static_cast<Coord>(rng.uniform_int(1, 1 << 6));
+    cm.update(p, +1);
+    truth[grid.cell_of(p, 2)] += 1;
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_DOUBLE_EQ(cm.query(key), static_cast<double>(count));
+  }
+}
+
+}  // namespace
+}  // namespace skc
