@@ -173,6 +173,103 @@ int main(int argc, char** argv) {
     server.stop();
     engine.shutdown();
   }
+
+  // -------------------------------------------------------------------------
+  // Tenant mix: the same wire, but a TenantServer multiplexing a Zipf
+  // tenant-churn workload — each client round-robins over its slice of the
+  // generated (tenant, batch) units, switching the addressed namespace per
+  // batch (version-2 frames).  The throughput cost of tenancy is the
+  // registry's admission + routing, measured here against the same barrier
+  // rule as above.
+  {
+    const int clients = 4;
+    const int tenants = smoke ? 40 : 200;
+    TenantChurnConfig cfg;
+    cfg.tenants = tenants;
+    cfg.zipf = 1.1;
+    cfg.batches =
+        static_cast<int>(total_events / static_cast<std::int64_t>(kBatchPoints) / 4);
+    cfg.batch_points = static_cast<PointIndex>(kBatchPoints);
+    cfg.delete_fraction = 0.0;  // all-insert so INSERT_BATCH carries every unit
+    cfg.mixture.dim = kDim;
+    cfg.mixture.log_delta = kLogDelta;
+    cfg.mixture.clusters = 2;
+    cfg.mixture.spread = 0.05;
+    Rng rng(77);
+    const std::vector<TenantBatch> workload = tenant_churn_stream(cfg, rng);
+    std::int64_t events = 0;
+    for (const TenantBatch& b : workload) {
+      events += static_cast<std::int64_t>(b.events.size());
+    }
+
+    tenant::TenantRegistryOptions topts;
+    topts.dim = kDim;
+    topts.params = params;
+    topts.engine = engine_options(events);
+    topts.pool_threads = 2;
+    topts.max_resident = tenants;  // routing cost only; E18 measures spill
+    tenant::TenantRegistry registry(topts);
+    tenant::TenantServer server(registry, net::ServerOptions{});
+    std::string error;
+    if (!server.start(error)) {
+      std::fprintf(stderr, "tenant server start failed: %s\n", error.c_str());
+      return 1;
+    }
+    const std::uint16_t port = server.port();
+
+    std::atomic<bool> failed{false};
+    Timer timer;
+    {
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          net::SkcClient cl;
+          if (!cl.connect("127.0.0.1", port)) {
+            failed = true;
+            return;
+          }
+          std::vector<Coord> coords;
+          for (std::size_t i = static_cast<std::size_t>(c);
+               i < workload.size();
+               i += static_cast<std::size_t>(clients)) {
+            const TenantBatch& b = workload[i];
+            coords.clear();
+            for (const StreamEvent& e : b.events) {
+              coords.insert(coords.end(), e.point.begin(), e.point.end());
+            }
+            cl.set_tenant(b.tenant);
+            if (!cl.insert_batch(kDim, coords)) {
+              failed = true;
+              return;
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    registry.flush();
+    const double wall_ms = timer.millis();
+
+    std::int64_t applied = 0;
+    for (const tenant::TenantStats& t : registry.stats().per_tenant) {
+      applied += t.events;
+    }
+    const bool ok = !failed.load() && applied == events;
+    row("%-8s %10lld %9.0f %10.0f %6s %4s  (%d tenants over %d clients)",
+        "tenants", static_cast<long long>(events), wall_ms,
+        1e3 * static_cast<double>(events) / wall_ms, "-", ok ? "yes" : "NO",
+        tenants, clients);
+    report.record()
+        .kv("series", "tenant_mix")
+        .kv("clients", clients)
+        .kv("tenants", tenants)
+        .kv("events", events)
+        .kv("wall_ms", wall_ms)
+        .kv("events_per_s", 1e3 * static_cast<double>(events) / wall_ms)
+        .kv("ok", ok);
+    server.stop();
+  }
+
   report.write();
   return 0;
 }

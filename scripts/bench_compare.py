@@ -27,7 +27,8 @@ import sys
 # Higher-is-better throughput metrics guarded by the gate.
 WATCHED = ("events_per_s", "batch_speedup")
 # Keys that identify a record within a bench report.
-ID_KEYS = ("series", "mode", "shards", "simd", "lambda", "keys", "dim")
+ID_KEYS = ("series", "mode", "shards", "simd", "lambda", "keys", "dim",
+           "clients", "workers", "tenants")
 
 
 def record_key(rec):

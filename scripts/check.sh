@@ -28,10 +28,10 @@ ctest --test-dir build --output-on-failure -R '^(BatchIngest|SampledCountMin)\.'
 for b in build/bench/bench_*; do
   echo "== $b"
   case "$(basename "$b")" in
-    bench_net|bench_obs|bench_cluster)
-      # Loopback serving (E14), observability overhead (E15), and
-      # multi-process cluster (E16) smokes: same code paths as the full
-      # runs, CI-sized.
+    bench_net|bench_obs|bench_cluster|bench_tenant)
+      # Loopback serving (E14), observability overhead (E15),
+      # multi-process cluster (E16), and multi-tenant registry (E18)
+      # smokes: same code paths as the full runs, CI-sized.
       "$b" smoke
       ;;
     *)
@@ -60,6 +60,12 @@ if [[ -x build/tools/skc_cli ]]; then
   printf 'insert 5 5\ninsert 900 900\nflush\nquery\nquit\n' \
     | ./build/tools/skc_cli serve 2 2 2 10 > "$tmp/serve.txt"
   grep -q '^ok n=2' "$tmp/serve.txt"
+
+  # Multi-tenant smoke: two namespaces in one registry, isolated counts.
+  printf 'tenant a\ninsert 5 5\ninsert 900 900\ntenant b\ninsert 7 7\ntenant a\nflush\nquery\ntenants\nquit\n' \
+    | ./build/tools/skc_cli serve 2 2 2 10 --tenants > "$tmp/tenants.txt"
+  grep -q '^ok n=2' "$tmp/tenants.txt"
+  grep -q '"tenants":2' "$tmp/tenants.txt"
 
   # Multi-process cluster smoke: coordinator + 2 worker processes over
   # loopback; ingest, query, SIGKILL one worker, query again (the second

@@ -119,13 +119,37 @@ void ClusterCoordinator::account(Network& net, int id,
 }
 
 std::size_t ClusterCoordinator::slot_of(std::span<const Coord> p) const {
-  std::uint64_t h = route_key_;
+  return slot_of(/*tenant_hash=*/0, p);
+}
+
+std::size_t ClusterCoordinator::slot_of(std::uint64_t tenant_hash,
+                                        std::span<const Coord> p) const {
+  // tenant_hash 0 (the default tenant) leaves the legacy point-only route
+  // untouched; any other stream id perturbs the key so tenants spread
+  // independently while one tenant's identical points still co-locate.
+  std::uint64_t h = route_key_ ^ tenant_hash;
   for (Coord c : p) {
     std::uint64_t state =
         h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(c));
     h = splitmix64(state);
   }
   return static_cast<std::size_t>(h % links_.size());
+}
+
+int ClusterCoordinator::owner_of(std::string_view tenant,
+                                 std::span<const Coord> p) const {
+  std::uint64_t tenant_hash = 0;
+  if (!tenant.empty()) {
+    std::uint64_t state = 0x74656e616e743031ULL;  // "tenant01"
+    for (const char ch : tenant) {
+      state ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+      state = splitmix64(state);
+    }
+    tenant_hash = state == 0 ? 1 : state;  // never collapse onto the default
+  }
+  const std::size_t slot = slot_of(tenant_hash, p);
+  const std::vector<int> owners = owners_snapshot();
+  return owners[slot];
 }
 
 std::vector<int> ClusterCoordinator::owners_snapshot() const {
@@ -667,11 +691,25 @@ ClusterMetrics ClusterCoordinator::metrics() const {
   return m;
 }
 
-net::Status ClusterCoordinator::dispatch(net::MsgType type,
+net::Status ClusterCoordinator::dispatch(const net::FrameHeader& header,
                                          std::string_view body,
                                          std::string& reply) {
   using net::MsgType;
   using net::Status;
+  // The front door speaks version 2, but this coordinator's workers each
+  // host one single-tenant engine, so only the default tenant has storage
+  // behind it: a non-empty stream id gets the typed refusal (the routing
+  // layer — owner_of(tenant, point) — is already tenant-aware for
+  // deployments that put multi-tenant servers behind the coordinator).
+  std::string_view tenant, inner;
+  const Status split = split_tenant(header, body, tenant, inner, reply);
+  if (split != Status::kOk) return split;
+  if (!tenant.empty()) {
+    reply = net::encode_text("cluster workers host only the default tenant");
+    return Status::kUnknownTenant;
+  }
+  body = inner;
+  const MsgType type = header.type;
   switch (type) {
     case MsgType::kPing:
       reply.assign(body);  // echo
@@ -784,6 +822,10 @@ net::Status ClusterCoordinator::dispatch(net::MsgType type,
     case MsgType::kFetchCoreset:
     case MsgType::kShipSnapshot:
       // Worker-side RPCs; a coordinator is not a worker.
+      break;
+
+    case MsgType::kTenantStats:
+      // Single-tenant workers — see the tenant refusal above.
       break;
   }
   reply = net::encode_text("unsupported message type at the coordinator");

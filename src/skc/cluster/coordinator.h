@@ -123,10 +123,18 @@ class ClusterCoordinator : public net::FrameServer {
   /// Sends SHUTDOWN to every live worker (their servers drain gracefully).
   void shutdown_workers();
 
+  /// Live owner rank for (tenant, point): the routing hash mixes the
+  /// stream id into the point hash, so one tenant's identical points still
+  /// co-locate (insert/delete cancellation) while distinct tenants spread
+  /// across workers.  The default tenant ("") reproduces the legacy
+  /// point-only routing bit-for-bit, so pre-tenant deployments re-route
+  /// nothing.  Returns -1 when no live worker owns the slot.
+  int owner_of(std::string_view tenant, std::span<const Coord> p) const;
+
   ClusterMetrics metrics() const;
 
  protected:
-  net::Status dispatch(net::MsgType type, std::string_view body,
+  net::Status dispatch(const net::FrameHeader& header, std::string_view body,
                        std::string& reply) override;
 
  private:
@@ -159,6 +167,9 @@ class ClusterCoordinator : public net::FrameServer {
   };
 
   std::size_t slot_of(std::span<const Coord> p) const;
+  /// slot_of with the tenant's hash mixed into the key (0 = default tenant,
+  /// which leaves the legacy route untouched).
+  std::size_t slot_of(std::uint64_t tenant_hash, std::span<const Coord> p) const;
   /// Current owner rank for each slot (copied under topo_mu_).
   std::vector<int> owners_snapshot() const;
 

@@ -4,6 +4,7 @@
 // so a truncated checkpoint surfaces as load() == false rather than garbage.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <istream>
 #include <ostream>
@@ -11,6 +12,12 @@
 #include <vector>
 
 namespace skc::serial {
+
+/// Readers grow their destination in bounded chunks instead of trusting the
+/// announced size: a truncated or bit-flipped length field then fails at the
+/// first short read (a few MiB allocated at worst) instead of attempting one
+/// multi-gigabyte resize that can throw bad_alloc out of load().
+inline constexpr std::uint64_t kReadChunkBytes = std::uint64_t{4} << 20;
 
 template <typename T>
 void put(std::ostream& out, const T& value) {
@@ -41,10 +48,20 @@ bool get_vector(std::istream& in, std::vector<T>& v) {
   std::uint64_t size = 0;
   if (!get(in, size)) return false;
   if (size > (std::uint64_t{1} << 33)) return false;  // sanity: < 8G entries
-  v.resize(static_cast<std::size_t>(size));
-  if (size) {
-    in.read(reinterpret_cast<char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
+  v.clear();
+  const std::uint64_t chunk_elems =
+      kReadChunkBytes / sizeof(T) > 0 ? kReadChunkBytes / sizeof(T) : 1;
+  std::uint64_t done = 0;
+  while (done < size) {
+    const std::uint64_t take = std::min(chunk_elems, size - done);
+    v.resize(static_cast<std::size_t>(done + take));
+    in.read(reinterpret_cast<char*>(v.data() + done),
+            static_cast<std::streamsize>(take * sizeof(T)));
+    if (!in) {
+      v.clear();
+      return false;
+    }
+    done += take;
   }
   return static_cast<bool>(in);
 }
@@ -58,8 +75,18 @@ inline bool get_string(std::istream& in, std::string& s) {
   std::uint64_t size = 0;
   if (!get(in, size)) return false;
   if (size > (std::uint64_t{1} << 32)) return false;
-  s.resize(static_cast<std::size_t>(size));
-  in.read(s.data(), static_cast<std::streamsize>(s.size()));
+  s.clear();
+  std::uint64_t done = 0;
+  while (done < size) {
+    const std::uint64_t take = std::min(kReadChunkBytes, size - done);
+    s.resize(static_cast<std::size_t>(done + take));
+    in.read(s.data() + done, static_cast<std::streamsize>(take));
+    if (!in) {
+      s.clear();
+      return false;
+    }
+    done += take;
+  }
   return static_cast<bool>(in);
 }
 

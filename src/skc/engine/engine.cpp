@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "skc/common/check.h"
+#include "skc/common/crc64.h"
 #include "skc/common/random.h"
 #include "skc/common/serial.h"
 #include "skc/coreset/compose.h"
@@ -25,7 +26,11 @@ namespace {
 
 constexpr std::uint64_t kEngineMagic = 0x534b43454e474e31ULL;   // "SKCENGN1"
 constexpr std::uint64_t kEngineFooter = 0x534b43454e444f4bULL;  // "SKCENDOK"
-constexpr std::uint32_t kEngineVersion = 1;
+// Version 2 wraps the version-1 body in a [size u64][crc64 u64][payload]
+// frame so corruption anywhere in the file fails the restore up front;
+// version-1 files (no frame) still load.
+constexpr std::uint32_t kEngineVersion = 2;
+constexpr std::uint32_t kEngineVersionLegacy = 1;
 
 }  // namespace
 
@@ -66,9 +71,14 @@ ClusteringEngine::ClusteringEngine(int dim, const CoresetParams& params,
     shards_.push_back(std::make_unique<Shard>(dim, params, options.streaming,
                                               options.queue_capacity));
   }
-  const int workers = options.worker_threads >= 0 ? options.worker_threads
-                                                  : options.num_shards;
-  pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(workers));
+  if (options.shared_pool != nullptr) {
+    pool_ = options.shared_pool;
+  } else {
+    const int workers = options.worker_threads >= 0 ? options.worker_threads
+                                                    : options.num_shards;
+    owned_pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(workers));
+    pool_ = owned_pool_.get();
+  }
 }
 
 ClusteringEngine::~ClusteringEngine() { shutdown(); }
@@ -127,7 +137,17 @@ void ClusteringEngine::erase(std::span<const Coord> p) {
 
 void ClusteringEngine::schedule_drain(Shard& shard) {
   if (shard.drain_scheduled.exchange(true, std::memory_order_acq_rel)) return;
-  pool_->submit([this, &shard] { drain(shard); });
+  // Count the task out and back in: on a shared pool, shutdown() cannot
+  // wait_idle() (that would wait on other engines' work), so it waits for
+  // this counter to hit zero instead.
+  drains_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->submit([this, &shard] {
+    drain(shard);
+    if (drains_in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drains_mu_);
+      drains_cv_.notify_all();
+    }
+  });
 }
 
 void ClusteringEngine::drain(Shard& shard) {
@@ -315,14 +335,7 @@ EngineQueryResult ClusteringEngine::query(const EngineQuery& q) {
   return result;
 }
 
-bool ClusteringEngine::checkpoint(const std::string& path) {
-  SKC_TRACE_SPAN("checkpoint");
-  obs::LatencyRecorder latency(counters_.checkpoint_latency);
-  flush();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  serial::put(out, kEngineMagic);
-  serial::put<std::uint32_t>(out, kEngineVersion);
+void ClusteringEngine::save_body(std::ostream& out) {
   serial::put<std::int32_t>(out, dim_);
   serial::put<std::int32_t>(out, options_.streaming.log_delta);
   serial::put<std::uint64_t>(out, params_.seed);
@@ -334,23 +347,12 @@ bool ClusteringEngine::checkpoint(const std::string& path) {
     shard->builder->save(out);
   }
   serial::put(out, kEngineFooter);
-  out.flush();
-  if (!out) return false;
-  const auto bytes = static_cast<std::int64_t>(out.tellp());
-  counters_.last_checkpoint_bytes.store(bytes, std::memory_order_relaxed);
-  counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
-  return true;
 }
 
-bool ClusteringEngine::restore(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::uint64_t magic = 0, seed = 0, footer = 0;
-  std::uint32_t version = 0;
+bool ClusteringEngine::load_body(std::istream& in) {
+  std::uint64_t seed = 0, footer = 0;
   std::int32_t dim = 0, log_delta = 0, shards = 0;
   std::uint8_t exact = 0;
-  if (!serial::get(in, magic) || magic != kEngineMagic) return false;
-  if (!serial::get(in, version) || version != kEngineVersion) return false;
   if (!serial::get(in, dim) || dim != dim_) return false;
   if (!serial::get(in, log_delta) || log_delta != options_.streaming.log_delta) {
     return false;
@@ -362,7 +364,7 @@ bool ClusteringEngine::restore(const std::string& path) {
     return false;
   }
   // Parse into fresh builders first; the engine is only touched once the
-  // whole file (footer included) has validated.
+  // whole body (footer included) has validated.
   std::vector<std::unique_ptr<StreamingCoresetBuilder>> fresh;
   fresh.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -380,6 +382,68 @@ bool ClusteringEngine::restore(const std::string& path) {
   }
   counters_.restores.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+bool ClusteringEngine::save_state(std::ostream& out) {
+  flush();
+  // Serialize the body first so the frame can carry its exact byte count
+  // and CRC-64; a checkpoint is a few MB at most, so the staging copy is
+  // cheap next to the builder serialization itself.
+  std::ostringstream body(std::ios::binary);
+  save_body(body);
+  const std::string payload = std::move(body).str();
+  serial::put(out, kEngineMagic);
+  serial::put<std::uint32_t>(out, kEngineVersion);
+  serial::put<std::uint64_t>(out, static_cast<std::uint64_t>(payload.size()));
+  serial::put<std::uint64_t>(out, crc64(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return static_cast<bool>(out);
+}
+
+bool ClusteringEngine::load_state(std::istream& in) {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  if (!serial::get(in, magic) || magic != kEngineMagic) return false;
+  if (!serial::get(in, version)) return false;
+  if (version == kEngineVersionLegacy) return load_body(in);
+  if (version != kEngineVersion) return false;
+  std::uint64_t size = 0, crc = 0;
+  if (!serial::get(in, size) || !serial::get(in, crc)) return false;
+  // Chunked slurp: a flipped bit in the size field must fail on a short
+  // read, never reserve a 2^60-byte buffer.
+  std::string payload;
+  std::uint64_t done = 0;
+  while (done < size) {
+    const std::size_t take =
+        static_cast<std::size_t>(std::min(size - done, serial::kReadChunkBytes));
+    payload.resize(static_cast<std::size_t>(done) + take);
+    in.read(payload.data() + done, static_cast<std::streamsize>(take));
+    if (!in) return false;
+    done += take;
+  }
+  if (crc64(payload) != crc) return false;  // torn write or flipped bit
+  std::istringstream body(std::move(payload));
+  return load_body(body);
+}
+
+bool ClusteringEngine::checkpoint(const std::string& path) {
+  SKC_TRACE_SPAN("checkpoint");
+  obs::LatencyRecorder latency(counters_.checkpoint_latency);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  if (!save_state(out)) return false;
+  out.flush();
+  if (!out) return false;
+  const auto bytes = static_cast<std::int64_t>(out.tellp());
+  counters_.last_checkpoint_bytes.store(bytes, std::memory_order_relaxed);
+  counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ClusteringEngine::restore(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  return load_state(in);
 }
 
 EngineSketchExport ClusteringEngine::export_sketch() {
@@ -476,6 +540,15 @@ std::int64_t ClusteringEngine::net_count() const {
   return net;
 }
 
+std::int64_t ClusteringEngine::sketch_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->builder_mu);
+    bytes += static_cast<std::int64_t>(shard->builder->memory_bytes());
+  }
+  return bytes;
+}
+
 std::int64_t ClusteringEngine::queue_backlog() const {
   std::int64_t backlog = 0;
   for (const auto& shard : shards_) {
@@ -522,7 +595,19 @@ EngineMetrics ClusteringEngine::metrics() const {
 void ClusteringEngine::shutdown() {
   accepting_.store(false, std::memory_order_release);
   flush();
-  if (pool_) pool_->wait_idle();
+  if (owned_pool_) {
+    owned_pool_->wait_idle();
+  } else if (pool_) {
+    // Shared pool: wait for THIS engine's drain tasks only — wait_idle()
+    // would block on other engines' work (or deadlock a draining host).
+    // flush() already guaranteed every event is applied; this wait covers
+    // the tail of a drain task that has applied everything but not yet
+    // returned, so no task can touch `this` after shutdown().
+    std::unique_lock<std::mutex> lock(drains_mu_);
+    drains_cv_.wait(lock, [&] {
+      return drains_in_flight_.load(std::memory_order_acquire) == 0;
+    });
+  }
 }
 
 }  // namespace skc

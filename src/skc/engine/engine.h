@@ -44,8 +44,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -70,6 +72,14 @@ struct EngineOptions {
   /// Drain workers on the internal pool; -1 = one per shard, 0 = inline
   /// (every submit drains synchronously — deterministic, for tests).
   int worker_threads = -1;
+  /// Externally owned drain pool shared across engines.  Multi-tenant hosts
+  /// run thousands of engines; per-engine pools would mean thousands of
+  /// idle threads, so the tenant registry points every engine at one pool.
+  /// When set, worker_threads is ignored and the engine never destroys the
+  /// pool — the owner must keep it alive until every engine using it has
+  /// been shut down (shutdown() waits for this engine's in-flight drains,
+  /// not for the pool).
+  class ThreadPool* shared_pool = nullptr;
   /// Per-shard queue bound; producers block past this backlog.
   std::size_t queue_capacity = 4096;
   /// Events applied per drain batch (amortizes the shard lock).
@@ -165,6 +175,16 @@ class ClusteringEngine {
   /// state in that case.
   bool restore(const std::string& path);
 
+  /// Stream variants of checkpoint()/restore() — what checkpoint files and
+  /// tenant spills are made of.  Format version 2 frames the body with its
+  /// byte count and a CRC-64 so a torn write or a flipped bit anywhere in
+  /// the file fails the restore up front instead of relying on per-section
+  /// parsers to notice (version-1 files, which lack the frame, still load).
+  /// save_state takes the epoch barrier first; load_state follows the same
+  /// parse-then-swap contract as restore().
+  bool save_state(std::ostream& out);
+  bool load_state(std::istream& in);
+
   /// Cluster export: takes the epoch barrier, folds every shard builder
   /// into one via the linear merge, and serializes the result.  The blob
   /// summarizes every event applied to this engine and merges losslessly
@@ -182,6 +202,11 @@ class ClusteringEngine {
 
   /// Net surviving point count across shards (insertions minus deletions).
   std::int64_t net_count() const;
+
+  /// Summed builder footprint across shards (the sketch RSS this engine
+  /// pins) — what the tenant registry charges against a memory quota
+  /// without paying for a full metrics() snapshot.
+  std::int64_t sketch_bytes() const;
 
   /// Events enqueued but not yet applied, summed across shards — the
   /// backlog a front end (e.g. net::EngineServer) tests for load shedding
@@ -203,13 +228,23 @@ class ClusteringEngine {
   void drain(Shard& shard);
   std::string snapshot_shard(Shard& shard);
   EngineQueryResult merge_snapshots();
+  void save_body(std::ostream& out);
+  bool load_body(std::istream& in);
 
   int dim_;
   CoresetParams params_;
   EngineOptions options_;
   std::uint64_t route_key_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::unique_ptr<class ThreadPool> pool_;
+  /// Drain pool: owned_pool_ when this engine created it, else the
+  /// embedder's shared pool.  pool_ is the one schedule_drain uses.
+  std::unique_ptr<class ThreadPool> owned_pool_;
+  class ThreadPool* pool_ = nullptr;
+  /// Drain tasks handed to pool_ and not yet returned — a shared pool
+  /// cannot be wait_idle()d per engine, so shutdown() waits on this.
+  std::atomic<std::int64_t> drains_in_flight_{0};
+  std::mutex drains_mu_;
+  std::condition_variable drains_cv_;
   mutable detail::MetricCounters counters_;
   Timer uptime_;
   std::atomic<bool> accepting_{true};

@@ -33,6 +33,12 @@ bool SkcClient::connect(const std::string& host, std::uint16_t port) {
 
 void SkcClient::close() { sock_.close(); }
 
+void SkcClient::set_tenant(std::string_view id) {
+  SKC_CHECK_MSG(id.empty() || valid_tenant_id(id),
+                "tenant id must be [A-Za-z0-9._-], at most 64 bytes");
+  tenant_.assign(id);
+}
+
 bool SkcClient::fail(const std::string& message) {
   last_error_ = message;
   return false;
@@ -41,7 +47,11 @@ bool SkcClient::fail(const std::string& message) {
 bool SkcClient::request(MsgType type, std::string_view body,
                         std::string& reply_body) {
   if (!sock_.valid()) return fail("not connected");
-  const std::string frame = encode_frame(type, Status::kOk, body);
+  // The default tenant sends version-1 frames — byte-identical to a
+  // pre-tenant client, which the compat test pins.
+  const std::string frame =
+      tenant_.empty() ? encode_frame(type, Status::kOk, body)
+                      : encode_tenant_frame(type, Status::kOk, tenant_, body);
   int backoff = options_.retry_backoff_ms;
   for (int attempt = 0;; ++attempt) {
     IoResult io = send_exact(sock_, frame.data(), frame.size(),
@@ -214,6 +224,13 @@ bool SkcClient::fetch_coreset(CoresetReply& reply) {
   std::string body;
   if (!request(MsgType::kFetchCoreset, std::string_view{}, body)) return false;
   if (!reply.decode(body)) return fail("undecodable coreset reply");
+  return true;
+}
+
+bool SkcClient::tenant_stats(std::string& json) {
+  std::string body;
+  if (!request(MsgType::kTenantStats, std::string_view{}, body)) return false;
+  if (!decode_text(body, json)) return fail("undecodable tenant stats reply");
   return true;
 }
 

@@ -45,6 +45,14 @@ class SkcClient {
   void close();
   bool connected() const { return sock_.valid(); }
 
+  /// Addresses every subsequent request to this stream id on a
+  /// multi-tenant server.  The empty id (the default) keeps requests as
+  /// version-1 frames, byte-identical to a pre-tenant client — a non-empty
+  /// id switches to version-2 frames with the tenant prefix.  The id must
+  /// satisfy valid_tenant_id().
+  void set_tenant(std::string_view id);
+  const std::string& tenant() const { return tenant_; }
+
   /// Diagnostics for the last failed call.
   const std::string& last_error() const { return last_error_; }
   /// Status of the last reply (kOk after successful calls).
@@ -97,6 +105,10 @@ class SkcClient {
   /// Fetches the worker's finalized local coreset (kCompose-mode merge).
   bool fetch_coreset(CoresetReply& reply);
 
+  /// Per-tenant stats JSON from a multi-tenant server: the client's tenant
+  /// when one is set, the whole registry otherwise.
+  bool tenant_stats(std::string& json);
+
  private:
   bool batch(MsgType type, int dim, std::span<const Coord> coords,
              BatchReply* ack);
@@ -106,6 +118,7 @@ class SkcClient {
 
   ClientOptions options_;
   Socket sock_;
+  std::string tenant_;
   std::string host_;
   std::uint16_t port_ = 0;
   std::string last_error_;

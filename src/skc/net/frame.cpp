@@ -3,6 +3,8 @@
 #include <cstring>
 #include <type_traits>
 
+#include "skc/common/check.h"
+
 namespace skc::net {
 
 namespace {
@@ -108,20 +110,66 @@ const char* status_name(Status s) {
     case Status::kTooLarge: return "too-large";
     case Status::kEngineError: return "engine-error";
     case Status::kShuttingDown: return "shutting-down";
+    case Status::kQuotaExceeded: return "quota-exceeded";
+    case Status::kUnknownTenant: return "unknown-tenant";
   }
   return "unknown";
 }
 
-std::string encode_frame(MsgType type, Status status, std::string_view payload) {
+namespace {
+
+std::string encode_frame_impl(std::uint8_t version, MsgType type, Status status,
+                              std::uint32_t payload_bytes) {
   Writer w;
   w.put<std::uint32_t>(kFrameMagic);
-  w.put<std::uint8_t>(kWireVersion);
+  w.put<std::uint8_t>(version);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(type));
   w.put<std::uint16_t>(static_cast<std::uint16_t>(status));
-  w.put<std::uint32_t>(static_cast<std::uint32_t>(payload.size()));
-  std::string out = w.take();
+  w.put<std::uint32_t>(payload_bytes);
+  return w.take();
+}
+
+}  // namespace
+
+std::string encode_frame(MsgType type, Status status, std::string_view payload) {
+  std::string out = encode_frame_impl(
+      kWireVersion, type, status, static_cast<std::uint32_t>(payload.size()));
   out.append(payload);
   return out;
+}
+
+std::string encode_tenant_frame(MsgType type, Status status,
+                                std::string_view tenant,
+                                std::string_view payload) {
+  SKC_DCHECK(valid_tenant_id(tenant));
+  const auto total =
+      static_cast<std::uint32_t>(1 + tenant.size() + payload.size());
+  std::string out = encode_frame_impl(kWireVersionTenant, type, status, total);
+  out.push_back(static_cast<char>(static_cast<std::uint8_t>(tenant.size())));
+  out.append(tenant);
+  out.append(payload);
+  return out;
+}
+
+bool valid_tenant_id(std::string_view id) {
+  if (id.size() > kMaxTenantIdBytes) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool split_tenant_prefix(std::string_view payload, std::string_view& tenant,
+                         std::string_view& inner) {
+  if (payload.empty()) return false;
+  const auto len = static_cast<std::size_t>(
+      static_cast<std::uint8_t>(payload.front()));
+  if (1 + len > payload.size()) return false;
+  tenant = payload.substr(1, len);
+  inner = payload.substr(1 + len);
+  return true;
 }
 
 Status decode_header(std::string_view bytes, FrameHeader& out) {
@@ -136,17 +184,18 @@ Status decode_header(std::string_view bytes, FrameHeader& out) {
   r.get(status);
   r.get(payload);
   if (magic != kFrameMagic) return Status::kMalformed;
-  if (version != kWireVersion) return Status::kUnsupported;
-  if (type >= kNumMsgTypes) return Status::kUnsupported;
-  if (status > static_cast<std::uint16_t>(Status::kShuttingDown)) {
-    return Status::kMalformed;
+  if (version != kWireVersion && version != kWireVersionTenant) {
+    return Status::kUnsupported;
   }
+  if (type >= kNumMsgTypes) return Status::kUnsupported;
+  if (status > kMaxStatusValue) return Status::kMalformed;
   if (payload > max_payload_bytes(static_cast<MsgType>(type))) {
     return Status::kTooLarge;
   }
   out.type = static_cast<MsgType>(type);
   out.status = static_cast<Status>(status);
   out.payload_bytes = payload;
+  out.version = version;
   return Status::kOk;
 }
 

@@ -4,12 +4,20 @@
 //
 //   offset  size  field
 //   0       4     magic          0x53 0x4b 0x43 0x46 ("SKCF", little-endian u32)
-//   4       1     version        kWireVersion (1)
+//   4       1     version        kWireVersion (1) or kWireVersionTenant (2)
 //   5       1     type           MsgType
 //   6       2     status         Status (replies; kOk on requests)
 //   8       4     payload_bytes  little-endian u32, <= kMaxPayloadBytes
 //   12      n     payload        type-specific body (common/serial.h encoding:
 //                                little-endian PODs, u64-length vectors/strings)
+//
+// Version 2 frames carry a stream-id (tenant) prefix at the START of the
+// payload — one u8 length then that many id bytes, followed by the version-1
+// body unchanged — so INGEST/QUERY/CHECKPOINT (and every other request) can
+// be namespaced per tenant.  Version 1 frames have no prefix and address the
+// default tenant (""): a PR-6 client speaks to a multi-tenant server
+// unmodified, byte-for-byte (pinned by tenant_server_test).  Replies are
+// always version 1 — a reply needs no namespace.
 //
 // A request and its reply carry the same MsgType; errors travel in the
 // reply's Status with an empty or diagnostic payload.  Decoding is strictly
@@ -17,7 +25,10 @@
 // over-limit length is rejected at the header (decode_header names the
 // Status to answer with before closing), and payload decoders reject
 // truncated bodies, impossible sizes, and trailing garbage — a malformed
-// peer can terminate its connection, never crash the process.
+// peer can terminate its connection, never crash the process.  A malformed
+// or unknown *stream id* is NOT a framing error: frames are length-
+// delimited, so the server answers a typed kUnknownTenant error and keeps
+// the connection.
 //
 // The simulated coordinator network (src/skc/dist/) accounts its messages
 // with frame_wire_bytes() so Theorem 4.7's measured communication equals
@@ -35,7 +46,11 @@ namespace skc::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x46434b53u;  // "SKCF"
 inline constexpr std::uint8_t kWireVersion = 1;
+/// Version 2: payload starts with a tenant-id prefix (u8 length + bytes).
+inline constexpr std::uint8_t kWireVersionTenant = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Stream ids are short tokens: at most this many bytes of [A-Za-z0-9._-].
+inline constexpr std::size_t kMaxTenantIdBytes = 64;
 /// Hard cap on an ordinary frame body; a header announcing more is
 /// malformed.  Sketch-carrying frames get the larger cap below — see
 /// max_payload_bytes().
@@ -65,14 +80,17 @@ enum class MsgType : std::uint8_t {
   kMergeSketch = 11,  ///< empty request; reply: SketchSnapshot (engine export)
   kFetchCoreset = 12, ///< empty request; reply: CoresetReply (finalized)
   kShipSnapshot = 13, ///< request: SketchSnapshot to adopt (failover restore)
+  // Multi-tenant protocol (src/skc/tenant/).
+  kTenantStats = 14,  ///< reply: per-tenant registry stats JSON (encode_text);
+                      ///< a v2 tenant prefix narrows it to that one tenant
 };
 /// Derived from the enum's last member so every per-type table (request
 /// counters, Prometheus names) resizes with the protocol instead of relying
 /// on a hand-maintained count.  Append new types at the end and bump the
 /// static_assert — it pins the enum dense (no gaps), which type_index-style
 /// array indexing assumes.
-inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kShipSnapshot) + 1;
-static_assert(kNumMsgTypes == 14,
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kTenantStats) + 1;
+static_assert(kNumMsgTypes == 15,
               "MsgType must stay dense: append new members at the end, keep "
               "kNumMsgTypes tied to the last member, and update this assert");
 
@@ -84,7 +102,13 @@ enum class Status : std::uint16_t {
   kTooLarge = 4,        ///< announced payload exceeds kMaxPayloadBytes
   kEngineError = 5,     ///< request decoded but the engine refused it
   kShuttingDown = 6,    ///< server is draining; no new work accepted
+  kQuotaExceeded = 7,   ///< tenant admission refused (memory / rate / backlog)
+  kUnknownTenant = 8,   ///< unknown or malformed stream id (typed, never a drop)
 };
+/// Highest valid Status value (decode_header's bound; keep tied to the last
+/// member above).
+inline constexpr std::uint16_t kMaxStatusValue =
+    static_cast<std::uint16_t>(Status::kUnknownTenant);
 
 /// Human-readable status name ("ok", "busy", ...) for logs and errors.
 const char* status_name(Status s);
@@ -93,6 +117,7 @@ struct FrameHeader {
   MsgType type = MsgType::kPing;
   Status status = Status::kOk;
   std::uint32_t payload_bytes = 0;
+  std::uint8_t version = kWireVersion;  ///< 1 = default tenant, 2 = prefixed
 };
 
 /// Bytes a frame carrying `payload_bytes` of body occupies on the wire.
@@ -114,12 +139,33 @@ constexpr std::uint32_t max_payload_bytes(MsgType type) {
   }
 }
 
-/// Serializes header + payload into one contiguous wire frame.
+/// Serializes header + payload into one contiguous wire frame (version 1 —
+/// byte-identical to the PR-6 encoding; the compatibility pin).
 std::string encode_frame(MsgType type, Status status, std::string_view payload);
+
+/// Version-2 frame: the payload is prefixed with the tenant id (u8 length +
+/// bytes).  The id must satisfy valid_tenant_id(); an empty id addresses the
+/// default tenant explicitly (servers treat it exactly like a v1 frame).
+std::string encode_tenant_frame(MsgType type, Status status,
+                                std::string_view tenant,
+                                std::string_view payload);
+
+/// True iff `id` is a legal stream id: at most kMaxTenantIdBytes bytes of
+/// [A-Za-z0-9._-].  The empty string is legal (the default tenant).
+bool valid_tenant_id(std::string_view id);
+
+/// Splits a version-2 payload into its tenant prefix and the inner body.
+/// Returns false when the prefix is structurally absent (no length byte or
+/// announced length past the payload end) — charset/length POLICY violations
+/// are left to the server, which answers kUnknownTenant; this only rejects
+/// what cannot be parsed at all.
+bool split_tenant_prefix(std::string_view payload, std::string_view& tenant,
+                         std::string_view& inner);
 
 /// Validates the 12 header bytes.  Returns Status::kOk and fills `out` on
 /// success; otherwise returns the status a server should answer with
 /// (kMalformed / kUnsupported / kTooLarge) before closing the connection.
+/// Accepts versions 1 and 2 (out.version says which).
 Status decode_header(std::string_view bytes, FrameHeader& out);
 
 // ---------------------------------------------------------------------------

@@ -134,7 +134,7 @@ void FrameServer::serve_connection(Conn& conn) {
       // reply encoding, but not the idle wait for the frame to arrive.
       SKC_TRACE_SPAN("request");
       obs::LatencyRecorder latency(counters_.request_latency);
-      status = dispatch(header.type, body, reply);
+      status = dispatch(header, body, reply);
     }
     if (!send_reply(conn, header.type, status, reply)) break;
     if (status == Status::kMalformed) break;  // stream integrity is gone
@@ -153,6 +153,26 @@ bool FrameServer::send_reply(Conn& conn, MsgType type, Status status,
   counters_.bytes_out.fetch_add(static_cast<std::int64_t>(frame.size()),
                                 std::memory_order_relaxed);
   return io == IoResult::kOk;
+}
+
+Status FrameServer::split_tenant(const FrameHeader& header,
+                                 std::string_view body,
+                                 std::string_view& tenant,
+                                 std::string_view& inner, std::string& reply) {
+  if (header.version == kWireVersion) {
+    tenant = std::string_view{};
+    inner = body;
+    return Status::kOk;
+  }
+  if (!split_tenant_prefix(body, tenant, inner)) {
+    reply = encode_text("truncated tenant prefix");
+    return Status::kUnknownTenant;
+  }
+  if (!tenant.empty() && !valid_tenant_id(tenant)) {
+    reply = encode_text("illegal tenant id (want [A-Za-z0-9._-], <= 64 bytes)");
+    return Status::kUnknownTenant;
+  }
+  return Status::kOk;
 }
 
 void FrameServer::request_shutdown() {
@@ -199,8 +219,20 @@ EngineServer::EngineServer(ClusteringEngine& engine, const ServerOptions& option
 // engine reference dispatch() uses) is gone — drain here, while it is alive.
 EngineServer::~EngineServer() { stop(); }
 
-Status EngineServer::dispatch(MsgType type, std::string_view body,
+Status EngineServer::dispatch(const FrameHeader& header, std::string_view body,
                               std::string& reply) {
+  // A single-tenant server still speaks version 2, but only for the default
+  // tenant: a non-empty stream id is answered with a typed kUnknownTenant
+  // (never a drop — the frame was length-delimited, the stream is intact).
+  std::string_view tenant, inner;
+  const Status split = split_tenant(header, body, tenant, inner, reply);
+  if (split != Status::kOk) return split;
+  if (!tenant.empty()) {
+    reply = encode_text("this server hosts only the default tenant");
+    return Status::kUnknownTenant;
+  }
+  body = inner;
+  const MsgType type = header.type;
   switch (type) {
     case MsgType::kPing:
       reply.assign(body);  // echo
@@ -379,6 +411,10 @@ Status EngineServer::dispatch(MsgType type, std::string_view body,
       reply = out.encode();
       return Status::kOk;
     }
+
+    case MsgType::kTenantStats:
+      reply = encode_text("tenant stats require a multi-tenant server");
+      return Status::kUnsupported;
 
     case MsgType::kShipSnapshot: {
       SketchSnapshot in;

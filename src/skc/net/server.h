@@ -122,9 +122,21 @@ class FrameServer {
  protected:
   /// Decoded-request dispatch; returns the reply status + body.  Runs on a
   /// connection thread; kShutdown (answered kOk) triggers the drain after
-  /// the reply is written.
-  virtual Status dispatch(MsgType type, std::string_view body,
+  /// the reply is written.  `header.version` tells the subclass whether the
+  /// body starts with a tenant prefix (kWireVersionTenant); replies are
+  /// always written as version-1 frames.
+  virtual Status dispatch(const FrameHeader& header, std::string_view body,
                           std::string& reply) = 0;
+
+  /// Splits the tenant id off `body` per the frame version: version-1
+  /// frames address the default tenant (""), version-2 frames carry the
+  /// prefix.  Returns kOk with `tenant`/`inner` set, or the typed error the
+  /// caller should answer with — kUnknownTenant for an unparseable or
+  /// illegal stream id (frames are length-delimited, so this is NEVER a
+  /// connection drop; `reply` gets the diagnostic text).
+  static Status split_tenant(const FrameHeader& header, std::string_view body,
+                             std::string_view& tenant, std::string_view& inner,
+                             std::string& reply);
 
   /// Runs once inside stop(), after every connection thread has joined.
   virtual void on_drain() {}
@@ -177,7 +189,7 @@ class EngineServer : public FrameServer {
   EngineMetrics metrics() const;
 
  protected:
-  Status dispatch(MsgType type, std::string_view body,
+  Status dispatch(const FrameHeader& header, std::string_view body,
                   std::string& reply) override;
   void on_drain() override;
 

@@ -23,7 +23,7 @@ const char* request_type_name(std::size_t index) {
       "ping",         "insert_batch", "delete_batch", "query",
       "metrics",      "checkpoint",   "shutdown",     "trace_dump",
       "prometheus",   "worker_hello", "heartbeat",    "merge_sketch",
-      "fetch_coreset", "ship_snapshot"};
+      "fetch_coreset", "ship_snapshot", "tenant_stats"};
   constexpr std::size_t n = sizeof(kNames) / sizeof(kNames[0]);
   return index < n ? kNames[index] : "unknown";
 }

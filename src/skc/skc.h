@@ -59,3 +59,5 @@
 #include "skc/cluster/metrics.h"
 #include "skc/cluster/process.h"
 #include "skc/cluster/coordinator.h"
+#include "skc/tenant/registry.h"
+#include "skc/tenant/server.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 #include <unordered_map>
 
@@ -169,6 +170,88 @@ Stream churn_stream(const PointSet& points, const PointSet& extra,
     stream.push_back(StreamEvent{StreamOp::kDelete, Point(p.begin(), p.end())});
   }
   return stream;
+}
+
+std::vector<TenantBatch> tenant_churn_stream(const TenantChurnConfig& config,
+                                             Rng& rng) {
+  SKC_TRACE_SPAN("generate");
+  SKC_CHECK(config.tenants >= 1);
+  SKC_CHECK(config.batches >= 0);
+  SKC_CHECK(config.batch_points >= 1);
+  SKC_CHECK(config.delete_fraction >= 0.0 && config.delete_fraction < 1.0);
+  const Coord delta = Coord{1} << config.mixture.log_delta;
+  const double sigma = config.mixture.spread * static_cast<double>(delta);
+  const int clusters = std::max(1, config.mixture.clusters);
+
+  // Zipf traffic: cumulative mass over ranks, sampled by binary search.
+  std::vector<double> cdf(static_cast<std::size_t>(config.tenants));
+  double total = 0.0;
+  for (int r = 0; r < config.tenants; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -config.zipf);
+    cdf[static_cast<std::size_t>(r)] = total;
+  }
+
+  // Tenant state materializes on first touch; ids are rank-ordered so rank 0
+  // is always the hottest namespace ("t00000").
+  struct TenantState {
+    std::string id;
+    PointSet centers{0};
+    PointSet live{0};  // insert-order multiset; deletes swap-pop
+  };
+  std::vector<TenantState> state(static_cast<std::size_t>(config.tenants));
+
+  char name[16];
+  std::vector<Coord> buf(static_cast<std::size_t>(config.mixture.dim));
+  std::vector<TenantBatch> out;
+  out.reserve(static_cast<std::size_t>(config.batches));
+  for (int b = 0; b < config.batches; ++b) {
+    const double u = rng.uniform(0.0, total);
+    const int rank = static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    TenantState& t = state[static_cast<std::size_t>(rank)];
+    if (t.id.empty()) {
+      std::snprintf(name, sizeof(name), "t%05d", rank);
+      t.id = name;
+      t.centers = PointSet(config.mixture.dim);
+      t.live = PointSet(config.mixture.dim);
+      // Independent sub-generator so a tenant's planted centers do not
+      // depend on when traffic first reaches it.
+      Rng fork = rng.fork(static_cast<std::uint64_t>(rank) + 1);
+      const Coord lo = std::max<Coord>(1, delta / 10);
+      const Coord hi = delta - delta / 10;
+      for (int c = 0; c < clusters; ++c) {
+        for (auto& v : buf) v = static_cast<Coord>(fork.uniform_int(lo, hi));
+        t.centers.push_back(buf);
+      }
+    }
+
+    TenantBatch batch;
+    batch.tenant = t.id;
+    batch.events.reserve(static_cast<std::size_t>(config.batch_points));
+    for (PointIndex i = 0; i < config.batch_points; ++i) {
+      if (t.live.size() > 0 && rng.bernoulli(config.delete_fraction)) {
+        const PointIndex victim =
+            static_cast<PointIndex>(rng.next_below(static_cast<std::uint64_t>(t.live.size())));
+        const auto p = t.live[victim];
+        batch.events.push_back(
+            StreamEvent{StreamOp::kDelete, Point(p.begin(), p.end())});
+        t.live.swap_remove(victim);
+        continue;
+      }
+      const auto center =
+          t.centers[static_cast<PointIndex>(rng.next_below(static_cast<std::uint64_t>(clusters)))];
+      for (int j = 0; j < config.mixture.dim; ++j) {
+        const double v = static_cast<double>(center[static_cast<std::size_t>(j)]) +
+                         sigma * rng.gaussian();
+        buf[static_cast<std::size_t>(j)] =
+            std::clamp<Coord>(static_cast<Coord>(std::llround(v)), 1, delta);
+      }
+      batch.events.push_back(StreamEvent{StreamOp::kInsert, Point(buf.begin(), buf.end())});
+      t.live.push_back(buf);
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
 }
 
 Stream shuffled_insertions(const PointSet& points, Rng& rng) {

@@ -8,6 +8,7 @@
 // skew.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "skc/common/random.h"
@@ -66,5 +67,43 @@ Stream churn_stream(const PointSet& points, const PointSet& extra,
 
 /// Random interleaving helper: inserts all of `points` in random order.
 Stream shuffled_insertions(const PointSet& points, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Multi-tenant workloads (DESIGN.md §13, EXPERIMENTS.md E18).
+// ---------------------------------------------------------------------------
+
+struct TenantChurnConfig {
+  /// Distinct stream-id namespaces the workload touches.
+  int tenants = 1000;
+  /// Traffic skew: tenant of rank r receives batches with probability
+  /// proportional to (r+1)^-zipf.  0 = uniform; >1 concentrates almost all
+  /// traffic on a handful of hot tenants while the long tail stays cold —
+  /// the regime LRU eviction and lazy sketch sizing exist for.
+  double zipf = 1.1;
+  /// Number of (tenant, batch) units emitted.
+  int batches = 5000;
+  /// Events per batch.
+  PointIndex batch_points = 32;
+  /// Fraction of events that delete a previously inserted live point of the
+  /// same tenant (never crosses namespaces, never over-deletes).
+  double delete_fraction = 0.1;
+  /// Per-tenant data shape; `n`, `skew`, and `noise_fraction` are ignored —
+  /// each tenant plants its own `clusters` centers from an independent
+  /// sub-generator so namespaces hold distinguishable data.
+  MixtureConfig mixture;
+};
+
+struct TenantBatch {
+  std::string tenant;
+  Stream events;
+};
+
+/// Zipf-skewed multi-tenant churn workload: every batch addresses one
+/// tenant ("t" + zero-padded rank); hot tenants grow large (exercising HLL
+/// rung promotion), cold ones stay tiny (exercising eviction).  Per-tenant
+/// deletions only target live points, so each namespace's surviving set is
+/// well-defined ground truth.
+std::vector<TenantBatch> tenant_churn_stream(const TenantChurnConfig& config,
+                                             Rng& rng);
 
 }  // namespace skc

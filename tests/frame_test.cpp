@@ -22,7 +22,7 @@ FrameHeader decode_ok(std::string_view bytes) {
 
 TEST(Frame, HeaderRoundTripsEveryTypeAndStatus) {
   for (int t = 0; t < kNumMsgTypes; ++t) {
-    for (int s = 0; s <= static_cast<int>(Status::kShuttingDown); ++s) {
+    for (int s = 0; s <= static_cast<int>(kMaxStatusValue); ++s) {
       const std::string payload(static_cast<std::size_t>(t) * 3, 'x');
       const std::string frame =
           encode_frame(static_cast<MsgType>(t), static_cast<Status>(s), payload);
@@ -66,7 +66,7 @@ TEST(Frame, BadMagicIsMalformed) {
 
 TEST(Frame, UnknownVersionAndTypeAreUnsupported) {
   std::string frame = encode_frame(MsgType::kPing, Status::kOk, "");
-  frame[4] = static_cast<char>(kWireVersion + 1);  // version byte
+  frame[4] = static_cast<char>(kWireVersionTenant + 1);  // first invalid version
   FrameHeader h;
   EXPECT_EQ(decode_header(frame, h), Status::kUnsupported);
 
@@ -329,6 +329,7 @@ TEST(Frame, EveryMessageTypeHasAStrictPayloadCodec) {
       case MsgType::kMergeSketch:
       case MsgType::kFetchCoreset:
       case MsgType::kShutdown:
+      case MsgType::kTenantStats:
         body.clear();  // empty request bodies
         break;
       case MsgType::kInsertBatch:
@@ -418,6 +419,102 @@ TEST(Frame, PerTypePayloadCapBoundaries) {
       EXPECT_EQ(decode_header(frame, h), Status::kTooLarge) << "type " << t;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Tenant-id field (wire version 2).
+
+TEST(Frame, TenantFrameRoundTrip) {
+  const std::string payload = "inner-body-bytes";
+  const std::string frame = encode_tenant_frame(MsgType::kInsertBatch,
+                                                Status::kOk, "acme-7", payload);
+  FrameHeader h;
+  ASSERT_EQ(decode_header(frame, h), Status::kOk);
+  EXPECT_EQ(h.version, kWireVersionTenant);
+  EXPECT_EQ(h.type, MsgType::kInsertBatch);
+  EXPECT_EQ(h.payload_bytes, 1 + 6 + payload.size());
+
+  const std::string body = frame.substr(kFrameHeaderBytes);
+  std::string_view tenant, inner;
+  ASSERT_TRUE(split_tenant_prefix(body, tenant, inner));
+  EXPECT_EQ(tenant, "acme-7");
+  EXPECT_EQ(inner, payload);
+}
+
+TEST(Frame, TenantFrameEmptyIdAddressesDefaultTenant) {
+  const std::string frame =
+      encode_tenant_frame(MsgType::kQuery, Status::kOk, "", "q");
+  const std::string body = frame.substr(kFrameHeaderBytes);
+  std::string_view tenant, inner;
+  ASSERT_TRUE(split_tenant_prefix(body, tenant, inner));
+  EXPECT_TRUE(tenant.empty());
+  EXPECT_EQ(inner, "q");
+}
+
+TEST(Frame, TenantPrefixRejectsTruncation) {
+  std::string_view tenant, inner;
+  // No length byte at all.
+  EXPECT_FALSE(split_tenant_prefix("", tenant, inner));
+  // Length byte announcing more id bytes than the payload holds — at every
+  // truncation point inside the prefix.
+  std::string payload;
+  payload.push_back(static_cast<char>(10));
+  payload.append("abc");  // only 3 of the announced 10 id bytes present
+  EXPECT_FALSE(split_tenant_prefix(payload, tenant, inner));
+  const std::string good =
+      encode_tenant_frame(MsgType::kPing, Status::kOk, "tenant-x", "body")
+          .substr(kFrameHeaderBytes);
+  for (std::size_t len = 0; len < 1 + 8; ++len) {  // inside the prefix only
+    EXPECT_FALSE(split_tenant_prefix(std::string_view(good).substr(0, len),
+                                     tenant, inner))
+        << "prefix truncated to " << len << " bytes";
+  }
+  EXPECT_TRUE(split_tenant_prefix(good, tenant, inner));
+}
+
+TEST(Frame, ValidTenantIdCharsetAndLength) {
+  EXPECT_TRUE(valid_tenant_id(""));
+  EXPECT_TRUE(valid_tenant_id("acme"));
+  EXPECT_TRUE(valid_tenant_id("A-Z_0.9"));
+  EXPECT_TRUE(valid_tenant_id(std::string(kMaxTenantIdBytes, 'a')));
+  EXPECT_FALSE(valid_tenant_id(std::string(kMaxTenantIdBytes + 1, 'a')));
+  EXPECT_FALSE(valid_tenant_id("spaces bad"));
+  EXPECT_FALSE(valid_tenant_id("slash/bad"));
+  EXPECT_FALSE(valid_tenant_id(std::string("nul\0byte", 8)));
+  EXPECT_FALSE(valid_tenant_id("\xff"));
+}
+
+// The PR-6 byte-compatibility pin: the version-1 encoding must never drift.
+// A v1 INSERT_BATCH frame is reproduced here byte by byte from the format
+// comment at the top of frame.h; if this test fails, old clients break.
+TEST(Frame, Version1FramesAreByteStable) {
+  PointBatch batch;
+  batch.dim = 2;
+  batch.coords = {3, 4};
+  const std::string body = batch.encode();
+  const std::string frame =
+      encode_frame(MsgType::kInsertBatch, Status::kOk, body);
+
+  std::string expected;
+  expected += std::string("\x53\x4b\x43\x46", 4);       // magic "SKCF"
+  expected += '\x01';                                   // version 1
+  expected += '\x01';                                   // type kInsertBatch
+  expected += std::string("\x00\x00", 2);               // status kOk
+  const auto n = static_cast<std::uint32_t>(body.size());
+  expected.append(reinterpret_cast<const char*>(&n), 4);  // payload_bytes LE
+  expected += body;
+  EXPECT_EQ(frame, expected);
+
+  // And the v1 body itself: i32 dim, u64 count, coords.
+  std::string expected_body;
+  const std::int32_t dim = 2;
+  expected_body.append(reinterpret_cast<const char*>(&dim), 4);
+  const std::uint64_t count = 2;
+  expected_body.append(reinterpret_cast<const char*>(&count), 8);
+  const Coord c3 = 3, c4 = 4;
+  expected_body.append(reinterpret_cast<const char*>(&c3), sizeof(Coord));
+  expected_body.append(reinterpret_cast<const char*>(&c4), sizeof(Coord));
+  EXPECT_EQ(body, expected_body);
 }
 
 TEST(Frame, CheckpointAndTextBodies) {

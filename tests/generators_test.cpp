@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "test_util.h"
 
@@ -121,6 +124,63 @@ TEST(Streams, ShuffledInsertionsPermuteInput) {
   for (const StreamEvent& e : stream) EXPECT_EQ(e.op, StreamOp::kInsert);
   EXPECT_EQ(testutil::canonical_multiset(surviving_points(stream, 1)),
             testutil::canonical_multiset(pts));
+}
+
+TEST(Streams, TenantChurnIsSkewedDeterministicAndNeverOverDeletes) {
+  TenantChurnConfig cfg;
+  cfg.tenants = 50;
+  cfg.zipf = 1.2;
+  cfg.batches = 400;
+  cfg.batch_points = 8;
+  cfg.delete_fraction = 0.2;
+  cfg.mixture.dim = 2;
+  cfg.mixture.log_delta = 9;
+  cfg.mixture.clusters = 2;
+  cfg.mixture.spread = 0.02;
+
+  Rng rng(21);
+  const std::vector<TenantBatch> batches = tenant_churn_stream(cfg, rng);
+  ASSERT_EQ(batches.size(), 400u);
+
+  // Same seed, same workload — the generator is deterministic.
+  Rng rng2(21);
+  const std::vector<TenantBatch> again = tenant_churn_stream(cfg, rng2);
+  ASSERT_EQ(again.size(), batches.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_EQ(again[i].tenant, batches[i].tenant);
+    ASSERT_EQ(again[i].events.size(), batches[i].events.size());
+  }
+
+  // Per-tenant streams are valid (deletes never exceed inserts) and every
+  // event stays on the grid.
+  std::map<std::string, Stream> merged;
+  const Coord delta = Coord{1} << cfg.mixture.log_delta;
+  for (const TenantBatch& b : batches) {
+    EXPECT_EQ(b.events.size(), 8u);
+    for (const StreamEvent& e : b.events) {
+      ASSERT_EQ(e.point.size(), 2u);
+      for (Coord c : e.point) {
+        EXPECT_GE(c, 1);
+        EXPECT_LE(c, delta);
+      }
+      merged[b.tenant].push_back(e);
+    }
+  }
+  std::size_t total_live = 0;
+  for (const auto& [id, stream] : merged) {
+    EXPECT_EQ(id.size(), 6u) << id;  // "t" + 5-digit rank
+    total_live += static_cast<std::size_t>(surviving_points(stream, 2).size());
+  }
+  EXPECT_GT(total_live, 0u);
+
+  // Zipf skew: rank 0 must be the hottest namespace by a wide margin, and
+  // with 400 batches over 50 tenants the cold tail should stay untouched.
+  ASSERT_TRUE(merged.count("t00000"));
+  const std::size_t hot = merged.at("t00000").size();
+  for (const auto& [id, stream] : merged) {
+    EXPECT_LE(stream.size(), hot) << id;
+  }
+  EXPECT_LT(merged.size(), 50u);
 }
 
 TEST(Streams, OverDeletingDies) {

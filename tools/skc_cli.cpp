@@ -9,8 +9,17 @@
 //   skc_cli serve    <dim> <k> [shards] [log_delta]     interactive engine REPL
 //   skc_cli serve    ... --tcp <port>                   host the engine on TCP
 //   skc_cli serve    ... --trace                        start with tracing on
+//   skc_cli serve    ... --tenants                      multi-tenant mode: each
+//                                                       stream id gets its own
+//                                                       namespace; tune with
+//                                                       --spill <dir>,
+//                                                       --max-resident <n>,
+//                                                       --rate <events/s>
 //   skc_cli client   <host> <port>                      REPL against a remote
 //                                                       server (same commands)
+//   skc_cli client   ... --tenant <id>                  address one namespace
+//                                                       of a --tenants server
+//                                                       (switch with `tenant`)
 //   skc_cli trace-dump <host> <port> [out.json]         fetch the server's
 //                                                       chrome://tracing JSON
 //   skc_cli worker   <dim> <k> [shards] [log_delta] [--port N]
@@ -45,7 +54,9 @@ int usage() {
                "  skc_cli generate <n> <k> <dim> <log_delta> [skew=1.0]\n"
                "  skc_cli serve    <dim> <k> [shards=4] [log_delta=12] "
                "[--tcp <port>] [--trace]\n"
-               "  skc_cli client   <host> <port>\n"
+               "                   [--tenants] [--spill <dir>] "
+               "[--max-resident <n>] [--rate <events/s>]\n"
+               "  skc_cli client   <host> <port> [--tenant <id>]\n"
                "  skc_cli trace-dump <host> <port> [out.json]\n"
                "  skc_cli worker   <dim> <k> [shards=4] [log_delta=12] "
                "[--port N]\n"
@@ -194,6 +205,151 @@ int cmd_generate(int argc, char** argv) {
   return 0;
 }
 
+// Multi-tenant serve mode (`serve ... --tenants`): every stream id owns an
+// independent namespace inside one TenantRegistry.  With --tcp the registry
+// is hosted behind a TenantServer (version-2 frames; old clients land on
+// the default tenant); without it the REPL grows `tenant <id>` to switch
+// the addressed namespace and `tenants` / `stats [id]` for accounting.
+int serve_tenants(const tenant::TenantRegistryOptions& topts, int dim, int k,
+                  long tcp_port) {
+  tenant::TenantRegistry registry(topts);
+  const int log_delta = topts.engine.streaming.log_delta;
+
+  if (tcp_port >= 0) {
+    net::ServerOptions sopts;
+    sopts.port = static_cast<std::uint16_t>(tcp_port);
+    tenant::TenantServer server(registry, sopts);
+    std::string error;
+    if (!server.start(error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "tenant server listening on 127.0.0.1:%u (dim=%d k=%d "
+                 "log_delta=%d max_resident=%d spill=%s)\n"
+                 "drive it with: skc_cli client 127.0.0.1 %u --tenant <id>\n",
+                 server.port(), dim, k, log_delta, topts.max_resident,
+                 topts.spill_dir.empty() ? "<off>" : topts.spill_dir.c_str(),
+                 server.port());
+    server.wait();
+    server.stop();
+    std::fprintf(stderr, "%s\n", registry.stats_json().c_str());
+    return 0;
+  }
+
+  const long long max_coord = 1LL << log_delta;
+  std::fprintf(stderr,
+               "tenant registry up: dim=%d k=%d log_delta=%d max_resident=%d\n"
+               "commands:  tenant [id] | tenants | stats [id]\n"
+               "           insert c1 .. c%d | delete c1 .. c%d | query [slack]\n"
+               "           flush | metrics | prom | checkpoint <path> | quit\n",
+               dim, k, log_delta, topts.max_resident, dim, dim);
+
+  std::string current;  // addressed namespace ("" = default tenant)
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "tenant") {
+      std::string id;
+      in >> id;  // no argument = back to the default tenant
+      if (!id.empty() && !net::valid_tenant_id(id)) {
+        std::printf("err invalid tenant id '%s'\n", id.c_str());
+        continue;
+      }
+      current = id;
+      std::printf("ok tenant '%s'\n", current.c_str());
+    } else if (cmd == "tenants") {
+      std::printf("%s\n", registry.stats_json().c_str());
+    } else if (cmd == "stats") {
+      std::string id = current;
+      in >> id;
+      std::string json;
+      if (registry.tenant_stats_json(id, json)) {
+        std::printf("%s\n", json.c_str());
+      } else {
+        std::printf("err unknown tenant '%s'\n", id.c_str());
+      }
+    } else if (cmd == "insert" || cmd == "delete") {
+      std::vector<Coord> p(static_cast<std::size_t>(dim));
+      bool ok = true;
+      for (int i = 0; i < dim; ++i) {
+        long long c = 0;
+        if (!(in >> c) || c < 1 || c > max_coord) {
+          ok = false;
+          break;
+        }
+        p[static_cast<std::size_t>(i)] = static_cast<Coord>(c);
+      }
+      if (!ok) {
+        std::printf("err %s needs %d coordinates in [1, %lld]\n", cmd.c_str(),
+                    dim, max_coord);
+        continue;
+      }
+      Stream batch;
+      batch.push_back(StreamEvent{
+          cmd == "insert" ? StreamOp::kInsert : StreamOp::kDelete,
+          std::move(p)});
+      const tenant::Admit verdict = registry.submit(current, batch);
+      if (verdict == tenant::Admit::kOk) {
+        std::printf("ok\n");
+      } else {
+        std::printf("err %s\n", tenant::admit_name(verdict));
+      }
+    } else if (cmd == "query") {
+      EngineQuery q;
+      if (double slack = 0; in >> slack) q.capacity_slack = slack;
+      EngineQueryResult res;
+      const tenant::Admit verdict = registry.query(current, q, res);
+      if (verdict != tenant::Admit::kOk) {
+        std::printf("err %s\n", tenant::admit_name(verdict));
+        continue;
+      }
+      if (!res.ok) {
+        std::printf("err %s\n", res.error.c_str());
+        continue;
+      }
+      std::printf("ok n=%lld summary=%lld capacity=%.0f cost=%.6g "
+                  "merge_ms=%.1f solve_ms=%.1f\n",
+                  static_cast<long long>(res.net_points),
+                  static_cast<long long>(res.summary.points.size()),
+                  res.capacity, res.solution.cost, res.merge_millis,
+                  res.solve_millis);
+      for (PointIndex c = 0; c < res.solution.centers.size(); ++c) {
+        std::printf("center %s\n", to_string(res.solution.centers[c]).c_str());
+      }
+    } else if (cmd == "flush") {
+      registry.flush();
+      std::printf("ok\n");
+    } else if (cmd == "metrics") {
+      std::printf("%s\n", registry.stats_json().c_str());
+    } else if (cmd == "prom") {
+      std::printf("%s", tenant::tenant_prometheus_text(EngineMetrics{},
+                                                       registry.stats())
+                            .c_str());
+    } else if (cmd == "checkpoint") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("err checkpoint needs a path\n");
+        continue;
+      }
+      const tenant::Admit verdict = registry.checkpoint(current, path);
+      if (verdict == tenant::Admit::kOk) {
+        std::printf("ok %s\n", path.c_str());
+      } else {
+        std::printf("err %s\n", tenant::admit_name(verdict));
+      }
+    } else {
+      std::printf("err unknown command '%s'\n", cmd.c_str());
+    }
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "%s\n", registry.stats_json().c_str());
+  return 0;
+}
+
 // Line-oriented REPL over a live ClusteringEngine.  Reads commands from
 // stdin, answers on stdout ("ok ..." / "err ..."), diagnostics on stderr —
 // scriptable with a pipe, usable by hand.  With --tcp <port> the engine is
@@ -202,6 +358,10 @@ int cmd_generate(int argc, char** argv) {
 int cmd_serve(int argc, char** argv) {
   std::vector<const char*> pos;
   long tcp_port = -1;
+  bool tenants = false;
+  std::string spill_dir;
+  int max_resident = 256;
+  double rate = 0.0;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--tcp")) {
       if (i + 1 >= argc) return usage();
@@ -209,6 +369,19 @@ int cmd_serve(int argc, char** argv) {
       if (tcp_port < 0 || tcp_port > 65535) return usage();
     } else if (!std::strcmp(argv[i], "--trace")) {
       obs::Tracer::instance().set_enabled(true);
+    } else if (!std::strcmp(argv[i], "--tenants")) {
+      tenants = true;
+    } else if (!std::strcmp(argv[i], "--spill")) {
+      if (i + 1 >= argc) return usage();
+      spill_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--max-resident")) {
+      if (i + 1 >= argc) return usage();
+      max_resident = std::atoi(argv[++i]);
+      if (max_resident < 1) return usage();
+    } else if (!std::strcmp(argv[i], "--rate")) {
+      if (i + 1 >= argc) return usage();
+      rate = std::atof(argv[++i]);
+      if (rate < 0) return usage();
     } else {
       pos.push_back(argv[i]);
     }
@@ -224,6 +397,18 @@ int cmd_serve(int argc, char** argv) {
   EngineOptions opts;
   opts.num_shards = shards;
   opts.streaming.log_delta = log_delta;
+
+  if (tenants) {
+    tenant::TenantRegistryOptions topts;
+    topts.dim = dim;
+    topts.params = params;
+    topts.engine = opts;
+    topts.max_resident = max_resident;
+    topts.spill_dir = spill_dir;
+    topts.quotas.max_events_per_second = rate;
+    return serve_tenants(topts, dim, k, tcp_port);
+  }
+
   ClusteringEngine engine(dim, params, opts);
 
   if (tcp_port >= 0) {
@@ -353,23 +538,40 @@ int cmd_serve(int argc, char** argv) {
 // dimension lives server-side, so insert/delete take however many
 // coordinates appear on the line.
 int cmd_client(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const std::string host = argv[2];
-  const long port = std::atol(argv[3]);
+  std::vector<const char*> pos;
+  std::string tenant_id;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--tenant")) {
+      if (i + 1 >= argc) return usage();
+      tenant_id = argv[++i];
+      if (!net::valid_tenant_id(tenant_id)) {
+        std::fprintf(stderr, "error: invalid tenant id '%s'\n",
+                     tenant_id.c_str());
+        return 2;
+      }
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.size() < 2) return usage();
+  const std::string host = pos[0];
+  const long port = std::atol(pos[1]);
   if (port < 1 || port > 65535) return usage();
 
   net::SkcClient client;
+  client.set_tenant(tenant_id);
   if (!client.connect(host, static_cast<std::uint16_t>(port))) {
     std::fprintf(stderr, "error: connect %s:%ld: %s\n", host.c_str(), port,
                  client.last_error().c_str());
     return 1;
   }
   std::fprintf(stderr,
-               "connected to %s:%ld\n"
+               "connected to %s:%ld (tenant '%s')\n"
                "commands:  insert c1 c2 .. | delete c1 c2 .. | query [slack]\n"
                "           ping | metrics | prom | trace-dump [path]\n"
+               "           tenant [id] | tenant-stats\n"
                "           checkpoint <path> | shutdown | quit\n",
-               host.c_str(), port);
+               host.c_str(), port, tenant_id.c_str());
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -429,6 +631,22 @@ int cmd_client(int argc, char** argv) {
       std::string text;
       if (client.prometheus_text(text)) {
         std::printf("%s", text.c_str());
+      } else {
+        std::printf("err %s\n", client.last_error().c_str());
+      }
+    } else if (cmd == "tenant") {
+      std::string id;
+      in >> id;  // no argument = back to the default tenant
+      if (!id.empty() && !net::valid_tenant_id(id)) {
+        std::printf("err invalid tenant id '%s'\n", id.c_str());
+        continue;
+      }
+      client.set_tenant(id);
+      std::printf("ok tenant '%s'\n", id.c_str());
+    } else if (cmd == "tenant-stats") {
+      std::string json;
+      if (client.tenant_stats(json)) {
+        std::printf("%s\n", json.c_str());
       } else {
         std::printf("err %s\n", client.last_error().c_str());
       }
