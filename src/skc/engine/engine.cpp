@@ -143,8 +143,11 @@ void ClusteringEngine::schedule_drain(Shard& shard) {
   drains_in_flight_.fetch_add(1, std::memory_order_acq_rel);
   pool_->submit([this, &shard] {
     drain(shard);
+    // Decrement under drains_mu_: shutdown() holds the mutex while checking
+    // the counter, so it cannot observe 0 (and destroy the engine) until this
+    // task has released the mutex and no longer touches `this`.
+    std::lock_guard<std::mutex> lock(drains_mu_);
     if (drains_in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(drains_mu_);
       drains_cv_.notify_all();
     }
   });

@@ -241,8 +241,12 @@ bool TenantRegistry::ensure_resident_locked(Tenant& t) {
 bool TenantRegistry::spill_locked(Tenant& t) {
   if (options_.spill_dir.empty() || !t.engine) return false;
   const std::string path = spill_path(t.id);
+  // Write to a sibling temp file and rename into place only after a clean
+  // flush: a crash mid-spill must never leave a torn file at the canonical
+  // path (the tenant would fail restore on every later touch).
+  const std::string tmp = path + ".tmp";
   {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       spill_failures_.fetch_add(1, std::memory_order_relaxed);
       return false;
@@ -257,15 +261,20 @@ bool TenantRegistry::spill_locked(Tenant& t) {
     }
     if (!t.engine->save_state(out)) {
       spill_failures_.fetch_add(1, std::memory_order_relaxed);
-      std::remove(path.c_str());
+      std::remove(tmp.c_str());
       return false;
     }
     out.flush();
     if (!out) {
       spill_failures_.fetch_add(1, std::memory_order_relaxed);
-      std::remove(path.c_str());
+      std::remove(tmp.c_str());
       return false;
     }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    spill_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::remove(tmp.c_str());
+    return false;
   }
   t.engine.reset();  // shuts down, waiting out this engine's drain tasks
   t.replay.clear();
@@ -368,7 +377,11 @@ Admit TenantRegistry::submit(std::string_view id, const Stream& batch) {
                                    q.max_events_per_second);
         t->bucket_timer.reset();
       }
-      if (t->tokens < n) {
+      // A batch larger than the burst can never be covered by a full bucket,
+      // so require only min(n, burst) and let the balance go negative below:
+      // the oversize batch is admitted once the bucket is full and the debt
+      // throttles subsequent batches, preserving the long-run rate.
+      if (t->tokens < std::min(n, burst)) {
         ++t->quota_rejections;
         return Admit::kQuota;
       }

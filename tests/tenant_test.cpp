@@ -207,6 +207,24 @@ TEST(TenantRegistry, TokenBucketThrottlesOnlyTheNoisyTenant) {
   EXPECT_EQ(reg.submit("noisy", distinct_inserts(10, 100)), Admit::kOk);
 }
 
+TEST(TenantRegistry, TokenBucketAdmitsOversizeBatchAsDebt) {
+  TenantRegistryOptions o = base_options();
+  o.quotas.max_events_per_second = 200.0;
+  o.quotas.burst_events = 20.0;
+  TenantRegistry reg(o);
+
+  // A batch larger than the burst can never be covered by a full bucket;
+  // it must still be admitted (balance goes negative) rather than refused
+  // on every retry forever.
+  ASSERT_EQ(reg.submit("t", distinct_inserts(50, 0)), Admit::kOk);
+  EXPECT_EQ(stats_of(reg, "t").events, 50);
+
+  // The debt throttles what follows: even a batch the burst could normally
+  // cover is refused until the 30-token deficit refills.
+  EXPECT_EQ(reg.submit("t", distinct_inserts(20, 50)), Admit::kQuota);
+  EXPECT_EQ(stats_of(reg, "t").quota_rejections, 1);
+}
+
 TEST(TenantRegistry, FootprintAndBacklogQuotasRefuseTyped) {
   TenantRegistryOptions o = base_options();
   o.quotas.max_sketch_bytes = 1;
