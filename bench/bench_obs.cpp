@@ -160,5 +160,18 @@ int main(int argc, char** argv) {
     row("enabled/disabled ratio: %.3f (%.1f%% overhead when on)",
         on_rate / off_rate, 100.0 * (1.0 - on_rate / off_rate));
   }
+
+  JsonReport report("obs");
+  report.record()
+      .kv("series", "loopback_ingest")
+      .kv("trace", "off")
+      .kv("events", ingest_events)
+      .kv("events_per_s", off_rate);
+  report.record()
+      .kv("series", "loopback_ingest")
+      .kv("trace", "on")
+      .kv("events", ingest_events)
+      .kv("events_per_s", on_rate);
+  report.write();
   return off_rate > 0 && on_rate > 0 ? 0 : 1;
 }

@@ -28,7 +28,7 @@ import sys
 WATCHED = ("events_per_s", "batch_speedup")
 # Keys that identify a record within a bench report.
 ID_KEYS = ("series", "mode", "shards", "simd", "lambda", "keys", "dim",
-           "clients", "workers", "tenants")
+           "clients", "workers", "tenants", "trace")
 
 
 def record_key(rec):

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
 #include "skc/common/check.h"
 #include "skc/common/random.h"
 #include "skc/common/timer.h"
+#include "skc/obs/flight_recorder.h"
 #include "skc/obs/trace.h"
 #include "skc/solve/capacitated_kmedian.h"
 #include "skc/solve/cost.h"
@@ -413,6 +417,11 @@ void ClusterCoordinator::handle_worker_failure(int id) {
 
 EngineQueryResult ClusterCoordinator::query(const EngineQuery& q) {
   SKC_CHECK_MSG(connected_, "query before connect");
+  // Flight-recorder arm: if this fan-out runs past the slow threshold, its
+  // full span tree (merge RPCs included) lands in the recorder even with
+  // tracing off.
+  obs::QueryCapture capture("cluster_query",
+                            "workers=" + std::to_string(workers()));
   SKC_TRACE_SPAN("cluster_query");
   obs::LatencyRecorder latency(query_latency_);
   queries_.fetch_add(1, std::memory_order_relaxed);
@@ -607,11 +616,28 @@ void ClusterCoordinator::heartbeat_loop() {
       bool ok = false;
       {
         std::lock_guard<std::mutex> hb_lock(link->hb_mu);
+        const std::int64_t t0 = obs::Tracer::instance().now_micros();
         ok = link->heartbeat.connected() && link->heartbeat.heartbeat(r);
+        const std::int64_t t1 = obs::Tracer::instance().now_micros();
         if (ok) {
           account(protocol_net_, link->id,
                   link->heartbeat.last_request_payload(),
                   link->heartbeat.last_reply_payload());
+          if (r.tracer_now_micros != 0) {
+            // NTP midpoint: the worker read its tracer clock somewhere
+            // inside [t0, t1], so (t0+t1)/2 - worker_now estimates the
+            // coordinator-minus-worker offset with error bounded by RTT/2.
+            // The lowest-RTT probe so far carries the tightest bound.
+            const std::int64_t rtt = t1 - t0;
+            const std::int64_t best =
+                link->best_rtt_micros.load(std::memory_order_relaxed);
+            if (best < 0 || rtt < best) {
+              link->best_rtt_micros.store(rtt, std::memory_order_relaxed);
+              link->clock_offset_micros.store(
+                  (t0 + t1) / 2 - r.tracer_now_micros,
+                  std::memory_order_relaxed);
+            }
+          }
         }
       }
       if (ok) {
@@ -689,6 +715,133 @@ ClusterMetrics ClusterCoordinator::metrics() const {
   }
   m.net_request_latency = counters_.request_latency.snapshot();
   return m;
+}
+
+FleetStats ClusterCoordinator::fleet_stats() {
+  FleetStats f;
+  f.workers.reserve(links_.size());
+  for (auto& link : links_) {
+    FleetWorker w;
+    w.id = link->id;
+    w.address = address_label(link->address);
+    w.clock_offset_micros =
+        link->clock_offset_micros.load(std::memory_order_relaxed);
+    w.best_rtt_micros = link->best_rtt_micros.load(std::memory_order_relaxed);
+    w.alive = registry_.alive(link->id);
+    if (w.alive) {
+      std::lock_guard<std::mutex> lock(link->mu);
+      if (link->data.worker_stats(w.stats)) {
+        account(protocol_net_, link->id, link->data.last_request_payload(),
+                link->data.last_reply_payload());
+      } else {
+        // A failed pull is a scrape gap, not a failover trigger — the
+        // heartbeat prober owns liveness.
+        w.alive = false;
+      }
+    }
+    f.workers.push_back(std::move(w));
+  }
+  return f;
+}
+
+namespace {
+
+/// Extracts the "droppedSpans" count from a worker's local dump (our own
+/// dump_chrome_json layout); 0 when absent.
+std::int64_t dump_dropped_spans(const std::string& dump) {
+  const std::string_view key = "\"droppedSpans\":";
+  const std::size_t at = dump.find(key);
+  if (at == std::string::npos) return 0;
+  return std::strtoll(dump.c_str() + at + key.size(), nullptr, 10);
+}
+
+}  // namespace
+
+std::string ClusterCoordinator::cluster_trace_json() {
+  obs::Tracer& tracer = obs::Tracer::instance();
+
+  struct Lane {
+    int pid = 0;
+    std::string name;
+    std::string events;  ///< rebased, comma-joined chrome items (may be "")
+    std::int64_t offset_micros = 0;
+    std::int64_t rtt_micros = -1;
+    std::int64_t dropped = 0;
+  };
+  std::vector<Lane> lanes;
+  lanes.reserve(links_.size() + 1);
+  {
+    Lane own;
+    own.pid = 0;
+    own.name = "coordinator";
+    own.rtt_micros = 0;
+    own.events = obs::rebase_trace_events(tracer.dump_chrome_json(), 0, 0);
+    own.dropped = tracer.total_dropped();
+    lanes.push_back(std::move(own));
+  }
+  for (auto& link : links_) {
+    Lane lane;
+    lane.pid = link->id + 1;
+    lane.name =
+        "worker" + std::to_string(link->id) + " " + address_label(link->address);
+    lane.offset_micros =
+        link->clock_offset_micros.load(std::memory_order_relaxed);
+    lane.rtt_micros = link->best_rtt_micros.load(std::memory_order_relaxed);
+    if (registry_.alive(link->id)) {
+      std::string dump;
+      std::lock_guard<std::mutex> lock(link->mu);
+      if (link->data.trace_json(dump)) {
+        account(protocol_net_, link->id, link->data.last_request_payload(),
+                link->data.last_reply_payload());
+        // Shift the worker's timestamps onto the coordinator's tracer
+        // clock: coordinator_time = worker_time + offset.
+        lane.events =
+            obs::rebase_trace_events(dump, lane.pid, lane.offset_micros);
+        lane.dropped = dump_dropped_spans(dump);
+      }
+    }
+    lanes.push_back(std::move(lane));
+  }
+
+  std::int64_t dropped_total = 0;
+  for (const Lane& lane : lanes) dropped_total += lane.dropped;
+
+  std::string out;
+  out.reserve(1 << 16);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                "\"droppedSpans\":%" PRId64 ",\"workerClockOffsetsMicros\":[",
+                dropped_total);
+  out += buf;
+  for (std::size_t i = 1; i < lanes.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64, i > 1 ? "," : "",
+                  lanes[i].offset_micros);
+    out += buf;
+  }
+  out += "],\"workerHeartbeatRttMicros\":[";
+  for (std::size_t i = 1; i < lanes.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64, i > 1 ? "," : "",
+                  lanes[i].rtt_micros);
+    out += buf;
+  }
+  out += "]},\"traceEvents\":[";
+  bool first = true;
+  for (const Lane& lane : lanes) {
+    // One chrome://tracing process lane per node, named via metadata.
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", lane.pid, lane.name.c_str());
+    out += buf;
+    first = false;
+    if (!lane.events.empty()) {
+      out += ',';
+      out += lane.events;
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 net::Status ClusterCoordinator::dispatch(const net::FrameHeader& header,
@@ -813,7 +966,32 @@ net::Status ClusterCoordinator::dispatch(const net::FrameHeader& header,
       return Status::kOk;
 
     case MsgType::kPrometheus:
-      reply = net::encode_text(cluster_prometheus_text(metrics()));
+      // Coordinator-local families plus the skc_cluster_* fleet section
+      // merged from every worker's WORKER_STATS pull.
+      reply = net::encode_text(cluster_prometheus_text(metrics()) +
+                               fleet_prometheus_text(fleet_stats()));
+      return Status::kOk;
+
+    case MsgType::kClusterTraceDump:
+      reply = net::encode_text(cluster_trace_json());
+      return Status::kOk;
+
+    case MsgType::kWorkerStats: {
+      // The coordinator's own lane of the fleet scrape: fan-out ops map
+      // onto the shared op vocabulary (forward = submit_batch, query =
+      // query); there is no local checkpoint histogram.
+      net::WorkerStatsReply out;
+      out.submit = net::HistogramWire::from(forward_latency_.snapshot());
+      out.query = net::HistogramWire::from(query_latency_.snapshot());
+      out.net_request =
+          net::HistogramWire::from(counters_.request_latency.snapshot());
+      out.trace_dropped_spans = obs::Tracer::instance().total_dropped();
+      reply = out.encode();
+      return Status::kOk;
+    }
+
+    case MsgType::kFlightRecorder:
+      reply = net::encode_text(obs::FlightRecorder::instance().dump_json());
       return Status::kOk;
 
     case MsgType::kWorkerHello:

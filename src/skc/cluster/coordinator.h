@@ -133,6 +133,18 @@ class ClusterCoordinator : public net::FrameServer {
 
   ClusterMetrics metrics() const;
 
+  /// Pulls every live worker's WORKER_STATS reply (latency histograms,
+  /// trace-drop counters, per-tenant rows) and pairs each with the
+  /// heartbeat prober's clock model — the input to fleet_prometheus_text.
+  FleetStats fleet_stats();
+
+  /// One fleet timeline: the coordinator's own trace ring plus every live
+  /// worker's TRACE_DUMP, each rebased onto the coordinator's tracer clock
+  /// via the heartbeat offset estimate and emitted as its own
+  /// chrome://tracing process lane (pid 0 = coordinator, pid id+1 =
+  /// worker id).
+  std::string cluster_trace_json();
+
  protected:
   net::Status dispatch(const net::FrameHeader& header, std::string_view body,
                        std::string& reply) override;
@@ -164,6 +176,13 @@ class ClusterCoordinator : public net::FrameServer {
     net::SkcClient heartbeat;
 
     obs::LatencyHistogram merge_latency;
+
+    /// Clock model for the fleet timeline, maintained by the heartbeat
+    /// prober: the NTP midpoint estimate from the lowest-RTT probe so far
+    /// (coordinator tracer clock minus worker tracer clock).  Relaxed
+    /// atomics — readers only need a coherent recent estimate.
+    std::atomic<std::int64_t> clock_offset_micros{0};
+    std::atomic<std::int64_t> best_rtt_micros{-1};
   };
 
   std::size_t slot_of(std::span<const Coord> p) const;

@@ -256,4 +256,116 @@ std::string cluster_prometheus_text(const ClusterMetrics& m) {
   return out;
 }
 
+std::string fleet_prometheus_text(const FleetStats& f) {
+  using obs::prom::line;
+
+  /// The four op histograms every WORKER_STATS reply carries, in exposition
+  /// order.
+  struct OpField {
+    const char* op;
+    const net::HistogramWire net::WorkerStatsReply::*field;
+  };
+  static constexpr OpField kOps[] = {
+      {"submit_batch", &net::WorkerStatsReply::submit},
+      {"query", &net::WorkerStatsReply::query},
+      {"checkpoint", &net::WorkerStatsReply::checkpoint},
+      {"net_request", &net::WorkerStatsReply::net_request}};
+
+  std::string out;
+  out.reserve(8192);
+
+  line(out,
+       "# HELP skc_cluster_worker_up Worker is heartbeating and answered "
+       "the fleet stats pull.");
+  line(out, "# TYPE skc_cluster_worker_up gauge");
+  for (const FleetWorker& w : f.workers) {
+    line(out, "skc_cluster_worker_up{worker=\"%d\",address=\"%s\"} %d", w.id,
+         w.address.c_str(), w.alive ? 1 : 0);
+  }
+
+  line(out,
+       "# HELP skc_cluster_worker_clock_offset_micros Estimated tracer clock "
+       "offset, coordinator minus worker (NTP midpoint of the lowest-RTT "
+       "heartbeat).");
+  line(out, "# TYPE skc_cluster_worker_clock_offset_micros gauge");
+  for (const FleetWorker& w : f.workers) {
+    line(out, "skc_cluster_worker_clock_offset_micros{worker=\"%d\"} %" PRId64,
+         w.id, w.clock_offset_micros);
+  }
+  line(out,
+       "# HELP skc_cluster_worker_heartbeat_rtt_micros Round-trip behind the "
+       "offset estimate (-1 before the first timed probe).");
+  line(out, "# TYPE skc_cluster_worker_heartbeat_rtt_micros gauge");
+  for (const FleetWorker& w : f.workers) {
+    line(out, "skc_cluster_worker_heartbeat_rtt_micros{worker=\"%d\"} %" PRId64,
+         w.id, w.best_rtt_micros);
+  }
+
+  line(out,
+       "# HELP skc_cluster_trace_dropped_spans_total Spans lost to "
+       "trace-ring overwrites, per worker.");
+  line(out, "# TYPE skc_cluster_trace_dropped_spans_total counter");
+  for (const FleetWorker& w : f.workers) {
+    line(out, "skc_cluster_trace_dropped_spans_total{worker=\"%d\"} %" PRId64,
+         w.id, w.stats.trace_dropped_spans);
+  }
+
+  line(out,
+       "# HELP skc_cluster_worker_ops_total Operations recorded per worker "
+       "by op.");
+  line(out, "# TYPE skc_cluster_worker_ops_total counter");
+  for (const OpField& op : kOps) {
+    for (const FleetWorker& w : f.workers) {
+      line(out, "skc_cluster_worker_ops_total{worker=\"%d\",op=\"%s\"} %" PRId64,
+           w.id, op.op, (w.stats.*op.field).count);
+    }
+  }
+
+  line(out,
+       "# HELP skc_cluster_op_latency_fleet_seconds Fleet-wide operation "
+       "latency: every worker's histogram merged bucket-wise.");
+  line(out, "# TYPE skc_cluster_op_latency_fleet_seconds histogram");
+  std::vector<obs::HistogramSnapshot> merged(sizeof(kOps) / sizeof(kOps[0]));
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    for (const FleetWorker& w : f.workers) {
+      merged[i].merge((w.stats.*kOps[i].field).to_snapshot());
+    }
+    char labels[48];
+    std::snprintf(labels, sizeof(labels), "op=\"%s\"", kOps[i].op);
+    obs::prom::histogram_series(out, "skc_cluster_op_latency_fleet_seconds",
+                                labels, merged[i]);
+  }
+
+  line(out,
+       "# HELP skc_cluster_op_latency_quantile_millis Fleet p50/p99/p999 "
+       "from the merged buckets (not an average of per-worker quantiles).");
+  line(out, "# TYPE skc_cluster_op_latency_quantile_millis gauge");
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    line(out,
+         "skc_cluster_op_latency_quantile_millis{op=\"%s\",q=\"0.5\"} %.6g",
+         kOps[i].op, merged[i].p50_millis());
+    line(out,
+         "skc_cluster_op_latency_quantile_millis{op=\"%s\",q=\"0.99\"} %.6g",
+         kOps[i].op, merged[i].p99_millis());
+    line(out,
+         "skc_cluster_op_latency_quantile_millis{op=\"%s\",q=\"0.999\"} %.6g",
+         kOps[i].op, merged[i].p999_millis());
+  }
+
+  line(out,
+       "# HELP skc_cluster_tenant_events_total Events submitted per tenant "
+       "per worker.");
+  line(out, "# TYPE skc_cluster_tenant_events_total counter");
+  for (const FleetWorker& w : f.workers) {
+    for (const net::TenantEventsRow& row : w.stats.tenants) {
+      line(out,
+           "skc_cluster_tenant_events_total{worker=\"%d\",tenant=\"%s\"} "
+           "%" PRId64,
+           w.id, row.id.c_str(), row.events);
+    }
+  }
+
+  return out;
+}
+
 }  // namespace skc::cluster

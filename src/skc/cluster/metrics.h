@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "skc/cluster/registry.h"
+#include "skc/net/frame.h"
 #include "skc/obs/histogram.h"
 
 namespace skc::cluster {
@@ -76,5 +77,29 @@ std::string cluster_metrics_json(const ClusterMetrics& m);
 /// Prometheus text exposition with per-worker labels (worker="<rank>") on
 /// the byte ledgers, registry gauges, and merge-latency histograms.
 std::string cluster_prometheus_text(const ClusterMetrics& m);
+
+/// One worker's observability pull for the fleet scrape: the WORKER_STATS
+/// reply plus the coordinator's clock model for that node.
+struct FleetWorker {
+  int id = 0;
+  std::string address;  ///< host:port label
+  bool alive = false;   ///< heartbeating AND answered the stats pull
+  /// Estimated coordinator-minus-worker tracer clock offset (NTP midpoint
+  /// of the lowest-RTT heartbeat; see HeartbeatReply::tracer_now_micros).
+  std::int64_t clock_offset_micros = 0;
+  std::int64_t best_rtt_micros = -1;  ///< RTT behind the estimate; -1 = none
+  net::WorkerStatsReply stats;
+};
+
+struct FleetStats {
+  std::vector<FleetWorker> workers;
+};
+
+/// The skc_cluster_* fleet family: per-worker clock/liveness/drop series,
+/// per-worker op counters, fleet-wide latency histograms merged bucket-wise
+/// across workers (so the p50/p99/p999 quantile gauges describe the whole
+/// fleet, not an average of averages), and per-tenant event counters
+/// labeled {worker, tenant}.  Pure string building — goldenable.
+std::string fleet_prometheus_text(const FleetStats& f);
 
 }  // namespace skc::cluster

@@ -117,6 +117,8 @@ std::string metrics_json(const EngineMetrics& m) {
   append_kv(out, "net_malformed_frames", m.net_malformed_frames);
   out += ',';
   append_kv(out, "net_requests_by_type", m.net_requests_by_type);
+  out += ',';
+  append_kv(out, "trace_dropped_spans", m.trace_dropped_spans);
   out += '}';
   return out;
 }

@@ -52,6 +52,10 @@ struct EngineMetrics {
   /// delete_batch, query, metrics, checkpoint, shutdown, trace_dump,
   /// prometheus).
   std::vector<std::int64_t> net_requests_by_type;
+  /// Spans lost to trace-ring overwrites (obs::Tracer::total_dropped());
+  /// filled by servers so the scrape stays deterministic for an engine
+  /// used in-process (always 0 there).
+  std::int64_t trace_dropped_spans = 0;
 
   // Per-op latency distributions (src/skc/obs/histogram.h).  These replace
   // the old scalar last/total query timers: metrics_json() derives the

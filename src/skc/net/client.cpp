@@ -4,8 +4,33 @@
 #include <thread>
 
 #include "skc/common/check.h"
+#include "skc/obs/trace.h"
 
 namespace skc::net {
+
+namespace {
+
+/// Client-side span names, one literal per MsgType (the trace ring stores
+/// `const char*`, so these must have static storage duration).  Indexed by
+/// the dense enum; kept in sync by the static_assert below.
+constexpr const char* kRpcSpanNames[] = {
+    "rpc:ping",          "rpc:insert_batch",  "rpc:delete_batch",
+    "rpc:query",         "rpc:metrics",       "rpc:checkpoint",
+    "rpc:shutdown",      "rpc:trace_dump",    "rpc:prometheus",
+    "rpc:worker_hello",  "rpc:heartbeat",     "rpc:merge_sketch",
+    "rpc:fetch_coreset", "rpc:ship_snapshot", "rpc:tenant_stats",
+    "rpc:cluster_trace_dump", "rpc:worker_stats", "rpc:flight_recorder"};
+static_assert(sizeof(kRpcSpanNames) / sizeof(kRpcSpanNames[0]) ==
+                  static_cast<std::size_t>(kNumMsgTypes),
+              "every MsgType needs an rpc span name");
+
+const char* rpc_span_name(MsgType type) {
+  const auto index = static_cast<std::size_t>(type);
+  return index < static_cast<std::size_t>(kNumMsgTypes) ? kRpcSpanNames[index]
+                                                        : "rpc:unknown";
+}
+
+}  // namespace
 
 SkcClient::SkcClient(const ClientOptions& options) : options_(options) {}
 
@@ -47,11 +72,21 @@ bool SkcClient::fail(const std::string& message) {
 bool SkcClient::request(MsgType type, std::string_view body,
                         std::string& reply_body) {
   if (!sock_.valid()) return fail("not connected");
-  // The default tenant sends version-1 frames — byte-identical to a
-  // pre-tenant client, which the compat test pins.
+  // Every exchange runs inside a span named after its message type; when
+  // tracing (or a flight-recorder capture) is live, the span extends the
+  // ambient trace — or roots a fresh one — and the context rides the wire
+  // as a version-3 frame so the server's "request" span shares a trace_id.
+  obs::ScopedSpan rpc_span(rpc_span_name(type));
+  const obs::TraceContext ctx = obs::Tracer::current_context();
+  // Contextless traffic keeps the pre-trace framing: the default tenant
+  // sends version-1 frames, byte-identical to a pre-tenant client, and a
+  // tenant sends version 2 — both pinned by the compat tests.
   const std::string frame =
-      tenant_.empty() ? encode_frame(type, Status::kOk, body)
-                      : encode_tenant_frame(type, Status::kOk, tenant_, body);
+      ctx.trace_id != 0
+          ? encode_traced_frame(type, Status::kOk, ctx, tenant_, body)
+          : (tenant_.empty()
+                 ? encode_frame(type, Status::kOk, body)
+                 : encode_tenant_frame(type, Status::kOk, tenant_, body));
   int backoff = options_.retry_backoff_ms;
   for (int attempt = 0;; ++attempt) {
     IoResult io = send_exact(sock_, frame.data(), frame.size(),
@@ -108,6 +143,10 @@ bool SkcClient::request(MsgType type, std::string_view body,
     }
     last_request_payload_ = body.size();
     last_reply_payload_ = payload.size();
+    if (rpc_span.active()) {
+      rpc_span.set_wire_bytes(static_cast<std::int64_t>(
+          frame.size() + frame_wire_bytes(header.payload_bytes)));
+    }
     reply_body = std::move(payload);
     return true;
   }
@@ -231,6 +270,31 @@ bool SkcClient::tenant_stats(std::string& json) {
   std::string body;
   if (!request(MsgType::kTenantStats, std::string_view{}, body)) return false;
   if (!decode_text(body, json)) return fail("undecodable tenant stats reply");
+  return true;
+}
+
+bool SkcClient::cluster_trace_json(std::string& json) {
+  std::string body;
+  if (!request(MsgType::kClusterTraceDump, std::string_view{}, body)) {
+    return false;
+  }
+  if (!decode_text(body, json)) return fail("undecodable cluster trace reply");
+  return true;
+}
+
+bool SkcClient::worker_stats(WorkerStatsReply& reply) {
+  std::string body;
+  if (!request(MsgType::kWorkerStats, std::string_view{}, body)) return false;
+  if (!reply.decode(body)) return fail("undecodable worker stats reply");
+  return true;
+}
+
+bool SkcClient::flight_recorder_json(std::string& json) {
+  std::string body;
+  if (!request(MsgType::kFlightRecorder, std::string_view{}, body)) {
+    return false;
+  }
+  if (!decode_text(body, json)) return fail("undecodable flight recorder reply");
   return true;
 }
 

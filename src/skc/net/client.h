@@ -109,6 +109,15 @@ class SkcClient {
   /// when one is set, the whole registry otherwise.
   bool tenant_stats(std::string& json);
 
+  // Observability RPCs (src/skc/obs/).
+  /// Fleet-merged chrome://tracing JSON from a coordinator (one process
+  /// lane per node); against a plain server, its local dump.
+  bool cluster_trace_json(std::string& json);
+  /// Latency histograms + trace-drop counters for fleet-metric merging.
+  bool worker_stats(WorkerStatsReply& reply);
+  /// Slow-query flight-recorder ring as JSON.
+  bool flight_recorder_json(std::string& json);
+
  private:
   bool batch(MsgType type, int dim, std::span<const Coord> coords,
              BatchReply* ack);

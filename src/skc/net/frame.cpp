@@ -151,6 +151,38 @@ std::string encode_tenant_frame(MsgType type, Status status,
   return out;
 }
 
+std::string encode_traced_frame(MsgType type, Status status,
+                                const obs::TraceContext& ctx,
+                                std::string_view tenant,
+                                std::string_view payload) {
+  SKC_DCHECK(valid_tenant_id(tenant));
+  SKC_DCHECK(ctx.trace_id != 0);
+  const auto total = static_cast<std::uint32_t>(
+      kTraceContextBytes + 1 + tenant.size() + payload.size());
+  std::string out = encode_frame_impl(kWireVersionTraced, type, status, total);
+  Writer w;
+  w.put<std::uint64_t>(ctx.trace_id);
+  w.put<std::uint64_t>(ctx.span_id);
+  out.append(w.take());
+  out.push_back(static_cast<char>(static_cast<std::uint8_t>(tenant.size())));
+  out.append(tenant);
+  out.append(payload);
+  return out;
+}
+
+bool split_trace_prefix(std::string_view payload, obs::TraceContext& ctx,
+                        std::string_view& rest) {
+  if (payload.size() < kTraceContextBytes) return false;
+  Reader r(payload.substr(0, kTraceContextBytes));
+  std::uint64_t trace_id = 0, span_id = 0;
+  r.get(trace_id);
+  r.get(span_id);
+  ctx.trace_id = trace_id;
+  ctx.span_id = span_id;
+  rest = payload.substr(kTraceContextBytes);
+  return true;
+}
+
 bool valid_tenant_id(std::string_view id) {
   if (id.size() > kMaxTenantIdBytes) return false;
   for (const char c : id) {
@@ -184,7 +216,8 @@ Status decode_header(std::string_view bytes, FrameHeader& out) {
   r.get(status);
   r.get(payload);
   if (magic != kFrameMagic) return Status::kMalformed;
-  if (version != kWireVersion && version != kWireVersionTenant) {
+  if (version != kWireVersion && version != kWireVersionTenant &&
+      version != kWireVersionTraced) {
     return Status::kUnsupported;
   }
   if (type >= kNumMsgTypes) return Status::kUnsupported;
@@ -325,13 +358,14 @@ std::string HeartbeatReply::encode() const {
   w.put(backlog);
   w.put(net_points);
   w.put(events_applied);
+  w.put(tracer_now_micros);
   return w.take();
 }
 
 bool HeartbeatReply::decode(std::string_view body) {
   Reader r(body);
   return r.get(backlog) && r.get(net_points) && r.get(events_applied) &&
-         r.done();
+         r.get(tracer_now_micros) && r.done();
 }
 
 std::string SketchSnapshot::encode() const {
@@ -375,6 +409,108 @@ bool CoresetReply::decode(std::string_view body) {
   // The coordinate block must be exactly dim coordinates per weighted point.
   return coords.size() ==
          weights.size() * static_cast<std::size_t>(dim);
+}
+
+HistogramWire HistogramWire::from(const obs::HistogramSnapshot& snapshot) {
+  HistogramWire w;
+  w.count = snapshot.count;
+  w.sum_micros = snapshot.sum_micros;
+  w.min_micros = snapshot.min_micros;
+  w.max_micros = snapshot.max_micros;
+  w.last_micros = snapshot.last_micros;
+  for (std::size_t i = 0; i < snapshot.buckets.size(); ++i) {
+    if (snapshot.buckets[i] == 0) continue;
+    w.bucket_index.push_back(static_cast<std::uint32_t>(i));
+    w.bucket_value.push_back(snapshot.buckets[i]);
+  }
+  return w;
+}
+
+obs::HistogramSnapshot HistogramWire::to_snapshot() const {
+  obs::HistogramSnapshot s;
+  s.count = count;
+  s.sum_micros = sum_micros;
+  s.min_micros = min_micros;
+  s.max_micros = max_micros;
+  s.last_micros = last_micros;
+  for (std::size_t i = 0; i < bucket_index.size(); ++i) {
+    const auto idx = static_cast<std::size_t>(bucket_index[i]);
+    if (idx < s.buckets.size()) s.buckets[idx] = bucket_value[i];
+  }
+  return s;
+}
+
+namespace {
+
+void put_histogram(Writer& w, const HistogramWire& h) {
+  w.put(h.count);
+  w.put(h.sum_micros);
+  w.put(h.min_micros);
+  w.put(h.max_micros);
+  w.put(h.last_micros);
+  w.put_vector(h.bucket_index);
+  w.put_vector(h.bucket_value);
+}
+
+bool get_histogram(Reader& r, HistogramWire& h) {
+  if (!r.get(h.count) || h.count < 0 || !r.get(h.sum_micros) ||
+      !r.get(h.min_micros) || !r.get(h.max_micros) || !r.get(h.last_micros)) {
+    return false;
+  }
+  if (!r.get_vector(h.bucket_index) || !r.get_vector(h.bucket_value)) {
+    return false;
+  }
+  if (h.bucket_index.size() != h.bucket_value.size()) return false;
+  // Strictly increasing in-range indexes: rejects duplicates, disorder, and
+  // out-of-bounds writes in to_snapshot() in one pass.
+  for (std::size_t i = 0; i < h.bucket_index.size(); ++i) {
+    if (h.bucket_index[i] >= static_cast<std::uint32_t>(obs::kHistogramBuckets))
+      return false;
+    if (i > 0 && h.bucket_index[i] <= h.bucket_index[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string WorkerStatsReply::encode() const {
+  Writer w;
+  put_histogram(w, submit);
+  put_histogram(w, query);
+  put_histogram(w, checkpoint);
+  put_histogram(w, net_request);
+  w.put(trace_dropped_spans);
+  w.put<std::uint64_t>(tenants.size());
+  for (const TenantEventsRow& t : tenants) {
+    w.put_string(t.id);
+    w.put(t.events);
+  }
+  return w.take();
+}
+
+bool WorkerStatsReply::decode(std::string_view body) {
+  Reader r(body);
+  if (!get_histogram(r, submit) || !get_histogram(r, query) ||
+      !get_histogram(r, checkpoint) || !get_histogram(r, net_request)) {
+    return false;
+  }
+  if (!r.get(trace_dropped_spans) || trace_dropped_spans < 0) return false;
+  std::uint64_t n = 0;
+  if (!r.get(n)) return false;
+  // Each row is at least 16 bytes on the wire; an absurd count cannot
+  // provoke a huge allocation before the per-row reads fail.
+  if (n > kMaxPayloadBytes / 16) return false;
+  tenants.clear();
+  tenants.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TenantEventsRow row;
+    if (!r.get_string(row.id) || row.id.size() > kMaxTenantIdBytes ||
+        !valid_tenant_id(row.id) || !r.get(row.events) || row.events < 0) {
+      return false;
+    }
+    tenants.push_back(std::move(row));
+  }
+  return r.done();
 }
 
 std::string encode_text(std::string_view text) {

@@ -19,6 +19,15 @@
 // unmodified, byte-for-byte (pinned by tenant_server_test).  Replies are
 // always version 1 — a reply needs no namespace.
 //
+// Version 3 frames prepend a trace context to the payload — 16 bytes, a
+// little-endian u64 trace_id then the caller's u64 span_id — ahead of the
+// tenant prefix (always present in v3; an empty id is one 0x00 byte), so
+// stripping the context yields a valid version-2 payload and dispatch code
+// never sees the extension.  Clients emit v3 only when a trace context is
+// live (tracing or a flight-recorder capture); contextless traffic stays
+// byte-identical to the PR-9 encoding (pinned by frame_trace_test), the
+// same gating discipline v2 used for tenants.
+//
 // A request and its reply carry the same MsgType; errors travel in the
 // reply's Status with an empty or diagnostic payload.  Decoding is strictly
 // bounds-checked: a frame with a bad magic, unknown version/type, or an
@@ -41,6 +50,8 @@
 #include <vector>
 
 #include "skc/common/types.h"
+#include "skc/obs/histogram.h"
+#include "skc/obs/trace.h"
 
 namespace skc::net {
 
@@ -48,6 +59,11 @@ inline constexpr std::uint32_t kFrameMagic = 0x46434b53u;  // "SKCF"
 inline constexpr std::uint8_t kWireVersion = 1;
 /// Version 2: payload starts with a tenant-id prefix (u8 length + bytes).
 inline constexpr std::uint8_t kWireVersionTenant = 2;
+/// Version 3: payload starts with a trace context (u64 trace_id + u64
+/// parent span_id, little-endian) followed by the version-2 tenant prefix.
+inline constexpr std::uint8_t kWireVersionTraced = 3;
+/// Bytes of the version-3 trace-context extension.
+inline constexpr std::size_t kTraceContextBytes = 16;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// Stream ids are short tokens: at most this many bytes of [A-Za-z0-9._-].
 inline constexpr std::size_t kMaxTenantIdBytes = 64;
@@ -83,14 +99,22 @@ enum class MsgType : std::uint8_t {
   // Multi-tenant protocol (src/skc/tenant/).
   kTenantStats = 14,  ///< reply: per-tenant registry stats JSON (encode_text);
                       ///< a v2 tenant prefix narrows it to that one tenant
+  // Fleet observability (src/skc/obs/ + cluster/).
+  kClusterTraceDump = 15,  ///< reply: fleet-merged chrome://tracing JSON —
+                           ///< one process lane per node (encode_text)
+  kWorkerStats = 16,       ///< empty request; reply: WorkerStatsReply
+                           ///< (latency histograms + per-tenant counters)
+  kFlightRecorder = 17,    ///< reply: slow-query flight-recorder JSON
+                           ///< (encode_text)
 };
 /// Derived from the enum's last member so every per-type table (request
 /// counters, Prometheus names) resizes with the protocol instead of relying
 /// on a hand-maintained count.  Append new types at the end and bump the
 /// static_assert — it pins the enum dense (no gaps), which type_index-style
 /// array indexing assumes.
-inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kTenantStats) + 1;
-static_assert(kNumMsgTypes == 15,
+inline constexpr int kNumMsgTypes =
+    static_cast<int>(MsgType::kFlightRecorder) + 1;
+static_assert(kNumMsgTypes == 18,
               "MsgType must stay dense: append new members at the end, keep "
               "kNumMsgTypes tied to the last member, and update this assert");
 
@@ -117,7 +141,8 @@ struct FrameHeader {
   MsgType type = MsgType::kPing;
   Status status = Status::kOk;
   std::uint32_t payload_bytes = 0;
-  std::uint8_t version = kWireVersion;  ///< 1 = default tenant, 2 = prefixed
+  std::uint8_t version = kWireVersion;  ///< 1 = plain, 2 = tenant-prefixed,
+                                        ///< 3 = trace context + tenant prefix
 };
 
 /// Bytes a frame carrying `payload_bytes` of body occupies on the wire.
@@ -154,6 +179,17 @@ std::string encode_tenant_frame(MsgType type, Status status,
 /// [A-Za-z0-9._-].  The empty string is legal (the default tenant).
 bool valid_tenant_id(std::string_view id);
 
+/// Version-3 frame: the payload opens with `ctx` (u64 trace_id + u64 span_id,
+/// little-endian) followed by the tenant prefix (u8 length + bytes; empty id
+/// = one 0x00 byte) and the version-1 body — stripping kTraceContextBytes
+/// yields a valid version-2 payload.  The context must be live
+/// (ctx.trace_id != 0): contextless traffic must use encode_frame /
+/// encode_tenant_frame so its bytes stay PR-9-identical.
+std::string encode_traced_frame(MsgType type, Status status,
+                                const obs::TraceContext& ctx,
+                                std::string_view tenant,
+                                std::string_view payload);
+
 /// Splits a version-2 payload into its tenant prefix and the inner body.
 /// Returns false when the prefix is structurally absent (no length byte or
 /// announced length past the payload end) — charset/length POLICY violations
@@ -162,10 +198,16 @@ bool valid_tenant_id(std::string_view id);
 bool split_tenant_prefix(std::string_view payload, std::string_view& tenant,
                          std::string_view& inner);
 
+/// Splits a version-3 payload into its trace context and the remainder (a
+/// version-2 tenant-prefixed payload).  Returns false when fewer than
+/// kTraceContextBytes are present.
+bool split_trace_prefix(std::string_view payload, obs::TraceContext& ctx,
+                        std::string_view& rest);
+
 /// Validates the 12 header bytes.  Returns Status::kOk and fills `out` on
 /// success; otherwise returns the status a server should answer with
 /// (kMalformed / kUnsupported / kTooLarge) before closing the connection.
-/// Accepts versions 1 and 2 (out.version says which).
+/// Accepts versions 1, 2 and 3 (out.version says which).
 Status decode_header(std::string_view bytes, FrameHeader& out);
 
 // ---------------------------------------------------------------------------
@@ -260,11 +302,15 @@ struct WorkerHelloReply {
 };
 
 /// HEARTBEAT reply (the request body is empty): liveness plus the load
-/// signals the coordinator folds into its registry.
+/// signals the coordinator folds into its registry, plus the worker's
+/// tracer clock so the coordinator can estimate per-node offsets from the
+/// round trip (NTP-style midpoint; see cluster/coordinator.h) and rebase
+/// worker spans onto its own timeline.
 struct HeartbeatReply {
   std::int64_t backlog = 0;         ///< worker queue depth
   std::int64_t net_points = 0;      ///< surviving points on the worker
   std::int64_t events_applied = 0;  ///< drained into the worker's builders
+  std::int64_t tracer_now_micros = 0;  ///< worker Tracer::now_micros() at reply
 
   std::string encode() const;
   bool decode(std::string_view body);
@@ -293,6 +339,45 @@ struct CoresetReply {
   std::int32_t dim = 0;
   std::vector<double> weights;
   std::vector<Coord> coords;  ///< row-major, dim per point
+
+  std::string encode() const;
+  bool decode(std::string_view body);
+};
+
+/// Sparse wire form of one obs::HistogramSnapshot: of the 944 log-linear
+/// buckets only the nonzero ones travel, as parallel (index, value) arrays.
+/// Scalars ride alongside so the coordinator's bucket-wise merge (the same
+/// linear composition the sketches use) reconstructs the snapshot exactly.
+struct HistogramWire {
+  std::int64_t count = 0;
+  std::int64_t sum_micros = 0;
+  std::int64_t min_micros = 0;
+  std::int64_t max_micros = 0;
+  std::int64_t last_micros = 0;
+  std::vector<std::uint32_t> bucket_index;  ///< strictly increasing
+  std::vector<std::int64_t> bucket_value;   ///< parallel to bucket_index
+
+  static HistogramWire from(const obs::HistogramSnapshot& snapshot);
+  obs::HistogramSnapshot to_snapshot() const;
+};
+
+/// One tenant's admitted-event count inside a WorkerStatsReply.
+struct TenantEventsRow {
+  std::string id;  ///< "" = the default tenant
+  std::int64_t events = 0;
+};
+
+/// WORKER_STATS reply (the request body is empty): the node's per-op
+/// latency histograms in sparse form, its dropped-span counter, and
+/// per-tenant admitted-event counts.  The coordinator's fleet scrape merges
+/// these bucket-wise into aggregate p50/p99/p999 (cluster/metrics.h).
+struct WorkerStatsReply {
+  HistogramWire submit;
+  HistogramWire query;
+  HistogramWire checkpoint;
+  HistogramWire net_request;
+  std::int64_t trace_dropped_spans = 0;
+  std::vector<TenantEventsRow> tenants;
 
   std::string encode() const;
   bool decode(std::string_view body);

@@ -1,7 +1,9 @@
 #include "skc/net/server.h"
 
+#include <cstdio>
 #include <utility>
 
+#include "skc/obs/flight_recorder.h"
 #include "skc/obs/prometheus.h"
 #include "skc/obs/trace.h"
 
@@ -127,14 +129,39 @@ void FrameServer::serve_connection(Conn& conn) {
     counters_.requests_by_type[type_index(header.type)].fetch_add(
         1, std::memory_order_relaxed);
 
+    // Version-3 frames open with a wire trace context.  Strip it here and
+    // rewrite the header to version 2: dispatch code is version-gated on
+    // the tenant prefix only and never sees the extension.
+    obs::TraceContext wire_ctx;
+    std::string_view body_view = body;
+    if (header.version == kWireVersionTraced) {
+      std::string_view rest;
+      if (!split_trace_prefix(body_view, wire_ctx, rest)) {
+        counters_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        send_reply(conn, header.type, Status::kMalformed,
+                   encode_text("truncated trace context"));
+        break;
+      }
+      body_view = rest;
+      header.version = kWireVersionTenant;
+    }
+
     std::string reply;
     Status status;
     {
       // The request histogram (and span) covers decode + subclass work +
       // reply encoding, but not the idle wait for the frame to arrive.
-      SKC_TRACE_SPAN("request");
+      // The wire context (if any) is ambient for the dispatch, so server
+      // spans parent under the caller's RPC span and share its trace_id.
+      obs::ScopedTraceContext trace_scope(wire_ctx);
+      obs::ScopedSpan request_span("request");
       obs::LatencyRecorder latency(counters_.request_latency);
-      status = dispatch(header, body, reply);
+      status = dispatch(header, body_view, reply);
+      if (request_span.active()) {
+        request_span.set_wire_bytes(static_cast<std::int64_t>(
+            frame_wire_bytes(header.payload_bytes) +
+            frame_wire_bytes(reply.size())));
+      }
     }
     if (!send_reply(conn, header.type, status, reply)) break;
     if (status == Status::kMalformed) break;  // stream integrity is gone
@@ -297,6 +324,10 @@ Status EngineServer::dispatch(const FrameHeader& header, std::string_view body,
       q.barrier = request.barrier;
       q.summary_only = request.summary_only;
       q.solver_restarts = request.solver_restarts;
+      char capture_detail[64];
+      std::snprintf(capture_detail, sizeof(capture_detail),
+                    "engine shards=%d", engine_.num_shards());
+      obs::QueryCapture capture("query", capture_detail);
       const EngineQueryResult res = engine_.query(q);
       QueryReply out;
       out.ok = res.ok;
@@ -374,6 +405,7 @@ Status EngineServer::dispatch(const FrameHeader& header, std::string_view body,
       out.backlog = engine_.queue_backlog();
       out.net_points = m.net_points;
       out.events_applied = m.events_applied;
+      out.tracer_now_micros = obs::Tracer::instance().now_micros();
       reply = out.encode();
       return Status::kOk;
     }
@@ -431,6 +463,32 @@ Status EngineServer::dispatch(const FrameHeader& header, std::string_view body,
       }
       return Status::kOk;
     }
+
+    case MsgType::kClusterTraceDump:
+      // A single-node server is a cluster of one: answer with the local
+      // rings so the same CLI command works against engines, tenant hosts,
+      // and coordinators.
+      reply = encode_text(obs::Tracer::instance().dump_chrome_json());
+      return Status::kOk;
+
+    case MsgType::kWorkerStats: {
+      const EngineMetrics m = metrics();
+      WorkerStatsReply out;
+      out.submit = HistogramWire::from(m.submit_latency);
+      out.query = HistogramWire::from(m.query_latency);
+      out.checkpoint = HistogramWire::from(m.checkpoint_latency);
+      out.net_request = HistogramWire::from(m.net_request_latency);
+      out.trace_dropped_spans = m.trace_dropped_spans;
+      TenantEventsRow row;  // single-tenant node: one default-namespace row
+      row.events = m.events_submitted;
+      out.tenants.push_back(std::move(row));
+      reply = out.encode();
+      return Status::kOk;
+    }
+
+    case MsgType::kFlightRecorder:
+      reply = encode_text(obs::FlightRecorder::instance().dump_json());
+      return Status::kOk;
   }
   reply = encode_text("unknown message type");
   return Status::kUnsupported;
@@ -465,6 +523,7 @@ EngineMetrics EngineServer::metrics() const {
             std::memory_order_relaxed);
   }
   m.net_request_latency = counters_.request_latency.snapshot();
+  m.trace_dropped_spans = obs::Tracer::instance().total_dropped();
   return m;
 }
 

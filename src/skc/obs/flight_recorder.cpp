@@ -1,0 +1,176 @@
+#include "skc/obs/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace skc::obs {
+
+namespace {
+
+/// Minimal JSON string escape for metadata (ids are validated lowercase,
+/// but free-form detail must never produce invalid JSON).
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::set_threshold_millis(double millis) {
+  threshold_micros_.store(static_cast<std::int64_t>(millis * 1000.0),
+                          std::memory_order_relaxed);
+}
+
+double FlightRecorder::threshold_millis() const {
+  return static_cast<double>(
+             threshold_micros_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+void FlightRecorder::add(FlightRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = ++total_captured_;
+  ring_.push_back(std::move(record));
+  while (ring_.size() > kFlightRecorderCapacity) ring_.pop_front();
+}
+
+std::vector<FlightRecord> FlightRecorder::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::int64_t FlightRecorder::total_captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_captured_;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  // total_captured_ keeps counting: seq numbers stay unique for the
+  // process lifetime so "did I already look at this record" stays easy.
+}
+
+std::string FlightRecorder::dump_json() const {
+  char buf[160];
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"thresholdMillis\":%.3f,\"captured\":%" PRId64
+                  ",\"records\":[",
+                  static_cast<double>(threshold_micros_.load(
+                      std::memory_order_relaxed)) /
+                      1000.0,
+                  total_captured_);
+    out = buf;
+    bool first_rec = true;
+    for (const FlightRecord& rec : ring_) {
+      if (!first_rec) out += ',';
+      first_rec = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"seq\":%" PRId64 ",\"op\":\"%s\",\"detail\":\"",
+                    rec.seq, rec.op);
+      out += buf;
+      append_escaped(out, rec.detail);
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"trace_id\":\"0x%016" PRIx64
+                    "\",\"start_micros\":%" PRId64 ",\"dur_micros\":%" PRId64
+                    ",\"truncated\":%s,\"spans\":[",
+                    rec.trace_id, rec.start_micros, rec.dur_micros,
+                    rec.truncated ? "true" : "false");
+      out += buf;
+      bool first_span = true;
+      for (const TraceEvent& e : rec.spans) {
+        if (!first_span) out += ',';
+        first_span = false;
+        out += chrome_trace_event_json(TaggedTraceEvent{0, e}, /*pid=*/1,
+                                       /*offset_micros=*/0);
+      }
+      out += "]}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+QueryCapture::QueryCapture(const char* op, std::string detail)
+    : op_(op),
+      detail_(std::move(detail)),
+      start_micros_(Tracer::instance().now_micros()),
+      saved_ctx_(detail::t_current_context),
+      saved_sink_(detail::t_capture_sink) {
+  spans_.reserve(64);
+  // Reuse a live trace (wire-propagated or an enclosing span) so the
+  // capture joins it; mint a fresh trace otherwise.  Either way the capture
+  // gets its own span id — the synthetic root recorded at destruction —
+  // and spans inside the query parent under it.
+  ctx_ = saved_ctx_;
+  if (ctx_.trace_id == 0) ctx_.trace_id = Tracer::new_id();
+  parent_span_ = ctx_.span_id;
+  ctx_.span_id = Tracer::new_id();
+  detail::t_current_context = ctx_;
+  detail::t_capture_sink = &spans_;
+}
+
+QueryCapture::~QueryCapture() {
+  detail::t_capture_sink = saved_sink_;
+  detail::t_current_context = saved_ctx_;
+  Tracer& tracer = Tracer::instance();
+  const std::int64_t dur = tracer.now_micros() - start_micros_;
+  FlightRecorder& recorder = FlightRecorder::instance();
+  const std::int64_t threshold = static_cast<std::int64_t>(
+      recorder.threshold_millis() * 1000.0);
+  if (dur < threshold) return;
+
+  FlightRecord rec;
+  rec.op = op_;
+  rec.detail = std::move(detail_);
+  rec.start_micros = start_micros_;
+  rec.dur_micros = dur;
+  rec.trace_id = ctx_.trace_id;
+  rec.truncated = spans_.size() >= kFlightCaptureMaxSpans;
+  rec.spans = std::move(spans_);
+  // Synthetic root for the query itself: the capture brackets the whole
+  // operation even when no enclosing span was recording.
+  TraceEvent root;
+  root.name = op_;
+  root.start_micros = start_micros_;
+  root.dur_micros = dur;
+  root.trace_id = ctx_.trace_id;
+  root.span_id = ctx_.span_id;
+  root.parent_id = parent_span_;  // the caller's RPC span, if any
+  rec.spans.push_back(root);
+  recorder.add(std::move(rec));
+}
+
+}  // namespace skc::obs

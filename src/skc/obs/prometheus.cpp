@@ -20,10 +20,11 @@ using prom::line;
 /// "unknown" label in a reviewed golden diff).
 const char* request_type_name(std::size_t index) {
   static constexpr const char* kNames[] = {
-      "ping",         "insert_batch", "delete_batch", "query",
-      "metrics",      "checkpoint",   "shutdown",     "trace_dump",
-      "prometheus",   "worker_hello", "heartbeat",    "merge_sketch",
-      "fetch_coreset", "ship_snapshot", "tenant_stats"};
+      "ping",          "insert_batch",  "delete_batch", "query",
+      "metrics",       "checkpoint",    "shutdown",     "trace_dump",
+      "prometheus",    "worker_hello",  "heartbeat",    "merge_sketch",
+      "fetch_coreset", "ship_snapshot", "tenant_stats",
+      "cluster_trace_dump", "worker_stats", "flight_recorder"};
   constexpr std::size_t n = sizeof(kNames) / sizeof(kNames[0]);
   return index < n ? kNames[index] : "unknown";
 }
@@ -86,6 +87,8 @@ std::string prometheus_text(const EngineMetrics& m) {
           m.net_busy_rejections);
   counter(out, "skc_net_malformed_frames_total",
           "Rejected headers and payloads.", m.net_malformed_frames);
+  counter(out, "skc_trace_dropped_spans_total",
+          "Spans lost to trace-ring overwrites.", m.trace_dropped_spans);
 
   line(out, "# HELP skc_net_requests_total Requests served by message type.");
   line(out, "# TYPE skc_net_requests_total counter");

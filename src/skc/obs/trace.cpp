@@ -1,8 +1,12 @@
 #include "skc/obs/trace.h"
 
+#include <unistd.h>
+
+#include <cctype>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <string_view>
 
 namespace skc::obs {
 
@@ -22,6 +26,7 @@ struct Tracer::ThreadRing {
   std::vector<TraceEvent> events;  // capacity-bounded, wraps at next
   std::size_t next = 0;            // guarded by mu
   std::int64_t total = 0;          // guarded by mu
+  std::int64_t dropped = 0;        // overwritten spans; guarded by mu
 };
 
 Tracer::Tracer() : epoch_nanos_(steady_nanos()) {}
@@ -37,6 +42,25 @@ void Tracer::set_enabled(bool on) {
 
 std::int64_t Tracer::now_micros() const {
   return (steady_nanos() - epoch_nanos_) / 1000;
+}
+
+std::uint64_t Tracer::new_id() {
+  // splitmix64 over a per-process seed: ids stay unique within a process
+  // (the counter) and collision-unlikely across concurrently traced nodes
+  // (the seed), so a merged fleet timeline never aliases two spans.
+  static const std::uint64_t seed =
+      static_cast<std::uint64_t>(steady_nanos()) ^
+      (static_cast<std::uint64_t>(::getpid()) << 32);
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t x =
+      seed + (counter.fetch_add(1, std::memory_order_relaxed) + 1) *
+                 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x | 1;  // never the "no context" sentinel
 }
 
 Tracer::ThreadRing& Tracer::ring_for_this_thread() {
@@ -56,14 +80,22 @@ Tracer::ThreadRing& Tracer::ring_for_this_thread() {
   return ring;
 }
 
-void Tracer::record(const char* name, std::int64_t start_micros,
-                    std::int64_t dur_micros) {
+void Tracer::record(const TraceEvent& event) {
+  // Flight-recorder arm first: captures must see the span even when global
+  // tracing is off (that is the whole point of the recorder).
+  if (std::vector<TraceEvent>* sink = detail::t_capture_sink) {
+    if (sink->size() < kFlightCaptureMaxSpans) sink->push_back(event);
+  }
+  // No enabled() check here: the entry decision governs (a span opened while
+  // tracing was on records even if the flag flips before it closes), and
+  // explicit record() calls always land.
   ThreadRing& ring = ring_for_this_thread();
   std::lock_guard<std::mutex> lock(ring.mu);  // uncontended: owner thread only
   if (ring.events.size() < kTraceRingCapacity) {
-    ring.events.push_back(TraceEvent{name, start_micros, dur_micros});
+    ring.events.push_back(event);
   } else {
-    ring.events[ring.next] = TraceEvent{name, start_micros, dur_micros};
+    ring.events[ring.next] = event;
+    ++ring.dropped;
   }
   ring.next = (ring.next + 1) % kTraceRingCapacity;
   ++ring.total;
@@ -91,27 +123,122 @@ std::int64_t Tracer::total_recorded() const {
   return total;
 }
 
+std::int64_t Tracer::total_dropped() const {
+  std::int64_t dropped = 0;
+  std::lock_guard<std::mutex> registry(registry_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    dropped += ring->dropped;
+  }
+  return dropped;
+}
+
 int Tracer::num_threads() const {
   std::lock_guard<std::mutex> registry(registry_mu_);
   return static_cast<int>(rings_.size());
 }
 
+std::string chrome_trace_event_json(const TaggedTraceEvent& tagged, int pid,
+                                    std::int64_t offset_micros) {
+  char buf[320];
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "{\"name\":\"%s\",\"cat\":\"skc\",\"ph\":\"X\",\"pid\":%d,"
+      "\"tid\":%d,\"ts\":%" PRId64 ",\"dur\":%" PRId64,
+      tagged.event.name, pid, tagged.tid,
+      tagged.event.start_micros + offset_micros, tagged.event.dur_micros);
+  std::string out(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+  // Ids travel as hex strings: 64-bit values do not survive the double
+  // arithmetic of JSON viewers.
+  if (tagged.event.trace_id != 0) {
+    n = std::snprintf(buf, sizeof(buf),
+                      ",\"args\":{\"trace_id\":\"0x%016" PRIx64
+                      "\",\"span_id\":\"0x%016" PRIx64
+                      "\",\"parent_id\":\"0x%016" PRIx64 "\"",
+                      tagged.event.trace_id, tagged.event.span_id,
+                      tagged.event.parent_id);
+    out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+    if (tagged.event.wire_bytes >= 0) {
+      n = std::snprintf(buf, sizeof(buf), ",\"wire_bytes\":%" PRId64,
+                        tagged.event.wire_bytes);
+      out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+    }
+    out += '}';
+  } else if (tagged.event.wire_bytes >= 0) {
+    n = std::snprintf(buf, sizeof(buf), ",\"args\":{\"wire_bytes\":%" PRId64 "}",
+                      tagged.event.wire_bytes);
+    out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+  }
+  out += '}';
+  return out;
+}
+
 std::string Tracer::dump_chrome_json() const {
   // "X" (complete) events: one object per span, ts/dur in microseconds —
   // loadable directly by chrome://tracing and ui.perfetto.dev.
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char head[128];
+  std::snprintf(head, sizeof(head),
+                "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                "\"droppedSpans\":%" PRId64 ",\"totalRecorded\":%" PRId64
+                "},\"traceEvents\":[",
+                total_dropped(), total_recorded());
+  std::string out = head;
   bool first = true;
   for (const TaggedTraceEvent& tagged : events()) {
-    char buf[192];
-    std::snprintf(buf, sizeof(buf),
-                  "%s{\"name\":\"%s\",\"cat\":\"skc\",\"ph\":\"X\",\"pid\":1,"
-                  "\"tid\":%d,\"ts\":%" PRId64 ",\"dur\":%" PRId64 "}",
-                  first ? "" : ",", tagged.event.name, tagged.tid,
-                  tagged.event.start_micros, tagged.event.dur_micros);
-    out += buf;
+    if (!first) out += ',';
+    out += chrome_trace_event_json(tagged, /*pid=*/1, /*offset_micros=*/0);
     first = false;
   }
   out += "]}";
+  return out;
+}
+
+std::string rebase_trace_events(const std::string& dump_json, int pid,
+                                std::int64_t offset_micros) {
+  const std::string_view open = "\"traceEvents\":[";
+  const std::size_t at = dump_json.find(open);
+  if (at == std::string::npos) return "";
+  const std::size_t items = at + open.size();
+  const std::size_t end = dump_json.rfind(']');
+  if (end == std::string::npos || end <= items) return "";
+  const std::string_view body(dump_json.data() + items, end - items);
+
+  const auto is_int_char = [](char c) {
+    return c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0;
+  };
+  std::string out;
+  out.reserve(body.size() + 64);
+  std::size_t i = 0;
+  while (i < body.size()) {
+    if (body.compare(i, 6, "\"pid\":") == 0) {
+      i += 6;
+      std::size_t j = i;
+      while (j < body.size() && is_int_char(body[j])) ++j;
+      char buf[24];
+      const int n = std::snprintf(buf, sizeof(buf), "\"pid\":%d", pid);
+      out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+      i = j;
+    } else if (body.compare(i, 5, "\"ts\":") == 0) {
+      i += 5;
+      std::size_t j = i;
+      while (j < body.size() && is_int_char(body[j])) ++j;
+      out += "\"ts\":";
+      long long ts = 0;
+      if (j > i &&
+          std::sscanf(std::string(body.substr(i, j - i)).c_str(), "%lld",
+                      &ts) == 1) {
+        char buf[32];
+        const int n = std::snprintf(buf, sizeof(buf), "%lld",
+                                    ts + static_cast<long long>(offset_micros));
+        out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+      } else {
+        out.append(body.substr(i, j - i));  // unparseable: pass through
+      }
+      i = j;
+    } else {
+      out += body[i++];
+    }
+  }
   return out;
 }
 
@@ -122,6 +249,7 @@ void Tracer::clear() {
     ring->events.clear();
     ring->next = 0;
     ring->total = 0;
+    ring->dropped = 0;
   }
 }
 

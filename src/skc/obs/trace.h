@@ -1,26 +1,39 @@
-// Scoped-span tracer — bounded per-thread rings, chrome://tracing export.
+// Scoped-span tracer — bounded per-thread rings, chrome://tracing export,
+// cross-process trace contexts.
 //
 // `SKC_TRACE_SPAN("recover")` drops an RAII probe into a scope.  With
 // tracing disabled (the default) the probe's entire cost is ONE relaxed
-// atomic load and a branch — no clock read, no allocation — so spans stay
-// compiled into release hot paths (the E15 experiment pins the overhead
-// under 2% of ingest throughput).  With tracing enabled, scope entry/exit
-// reads the steady clock and appends one fixed-size TraceEvent to the
-// calling thread's ring buffer.
+// atomic load, one thread-local load (the flight-recorder capture arm) and
+// a branch — no clock read, no allocation — so spans stay compiled into
+// release hot paths (the E15 experiment pins the overhead under 2% of
+// ingest throughput).  With tracing enabled, scope entry/exit reads the
+// steady clock and appends one fixed-size TraceEvent to the calling
+// thread's ring buffer.
+//
+// Every recording span carries a TraceContext: a 64-bit trace_id shared by
+// all spans of one logical operation and a 64-bit span_id naming the span
+// itself.  Contexts nest through a thread-local stack (ScopedSpan pushes
+// itself, restoring its parent on exit) and cross process boundaries via
+// the version-3 frame extension (net/frame.h): ScopedTraceContext installs
+// a context received off the wire, so a worker's spans parent under the
+// coordinator's RPC span and the whole fan-out shares one trace_id.
 //
 // Rings are bounded (kTraceRingCapacity completed spans per thread; older
-// spans are overwritten) and owned by the process-wide Tracer: a thread
-// registers its ring on first span and keeps it for the thread's lifetime,
-// so dump() attributes every span to the thread that ran it.  Ring access
-// is guarded by a per-ring mutex — uncontended in steady state (only the
-// owning thread records; dump/clear briefly visit every ring), which keeps
-// the tracer TSan-clean without putting an atomic dance on the enabled
-// path.
+// spans are overwritten — overwrites are counted and exported as
+// skc_trace_dropped_spans_total) and owned by the process-wide Tracer: a
+// thread registers its ring on first span and keeps it for the thread's
+// lifetime, so dump() attributes every span to the thread that ran it.
+// Ring access is guarded by a per-ring mutex — uncontended in steady state
+// (only the owning thread records; dump/clear briefly visit every ring),
+// which keeps the tracer TSan-clean without putting an atomic dance on the
+// enabled path.
 //
 // dump_chrome_json() renders the rings as a chrome://tracing /
-// ui.perfetto.dev "traceEvents" array of complete ("ph":"X") events;
+// ui.perfetto.dev "traceEvents" array of complete ("ph":"X") events with
+// trace/span ids (and RPC wire bytes, when attached) in "args";
 // `skc_cli trace-dump` and the TRACE_DUMP RPC ship it out of a serving
-// process.  Span names must be string literals (the ring stores the
+// process, and CLUSTER_TRACE_DUMP merges one dump per node into a single
+// fleet timeline.  Span names must be string literals (the ring stores the
 // pointer, not a copy).
 #pragma once
 
@@ -33,18 +46,40 @@
 
 namespace skc::obs {
 
+struct TraceEvent;
+
+/// Identity of one in-flight operation: trace_id names the whole tree,
+/// span_id the innermost live span.  trace_id == 0 means "no context".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
 namespace detail {
 /// The one global the disabled-span path touches.
 inline std::atomic<bool> g_trace_enabled{false};
+/// Innermost live context on this thread (pushed/popped by ScopedSpan,
+/// installed across RPC boundaries by ScopedTraceContext).
+inline thread_local TraceContext t_current_context{};
+/// Flight-recorder capture arm: while non-null, completed spans on this
+/// thread are appended here even with global tracing off (obs/
+/// flight_recorder.h owns the buffer and bounds its growth).
+inline thread_local std::vector<TraceEvent>* t_capture_sink = nullptr;
 }  // namespace detail
 
 /// Completed spans kept per thread; older entries are overwritten.
 inline constexpr std::size_t kTraceRingCapacity = 8192;
+/// Spans one flight-recorder capture keeps before truncating.
+inline constexpr std::size_t kFlightCaptureMaxSpans = 1024;
 
 struct TraceEvent {
   const char* name = nullptr;   ///< string literal from SKC_TRACE_SPAN
   std::int64_t start_micros = 0;  ///< since the tracer epoch (process start)
   std::int64_t dur_micros = 0;
+  std::uint64_t trace_id = 0;   ///< 0 = recorded without a context
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root span of its trace
+  std::int64_t wire_bytes = -1;  ///< RPC frame bytes (request + reply); -1 unset
 };
 
 /// A TraceEvent plus the id of the thread that recorded it.
@@ -65,10 +100,25 @@ class Tracer {
     return detail::g_trace_enabled.load(std::memory_order_relaxed);
   }
 
+  /// The innermost live context on the calling thread ({0,0} if none).
+  static TraceContext current_context() { return detail::t_current_context; }
+
+  /// A fresh nonzero 64-bit id, unique within the process and seeded per
+  /// process so concurrently traced nodes do not collide.
+  static std::uint64_t new_id();
+
   /// Appends a completed span to the calling thread's ring (registers the
-  /// ring on first use).
+  /// ring on first use) and to the armed capture sink, if any.
+  void record(const TraceEvent& event);
+  /// Context-free convenience overload (tests, ad-hoc probes).
   void record(const char* name, std::int64_t start_micros,
-              std::int64_t dur_micros);
+              std::int64_t dur_micros) {
+    TraceEvent e;
+    e.name = name;
+    e.start_micros = start_micros;
+    e.dur_micros = dur_micros;
+    record(e);
+  }
 
   /// Microseconds since the tracer epoch (monotonic).
   std::int64_t now_micros() const;
@@ -77,10 +127,13 @@ class Tracer {
   std::vector<TaggedTraceEvent> events() const;
   /// Spans recorded since the last clear(), including overwritten ones.
   std::int64_t total_recorded() const;
+  /// Spans lost to ring overwrites since the last clear().
+  std::int64_t total_dropped() const;
   /// Threads that have registered a ring.
   int num_threads() const;
 
-  /// chrome://tracing JSON ({"traceEvents":[...]}); safe while recording.
+  /// chrome://tracing JSON ({"otherData":{...},"traceEvents":[...]});
+  /// safe while recording.
   std::string dump_chrome_json() const;
 
   /// Empties every ring (rings themselves survive for their threads).
@@ -97,20 +150,74 @@ class Tracer {
   std::int64_t epoch_nanos_ = 0;
 };
 
+/// Renders one TraceEvent as a chrome://tracing "X" event object under the
+/// given pid, with start_micros shifted by offset_micros (the fleet merge
+/// rebases worker clocks onto the coordinator's).  No leading comma.
+std::string chrome_trace_event_json(const TaggedTraceEvent& tagged, int pid,
+                                    std::int64_t offset_micros);
+
+/// Extracts the "traceEvents" array items from a dump_chrome_json() string
+/// produced by this tracer, rewriting each event's pid and shifting its
+/// "ts" by offset_micros.  Returns the rewritten items without surrounding
+/// brackets ("" when the dump holds no events); items whose ts cannot be
+/// parsed are passed through unshifted rather than dropped.
+std::string rebase_trace_events(const std::string& dump_json, int pid,
+                                std::int64_t offset_micros);
+
+/// Installs a context received off the wire for the current scope (no-op
+/// for the zero context), so server-side spans parent under the caller's
+/// RPC span.  Restores the previous context on destruction.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx)
+      : saved_(detail::t_current_context) {
+    if (ctx.trace_id != 0) detail::t_current_context = ctx;
+  }
+  ~ScopedTraceContext() { detail::t_current_context = saved_; }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
 /// The RAII probe behind SKC_TRACE_SPAN.  `name` must be a string literal.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) {
-    if (!Tracer::enabled()) return;  // the entire disabled-path cost
+    if (!Tracer::enabled() && detail::t_capture_sink == nullptr) {
+      return;  // the entire disabled-path cost
+    }
     name_ = name;
     start_ = Tracer::instance().now_micros();
+    parent_ = detail::t_current_context;
+    ctx_.trace_id =
+        parent_.trace_id != 0 ? parent_.trace_id : Tracer::new_id();
+    ctx_.span_id = Tracer::new_id();
+    detail::t_current_context = ctx_;
   }
 
   ~ScopedSpan() {
     if (name_ == nullptr) return;
+    detail::t_current_context = parent_;
     Tracer& tracer = Tracer::instance();
-    tracer.record(name_, start_, tracer.now_micros() - start_);
+    TraceEvent e;
+    e.name = name_;
+    e.start_micros = start_;
+    e.dur_micros = tracer.now_micros() - start_;
+    e.trace_id = ctx_.trace_id;
+    e.span_id = ctx_.span_id;
+    e.parent_id = parent_.span_id;
+    e.wire_bytes = wire_bytes_;
+    tracer.record(e);
   }
+
+  /// Attaches the RPC's on-wire byte count (request + reply frames) to the
+  /// span, so the fleet timeline reads traffic against the Thm 4.7 bound.
+  void set_wire_bytes(std::int64_t bytes) { wire_bytes_ = bytes; }
+  /// True when this span is recording (tracing on or a capture armed).
+  bool active() const { return name_ != nullptr; }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -118,6 +225,9 @@ class ScopedSpan {
  private:
   const char* name_ = nullptr;
   std::int64_t start_ = 0;
+  std::int64_t wire_bytes_ = -1;
+  TraceContext ctx_;
+  TraceContext parent_;
 };
 
 }  // namespace skc::obs

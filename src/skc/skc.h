@@ -49,6 +49,7 @@
 #include "skc/stream/generators.h"
 #include "skc/obs/histogram.h"
 #include "skc/obs/trace.h"
+#include "skc/obs/flight_recorder.h"
 #include "skc/obs/prometheus.h"
 #include "skc/engine/engine.h"
 #include "skc/engine/metrics.h"

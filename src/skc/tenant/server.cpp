@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "skc/obs/flight_recorder.h"
 #include "skc/obs/prom_format.h"
 #include "skc/obs/prometheus.h"
 #include "skc/obs/trace.h"
@@ -114,6 +115,12 @@ Status TenantServer::dispatch(const net::FrameHeader& header,
       q.summary_only = request.summary_only;
       q.solver_restarts = request.solver_restarts;
       EngineQueryResult res;
+      // Flight-recorder arm with the tenant in the metadata: a slow query
+      // names who ran it without tracing pre-enabled.
+      obs::QueryCapture capture(
+          "tenant_query",
+          tenant.empty() ? std::string("tenant=<default>")
+                         : "tenant=" + std::string(tenant));
       const Status verdict = admit_status(registry_.query(tenant, q, res),
                                           reply);
       if (verdict != Status::kOk) return verdict;
@@ -186,6 +193,36 @@ Status TenantServer::dispatch(const net::FrameHeader& header,
       return Status::kOk;
     }
 
+    case MsgType::kClusterTraceDump:
+      // A tenant host is a cluster of one: the local dump, unrebased.
+      reply = net::encode_text(obs::Tracer::instance().dump_chrome_json());
+      return Status::kOk;
+
+    case MsgType::kWorkerStats: {
+      // Fleet-scrape lane: registry-wide ingest/query distributions merged
+      // bucket-wise across tenants, plus one per-tenant event row each.
+      const RegistryStats stats = registry_.stats();
+      net::WorkerStatsReply out;
+      obs::HistogramSnapshot ingest, query;
+      out.tenants.reserve(stats.per_tenant.size());
+      for (const TenantStats& t : stats.per_tenant) {
+        ingest.merge(t.ingest_latency);
+        query.merge(t.query_latency);
+        out.tenants.push_back({t.id, t.events});
+      }
+      out.submit = net::HistogramWire::from(ingest);
+      out.query = net::HistogramWire::from(query);
+      out.net_request =
+          net::HistogramWire::from(counters_.request_latency.snapshot());
+      out.trace_dropped_spans = obs::Tracer::instance().total_dropped();
+      reply = out.encode();
+      return Status::kOk;
+    }
+
+    case MsgType::kFlightRecorder:
+      reply = net::encode_text(obs::FlightRecorder::instance().dump_json());
+      return Status::kOk;
+
     case MsgType::kWorkerHello:
     case MsgType::kHeartbeat:
     case MsgType::kMergeSketch:
@@ -224,6 +261,7 @@ EngineMetrics TenantServer::transport_metrics() const {
             std::memory_order_relaxed);
   }
   m.net_request_latency = counters_.request_latency.snapshot();
+  m.trace_dropped_spans = obs::Tracer::instance().total_dropped();
   return m;
 }
 

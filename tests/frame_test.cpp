@@ -66,7 +66,7 @@ TEST(Frame, BadMagicIsMalformed) {
 
 TEST(Frame, UnknownVersionAndTypeAreUnsupported) {
   std::string frame = encode_frame(MsgType::kPing, Status::kOk, "");
-  frame[4] = static_cast<char>(kWireVersionTenant + 1);  // first invalid version
+  frame[4] = static_cast<char>(kWireVersionTraced + 1);  // first invalid version
   FrameHeader h;
   EXPECT_EQ(decode_header(frame, h), Status::kUnsupported);
 
@@ -330,8 +330,18 @@ TEST(Frame, EveryMessageTypeHasAStrictPayloadCodec) {
       case MsgType::kFetchCoreset:
       case MsgType::kShutdown:
       case MsgType::kTenantStats:
+      case MsgType::kClusterTraceDump:
+      case MsgType::kFlightRecorder:
         body.clear();  // empty request bodies
         break;
+      case MsgType::kWorkerStats: {
+        WorkerStatsReply r;  // empty request; the reply codec is the strict one
+        r.trace_dropped_spans = 3;
+        body = r.encode();
+        expect_strict<WorkerStatsReply>(body);
+        body.clear();
+        break;
+      }
       case MsgType::kInsertBatch:
       case MsgType::kDeleteBatch: {
         PointBatch b;

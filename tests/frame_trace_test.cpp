@@ -1,0 +1,211 @@
+// Version-3 trace-context frames (src/skc/net/frame.h): the 16-byte
+// extension round-trips for every MsgType, strips back to a valid
+// version-2 payload, rejects truncation, and — the compatibility spine —
+// the contextless version-1/version-2 encodings stay byte-identical to the
+// pre-trace wire format.  The byte-stable pins here are the frame-layer
+// half of the "tracing off costs nothing on the wire" contract.
+#include "skc/net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "skc/obs/trace.h"
+
+namespace skc::net {
+namespace {
+
+obs::TraceContext test_context() {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x1122334455667788ull;
+  ctx.span_id = 0x99aabbccddeeff01ull;
+  return ctx;
+}
+
+TEST(FrameTrace, TracedFrameRoundTripsEveryMessageType) {
+  const obs::TraceContext ctx = test_context();
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    const MsgType type = static_cast<MsgType>(t);
+    const std::string body(static_cast<std::size_t>(t) * 5 + 1, 'b');
+    const std::string frame =
+        encode_traced_frame(type, Status::kOk, ctx, "acme-7", body);
+
+    FrameHeader h;
+    ASSERT_EQ(decode_header(frame, h), Status::kOk) << "type " << t;
+    EXPECT_EQ(h.version, kWireVersionTraced);
+    EXPECT_EQ(h.type, type);
+    EXPECT_EQ(h.payload_bytes, kTraceContextBytes + 1 + 6 + body.size());
+
+    const std::string payload = frame.substr(kFrameHeaderBytes);
+    obs::TraceContext got;
+    std::string_view rest;
+    ASSERT_TRUE(split_trace_prefix(payload, got, rest));
+    EXPECT_EQ(got.trace_id, ctx.trace_id);
+    EXPECT_EQ(got.span_id, ctx.span_id);
+
+    std::string_view tenant, inner;
+    ASSERT_TRUE(split_tenant_prefix(rest, tenant, inner));
+    EXPECT_EQ(tenant, "acme-7");
+    EXPECT_EQ(inner, body);
+  }
+}
+
+TEST(FrameTrace, StrippingTheContextYieldsTheTenantPayload) {
+  // The server-side contract: remove kTraceContextBytes and the remainder
+  // is exactly what encode_tenant_frame would have put on the wire, so
+  // dispatch code never sees the extension.
+  const std::string traced = encode_traced_frame(
+      MsgType::kQuery, Status::kOk, test_context(), "tenant-x", "qbody");
+  const std::string plain =
+      encode_tenant_frame(MsgType::kQuery, Status::kOk, "tenant-x", "qbody");
+  EXPECT_EQ(traced.substr(kFrameHeaderBytes + kTraceContextBytes),
+            plain.substr(kFrameHeaderBytes));
+  // Same for the default tenant: v3 always carries the (possibly empty)
+  // tenant prefix so the strip target is always version 2.
+  const std::string traced_default = encode_traced_frame(
+      MsgType::kPing, Status::kOk, test_context(), "", "p");
+  const std::string plain_default =
+      encode_tenant_frame(MsgType::kPing, Status::kOk, "", "p");
+  EXPECT_EQ(traced_default.substr(kFrameHeaderBytes + kTraceContextBytes),
+            plain_default.substr(kFrameHeaderBytes));
+}
+
+TEST(FrameTrace, TracePrefixRejectsTruncation) {
+  const std::string payload =
+      encode_traced_frame(MsgType::kPing, Status::kOk, test_context(), "t",
+                          "body")
+          .substr(kFrameHeaderBytes);
+  obs::TraceContext ctx;
+  std::string_view rest;
+  for (std::size_t len = 0; len < kTraceContextBytes; ++len) {
+    EXPECT_FALSE(split_trace_prefix(std::string_view(payload).substr(0, len),
+                                    ctx, rest))
+        << "prefix truncated to " << len << " bytes";
+  }
+  ASSERT_TRUE(split_trace_prefix(payload, ctx, rest));
+  // Exactly 16 bytes is parseable (the rest is then an empty v2 payload the
+  // tenant splitter rejects — that is the next layer's job).
+  EXPECT_TRUE(split_trace_prefix(
+      std::string_view(payload).substr(0, kTraceContextBytes), ctx, rest));
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(FrameTrace, OverLimitPayloadIsStillCappedAtVersion3) {
+  std::string frame = encode_traced_frame(MsgType::kQuery, Status::kOk,
+                                          test_context(), "", "");
+  const std::uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(frame.data() + 8, &huge, sizeof(huge));
+  FrameHeader h;
+  EXPECT_EQ(decode_header(frame, h), Status::kTooLarge);
+}
+
+// The version-3 layout pin, byte by byte from the format comment in
+// frame.h: header (version 3), u64 trace_id LE, u64 span_id LE, tenant
+// prefix, version-1 body.  If this drifts, mixed-version fleets break.
+TEST(FrameTrace, Version3FramesAreByteStable) {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x0102030405060708ull;
+  ctx.span_id = 0x1112131415161718ull;
+  const std::string frame =
+      encode_traced_frame(MsgType::kQuery, Status::kOk, ctx, "t1", "body");
+
+  std::string expected;
+  expected += std::string("\x53\x4b\x43\x46", 4);  // magic "SKCF"
+  expected += '\x03';                              // version 3
+  expected += '\x03';                              // type kQuery
+  expected += std::string("\x00\x00", 2);          // status kOk
+  const std::uint32_t payload_bytes = 16 + 1 + 2 + 4;
+  expected.append(reinterpret_cast<const char*>(&payload_bytes), 4);
+  expected += std::string("\x08\x07\x06\x05\x04\x03\x02\x01", 8);  // trace LE
+  expected += std::string("\x18\x17\x16\x15\x14\x13\x12\x11", 8);  // span LE
+  expected += '\x02';  // tenant length
+  expected += "t1";
+  expected += "body";
+  EXPECT_EQ(frame, expected);
+}
+
+// The PR-9 compatibility pin: a client with no live trace context emits the
+// exact pre-trace bytes — version 1 for the default tenant, version 2 with
+// a tenant — so heterogeneous fleets interoperate and tracing-off traffic
+// is indistinguishable from a pre-observability build.
+TEST(FrameTrace, ContextlessFramesAreByteIdenticalToPreTraceVersions) {
+  const std::string v1 = encode_frame(MsgType::kPing, Status::kOk, "hi");
+  std::string expected1;
+  expected1 += std::string("\x53\x4b\x43\x46", 4);
+  expected1 += '\x01';                     // version 1: no extensions at all
+  expected1 += '\x00';                     // type kPing
+  expected1 += std::string("\x00\x00", 2);
+  const std::uint32_t n1 = 2;
+  expected1.append(reinterpret_cast<const char*>(&n1), 4);
+  expected1 += "hi";
+  EXPECT_EQ(v1, expected1);
+
+  const std::string v2 =
+      encode_tenant_frame(MsgType::kPing, Status::kOk, "acme", "hi");
+  std::string expected2;
+  expected2 += std::string("\x53\x4b\x43\x46", 4);
+  expected2 += '\x02';                     // version 2: tenant prefix only
+  expected2 += '\x00';
+  expected2 += std::string("\x00\x00", 2);
+  const std::uint32_t n2 = 1 + 4 + 2;
+  expected2.append(reinterpret_cast<const char*>(&n2), 4);
+  expected2 += '\x04';
+  expected2 += "acme";
+  expected2 += "hi";
+  EXPECT_EQ(v2, expected2);
+}
+
+TEST(FrameTrace, WorkerStatsReplyRoundTripsHistogramsAndTenants) {
+  obs::LatencyHistogram submit, query;
+  for (std::int64_t v : {200, 450, 900}) submit.record_micros(v);
+  for (std::int64_t v : {30'000, 75'000}) query.record_micros(v);
+
+  WorkerStatsReply in;
+  in.submit = HistogramWire::from(submit.snapshot());
+  in.query = HistogramWire::from(query.snapshot());
+  in.trace_dropped_spans = 17;
+  in.tenants.push_back({"", 500});
+  in.tenants.push_back({"acme", 120});
+
+  WorkerStatsReply out;
+  ASSERT_TRUE(out.decode(in.encode()));
+  EXPECT_EQ(out.trace_dropped_spans, 17);
+  ASSERT_EQ(out.tenants.size(), 2u);
+  EXPECT_EQ(out.tenants[0].id, "");
+  EXPECT_EQ(out.tenants[0].events, 500);
+  EXPECT_EQ(out.tenants[1].id, "acme");
+  EXPECT_EQ(out.tenants[1].events, 120);
+
+  // The sparse wire form reconstructs the snapshot exactly — counts, sum,
+  // and every quantile the fleet merge will read.
+  const obs::HistogramSnapshot s = out.submit.to_snapshot();
+  const obs::HistogramSnapshot want = submit.snapshot();
+  EXPECT_EQ(s.count, want.count);
+  EXPECT_EQ(s.sum_micros, want.sum_micros);
+  EXPECT_EQ(s.min_micros, want.min_micros);
+  EXPECT_EQ(s.max_micros, want.max_micros);
+  EXPECT_DOUBLE_EQ(s.p50_millis(), want.p50_millis());
+  EXPECT_DOUBLE_EQ(s.p99_millis(), want.p99_millis());
+  EXPECT_EQ(out.query.to_snapshot().count, 2);
+
+  // Non-increasing bucket indices are a malformed reply, not a crash.
+  WorkerStatsReply bad = in;
+  bad.submit.bucket_index = {5, 5};
+  bad.submit.bucket_value = {1, 1};
+  EXPECT_FALSE(out.decode(bad.encode()));
+}
+
+TEST(FrameTrace, HeartbeatReplyCarriesTheWorkerClock) {
+  HeartbeatReply in;
+  in.backlog = 1;
+  in.net_points = 2;
+  in.events_applied = 3;
+  in.tracer_now_micros = 123456789;
+  HeartbeatReply out;
+  ASSERT_TRUE(out.decode(in.encode()));
+  EXPECT_EQ(out.tracer_now_micros, 123456789);
+}
+
+}  // namespace
+}  // namespace skc::net

@@ -44,10 +44,14 @@ EngineMetrics golden_metrics() {
   m.net_bytes_out = 20000;
   m.net_busy_rejections = 1;
   m.net_malformed_frames = 0;
-  // One entry per MsgType (kNumMsgTypes = 15): the serving opcodes plus the
+  // One entry per MsgType (kNumMsgTypes = 18): the serving opcodes plus the
   // cluster protocol (worker_hello, heartbeat, merge_sketch, fetch_coreset,
-  // ship_snapshot) and the tenant protocol (tenant_stats).
-  m.net_requests_by_type = {4, 6, 1, 3, 2, 2, 1, 1, 1, 2, 8, 5, 0, 1, 7};
+  // ship_snapshot), the tenant protocol (tenant_stats), and the
+  // observability opcodes (cluster_trace_dump, worker_stats,
+  // flight_recorder).
+  m.net_requests_by_type = {4, 6, 1, 3, 2, 2, 1, 1, 1, 2, 8, 5, 0, 1, 7,
+                            2, 9, 4};
+  m.trace_dropped_spans = 11;
 
   LatencyHistogram submit, query, checkpoint, net;
   for (std::int64_t v : {200, 450, 450, 900}) submit.record_micros(v);

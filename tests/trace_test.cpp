@@ -117,6 +117,54 @@ TEST_F(TraceTest, ConcurrentSpansFromManyThreadsAllLand) {
             static_cast<std::size_t>(kThreads) * kSpansPerThread);
 }
 
+TEST_F(TraceTest, RingOverwritesAreCountedAsDroppedSpans) {
+  Tracer& tracer = Tracer::instance();
+  const std::int64_t extra = 7;
+  const std::int64_t n = static_cast<std::int64_t>(kTraceRingCapacity) + extra;
+  for (std::int64_t i = 0; i < n; ++i) tracer.record("drop", i, 1);
+
+  // Every overwrite is one dropped span, surfaced three ways: the counter
+  // feeding skc_trace_dropped_spans_total, the dump's otherData, and (via
+  // WORKER_STATS) the fleet scrape.
+  EXPECT_EQ(tracer.total_dropped(), extra);
+  EXPECT_EQ(tracer.total_recorded(), n);
+  const std::string json = tracer.dump_chrome_json();
+  EXPECT_NE(json.find("\"droppedSpans\":7"), std::string::npos) << json;
+
+  tracer.clear();
+  EXPECT_EQ(tracer.total_dropped(), 0);
+}
+
+TEST_F(TraceTest, NothingIsDroppedUnderCapacity) {
+  Tracer& tracer = Tracer::instance();
+  for (int i = 0; i < 100; ++i) tracer.record("fits", i, 1);
+  EXPECT_EQ(tracer.total_dropped(), 0);
+  EXPECT_EQ(tracer.total_recorded(), 100);
+}
+
+TEST_F(TraceTest, RebaseRewritesPidAndShiftsTimestamps) {
+  Tracer& tracer = Tracer::instance();
+  tracer.record("shiftme", 100, 9);
+  const std::string dump = tracer.dump_chrome_json();
+
+  const std::string rebased = rebase_trace_events(dump, /*pid=*/4,
+                                                  /*offset_micros=*/-1500);
+  EXPECT_NE(rebased.find("\"pid\":4"), std::string::npos) << rebased;
+  EXPECT_EQ(rebased.find("\"pid\":1"), std::string::npos) << rebased;
+  EXPECT_NE(rebased.find("\"ts\":-1400"), std::string::npos)
+      << "100 - 1500 = -1400: " << rebased;
+  EXPECT_NE(rebased.find("\"dur\":9"), std::string::npos);
+  // The items are bracket-free so lanes can be comma-joined directly.
+  EXPECT_EQ(rebased.front(), '{');
+  EXPECT_EQ(rebased.back(), '}');
+}
+
+TEST_F(TraceTest, RebaseOfAnEmptyDumpIsEmpty) {
+  EXPECT_EQ(rebase_trace_events(Tracer::instance().dump_chrome_json(), 3, 50),
+            "");
+  EXPECT_EQ(rebase_trace_events("not json at all", 3, 50), "");
+}
+
 TEST_F(TraceTest, ChromeJsonIsWellFormed) {
   Tracer& tracer = Tracer::instance();
   tracer.record("jsonspan", 42, 7);
@@ -131,7 +179,8 @@ TEST_F(TraceTest, ChromeJsonIsWellFormed) {
 
   tracer.clear();
   EXPECT_EQ(tracer.dump_chrome_json(),
-            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+            "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedSpans\":0,"
+            "\"totalRecorded\":0},\"traceEvents\":[]}");
   EXPECT_EQ(tracer.total_recorded(), 0);
 }
 

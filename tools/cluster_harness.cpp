@@ -24,6 +24,7 @@
 #include "skc/coreset/params.h"
 #include "skc/engine/engine.h"
 #include "skc/net/server.h"
+#include "skc/obs/trace.h"
 
 namespace {
 
@@ -37,7 +38,7 @@ int usage() {
       "         [--exact] [--max-points N] [--o-min V] [--o-max V]\n"
       "         [--counting-samples V] [--countmin-width W] "
       "[--countmin-depth D]\n"
-      "         [--queue-capacity N] [--busy-backlog N]\n");
+      "         [--queue-capacity N] [--busy-backlog N] [--trace]\n");
   return 2;
 }
 
@@ -95,6 +96,10 @@ int cmd_worker(int argc, char** argv) {
       queue_capacity = std::atol(next("--queue-capacity"));
     } else if (!std::strcmp(argv[i], "--busy-backlog")) {
       busy_backlog = std::atoll(next("--busy-backlog"));
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      // Span recording from the first request on — the cluster obs tests
+      // assert this worker's lane in the merged fleet timeline.
+      obs::Tracer::instance().set_enabled(true);
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
       return usage();

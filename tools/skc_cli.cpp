@@ -22,11 +22,18 @@
 //                                                       (switch with `tenant`)
 //   skc_cli trace-dump <host> <port> [out.json]         fetch the server's
 //                                                       chrome://tracing JSON
-//   skc_cli worker   <dim> <k> [shards] [log_delta] [--port N]
-//                                                       cluster worker: engine
+//   skc_cli cluster-trace <host> <port> [out.json]      fetch a coordinator's
+//                                                       fleet-merged timeline
+//                                                       (one process lane per
+//                                                       node, offsets applied)
+//   skc_cli flight   <host> <port> [out.json]           fetch the slow-query
+//                                                       flight recorder ring
+//   skc_cli worker   <dim> <k> [shards] [log_delta] [--port N] [--trace]
+//                    [--slow-ms <t>]                    cluster worker: engine
 //                                                       on TCP, prints PORT <n>
 //   skc_cli coordinator <dim> <k> [log_delta] --worker host:port ...
-//                    [--tcp N] [--compose]              cluster front end over
+//                    [--tcp N] [--compose] [--trace] [--slow-ms <t>]
+//                                                       cluster front end over
 //                                                       the given workers
 //
 // Points are integer CSV rows; see src/skc/geometry/io.h for the format.
@@ -53,15 +60,18 @@ int usage() {
                "  skc_cli assign   <points.csv> <k> [capacity_slack=1.1]\n"
                "  skc_cli generate <n> <k> <dim> <log_delta> [skew=1.0]\n"
                "  skc_cli serve    <dim> <k> [shards=4] [log_delta=12] "
-               "[--tcp <port>] [--trace]\n"
+               "[--tcp <port>] [--trace] [--slow-ms <t>]\n"
                "                   [--tenants] [--spill <dir>] "
                "[--max-resident <n>] [--rate <events/s>]\n"
                "  skc_cli client   <host> <port> [--tenant <id>]\n"
                "  skc_cli trace-dump <host> <port> [out.json]\n"
+               "  skc_cli cluster-trace <host> <port> [out.json]\n"
+               "  skc_cli flight   <host> <port> [out.json]\n"
                "  skc_cli worker   <dim> <k> [shards=4] [log_delta=12] "
-               "[--port N]\n"
+               "[--port N] [--trace] [--slow-ms <t>]\n"
                "  skc_cli coordinator <dim> <k> [log_delta=12] "
-               "--worker host:port [--worker ...] [--tcp N] [--compose]\n");
+               "--worker host:port [--worker ...] [--tcp N] [--compose]\n"
+               "                   [--trace] [--slow-ms <t>]\n");
   return 2;
 }
 
@@ -369,6 +379,11 @@ int cmd_serve(int argc, char** argv) {
       if (tcp_port < 0 || tcp_port > 65535) return usage();
     } else if (!std::strcmp(argv[i], "--trace")) {
       obs::Tracer::instance().set_enabled(true);
+    } else if (!std::strcmp(argv[i], "--slow-ms")) {
+      if (i + 1 >= argc) return usage();
+      const double threshold = std::atof(argv[++i]);
+      if (threshold < 0) return usage();
+      obs::FlightRecorder::instance().set_threshold_millis(threshold);
     } else if (!std::strcmp(argv[i], "--tenants")) {
       tenants = true;
     } else if (!std::strcmp(argv[i], "--spill")) {
@@ -437,6 +452,7 @@ int cmd_serve(int argc, char** argv) {
                "engine up: dim=%d k=%d shards=%d log_delta=%d\n"
                "commands:  insert c1 .. c%d | delete c1 .. c%d | query [slack]\n"
                "           flush | metrics | prom | trace on|off|dump <path>\n"
+               "           slow [ms] | flight [path]\n"
                "           checkpoint <path> | restore <path> | quit\n",
                dim, k, shards, log_delta, dim, dim);
 
@@ -514,6 +530,24 @@ int cmd_serve(int argc, char** argv) {
       } else {
         std::printf("err unknown trace subcommand '%s'\n", sub.c_str());
       }
+    } else if (cmd == "slow") {
+      if (double threshold = 0; in >> threshold) {
+        if (threshold < 0) {
+          std::printf("err slow threshold must be >= 0 ms\n");
+          continue;
+        }
+        obs::FlightRecorder::instance().set_threshold_millis(threshold);
+      }
+      std::printf("ok slow threshold %.3f ms\n",
+                  obs::FlightRecorder::instance().threshold_millis());
+    } else if (cmd == "flight") {
+      std::string path = "-";
+      in >> path;
+      if (write_text_file(path, obs::FlightRecorder::instance().dump_json())) {
+        if (path != "-") std::printf("ok %s\n", path.c_str());
+      } else {
+        std::printf("err cannot write %s\n", path.c_str());
+      }
     } else if (cmd == "checkpoint" || cmd == "restore") {
       std::string path;
       if (!(in >> path)) {
@@ -569,6 +603,7 @@ int cmd_client(int argc, char** argv) {
                "connected to %s:%ld (tenant '%s')\n"
                "commands:  insert c1 c2 .. | delete c1 c2 .. | query [slack]\n"
                "           ping | metrics | prom | trace-dump [path]\n"
+               "           cluster-trace [path] | flight [path]\n"
                "           tenant [id] | tenant-stats\n"
                "           checkpoint <path> | shutdown | quit\n",
                host.c_str(), port, tenant_id.c_str());
@@ -650,11 +685,16 @@ int cmd_client(int argc, char** argv) {
       } else {
         std::printf("err %s\n", client.last_error().c_str());
       }
-    } else if (cmd == "trace-dump") {
+    } else if (cmd == "trace-dump" || cmd == "cluster-trace" ||
+               cmd == "flight") {
       std::string path = "-";
       in >> path;
       std::string json;
-      if (!client.trace_json(json)) {
+      const bool fetched = cmd == "trace-dump" ? client.trace_json(json)
+                           : cmd == "cluster-trace"
+                               ? client.cluster_trace_json(json)
+                               : client.flight_recorder_json(json);
+      if (!fetched) {
         std::printf("err %s\n", client.last_error().c_str());
       } else if (write_text_file(path, json)) {
         if (path != "-") std::printf("ok %s\n", path.c_str());
@@ -696,6 +736,13 @@ int cmd_worker(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       port = std::atol(argv[++i]);
       if (port < 0 || port > 65535) return usage();
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      obs::Tracer::instance().set_enabled(true);
+    } else if (!std::strcmp(argv[i], "--slow-ms")) {
+      if (i + 1 >= argc) return usage();
+      const double threshold = std::atof(argv[++i]);
+      if (threshold < 0) return usage();
+      obs::FlightRecorder::instance().set_threshold_millis(threshold);
     } else {
       pos.push_back(argv[i]);
     }
@@ -760,6 +807,13 @@ int cmd_coordinator(int argc, char** argv) {
       if (tcp_port < 0 || tcp_port > 65535) return usage();
     } else if (!std::strcmp(argv[i], "--compose")) {
       copts.merge_mode = MergeMode::kCompose;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      obs::Tracer::instance().set_enabled(true);
+    } else if (!std::strcmp(argv[i], "--slow-ms")) {
+      if (i + 1 >= argc) return usage();
+      const double threshold = std::atof(argv[++i]);
+      if (threshold < 0) return usage();
+      obs::FlightRecorder::instance().set_threshold_millis(threshold);
     } else {
       pos.push_back(argv[i]);
     }
@@ -789,8 +843,9 @@ int cmd_coordinator(int argc, char** argv) {
                "coordinator on 127.0.0.1:%u over %d worker(s)\n"
                "commands:  insert c1 .. c%d | delete c1 .. c%d | "
                "query [slack]\n"
-               "           flush | metrics | prom | checkpoint | "
-               "shutdown-workers | quit\n",
+               "           flush | metrics | prom | cluster-trace [path] | "
+               "flight [path]\n"
+               "           checkpoint | shutdown-workers | quit\n",
                coordinator.port(), coordinator.workers(), dim, dim);
 
   const long long max_coord = 1LL << log_delta;
@@ -844,6 +899,22 @@ int cmd_coordinator(int argc, char** argv) {
     } else if (cmd == "prom") {
       std::printf("%s",
                   cluster::cluster_prometheus_text(coordinator.metrics()).c_str());
+    } else if (cmd == "cluster-trace") {
+      std::string path = "-";
+      in >> path;
+      if (write_text_file(path, coordinator.cluster_trace_json())) {
+        if (path != "-") std::printf("ok %s\n", path.c_str());
+      } else {
+        std::printf("err cannot write %s\n", path.c_str());
+      }
+    } else if (cmd == "flight") {
+      std::string path = "-";
+      in >> path;
+      if (write_text_file(path, obs::FlightRecorder::instance().dump_json())) {
+        if (path != "-") std::printf("ok %s\n", path.c_str());
+      } else {
+        std::printf("err cannot write %s\n", path.c_str());
+      }
     } else if (cmd == "checkpoint") {
       std::printf(coordinator.checkpoint_members() ? "ok\n"
                                                    : "err a member failed\n");
@@ -861,10 +932,14 @@ int cmd_coordinator(int argc, char** argv) {
   return 0;
 }
 
-// One-shot TRACE_DUMP RPC: fetch the server's span rings as chrome://tracing
-// JSON and write them to a file (or stdout) — load the result at
-// chrome://tracing or https://ui.perfetto.dev.
-int cmd_trace_dump(int argc, char** argv) {
+// One-shot TRACE_DUMP / CLUSTER_TRACE_DUMP RPC: fetch the server's span
+// rings as chrome://tracing JSON and write them to a file (or stdout) —
+// load the result at chrome://tracing or https://ui.perfetto.dev.  The
+// cluster variant asks a coordinator for the fleet-merged timeline: every
+// worker's ring pulled, clock-offset corrected, one process lane per node.
+enum class Fetch { kTrace, kClusterTrace, kFlight };
+
+int cmd_trace_dump(int argc, char** argv, Fetch what) {
   if (argc < 4) return usage();
   const std::string host = argv[2];
   const long port = std::atol(argv[3]);
@@ -878,7 +953,11 @@ int cmd_trace_dump(int argc, char** argv) {
     return 1;
   }
   std::string json;
-  if (!client.trace_json(json)) {
+  const bool fetched = what == Fetch::kTrace ? client.trace_json(json)
+                       : what == Fetch::kClusterTrace
+                           ? client.cluster_trace_json(json)
+                           : client.flight_recorder_json(json);
+  if (!fetched) {
     std::fprintf(stderr, "error: %s\n", client.last_error().c_str());
     return 1;
   }
@@ -897,6 +976,14 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "worker")) return cmd_worker(argc, argv);
   if (!std::strcmp(argv[1], "coordinator")) return cmd_coordinator(argc, argv);
   if (!std::strcmp(argv[1], "client")) return cmd_client(argc, argv);
-  if (!std::strcmp(argv[1], "trace-dump")) return cmd_trace_dump(argc, argv);
+  if (!std::strcmp(argv[1], "trace-dump")) {
+    return cmd_trace_dump(argc, argv, Fetch::kTrace);
+  }
+  if (!std::strcmp(argv[1], "cluster-trace")) {
+    return cmd_trace_dump(argc, argv, Fetch::kClusterTrace);
+  }
+  if (!std::strcmp(argv[1], "flight")) {
+    return cmd_trace_dump(argc, argv, Fetch::kFlight);
+  }
   return usage();
 }
